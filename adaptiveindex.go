@@ -1,0 +1,332 @@
+// Package adaptiveindex is the public API of this repository: a Go
+// library implementing adaptive indexing — database cracking, adaptive
+// merging, hybrid adaptive indexing, sideways cracking and adaptive
+// update handling — together with the classic non-adaptive baselines
+// (scans, full sorting, offline and online index creation, soft
+// indexes), workload generators, and the benchmark harness of the
+// adaptive indexing benchmark (TPCTC 2010).
+//
+// The central abstraction is the Index: a single-column access path
+// that answers range selections and, if it is adaptive, reorganises its
+// data as a side effect of those selections. Create one with New:
+//
+//	ix, err := adaptiveindex.New(adaptiveindex.KindCracking, values, nil)
+//	rows := ix.Select(adaptiveindex.NewRange(10, 20)) // cracks as it answers
+//
+// Every index kind exposes the same interface, so the bundled Runner
+// can compare them on identical workloads, reproducing the experiments
+// described in EXPERIMENTS.md. Multi-column queries (select on one
+// attribute, project others) are served by MultiColumn, which uses
+// sideways cracking; updatable cracked columns are created with
+// NewUpdatable.
+package adaptiveindex
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptiveindex/internal/adaptivemerge"
+	"adaptiveindex/internal/baseline"
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/hybrid"
+)
+
+// Value is the attribute value type indexed by this library.
+type Value = int64
+
+// RowID identifies a tuple by its position in the base data.
+type RowID = uint32
+
+// Range is an interval predicate over values. The zero value matches
+// everything; use the constructors for bounded predicates.
+type Range struct {
+	Low, High       Value
+	HasLow, HasHigh bool
+	IncLow, IncHigh bool
+}
+
+// NewRange returns the half-open interval [low, high).
+func NewRange(low, high Value) Range {
+	return Range{Low: low, High: high, HasLow: true, HasHigh: true, IncLow: true}
+}
+
+// ClosedRange returns the closed interval [low, high].
+func ClosedRange(low, high Value) Range {
+	return Range{Low: low, High: high, HasLow: true, HasHigh: true, IncLow: true, IncHigh: true}
+}
+
+// Point returns the equality predicate value == x.
+func Point(x Value) Range { return ClosedRange(x, x) }
+
+// AtLeast returns the predicate value >= low.
+func AtLeast(low Value) Range { return Range{Low: low, HasLow: true, IncLow: true} }
+
+// LessThan returns the predicate value < high.
+func LessThan(high Value) Range { return Range{High: high, HasHigh: true} }
+
+// Contains reports whether v satisfies the predicate.
+func (r Range) Contains(v Value) bool { return r.internal().Contains(v) }
+
+// String renders the predicate in interval notation.
+func (r Range) String() string { return r.internal().String() }
+
+func (r Range) internal() column.Range {
+	return column.Range{
+		Low: r.Low, High: r.High,
+		HasLow: r.HasLow, HasHigh: r.HasHigh,
+		IncLow: r.IncLow, IncHigh: r.IncHigh,
+	}
+}
+
+// Stats summarises the logical work an index has performed: values
+// touched, comparisons, swaps, tuples copied, random (out-of-order)
+// accesses, and logical page touches under the adaptive-merging I/O
+// model. See DESIGN.md for why work counters, not wall time, carry the
+// reproduction's shape claims.
+type Stats struct {
+	ValuesTouched uint64
+	Comparisons   uint64
+	Swaps         uint64
+	TuplesCopied  uint64
+	RandomTouches uint64
+	PageTouches   uint64
+}
+
+// Total collapses the stats into one scalar, weighting random accesses
+// as the internal cost model does.
+func (s Stats) Total() uint64 { return s.counters().Total() }
+
+// String renders the stats compactly.
+func (s Stats) String() string { return s.counters().String() }
+
+func (s Stats) counters() cost.Counters {
+	return cost.Counters{
+		ValuesTouched: s.ValuesTouched,
+		Comparisons:   s.Comparisons,
+		Swaps:         s.Swaps,
+		TuplesCopied:  s.TuplesCopied,
+		RandomTouches: s.RandomTouches,
+		PageTouches:   s.PageTouches,
+	}
+}
+
+func statsFrom(c cost.Counters) Stats {
+	return Stats{
+		ValuesTouched: c.ValuesTouched,
+		Comparisons:   c.Comparisons,
+		Swaps:         c.Swaps,
+		TuplesCopied:  c.TuplesCopied,
+		RandomTouches: c.RandomTouches,
+		PageTouches:   c.PageTouches,
+	}
+}
+
+// Index is a single-column access path. Adaptive kinds reorganise their
+// data as a side effect of Select and Count.
+type Index interface {
+	// Name identifies the index kind (and configuration) in reports.
+	Name() string
+	// Select returns the row identifiers of values matching r.
+	Select(r Range) []RowID
+	// Count returns the number of values matching r without
+	// materialising their row identifiers.
+	Count(r Range) int
+	// Stats returns the cumulative logical work performed so far.
+	Stats() Stats
+}
+
+// Kind selects an index implementation.
+type Kind string
+
+// Available index kinds.
+const (
+	// KindScan answers every query with a full scan (no indexing).
+	KindScan Kind = "scan"
+	// KindFullSort builds a fully sorted copy on first use and probes
+	// it with binary search (the "full index" the adaptive techniques
+	// converge towards).
+	KindFullSort Kind = "fullsort"
+	// KindFullSortEager is KindFullSort built at creation time
+	// (offline indexing: all cost paid before the first query).
+	KindFullSortEager Kind = "fullsort-eager"
+	// KindOnline models monitor-and-tune online indexing: scans until a
+	// trigger threshold of queries is reached, then builds the full
+	// index inside that query.
+	KindOnline Kind = "online"
+	// KindSoftIndex models soft indexes: like KindOnline, but the index
+	// build piggy-backs on the scan of the triggering query.
+	KindSoftIndex Kind = "softindex"
+	// KindCracking is standard database cracking (crack-in-two and
+	// crack-in-three on query bounds).
+	KindCracking Kind = "cracking"
+	// KindStochasticCracking is cracking with additional random pivots
+	// that bound worst-case piece sizes under skewed or sequential
+	// workloads.
+	KindStochasticCracking Kind = "cracking-stochastic"
+	// KindAdaptiveMerging is adaptive merging: sorted runs created by
+	// the first query, queried key ranges merged into a final B+ tree.
+	KindAdaptiveMerging Kind = "adaptivemerge"
+	// KindHybridCrackCrack is the hybrid that cracks both the initial
+	// partitions and the final partition (HCC).
+	KindHybridCrackCrack Kind = "hybrid-crack-crack"
+	// KindHybridCrackSort cracks the initial partitions and sorts the
+	// final partition (HCS).
+	KindHybridCrackSort Kind = "hybrid-crack-sort"
+	// KindHybridSortSort sorts both (HSS, adaptive-merging-like).
+	KindHybridSortSort Kind = "hybrid-sort-sort"
+	// KindHybridRadixSort radix-clusters the initial partitions and
+	// sorts the final partition (HRS).
+	KindHybridRadixSort Kind = "hybrid-radix-sort"
+	// KindHybridRadixCrack radix-clusters the initial partitions and
+	// cracks the final partition (HRC).
+	KindHybridRadixCrack Kind = "hybrid-radix-crack"
+)
+
+// Kinds returns every available index kind, in a stable order suitable
+// for iterating experiments.
+func Kinds() []Kind {
+	return []Kind{
+		KindScan, KindFullSort, KindFullSortEager, KindOnline, KindSoftIndex,
+		KindCracking, KindStochasticCracking, KindAdaptiveMerging,
+		KindHybridCrackCrack, KindHybridCrackSort, KindHybridSortSort,
+		KindHybridRadixSort, KindHybridRadixCrack,
+	}
+}
+
+// AdaptiveKinds returns the kinds that reorganise data as a side effect
+// of queries.
+func AdaptiveKinds() []Kind {
+	return []Kind{
+		KindCracking, KindStochasticCracking, KindAdaptiveMerging,
+		KindHybridCrackCrack, KindHybridCrackSort, KindHybridSortSort,
+		KindHybridRadixSort, KindHybridRadixCrack,
+	}
+}
+
+// ErrUnknownKind is returned by New for an unrecognised kind.
+var ErrUnknownKind = errors.New("adaptiveindex: unknown index kind")
+
+// Options tunes index construction. The zero value (or a nil pointer)
+// selects sensible defaults for every kind.
+type Options struct {
+	// OnlineTrigger is the number of observed queries after which
+	// KindOnline and KindSoftIndex build their index (default 10).
+	OnlineTrigger int
+	// RandomPivotThreshold is the piece-size bound used by
+	// KindStochasticCracking (default 16384).
+	RandomPivotThreshold int
+	// PartitionSize is the initial partition / run size used by
+	// KindAdaptiveMerging and the hybrid kinds (default 65536).
+	PartitionSize int
+	// PageSize is the logical page size of the adaptive-merging I/O
+	// model (default 1024).
+	PageSize int
+	// Seed seeds any randomised strategy (stochastic cracking).
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.OnlineTrigger <= 0 {
+		out.OnlineTrigger = 10
+	}
+	if out.RandomPivotThreshold <= 0 {
+		out.RandomPivotThreshold = 1 << 14
+	}
+	if out.PartitionSize <= 0 {
+		out.PartitionSize = 1 << 16
+	}
+	if out.PageSize <= 0 {
+		out.PageSize = 1 << 10
+	}
+	return out
+}
+
+// New creates an index of the requested kind over the given values.
+// The slice is not copied for the scan and full-sort kinds; adaptive
+// kinds copy the data into their own structures on first use. A nil
+// opts selects defaults.
+func New(kind Kind, values []Value, opts *Options) (Index, error) {
+	o := opts.withDefaults()
+	switch kind {
+	case KindScan:
+		return wrap(baseline.NewFullScan(values)), nil
+	case KindFullSort:
+		return wrap(baseline.NewFullSortIndex(values, false)), nil
+	case KindFullSortEager:
+		return named{wrap(baseline.NewFullSortIndex(values, true)), "fullsort-eager"}, nil
+	case KindOnline:
+		return wrap(baseline.NewOnlineIndex(values, o.OnlineTrigger)), nil
+	case KindSoftIndex:
+		return wrap(baseline.NewSoftIndex(values, o.OnlineTrigger)), nil
+	case KindCracking:
+		return wrap(core.NewCrackerColumn(values, core.Options{CrackInThree: true, Seed: o.Seed})), nil
+	case KindStochasticCracking:
+		return named{wrap(core.NewCrackerColumn(values, core.Options{
+			CrackInThree:         true,
+			RandomPivotThreshold: o.RandomPivotThreshold,
+			Seed:                 o.Seed,
+		})), "cracking-stochastic"}, nil
+	case KindAdaptiveMerging:
+		return wrap(adaptivemerge.New(values, adaptivemerge.Options{
+			RunSize:  o.PartitionSize,
+			PageSize: o.PageSize,
+		})), nil
+	case KindHybridCrackCrack:
+		return wrap(hybrid.NewHCC(values, o.PartitionSize)), nil
+	case KindHybridCrackSort:
+		return wrap(hybrid.NewHCS(values, o.PartitionSize)), nil
+	case KindHybridSortSort:
+		return wrap(hybrid.NewHSS(values, o.PartitionSize)), nil
+	case KindHybridRadixSort:
+		return wrap(hybrid.NewHRS(values, o.PartitionSize)), nil
+	case KindHybridRadixCrack:
+		return wrap(hybrid.NewHRC(values, o.PartitionSize)), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
+	}
+}
+
+// internalIndex is the surface every internal implementation provides.
+type internalIndex interface {
+	Name() string
+	Select(column.Range) column.IDList
+	Count(column.Range) int
+	Cost() cost.Counters
+}
+
+// adapter converts between the public and internal types.
+type adapter struct {
+	inner internalIndex
+}
+
+func wrap(inner internalIndex) adapter { return adapter{inner: inner} }
+
+// Name implements Index.
+func (a adapter) Name() string { return a.inner.Name() }
+
+// Select implements Index.
+func (a adapter) Select(r Range) []RowID {
+	return []RowID(a.inner.Select(r.internal()))
+}
+
+// Count implements Index.
+func (a adapter) Count(r Range) int { return a.inner.Count(r.internal()) }
+
+// Stats implements Index.
+func (a adapter) Stats() Stats { return statsFrom(a.inner.Cost()) }
+
+// named overrides the reported name of a wrapped index, used when the
+// same internal implementation backs several public kinds.
+type named struct {
+	adapter
+	name string
+}
+
+// Name implements Index.
+func (n named) Name() string { return n.name }

@@ -1,0 +1,362 @@
+package adaptiveindex
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func scanOracle(vals []Value, r Range) []RowID {
+	var out []RowID
+	for i, v := range vals {
+		if r.Contains(v) {
+			out = append(out, RowID(i))
+		}
+	}
+	return out
+}
+
+func sameRowSet(a, b []RowID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]RowID(nil), a...)
+	bs := append([]RowID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeConstructors(t *testing.T) {
+	cases := []struct {
+		r    Range
+		v    Value
+		want bool
+	}{
+		{NewRange(10, 20), 10, true},
+		{NewRange(10, 20), 20, false},
+		{ClosedRange(10, 20), 20, true},
+		{Point(7), 7, true},
+		{Point(7), 8, false},
+		{AtLeast(5), 4, false},
+		{AtLeast(5), 5, true},
+		{LessThan(5), 4, true},
+		{LessThan(5), 5, false},
+		{Range{}, -1000, true},
+	}
+	for _, c := range cases {
+		if got := c.r.Contains(c.v); got != c.want {
+			t.Errorf("%s Contains(%d) = %v, want %v", c.r, c.v, got, c.want)
+		}
+	}
+	if NewRange(1, 5).String() != "[1, 5)" {
+		t.Error("Range.String wrong")
+	}
+}
+
+func TestStatsTotalAndString(t *testing.T) {
+	s := Stats{ValuesTouched: 1, Comparisons: 2, Swaps: 3, TuplesCopied: 4, RandomTouches: 5, PageTouches: 6}
+	// random touches weigh 4x.
+	if got := s.Total(); got != 1+2+3+4+4*5+6 {
+		t.Fatalf("Total = %d", got)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New(Kind("bogus"), []Value{1}, nil); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("expected ErrUnknownKind, got %v", err)
+	}
+}
+
+func TestAllKindsMatchOracle(t *testing.T) {
+	vals, err := GenerateData(DataUniform, 1, 5000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := GenerateQueries(WorkloadSpec{
+		Kind: WorkloadUniform, Seed: 2, DomainLow: 0, DomainHigh: 10000, Selectivity: 0.02,
+	}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries = append(queries,
+		Point(500), AtLeast(9900), LessThan(10), Range{}, ClosedRange(100, 100), NewRange(20000, 30000))
+
+	for _, kind := range Kinds() {
+		ix, err := New(kind, vals, &Options{PartitionSize: 512, OnlineTrigger: 5, RandomPivotThreshold: 256, PageSize: 128})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if ix.Name() == "" {
+			t.Fatalf("%s: empty name", kind)
+		}
+		for i, q := range queries {
+			got := ix.Select(q)
+			want := scanOracle(vals, q)
+			if !sameRowSet(got, want) {
+				t.Fatalf("%s query %d %s: got %d rows want %d", kind, i, q, len(got), len(want))
+			}
+		}
+		// Count agrees with Select on a fresh predicate.
+		q := NewRange(4000, 4500)
+		if got, want := ix.Count(q), len(scanOracle(vals, q)); got != want {
+			t.Fatalf("%s: Count = %d want %d", kind, got, want)
+		}
+		if kind != KindScan && ix.Stats().Total() == 0 {
+			t.Fatalf("%s: no work recorded", kind)
+		}
+	}
+}
+
+func TestKindsListsAreConsistent(t *testing.T) {
+	all := map[Kind]bool{}
+	for _, k := range Kinds() {
+		all[k] = true
+	}
+	if len(all) != len(Kinds()) {
+		t.Fatal("Kinds contains duplicates")
+	}
+	for _, k := range AdaptiveKinds() {
+		if !all[k] {
+			t.Fatalf("adaptive kind %s missing from Kinds()", k)
+		}
+	}
+	// Every kind must be constructible with nil options.
+	for _, k := range Kinds() {
+		if _, err := New(k, []Value{3, 1, 2}, nil); err != nil {
+			t.Fatalf("New(%s) with nil options: %v", k, err)
+		}
+	}
+}
+
+func TestNamedKindsReportDistinctNames(t *testing.T) {
+	vals := []Value{5, 1, 4}
+	seen := map[string]Kind{}
+	for _, k := range Kinds() {
+		ix, err := New(k, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[ix.Name()]; dup {
+			t.Fatalf("kinds %s and %s report the same name %q", prev, k, ix.Name())
+		}
+		seen[ix.Name()] = k
+	}
+}
+
+func TestCrackingConvergesThroughPublicAPI(t *testing.T) {
+	vals, _ := GenerateData(DataUniform, 3, 100000, 1000000)
+	queries, _ := GenerateQueries(WorkloadSpec{
+		Kind: WorkloadUniform, Seed: 4, DomainLow: 0, DomainHigh: 1000000, Selectivity: 0.01,
+	}, 300)
+
+	crack, _ := New(KindCracking, vals, nil)
+	scan, _ := New(KindScan, vals, nil)
+	full, _ := New(KindFullSort, vals, nil)
+
+	sCrack := Run(crack, queries)
+	sScan := Run(scan, queries)
+	sFull := Run(full, queries)
+
+	if sCrack.FirstQueryCost() >= sFull.FirstQueryCost() {
+		t.Fatalf("cracking first query (%d) must be cheaper than building the full index (%d)",
+			sCrack.FirstQueryCost(), sFull.FirstQueryCost())
+	}
+	if sCrack.inner.TailAverage(30)*10 > sScan.inner.TailAverage(30) {
+		t.Fatalf("cracking must converge to far below scan cost")
+	}
+	if be := sCrack.BreakEven(sScan); be < 0 || be > len(queries)/2 {
+		t.Fatalf("cracking should beat cumulative scanning well within the horizon, break-even at %d", be)
+	}
+}
+
+func TestCompareProducesOneRowPerIndex(t *testing.T) {
+	vals, _ := GenerateData(DataUniform, 5, 20000, 100000)
+	queries, _ := GenerateQueries(WorkloadSpec{
+		Kind: WorkloadUniform, Seed: 6, DomainLow: 0, DomainHigh: 100000, Selectivity: 0.01,
+	}, 100)
+	var indexes []Index
+	for _, k := range []Kind{KindScan, KindCracking, KindAdaptiveMerging, KindHybridCrackSort} {
+		ix, err := New(k, vals, &Options{PartitionSize: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexes = append(indexes, ix)
+	}
+	rows := Compare(indexes, queries)
+	if len(rows) != len(indexes) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.IndexName == "" || r.TotalWork == 0 {
+			t.Fatalf("bad summary row %+v", r)
+		}
+	}
+}
+
+func TestUpdatableThroughPublicAPI(t *testing.T) {
+	for _, policy := range []MergePolicy{MergeGradually, MergeCompletely, MergeImmediately} {
+		u := NewUpdatable([]Value{10, 20, 30, 40}, policy)
+		if u.Len() != 4 {
+			t.Fatalf("Len = %d", u.Len())
+		}
+		row := u.Insert(25)
+		got := u.Select(ClosedRange(20, 30))
+		if !sameRowSet(got, []RowID{1, 2, row}) {
+			t.Fatalf("%s: got %v", policy, got)
+		}
+		if err := u.Delete(1); err != nil {
+			t.Fatal(err)
+		}
+		newRow, err := u.Update(2, 35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = u.Select(ClosedRange(20, 40))
+		if !sameRowSet(got, []RowID{3, row, newRow}) {
+			t.Fatalf("%s: got %v", policy, got)
+		}
+		if u.Count(Range{}) != 4 {
+			t.Fatalf("%s: Count = %d", policy, u.Count(Range{}))
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if u.Stats().Total() == 0 {
+			t.Fatal("no work recorded")
+		}
+		_ = u.PendingInsertions()
+		_ = u.PendingDeletions()
+		if u.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+func TestMultiColumnThroughPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	sel := make([]Value, n)
+	colB := make([]Value, n)
+	colC := make([]Value, n)
+	for i := 0; i < n; i++ {
+		sel[i] = Value(rng.Intn(1000))
+		colB[i] = Value(rng.Intn(50))
+		colC[i] = Value(i)
+	}
+	mc, err := NewMultiColumn("a", sel, map[string][]Value{"b": colB, "c": colC}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.SelectionAttribute() != "a" || mc.Len() != n {
+		t.Fatal("accessors wrong")
+	}
+	for q := 0; q < 50; q++ {
+		lo := Value(rng.Intn(1000))
+		r := NewRange(lo, lo+30)
+		res, err := mc.SelectProject(r, "b", "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scanOracle(sel, r)
+		if !sameRowSet(res.Rows, want) {
+			t.Fatalf("query %s: wrong rows", r)
+		}
+		for i, row := range res.Rows {
+			if res.Columns["b"][i] != colB[row] || res.Columns["c"][i] != colC[row] {
+				t.Fatalf("query %s: misaligned projection", r)
+			}
+		}
+	}
+	rows, err := mc.SelectRows(NewRange(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRowSet(rows, scanOracle(sel, NewRange(0, 100))) {
+		t.Fatal("SelectRows wrong")
+	}
+	if len(mc.MaterializedMaps()) == 0 {
+		t.Fatal("maps should have materialised")
+	}
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Stats().Total() == 0 {
+		t.Fatal("no work recorded")
+	}
+	// Error paths.
+	if _, err := mc.SelectProject(NewRange(0, 1), "missing"); err == nil {
+		t.Fatal("expected error for unknown attribute")
+	}
+	if _, err := NewMultiColumn("a", []Value{1, 2}, map[string][]Value{"b": {1}}, 0); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+}
+
+func TestGenerateDataAndQueriesValidation(t *testing.T) {
+	if _, err := GenerateData(DataKind("bogus"), 1, 10, 10); err == nil {
+		t.Fatal("expected error for unknown data kind")
+	}
+	for _, k := range []DataKind{DataUniform, DataSorted, DataReversed, DataZipf, DataDuplicates} {
+		vals, err := GenerateData(k, 1, 100, 1000)
+		if err != nil || len(vals) != 100 {
+			t.Fatalf("%s: %v, %d values", k, err, len(vals))
+		}
+	}
+	if _, err := GenerateQueries(WorkloadSpec{Kind: WorkloadKind("bogus"), DomainHigh: 10}, 5); err == nil {
+		t.Fatal("expected error for unknown workload kind")
+	}
+	if _, err := GenerateQueries(WorkloadSpec{Kind: WorkloadUniform}, 5); err == nil {
+		t.Fatal("expected error for empty domain")
+	}
+	for _, k := range []WorkloadKind{WorkloadUniform, WorkloadSkewed, WorkloadSequential, WorkloadShifting, WorkloadPoint} {
+		qs, err := GenerateQueries(WorkloadSpec{Kind: k, Seed: 1, DomainLow: 0, DomainHigh: 100000}, 20)
+		if err != nil || len(qs) != 20 {
+			t.Fatalf("%s: %v, %d queries", k, err, len(qs))
+		}
+	}
+	// Determinism through the facade.
+	a, _ := GenerateQueries(WorkloadSpec{Kind: WorkloadUniform, Seed: 9, DomainHigh: 1000}, 10)
+	b, _ := GenerateQueries(WorkloadSpec{Kind: WorkloadUniform, Seed: 9, DomainHigh: 1000}, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce identical queries")
+		}
+	}
+}
+
+// Property: through the public API, cracking and the full-sort index
+// agree with the oracle on arbitrary inputs.
+func TestQuickPublicAPIOracle(t *testing.T) {
+	f := func(raw []int16, lo int16, width uint8) bool {
+		vals := make([]Value, len(raw))
+		for i, v := range raw {
+			vals[i] = Value(v)
+		}
+		r := ClosedRange(Value(lo), Value(lo)+Value(width))
+		want := scanOracle(vals, r)
+		for _, kind := range []Kind{KindCracking, KindFullSort, KindHybridCrackSort} {
+			ix, err := New(kind, vals, &Options{PartitionSize: 64})
+			if err != nil {
+				return false
+			}
+			if !sameRowSet(ix.Select(r), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

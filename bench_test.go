@@ -1,0 +1,138 @@
+package adaptiveindex
+
+import (
+	"testing"
+
+	"adaptiveindex/internal/experiments"
+)
+
+// benchConfig keeps every experiment benchmark at a size where a single
+// iteration finishes in a few hundred milliseconds. Run cmd/aibench
+// with -n 10000000 for paper-scale numbers; the shapes are identical.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		N:           200_000,
+		Queries:     300,
+		Domain:      200_000,
+		Selectivity: 0.01,
+		Seed:        42,
+	}
+}
+
+// reportHeadline attaches the experiment's headline numbers to the
+// benchmark output so `go test -bench` regenerates the EXPERIMENTS.md
+// rows directly.
+func reportHeadline(b *testing.B, res experiments.Result) {
+	b.Helper()
+	for _, s := range res.Summaries {
+		if s.IndexName == "cracking" || s.IndexName == "scan" || s.IndexName == "fullsort" {
+			b.ReportMetric(float64(s.TotalWork), s.IndexName+"-total-work")
+		}
+	}
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	def, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	var last experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = def.Run(cfg)
+	}
+	b.StopTimer()
+	if len(last.Summaries) == 0 {
+		b.Fatalf("%s produced no summaries", id)
+	}
+	reportHeadline(b, last)
+}
+
+// BenchmarkE1PerQueryCurve regenerates experiment E1: per-query
+// response time of scan vs full index vs cracking.
+func BenchmarkE1PerQueryCurve(b *testing.B) { benchmarkExperiment(b, "E1") }
+
+// BenchmarkE2Convergence regenerates experiment E2: cumulative cost and
+// break-even versus the full index (TPCTC metric 2).
+func BenchmarkE2Convergence(b *testing.B) { benchmarkExperiment(b, "E2") }
+
+// BenchmarkE3FirstQuery regenerates experiment E3: first-query
+// initialization cost across strategies (TPCTC metric 1).
+func BenchmarkE3FirstQuery(b *testing.B) { benchmarkExperiment(b, "E3") }
+
+// BenchmarkE4Hybrids regenerates experiment E4: cracking vs adaptive
+// merging vs the hybrid family.
+func BenchmarkE4Hybrids(b *testing.B) { benchmarkExperiment(b, "E4") }
+
+// BenchmarkE5Updates regenerates experiment E5: cracking under
+// interleaved updates for the three merge policies.
+func BenchmarkE5Updates(b *testing.B) { benchmarkExperiment(b, "E5") }
+
+// BenchmarkE6Sideways regenerates experiment E6: sideways cracking vs
+// late tuple reconstruction for multi-attribute queries.
+func BenchmarkE6Sideways(b *testing.B) { benchmarkExperiment(b, "E6") }
+
+// BenchmarkE7Skew regenerates experiment E7: cracking under skewed and
+// shifting workloads.
+func BenchmarkE7Skew(b *testing.B) { benchmarkExperiment(b, "E7") }
+
+// BenchmarkE8OnlineOffline regenerates experiment E8: offline vs online
+// vs soft vs adaptive indexing under a workload change.
+func BenchmarkE8OnlineOffline(b *testing.B) { benchmarkExperiment(b, "E8") }
+
+// BenchmarkE9Selectivity regenerates experiment E9: the selectivity
+// sweep.
+func BenchmarkE9Selectivity(b *testing.B) { benchmarkExperiment(b, "E9") }
+
+// BenchmarkE10Scaling regenerates experiment E10: data-size scaling.
+func BenchmarkE10Scaling(b *testing.B) { benchmarkExperiment(b, "E10") }
+
+// BenchmarkE11Ablation regenerates experiment E11: the crack strategy
+// ablation.
+func BenchmarkE11Ablation(b *testing.B) { benchmarkExperiment(b, "E11") }
+
+// BenchmarkE12MergeIO regenerates experiment E12: the adaptive merging
+// I/O (page touch) model.
+func BenchmarkE12MergeIO(b *testing.B) { benchmarkExperiment(b, "E12") }
+
+// BenchmarkCrackingSelect measures the steady-state cost of a single
+// cracked range selection once the column has converged.
+func BenchmarkCrackingSelect(b *testing.B) {
+	vals, _ := GenerateData(DataUniform, 1, 1_000_000, 1_000_000)
+	ix, _ := New(KindCracking, vals, nil)
+	queries, _ := GenerateQueries(WorkloadSpec{Kind: WorkloadUniform, Seed: 2, DomainHigh: 1_000_000, Selectivity: 0.001}, 2000)
+	for _, q := range queries {
+		ix.Count(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Count(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkFullSortProbe measures the cost of a binary-search probe of
+// the fully sorted baseline, the end state adaptive indexing converges
+// towards.
+func BenchmarkFullSortProbe(b *testing.B) {
+	vals, _ := GenerateData(DataUniform, 1, 1_000_000, 1_000_000)
+	ix, _ := New(KindFullSort, vals, nil)
+	queries, _ := GenerateQueries(WorkloadSpec{Kind: WorkloadUniform, Seed: 2, DomainHigh: 1_000_000, Selectivity: 0.001}, 2000)
+	ix.Count(queries[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Count(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkScanSelect measures a full scan of the same column for
+// reference.
+func BenchmarkScanSelect(b *testing.B) {
+	vals, _ := GenerateData(DataUniform, 1, 1_000_000, 1_000_000)
+	ix, _ := New(KindScan, vals, nil)
+	queries, _ := GenerateQueries(WorkloadSpec{Kind: WorkloadUniform, Seed: 2, DomainHigh: 1_000_000, Selectivity: 0.001}, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Count(queries[i%len(queries)])
+	}
+}

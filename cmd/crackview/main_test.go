@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-n", "5000", "-queries", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStochastic(t *testing.T) {
+	if err := run([]string{"-n", "5000", "-queries", "5", "-stochastic", "256"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected a flag parse error")
+	}
+}

@@ -1,0 +1,62 @@
+package adaptiveindex
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentPublicAPI(t *testing.T) {
+	vals, _ := GenerateData(DataUniform, 9, 20000, 50000)
+	c := NewConcurrent(vals)
+	if c.Name() == "" || c.Len() != 20000 {
+		t.Fatal("accessors wrong")
+	}
+
+	// Concurrent readers over a bounded predicate set.
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for q := 0; q < 100; q++ {
+				lo := Value(((q + offset) % 40) * 1000)
+				r := NewRange(lo, lo+800)
+				rows := c.Select(r)
+				for _, row := range rows {
+					if !r.Contains(vals[row]) {
+						t.Errorf("row %d does not satisfy %s", row, r)
+						return
+					}
+				}
+			}
+		}(g * 7)
+	}
+	wg.Wait()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.SharedQueries() == 0 || c.ExclusiveQueries() == 0 {
+		t.Fatalf("expected both latch paths to be used: shared=%d exclusive=%d",
+			c.SharedQueries(), c.ExclusiveQueries())
+	}
+	if c.Stats().Total() == 0 {
+		t.Fatal("no work recorded")
+	}
+
+	// Updates through the public facade.
+	c.Insert(1_000_000, 123)
+	if got := c.Count(Point(123)); got == 0 {
+		t.Fatal("inserted value not visible")
+	}
+	if err := c.Delete(1_000_000, 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(1_000_000, 123); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	// Results must still match the oracle afterwards.
+	r := NewRange(10000, 12000)
+	if got, want := c.Count(r), len(scanOracle(vals, r)); got != want {
+		t.Fatalf("Count = %d want %d", got, want)
+	}
+}

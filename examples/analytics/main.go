@@ -1,0 +1,67 @@
+// Analytics: the dynamic-workload scenario that motivates adaptive
+// indexing. An analyst explores a sales table with ad-hoc range
+// predicates whose focus shifts over time; we compare how much work a
+// plain scan, an up-front full index, online indexing and database
+// cracking spend over the same query stream.
+//
+// Run with:
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptiveindex"
+)
+
+func main() {
+	const (
+		nRows  = 2_000_000
+		domain = 10_000_000 // "revenue in cents"
+	)
+	values, err := adaptiveindex.GenerateData(adaptiveindex.DataUniform, 7, nRows, domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The analyst's exploration: queries cluster on one revenue band
+	// for a while, then jump to another band.
+	queries, err := adaptiveindex.GenerateQueries(adaptiveindex.WorkloadSpec{
+		Kind:        adaptiveindex.WorkloadShifting,
+		Seed:        8,
+		DomainLow:   0,
+		DomainHigh:  domain,
+		Selectivity: 0.005,
+		ShiftEvery:  100,
+	}, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kinds := []adaptiveindex.Kind{
+		adaptiveindex.KindScan,
+		adaptiveindex.KindFullSortEager,
+		adaptiveindex.KindOnline,
+		adaptiveindex.KindCracking,
+		adaptiveindex.KindAdaptiveMerging,
+	}
+	var indexes []adaptiveindex.Index
+	for _, k := range kinds {
+		ix, err := adaptiveindex.New(k, values, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		indexes = append(indexes, ix)
+	}
+
+	rows := adaptiveindex.Compare(indexes, queries)
+	fmt.Println("strategy                       first-query        total-work    tail-per-query")
+	for _, r := range rows {
+		fmt.Printf("%-28s %14d %17d %17d\n", r.IndexName, r.FirstQueryCost, r.TotalWork, r.TailPerQuery)
+	}
+	fmt.Println("\nThe adaptive strategies pay almost nothing up front and keep adapting")
+	fmt.Println("when the analyst's focus moves; the eager full index paid for ranges")
+	fmt.Println("that were never queried.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: create a cracked column, query it, and watch the index
+// build itself as a side effect of the queries.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptiveindex"
+)
+
+func main() {
+	// One million uniformly distributed integers — an unindexed column
+	// as it would arrive from a bulk load.
+	values, err := adaptiveindex.GenerateData(adaptiveindex.DataUniform, 1, 1_000_000, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A cracked column: every range selection physically reorganises
+	// the data it had to look at, so the column gets faster to query
+	// the more it is queried.
+	index, err := adaptiveindex.New(adaptiveindex.KindCracking, values, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries, err := adaptiveindex.GenerateQueries(adaptiveindex.WorkloadSpec{
+		Kind:        adaptiveindex.WorkloadUniform,
+		Seed:        2,
+		DomainLow:   0,
+		DomainHigh:  1_000_000,
+		Selectivity: 0.01, // each query asks for 1% of the domain
+	}, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("query    result-rows    work-this-query")
+	prev := uint64(0)
+	for i, q := range queries {
+		n := index.Count(q)
+		total := index.Stats().Total()
+		if i < 5 || (i+1)%50 == 0 {
+			fmt.Printf("%5d %14d %18d\n", i+1, n, total-prev)
+		}
+		prev = total
+	}
+
+	fmt.Printf("\nThe first query cost roughly one scan; by query %d each query touches\n", len(queries))
+	fmt.Printf("only the pieces relevant to its range. Total work so far: %d units.\n", index.Stats().Total())
+}

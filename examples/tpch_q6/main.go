@@ -1,0 +1,87 @@
+// TPC-H Q6 style: the tutorial motivates sideways cracking with complex
+// analytical queries such as TPC-H. This example models Q6 — a revenue
+// aggregate over lineitem filtered by ship date, discount and quantity —
+// over a synthetic lineitem table. The selection on ship date is served
+// by sideways cracking, which drags the discount, quantity and price
+// columns along, so repeated "same quarter, different discount band"
+// queries become cheap as the analyst iterates.
+//
+// Run with:
+//
+//	go run ./examples/tpch_q6
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"adaptiveindex"
+)
+
+const (
+	nLineitems = 1_000_000
+	daysInYear = 365
+	years      = 7 // ship dates span 1992-1998, as in TPC-H
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1992))
+
+	shipdate := make([]adaptiveindex.Value, nLineitems) // days since 1992-01-01
+	discount := make([]adaptiveindex.Value, nLineitems) // percent, 0..10
+	quantity := make([]adaptiveindex.Value, nLineitems) // 1..50
+	price := make([]adaptiveindex.Value, nLineitems)    // cents
+	for i := 0; i < nLineitems; i++ {
+		shipdate[i] = adaptiveindex.Value(rng.Intn(years * daysInYear))
+		discount[i] = adaptiveindex.Value(rng.Intn(11))
+		quantity[i] = adaptiveindex.Value(1 + rng.Intn(50))
+		price[i] = adaptiveindex.Value(90_000 + rng.Intn(10_000))
+	}
+
+	lineitem, err := adaptiveindex.NewMultiColumn("l_shipdate", shipdate, map[string][]adaptiveindex.Value{
+		"l_discount":      discount,
+		"l_quantity":      quantity,
+		"l_extendedprice": price,
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("year  discount-band   qualifying   revenue(cents)   work-this-query")
+	prevWork := uint64(0)
+	for q := 0; q < 21; q++ {
+		year := q % years
+		band := adaptiveindex.Value(1 + (q/years)*3) // the analyst retries with new discount bands
+		from := adaptiveindex.Value(year * daysInYear)
+		res, err := lineitem.SelectProject(
+			adaptiveindex.NewRange(from, from+daysInYear),
+			"l_discount", "l_quantity", "l_extendedprice",
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var revenue adaptiveindex.Value
+		matched := 0
+		for i := range res.Rows {
+			d := res.Columns["l_discount"][i]
+			if d < band || d > band+2 {
+				continue
+			}
+			if res.Columns["l_quantity"][i] >= 24 {
+				continue
+			}
+			revenue += res.Columns["l_extendedprice"][i] * d / 100
+			matched++
+		}
+		work := lineitem.Stats().Total()
+		fmt.Printf("%4d  [%2d%%,%2d%%]     %10d %16d %18d\n",
+			1992+year, band, band+2, matched, revenue, work-prevWork)
+		prevWork = work
+	}
+
+	fmt.Println("\nThe first query over each ship-date year pays for cracking the maps;")
+	fmt.Println("revisiting a year with a different discount band touches only the")
+	fmt.Println("already-contiguous region, so its cost collapses.")
+	fmt.Printf("materialised cracker maps: %v\n", lineitem.MaterializedMaps())
+}

@@ -1,0 +1,235 @@
+package adaptivemerge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptiveindex/internal/column"
+)
+
+func scanOracle(vals []column.Value, r column.Range) column.IDList {
+	var out column.IDList
+	for i, v := range vals {
+		if r.Contains(v) {
+			out = append(out, column.RowID(i))
+		}
+	}
+	return out
+}
+
+func randomValues(rng *rand.Rand, n, domain int) []column.Value {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(domain))
+	}
+	return vals
+}
+
+func smallOptions() Options {
+	return Options{RunSize: 256, PageSize: 64, Fanout: 16}
+}
+
+func TestSelectMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := randomValues(rng, 5000, 1000)
+	ix := New(vals, smallOptions())
+	queries := []column.Range{
+		column.NewRange(100, 200),
+		column.NewRange(100, 200), // repeat: served from final index
+		column.ClosedRange(500, 510),
+		column.Point(777),
+		column.AtLeast(950),
+		column.LessThan(30),
+		{},
+		column.NewRange(2000, 3000), // outside domain
+	}
+	for q := 0; q < 100; q++ {
+		lo := column.Value(rng.Intn(1050) - 25)
+		queries = append(queries, column.NewRange(lo, lo+column.Value(rng.Intn(150))))
+	}
+	for i, r := range queries {
+		got := ix.Select(r)
+		want := scanOracle(vals, r)
+		if !got.Equal(want) {
+			t.Fatalf("query %d %s: got %d rows want %d", i, r, len(got), len(want))
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+func TestLazyInitialization(t *testing.T) {
+	vals := randomValues(rand.New(rand.NewSource(2)), 1000, 100)
+	ix := New(vals, smallOptions())
+	if !ix.Cost().IsZero() {
+		t.Fatal("no work may happen before the first query")
+	}
+	if ix.NumRuns() != 0 {
+		t.Fatal("runs must not exist before the first query")
+	}
+	ix.Count(column.NewRange(10, 20))
+	if ix.NumRuns() == 0 && ix.RemainingInRuns() > 0 {
+		t.Fatal("runs must exist after the first query")
+	}
+	if ix.Cost().IsZero() {
+		t.Fatal("first query must be charged")
+	}
+}
+
+func TestEmptyRangeDoesNotInitialize(t *testing.T) {
+	vals := []column.Value{1, 2, 3}
+	ix := New(vals, smallOptions())
+	if got := ix.Select(column.NewRange(5, 5)); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+	if !ix.Cost().IsZero() {
+		t.Fatal("an empty predicate must not trigger initialization")
+	}
+}
+
+func TestMergeProgressAndConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	vals := randomValues(rng, n, n)
+	ix := New(vals, smallOptions())
+
+	ix.Count(column.NewRange(0, 100))
+	remainingAfterFirst := ix.RemainingInRuns()
+	if remainingAfterFirst >= n {
+		t.Fatalf("first query must merge something: remaining %d of %d", remainingAfterFirst, n)
+	}
+
+	// Queries over disjoint ranges keep draining the runs.
+	prev := remainingAfterFirst
+	for lo := 100; lo < n; lo += 100 {
+		ix.Count(column.NewRange(column.Value(lo), column.Value(lo+100)))
+		if ix.RemainingInRuns() > prev {
+			t.Fatalf("remaining entries grew: %d -> %d", prev, ix.RemainingInRuns())
+		}
+		prev = ix.RemainingInRuns()
+	}
+	// After covering the whole domain the index must be converged.
+	ix.Count(column.Range{})
+	if !ix.Converged() {
+		t.Fatalf("index not converged, %d entries left in runs", ix.RemainingInRuns())
+	}
+	if ix.FinalIndex().Len() != n {
+		t.Fatalf("final index holds %d entries, want %d", ix.FinalIndex().Len(), n)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatQueryIsCheapAfterMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := randomValues(rng, 50000, 100000)
+	ix := New(vals, DefaultOptions())
+	r := column.NewRange(1000, 3000)
+
+	before := ix.Cost().Total()
+	ix.Count(r)
+	firstCost := ix.Cost().Total() - before
+
+	before = ix.Cost().Total()
+	ix.Count(r)
+	secondCost := ix.Cost().Total() - before
+
+	if secondCost*10 > firstCost {
+		t.Fatalf("repeat query should be much cheaper: first %d, repeat %d", firstCost, secondCost)
+	}
+}
+
+func TestConvergenceFasterThanQueryCount(t *testing.T) {
+	// Adaptive merging's defining property: a key range is fully
+	// optimised after it has been queried once. Querying k disjoint
+	// ranges covering the domain converges the index in k queries.
+	rng := rand.New(rand.NewSource(5))
+	n := 10000
+	vals := randomValues(rng, n, n)
+	ix := New(vals, Options{RunSize: 1024, PageSize: 128, Fanout: 16})
+	k := 20
+	width := n / k
+	for i := 0; i < k; i++ {
+		lo := column.Value(i * width)
+		ix.Count(column.NewRange(lo, lo+column.Value(width)))
+	}
+	// Everything in [0, n) has been queried; only values >= n*? none.
+	if !ix.Converged() {
+		t.Fatalf("expected convergence after %d covering queries, %d entries remain", k, ix.RemainingInRuns())
+	}
+}
+
+func TestPageTouchCharging(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := randomValues(rng, 8192, 8192)
+	ix := New(vals, Options{RunSize: 1024, PageSize: 256, Fanout: 16})
+	ix.Count(column.NewRange(0, 500))
+	c := ix.Cost()
+	if c.PageTouches == 0 {
+		t.Fatal("page touches must be charged under the I/O model")
+	}
+	// Initialization alone reads and writes all pages: >= 2*n/pagesize.
+	if c.PageTouches < uint64(2*len(vals)/256) {
+		t.Fatalf("expected at least %d page touches, got %d", 2*len(vals)/256, c.PageTouches)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.RunSize <= 0 || o.PageSize <= 0 || o.Fanout <= 0 {
+		t.Fatalf("withDefaults left zero fields: %+v", o)
+	}
+	ix := New([]column.Value{3, 1, 2}, Options{})
+	got := ix.Select(column.ClosedRange(1, 2))
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDuplicateHeavyColumn(t *testing.T) {
+	vals := make([]column.Value, 3000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(4))
+	}
+	ix := New(vals, smallOptions())
+	for q := 0; q < 30; q++ {
+		lo := column.Value(rng.Intn(5) - 1)
+		r := column.ClosedRange(lo, lo+column.Value(rng.Intn(3)))
+		if got, want := ix.Select(r), scanOracle(vals, r); !got.Equal(want) {
+			t.Fatalf("query %s: got %d want %d", r, len(got), len(want))
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for arbitrary small columns and query sequences, adaptive
+// merging returns scan-identical results and never loses entries.
+func TestQuickOracleEquivalence(t *testing.T) {
+	f := func(raw []int16, seq []uint8) bool {
+		vals := make([]column.Value, len(raw))
+		for i, v := range raw {
+			vals[i] = column.Value(v % 128)
+		}
+		ix := New(vals, Options{RunSize: 32, PageSize: 8, Fanout: 4})
+		for _, q := range seq {
+			lo := column.Value(int(q%128) - 64)
+			r := column.NewRange(lo, lo+16)
+			if !ix.Select(r).Equal(scanOracle(vals, r)) {
+				return false
+			}
+			if ix.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptiveindex/internal/column"
+)
+
+func scanOracle(vals []column.Value, r column.Range) column.IDList {
+	var out column.IDList
+	for i, v := range vals {
+		if r.Contains(v) {
+			out = append(out, column.RowID(i))
+		}
+	}
+	return out
+}
+
+func randomValues(rng *rand.Rand, n, domain int) []column.Value {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(domain))
+	}
+	return vals
+}
+
+// selector is the common query surface of every baseline.
+type selector interface {
+	Name() string
+	Select(column.Range) column.IDList
+	Count(column.Range) int
+}
+
+func TestAllBaselinesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := randomValues(rng, 3000, 400)
+	paths := []selector{
+		NewFullScan(vals),
+		NewFullSortIndex(vals, false),
+		NewFullSortIndex(vals, true),
+		NewOnlineIndex(vals, 10),
+		NewSoftIndex(vals, 10),
+	}
+	queries := []column.Range{
+		column.NewRange(10, 60),
+		column.ClosedRange(100, 150),
+		column.Point(42),
+		column.AtLeast(380),
+		column.LessThan(5),
+		{},
+		column.NewRange(500, 600),
+	}
+	for q := 0; q < 60; q++ {
+		lo := column.Value(rng.Intn(420) - 10)
+		queries = append(queries, column.NewRange(lo, lo+column.Value(rng.Intn(60))))
+	}
+	for _, p := range paths {
+		for i, r := range queries {
+			want := scanOracle(vals, r)
+			if got := p.Select(r); !got.Equal(want) {
+				t.Fatalf("%s query %d %s: got %d rows want %d", p.Name(), i, r, len(got), len(want))
+			}
+		}
+	}
+	// Count paths (fresh instances so trigger counting starts over).
+	paths = []selector{
+		NewFullScan(vals),
+		NewFullSortIndex(vals, true),
+		NewOnlineIndex(vals, 3),
+		NewSoftIndex(vals, 3),
+	}
+	for _, p := range paths {
+		for _, r := range queries[:20] {
+			if got, want := p.Count(r), len(scanOracle(vals, r)); got != want {
+				t.Fatalf("%s Count(%s) = %d want %d", p.Name(), r, got, want)
+			}
+		}
+	}
+}
+
+func TestFullScanCostGrowsLinearly(t *testing.T) {
+	vals := randomValues(rand.New(rand.NewSource(2)), 1000, 100)
+	s := NewFullScan(vals)
+	s.Count(column.NewRange(0, 50))
+	after1 := s.Cost().Total()
+	s.Count(column.NewRange(0, 50))
+	after2 := s.Cost().Total()
+	if after2-after1 < after1/2 {
+		t.Fatalf("scan cost must not amortise: %d then %d", after1, after2-after1)
+	}
+}
+
+func TestFullSortLazyBuild(t *testing.T) {
+	vals := randomValues(rand.New(rand.NewSource(3)), 2000, 1000)
+	lazy := NewFullSortIndex(vals, false)
+	if lazy.Built() {
+		t.Fatal("lazy index must not be built at construction")
+	}
+	if !lazy.Cost().IsZero() {
+		t.Fatal("lazy index must not charge cost before first query")
+	}
+	before := lazy.Cost().Total()
+	lazy.Count(column.NewRange(0, 10))
+	firstQueryCost := lazy.Cost().Total() - before
+	lazy.Count(column.NewRange(0, 10))
+	secondQueryCost := lazy.Cost().Total() - before - firstQueryCost
+	if !lazy.Built() {
+		t.Fatal("index must be built after first query")
+	}
+	if firstQueryCost < uint64(len(vals)) {
+		t.Fatalf("first query must carry the build cost, got %d", firstQueryCost)
+	}
+	if secondQueryCost*100 > firstQueryCost {
+		t.Fatalf("later queries must be much cheaper: first %d, second %d", firstQueryCost, secondQueryCost)
+	}
+
+	eager := NewFullSortIndex(vals, true)
+	if !eager.Built() {
+		t.Fatal("eager index must be built at construction")
+	}
+	if eager.Cost().Comparisons == 0 {
+		t.Fatal("eager build must charge sort comparisons")
+	}
+}
+
+func TestOnlineIndexTrigger(t *testing.T) {
+	vals := randomValues(rand.New(rand.NewSource(4)), 5000, 1000)
+	o := NewOnlineIndex(vals, 5)
+	var perQuery []uint64
+	for q := 0; q < 10; q++ {
+		before := o.Cost().Total()
+		o.Count(column.NewRange(100, 200))
+		perQuery = append(perQuery, o.Cost().Total()-before)
+		if q < 4 && o.Triggered() {
+			t.Fatalf("online index triggered too early at query %d", q)
+		}
+	}
+	if !o.Triggered() {
+		t.Fatal("online index never triggered")
+	}
+	// The triggering query (index 4) must be the most expensive one:
+	// it pays scan + full build.
+	maxIdx := 0
+	for i, c := range perQuery {
+		if c > perQuery[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx != 4 {
+		t.Fatalf("expected query 5 (index 4) to carry the build spike, costs: %v", perQuery)
+	}
+	// Post-trigger queries must be much cheaper than pre-trigger scans.
+	if perQuery[9]*10 > perQuery[0] {
+		t.Fatalf("post-trigger queries should be cheap: %v", perQuery)
+	}
+}
+
+func TestOnlineIndexTriggerClamp(t *testing.T) {
+	vals := []column.Value{3, 1, 2}
+	o := NewOnlineIndex(vals, 0)
+	o.Count(column.Point(1))
+	if !o.Triggered() {
+		t.Fatal("trigger 0 must behave like trigger 1")
+	}
+}
+
+func TestSoftIndexPiggyBack(t *testing.T) {
+	vals := randomValues(rand.New(rand.NewSource(5)), 5000, 1000)
+	soft := NewSoftIndex(vals, 3)
+	online := NewOnlineIndex(vals, 3)
+	r := column.NewRange(100, 300)
+	for q := 0; q < 3; q++ {
+		soft.Select(r)
+		online.Select(r)
+	}
+	if !soft.Triggered() {
+		t.Fatal("soft index must have triggered")
+	}
+	// Soft index piggy-backs on the triggering scan, so its total work
+	// after the trigger must be lower than monitor-and-tune online
+	// indexing, which re-reads the data to build.
+	if soft.Cost().Total() >= online.Cost().Total() {
+		t.Fatalf("soft index (%d) should be cheaper than online indexing (%d)",
+			soft.Cost().Total(), online.Cost().Total())
+	}
+	// And it must still answer correctly afterwards.
+	want := scanOracle(vals, r)
+	if got := soft.Select(r); !got.Equal(want) {
+		t.Fatalf("post-trigger soft index wrong: %d vs %d rows", len(got), len(want))
+	}
+}
+
+func TestLenAccessors(t *testing.T) {
+	vals := []column.Value{1, 2, 3, 4}
+	if NewFullScan(vals).Len() != 4 || NewFullSortIndex(vals, false).Len() != 4 ||
+		NewOnlineIndex(vals, 2).Len() != 4 || NewSoftIndex(vals, 2).Len() != 4 {
+		t.Fatal("Len accessors disagree")
+	}
+}
+
+// Property: the sorted index and the scan agree on arbitrary inputs.
+func TestQuickSortIndexEquivalence(t *testing.T) {
+	f := func(raw []int16, lo int16, width uint8) bool {
+		vals := make([]column.Value, len(raw))
+		for i, v := range raw {
+			vals[i] = column.Value(v)
+		}
+		r := column.ClosedRange(column.Value(lo), column.Value(lo)+column.Value(width))
+		ix := NewFullSortIndex(vals, true)
+		return ix.Select(r).Equal(scanOracle(vals, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

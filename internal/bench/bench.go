@@ -1,0 +1,289 @@
+// Package bench is the experiment harness: it drives any index
+// implementation through a query sequence, records per-query logical
+// work and wall time, and computes the two metrics the adaptive
+// indexing benchmark (TPCTC 2010) defines:
+//
+//  1. the initialization cost incurred by the first query, and
+//  2. the number of queries that must be processed before a random
+//     query benefits from the index structure without incurring any
+//     further adaptation overhead (convergence).
+//
+// It also computes cumulative-cost curves and break-even points between
+// strategies, which is how the cracking and hybrid papers present their
+// results. The harness only depends on the small Index interface below,
+// so every access path in this repository (and any future one) can be
+// measured identically.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/cost"
+)
+
+// Index is the query surface the harness drives. Every adaptive index
+// and baseline in this repository satisfies it.
+type Index interface {
+	// Name identifies the access path in reports.
+	Name() string
+	// Count answers a range predicate, performing whatever adaptation
+	// the access path does as a side effect, and returns the number of
+	// qualifying tuples.
+	Count(column.Range) int
+	// Cost returns the cumulative logical work performed so far.
+	Cost() cost.Counters
+}
+
+// QueryStat records one query's outcome.
+type QueryStat struct {
+	// Seq is the zero-based position of the query in the sequence.
+	Seq int
+	// Query is the predicate that was executed.
+	Query column.Range
+	// Result is the number of qualifying tuples.
+	Result int
+	// Work is the logical work this query performed (delta of the
+	// index's cumulative counters).
+	Work cost.Counters
+	// Wall is the wall-clock duration of the query.
+	Wall time.Duration
+}
+
+// Series is the per-query record of one index over one workload.
+type Series struct {
+	IndexName string
+	Workload  string
+	Stats     []QueryStat
+}
+
+// Run drives the index through the query sequence and returns the
+// per-query series.
+func Run(ix Index, queries []column.Range) Series {
+	return RunNamed(ix, "", queries)
+}
+
+// RunNamed is Run with an explicit workload label for reports.
+func RunNamed(ix Index, workload string, queries []column.Range) Series {
+	s := Series{IndexName: ix.Name(), Workload: workload, Stats: make([]QueryStat, 0, len(queries))}
+	prev := ix.Cost()
+	for i, q := range queries {
+		start := time.Now()
+		n := ix.Count(q)
+		wall := time.Since(start)
+		cur := ix.Cost()
+		s.Stats = append(s.Stats, QueryStat{
+			Seq:    i,
+			Query:  q,
+			Result: n,
+			Work:   cur.Sub(prev),
+			Wall:   wall,
+		})
+		prev = cur
+	}
+	return s
+}
+
+// PerQueryTotals returns the scalar work of every query in sequence
+// order.
+func (s Series) PerQueryTotals() []uint64 {
+	out := make([]uint64, len(s.Stats))
+	for i, st := range s.Stats {
+		out[i] = st.Work.Total()
+	}
+	return out
+}
+
+// CumulativeTotals returns the running sum of scalar work after each
+// query.
+func (s Series) CumulativeTotals() []uint64 {
+	out := make([]uint64, len(s.Stats))
+	var sum uint64
+	for i, st := range s.Stats {
+		sum += st.Work.Total()
+		out[i] = sum
+	}
+	return out
+}
+
+// TotalWork returns the work summed over the whole sequence.
+func (s Series) TotalWork() cost.Counters {
+	var c cost.Counters
+	for _, st := range s.Stats {
+		c.Add(st.Work)
+	}
+	return c
+}
+
+// TotalWall returns the wall time summed over the whole sequence.
+func (s Series) TotalWall() time.Duration {
+	var d time.Duration
+	for _, st := range s.Stats {
+		d += st.Wall
+	}
+	return d
+}
+
+// FirstQueryCost is TPCTC metric 1: the logical work charged to the
+// first query (which includes any deferred initialization the access
+// path performs on first use). It returns 0 for an empty series.
+func (s Series) FirstQueryCost() uint64 {
+	if len(s.Stats) == 0 {
+		return 0
+	}
+	return s.Stats[0].Work.Total()
+}
+
+// Convergence is TPCTC metric 2: the index of the first query after
+// which every remaining query's work stays at or below the threshold.
+// It returns -1 if the series never converges within the sequence.
+func (s Series) Convergence(threshold uint64) int {
+	last := -1
+	for i := len(s.Stats) - 1; i >= 0; i-- {
+		if s.Stats[i].Work.Total() > threshold {
+			last = i
+			break
+		}
+	}
+	switch {
+	case last == -1:
+		return 0
+	case last == len(s.Stats)-1:
+		return -1
+	default:
+		return last + 1
+	}
+}
+
+// BreakEven returns the index of the first query at which this series'
+// cumulative work drops to or below the other series' cumulative work
+// and stays there for the rest of the sequence. It returns -1 if that
+// never happens. It is used to answer "after how many queries has
+// adaptive indexing paid off compared to building a full index".
+func (s Series) BreakEven(other Series) int {
+	a, b := s.CumulativeTotals(), other.CumulativeTotals()
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	last := -1
+	for i := n - 1; i >= 0; i-- {
+		if a[i] > b[i] {
+			last = i
+			break
+		}
+	}
+	switch {
+	case last == -1:
+		return 0
+	case last == n-1:
+		return -1
+	default:
+		return last + 1
+	}
+}
+
+// MaxQueryCost returns the largest single-query work in the series and
+// the query index where it occurred.
+func (s Series) MaxQueryCost() (uint64, int) {
+	var max uint64
+	idx := -1
+	for i, st := range s.Stats {
+		if t := st.Work.Total(); t > max {
+			max, idx = t, i
+		}
+	}
+	return max, idx
+}
+
+// TailAverage returns the average per-query work of the final `window`
+// queries (or all of them if the series is shorter). It approximates
+// the converged per-query cost.
+func (s Series) TailAverage(window int) uint64 {
+	if len(s.Stats) == 0 {
+		return 0
+	}
+	if window <= 0 || window > len(s.Stats) {
+		window = len(s.Stats)
+	}
+	var sum uint64
+	for _, st := range s.Stats[len(s.Stats)-window:] {
+		sum += st.Work.Total()
+	}
+	return sum / uint64(window)
+}
+
+// Summary is one comparison row of an experiment report.
+type Summary struct {
+	IndexName    string
+	FirstQuery   uint64
+	TotalWork    uint64
+	TailPerQuery uint64
+	MaxQuery     uint64
+	Convergence  int
+	TotalWall    time.Duration
+}
+
+// Summarize produces a comparison row. convergenceThreshold is the
+// per-query work level that counts as "no further adaptation overhead";
+// callers usually pass a multiple of the fully-indexed per-query cost.
+func (s Series) Summarize(convergenceThreshold uint64) Summary {
+	maxCost, _ := s.MaxQueryCost()
+	return Summary{
+		IndexName:    s.IndexName,
+		FirstQuery:   s.FirstQueryCost(),
+		TotalWork:    s.TotalWork().Total(),
+		TailPerQuery: s.TailAverage(max(1, len(s.Stats)/10)),
+		MaxQuery:     maxCost,
+		Convergence:  s.Convergence(convergenceThreshold),
+		TotalWall:    s.TotalWall(),
+	}
+}
+
+// FormatTable renders summaries as an aligned text table, sorted by
+// total work. It is what cmd/aibench prints for every experiment.
+func FormatTable(title string, rows []Summary) string {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].TotalWork < rows[j].TotalWork })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s %14s %14s %14s %14s %12s %12s\n",
+		"index", "first-query", "total-work", "tail/query", "max-query", "converge@", "wall")
+	for _, r := range rows {
+		conv := fmt.Sprintf("%d", r.Convergence)
+		if r.Convergence < 0 {
+			conv = "never"
+		}
+		fmt.Fprintf(&b, "%-28s %14d %14d %14d %14d %12s %12s\n",
+			r.IndexName, r.FirstQuery, r.TotalWork, r.TailPerQuery, r.MaxQuery, conv, r.TotalWall.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// FormatCurve renders a per-query work curve as "seq<TAB>work" lines,
+// downsampled to at most maxPoints rows, for plotting or eyeballing.
+func FormatCurve(s Series, maxPoints int) string {
+	totals := s.PerQueryTotals()
+	if maxPoints <= 0 {
+		maxPoints = len(totals)
+	}
+	step := 1
+	if len(totals) > maxPoints {
+		step = len(totals) / maxPoints
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s per-query work\n", s.IndexName)
+	for i := 0; i < len(totals); i += step {
+		fmt.Fprintf(&b, "%d\t%d\n", i, totals[i])
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

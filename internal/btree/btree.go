@@ -1,0 +1,406 @@
+// Package btree implements an in-memory B+ tree over (value, rowid)
+// pairs.
+//
+// The tree plays two roles in this reproduction. It is the "full index"
+// baseline the adaptive techniques are compared against (a completely
+// built index with binary-search-like lookups, the end state adaptive
+// indexing converges towards), and it is the final, fully optimised
+// index that adaptive merging incrementally assembles its merged key
+// ranges into. Duplicates are allowed; range selections return the row
+// identifiers of all qualifying entries.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/cost"
+)
+
+// DefaultFanout is the maximum number of entries per node used when the
+// caller does not specify one.
+const DefaultFanout = 64
+
+// Tree is an in-memory B+ tree. The zero value is not usable; create
+// trees with New or BulkLoad. Tree is not safe for concurrent use.
+type Tree struct {
+	root   nodeRef
+	fanout int
+	size   int
+	c      cost.Counters
+}
+
+// nodeRef is either a *leaf or an *inner.
+type nodeRef interface{ isNode() }
+
+type leaf struct {
+	entries []column.Pair // sorted by (Val, Row)
+	next    *leaf
+}
+
+type inner struct {
+	// keys[i] is the smallest key reachable through children[i+1];
+	// len(children) == len(keys)+1.
+	keys     []column.Value
+	children []nodeRef
+}
+
+func (*leaf) isNode()  {}
+func (*inner) isNode() {}
+
+// New returns an empty tree with the given fanout (entries per node).
+// Fanouts below 4 are raised to 4.
+func New(fanout int) *Tree {
+	if fanout < 4 {
+		fanout = 4
+	}
+	return &Tree{root: &leaf{}, fanout: fanout}
+}
+
+// BulkLoad builds a tree from the given pairs in one pass. The pairs
+// are sorted by value first (counted as the build cost), which mirrors
+// the up-front cost of offline index creation.
+func BulkLoad(pairs column.Pairs, fanout int) *Tree {
+	t := New(fanout)
+	sorted := pairs.Clone()
+	// Account for the sort: n log n comparisons and n copied tuples is
+	// the canonical cost of building the full index up front.
+	n := len(sorted)
+	t.c.TuplesCopied += uint64(n)
+	t.c.ValuesTouched += uint64(n)
+	t.c.Comparisons += uint64(sortCostEstimate(n))
+	sorted.SortByValue()
+	t.loadSorted(sorted)
+	return t
+}
+
+// BulkLoadSorted builds a tree from pairs that are already sorted by
+// value. Only the copy cost is charged. Adaptive merging uses it when
+// it moves already-sorted key ranges into its final index.
+func BulkLoadSorted(pairs column.Pairs, fanout int) *Tree {
+	t := New(fanout)
+	t.c.TuplesCopied += uint64(len(pairs))
+	t.loadSorted(pairs.Clone())
+	return t
+}
+
+func sortCostEstimate(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	cmp := 0
+	for m := n; m > 1; m >>= 1 {
+		cmp += n
+	}
+	return cmp
+}
+
+func (t *Tree) loadSorted(sorted column.Pairs) {
+	t.size = len(sorted)
+	if len(sorted) == 0 {
+		t.root = &leaf{}
+		return
+	}
+	// Build the leaf level.
+	var leaves []*leaf
+	for start := 0; start < len(sorted); start += t.fanout {
+		end := start + t.fanout
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		l := &leaf{entries: append([]column.Pair(nil), sorted[start:end]...)}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = l
+		}
+		leaves = append(leaves, l)
+	}
+	// Build internal levels bottom-up.
+	level := make([]nodeRef, len(leaves))
+	lowKeys := make([]column.Value, len(leaves))
+	for i, l := range leaves {
+		level[i] = l
+		lowKeys[i] = l.entries[0].Val
+	}
+	for len(level) > 1 {
+		var nextLevel []nodeRef
+		var nextLow []column.Value
+		for start := 0; start < len(level); start += t.fanout {
+			end := start + t.fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			in := &inner{
+				children: append([]nodeRef(nil), level[start:end]...),
+				keys:     append([]column.Value(nil), lowKeys[start+1:end]...),
+			}
+			nextLevel = append(nextLevel, in)
+			nextLow = append(nextLow, lowKeys[start])
+		}
+		level, lowKeys = nextLevel, nextLow
+	}
+	t.root = level[0]
+}
+
+// Name identifies the index kind to the benchmark harness.
+func (t *Tree) Name() string { return "btree" }
+
+// Len returns the number of entries stored.
+func (t *Tree) Len() int { return t.size }
+
+// Cost returns the cumulative logical work performed so far.
+func (t *Tree) Cost() cost.Counters { return t.c }
+
+// Insert adds one entry. Splits propagate upwards as needed.
+func (t *Tree) Insert(val column.Value, row column.RowID) {
+	t.size++
+	t.c.ValuesTouched++
+	newChild, splitKey := t.insert(t.root, column.Pair{Val: val, Row: row})
+	if newChild != nil {
+		t.root = &inner{keys: []column.Value{splitKey}, children: []nodeRef{t.root, newChild}}
+	}
+}
+
+func (t *Tree) insert(n nodeRef, p column.Pair) (nodeRef, column.Value) {
+	switch node := n.(type) {
+	case *leaf:
+		idx := sort.Search(len(node.entries), func(i int) bool {
+			t.c.Comparisons++
+			e := node.entries[i]
+			if e.Val != p.Val {
+				return e.Val > p.Val
+			}
+			return e.Row >= p.Row
+		})
+		node.entries = append(node.entries, column.Pair{})
+		copy(node.entries[idx+1:], node.entries[idx:])
+		node.entries[idx] = p
+		t.c.TuplesCopied++
+		if len(node.entries) <= t.fanout {
+			return nil, 0
+		}
+		mid := len(node.entries) / 2
+		right := &leaf{entries: append([]column.Pair(nil), node.entries[mid:]...), next: node.next}
+		node.entries = node.entries[:mid]
+		node.next = right
+		return right, right.entries[0].Val
+	case *inner:
+		childIdx := sort.Search(len(node.keys), func(i int) bool {
+			t.c.Comparisons++
+			return node.keys[i] > p.Val
+		})
+		newChild, splitKey := t.insert(node.children[childIdx], p)
+		if newChild == nil {
+			return nil, 0
+		}
+		node.keys = append(node.keys, 0)
+		copy(node.keys[childIdx+1:], node.keys[childIdx:])
+		node.keys[childIdx] = splitKey
+		node.children = append(node.children, nil)
+		copy(node.children[childIdx+2:], node.children[childIdx+1:])
+		node.children[childIdx+1] = newChild
+		if len(node.children) <= t.fanout {
+			return nil, 0
+		}
+		midKey := len(node.keys) / 2
+		splitUp := node.keys[midKey]
+		right := &inner{
+			keys:     append([]column.Value(nil), node.keys[midKey+1:]...),
+			children: append([]nodeRef(nil), node.children[midKey+1:]...),
+		}
+		node.keys = node.keys[:midKey]
+		node.children = node.children[:midKey+1]
+		return right, splitUp
+	default:
+		panic(fmt.Sprintf("btree: unknown node type %T", n))
+	}
+}
+
+// firstLeafFor descends to the leftmost leaf that may contain an entry
+// with value v. Because duplicates may straddle node boundaries (a leaf
+// may end with the same value its right sibling starts with), the
+// descent takes the first child whose separator is >= v; the range scan
+// then skips any leading entries below the predicate's lower bound.
+func (t *Tree) firstLeafFor(v column.Value) *leaf {
+	n := t.root
+	for {
+		switch node := n.(type) {
+		case *leaf:
+			return node
+		case *inner:
+			idx := sort.Search(len(node.keys), func(i int) bool {
+				t.c.Comparisons++
+				return node.keys[i] >= v
+			})
+			n = node.children[idx]
+		}
+	}
+}
+
+// firstLeaf returns the leftmost leaf.
+func (t *Tree) firstLeaf() *leaf {
+	n := t.root
+	for {
+		switch node := n.(type) {
+		case *leaf:
+			return node
+		case *inner:
+			n = node.children[0]
+		}
+	}
+}
+
+// Select returns the row identifiers of all entries whose value
+// satisfies the range predicate r.
+func (t *Tree) Select(r column.Range) column.IDList {
+	var out column.IDList
+	var l *leaf
+	if r.HasLow {
+		l = t.firstLeafFor(r.Low)
+	} else {
+		l = t.firstLeaf()
+	}
+	for ; l != nil; l = l.next {
+		for _, e := range l.entries {
+			t.c.Comparisons++
+			t.c.ValuesTouched++
+			if r.HasHigh {
+				if r.IncHigh {
+					if e.Val > r.High {
+						return out
+					}
+				} else if e.Val >= r.High {
+					return out
+				}
+			}
+			if r.Contains(e.Val) {
+				out = append(out, e.Row)
+				t.c.TuplesCopied++
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of entries matching r without materialising
+// the row identifiers.
+func (t *Tree) Count(r column.Range) int {
+	count := 0
+	var l *leaf
+	if r.HasLow {
+		l = t.firstLeafFor(r.Low)
+	} else {
+		l = t.firstLeaf()
+	}
+	for ; l != nil; l = l.next {
+		for _, e := range l.entries {
+			t.c.Comparisons++
+			if r.HasHigh {
+				if r.IncHigh {
+					if e.Val > r.High {
+						return count
+					}
+				} else if e.Val >= r.High {
+					return count
+				}
+			}
+			if r.Contains(e.Val) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Ascend calls fn for every entry in value order until fn returns
+// false.
+func (t *Tree) Ascend(fn func(column.Pair) bool) {
+	for l := t.firstLeaf(); l != nil; l = l.next {
+		for _, e := range l.entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// Entries returns all entries in value order. Intended for tests and
+// tools.
+func (t *Tree) Entries() column.Pairs {
+	out := make(column.Pairs, 0, t.size)
+	t.Ascend(func(p column.Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// Height returns the number of levels in the tree (1 for a single
+// leaf).
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return h
+		}
+		h++
+		n = in.children[0]
+	}
+}
+
+// Validate checks the structural invariants: entries sorted within and
+// across leaves, separator keys consistent with subtrees, and the entry
+// count matching Len.
+func (t *Tree) Validate() error {
+	entries := t.Entries()
+	if len(entries) != t.size {
+		return fmt.Errorf("btree: size %d but %d entries reachable", t.size, len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Val < entries[i-1].Val {
+			return fmt.Errorf("btree: entries out of order at %d (%d after %d)", i, entries[i].Val, entries[i-1].Val)
+		}
+	}
+	return t.validateNode(t.root, nil, nil)
+}
+
+func (t *Tree) validateNode(n nodeRef, min, max *column.Value) error {
+	switch node := n.(type) {
+	case *leaf:
+		for _, e := range node.entries {
+			if min != nil && e.Val < *min {
+				return fmt.Errorf("btree: leaf entry %d below separator %d", e.Val, *min)
+			}
+			if max != nil && e.Val > *max {
+				return fmt.Errorf("btree: leaf entry %d above separator %d", e.Val, *max)
+			}
+		}
+		return nil
+	case *inner:
+		if len(node.children) != len(node.keys)+1 {
+			return fmt.Errorf("btree: inner node has %d children and %d keys", len(node.children), len(node.keys))
+		}
+		for i := 1; i < len(node.keys); i++ {
+			if node.keys[i] < node.keys[i-1] {
+				return fmt.Errorf("btree: separator keys out of order")
+			}
+		}
+		for i, child := range node.children {
+			childMin, childMax := min, max
+			if i > 0 {
+				childMin = &node.keys[i-1]
+			}
+			if i < len(node.keys) {
+				childMax = &node.keys[i]
+			}
+			if err := t.validateNode(child, childMin, childMax); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("btree: unknown node type %T", n)
+	}
+}

@@ -1,0 +1,252 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptiveindex/internal/column"
+)
+
+func scanOracle(pairs column.Pairs, r column.Range) column.IDList {
+	var out column.IDList
+	for _, p := range pairs {
+		if r.Contains(p.Val) {
+			out = append(out, p.Row)
+		}
+	}
+	return out
+}
+
+func randomPairs(rng *rand.Rand, n, domain int) column.Pairs {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(domain))
+	}
+	return column.PairsFromValues(vals)
+}
+
+func TestBulkLoadAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 1000, 5000} {
+		pairs := randomPairs(rng, n, 200)
+		tr := BulkLoad(pairs, 16)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		entries := tr.Entries()
+		if !entries.IsSortedByValue() {
+			t.Fatalf("n=%d: entries not sorted", n)
+		}
+	}
+}
+
+func TestBulkLoadSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pairs := randomPairs(rng, 500, 100)
+	sorted := pairs.Clone()
+	sorted.SortByValue()
+	tr := BulkLoadSorted(sorted, 8)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// BulkLoadSorted must not charge sort comparisons.
+	if tr.Cost().Comparisons != 0 {
+		t.Fatalf("BulkLoadSorted charged %d comparisons", tr.Cost().Comparisons)
+	}
+}
+
+func TestSelectMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := randomPairs(rng, 3000, 500)
+	tr := BulkLoad(pairs, 32)
+	queries := []column.Range{
+		column.NewRange(10, 50),
+		column.ClosedRange(100, 100),
+		column.Point(250),
+		column.AtLeast(450),
+		column.LessThan(20),
+		{},
+		column.NewRange(600, 700), // outside domain
+		column.ClosedRange(-10, 1000),
+	}
+	for q := 0; q < 100; q++ {
+		lo := column.Value(rng.Intn(520) - 10)
+		queries = append(queries, column.NewRange(lo, lo+column.Value(rng.Intn(80))))
+	}
+	for _, r := range queries {
+		got := tr.Select(r)
+		want := scanOracle(pairs, r)
+		if !got.Equal(want) {
+			t.Fatalf("range %s: got %d rows want %d", r, len(got), len(want))
+		}
+		if c := tr.Count(r); c != len(want) {
+			t.Fatalf("range %s: Count = %d want %d", r, c, len(want))
+		}
+	}
+}
+
+func TestInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := New(8)
+	var pairs column.Pairs
+	for i := 0; i < 2000; i++ {
+		v := column.Value(rng.Intn(300))
+		tr.Insert(v, column.RowID(i))
+		pairs = append(pairs, column.Pair{Val: v, Row: column.RowID(i)})
+		if i%500 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for q := 0; q < 50; q++ {
+		lo := column.Value(rng.Intn(300))
+		r := column.NewRange(lo, lo+20)
+		if got, want := tr.Select(r), scanOracle(pairs, r); !got.Equal(want) {
+			t.Fatalf("range %s: got %d rows want %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestInsertIntoBulkLoaded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pairs := randomPairs(rng, 1000, 100)
+	tr := BulkLoad(pairs, 8)
+	all := pairs.Clone()
+	for i := 0; i < 500; i++ {
+		v := column.Value(rng.Intn(100))
+		row := column.RowID(1000 + i)
+		tr.Insert(v, row)
+		all = append(all, column.Pair{Val: v, Row: row})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := column.ClosedRange(20, 60)
+	if got, want := tr.Select(r), scanOracle(all, r); !got.Equal(want) {
+		t.Fatalf("got %d rows want %d", len(got), len(want))
+	}
+}
+
+func TestDuplicatesAcrossLeaves(t *testing.T) {
+	// Force a single value to span many leaves.
+	vals := make([]column.Value, 300)
+	for i := range vals {
+		vals[i] = 7
+	}
+	vals = append(vals, 1, 2, 3, 9, 10)
+	pairs := column.PairsFromValues(vals)
+	tr := BulkLoad(pairs, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Select(column.Point(7))
+	if len(got) != 300 {
+		t.Fatalf("Point(7) returned %d rows, want 300", len(got))
+	}
+	got = tr.Select(column.NewRange(7, 8))
+	if len(got) != 300 {
+		t.Fatalf("[7,8) returned %d rows, want 300", len(got))
+	}
+}
+
+func TestHeightAndFanoutClamp(t *testing.T) {
+	tr := New(1) // clamped to 4
+	for i := 0; i < 100; i++ {
+		tr.Insert(column.Value(i), column.RowID(i))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected a tree of height >= 3 with fanout 4 and 100 entries, got %d", tr.Height())
+	}
+	single := New(64)
+	if single.Height() != 1 {
+		t.Fatalf("empty tree height = %d", single.Height())
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := BulkLoad(column.PairsFromValues([]column.Value{5, 3, 1, 4, 2}), 4)
+	var seen []column.Value
+	tr.Ascend(func(p column.Pair) bool {
+		seen = append(seen, p.Val)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 2 || seen[2] != 3 {
+		t.Fatalf("Ascend early stop wrong: %v", seen)
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	tr := New(16)
+	if got := tr.Select(column.NewRange(0, 100)); len(got) != 0 {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	if tr.Count(column.AtLeast(0)) != 0 {
+		t.Fatal("empty tree count != 0")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a bulk-loaded tree's ordered entries are exactly the sorted
+// input, and range selects agree with the scan oracle.
+func TestQuickBulkLoadRoundTrip(t *testing.T) {
+	f := func(raw []int16, lo int16, width uint8) bool {
+		vals := make([]column.Value, len(raw))
+		for i, v := range raw {
+			vals[i] = column.Value(v)
+		}
+		pairs := column.PairsFromValues(vals)
+		tr := BulkLoad(pairs, 8)
+		if tr.Validate() != nil {
+			return false
+		}
+		want := pairs.Clone()
+		want.SortByValue()
+		got := tr.Entries()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Val != want[i].Val {
+				return false
+			}
+		}
+		r := column.NewRange(column.Value(lo), column.Value(lo)+column.Value(width))
+		return tr.Select(r).Equal(scanOracle(pairs, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadCostCharged(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pairs := randomPairs(rng, 4096, 10000)
+	tr := BulkLoad(pairs, 64)
+	c := tr.Cost()
+	if c.Comparisons == 0 || c.TuplesCopied == 0 {
+		t.Fatalf("BulkLoad must charge build cost, got %s", c)
+	}
+	// The build cost must be super-linear-ish: at least n comparisons.
+	if c.Comparisons < uint64(len(pairs)) {
+		t.Fatalf("BulkLoad charged only %d comparisons for %d entries", c.Comparisons, len(pairs))
+	}
+}

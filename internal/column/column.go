@@ -1,0 +1,305 @@
+// Package column provides the column-store storage primitives the
+// adaptive indexing techniques in this repository are built on.
+//
+// Database cracking (Idreos et al., CIDR 2007) relies on a handful of
+// column-store properties: attribute values are stored in fixed-width
+// dense arrays, tuples are identified by positional row identifiers,
+// and tuple reconstruction happens late, by joining positionally on
+// those identifiers. This package supplies exactly those building
+// blocks: typed value vectors, (value, rowid) pairs used by cracker
+// columns and sorted runs, range predicates, and selection vectors.
+package column
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is the attribute value type used throughout the repository.
+// The surveyed systems crack fixed-width integer or decimal columns;
+// a 64-bit signed integer covers both without loss of generality.
+type Value = int64
+
+// RowID identifies a tuple by its position in the base table. MonetDB
+// calls these OIDs; they are dense and start at zero.
+type RowID = uint32
+
+// Vector is a fixed-width dense array of attribute values — the
+// storage layout of one column.
+type Vector struct {
+	vals []Value
+}
+
+// NewVector returns an empty vector with capacity for n values.
+func NewVector(n int) *Vector {
+	return &Vector{vals: make([]Value, 0, n)}
+}
+
+// FromValues wraps the given slice in a Vector. The slice is not
+// copied; callers that need isolation should pass a copy.
+func FromValues(vals []Value) *Vector {
+	return &Vector{vals: vals}
+}
+
+// Len returns the number of values stored.
+func (v *Vector) Len() int { return len(v.vals) }
+
+// Get returns the value at position i.
+func (v *Vector) Get(i int) Value { return v.vals[i] }
+
+// Set overwrites the value at position i.
+func (v *Vector) Set(i int, val Value) { v.vals[i] = val }
+
+// Append adds a value at the end of the vector and returns its RowID.
+func (v *Vector) Append(val Value) RowID {
+	v.vals = append(v.vals, val)
+	return RowID(len(v.vals) - 1)
+}
+
+// AppendAll adds all values in order.
+func (v *Vector) AppendAll(vals ...Value) {
+	v.vals = append(v.vals, vals...)
+}
+
+// Values exposes the underlying slice. Mutating it mutates the vector.
+func (v *Vector) Values() []Value { return v.vals }
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	out := make([]Value, len(v.vals))
+	copy(out, v.vals)
+	return &Vector{vals: out}
+}
+
+// Min returns the smallest value and false if the vector is empty.
+func (v *Vector) Min() (Value, bool) {
+	if len(v.vals) == 0 {
+		return 0, false
+	}
+	m := v.vals[0]
+	for _, x := range v.vals[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, true
+}
+
+// Max returns the largest value and false if the vector is empty.
+func (v *Vector) Max() (Value, bool) {
+	if len(v.vals) == 0 {
+		return 0, false
+	}
+	m := v.vals[0]
+	for _, x := range v.vals[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, true
+}
+
+// IsSorted reports whether the vector is in non-decreasing order.
+func (v *Vector) IsSorted() bool {
+	return sort.SliceIsSorted(v.vals, func(i, j int) bool { return v.vals[i] < v.vals[j] })
+}
+
+// Pair couples an attribute value with the RowID of the tuple it came
+// from. Cracker columns, sorted runs and hybrid partitions all store
+// pairs so that physical reorganisation never loses track of the
+// original tuple.
+type Pair struct {
+	Val Value
+	Row RowID
+}
+
+// Pairs is a reorganisable sequence of (value, rowid) pairs.
+type Pairs []Pair
+
+// PairsFromVector materialises the (value, rowid) representation of a
+// column: position i becomes the pair (v[i], i).
+func PairsFromVector(v *Vector) Pairs {
+	out := make(Pairs, v.Len())
+	for i, val := range v.Values() {
+		out[i] = Pair{Val: val, Row: RowID(i)}
+	}
+	return out
+}
+
+// PairsFromValues is a convenience constructor used heavily in tests.
+func PairsFromValues(vals []Value) Pairs {
+	out := make(Pairs, len(vals))
+	for i, val := range vals {
+		out[i] = Pair{Val: val, Row: RowID(i)}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (p Pairs) Clone() Pairs {
+	out := make(Pairs, len(p))
+	copy(out, p)
+	return out
+}
+
+// Values returns just the values, in storage order.
+func (p Pairs) Values() []Value {
+	out := make([]Value, len(p))
+	for i, pr := range p {
+		out[i] = pr.Val
+	}
+	return out
+}
+
+// Rows returns just the row identifiers, in storage order.
+func (p Pairs) Rows() []RowID {
+	out := make([]RowID, len(p))
+	for i, pr := range p {
+		out[i] = pr.Row
+	}
+	return out
+}
+
+// SortByValue sorts the pairs by value (ties broken by RowID so the
+// order is deterministic).
+func (p Pairs) SortByValue() {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].Val != p[j].Val {
+			return p[i].Val < p[j].Val
+		}
+		return p[i].Row < p[j].Row
+	})
+}
+
+// IsSortedByValue reports whether the pairs are in non-decreasing value
+// order.
+func (p Pairs) IsSortedByValue() bool {
+	return sort.SliceIsSorted(p, func(i, j int) bool { return p[i].Val < p[j].Val })
+}
+
+// ValueMultiset returns a histogram of the values, used by tests to
+// assert that physical reorganisation is a permutation.
+func (p Pairs) ValueMultiset() map[Value]int {
+	m := make(map[Value]int, len(p))
+	for _, pr := range p {
+		m[pr.Val]++
+	}
+	return m
+}
+
+// Range is an interval predicate over attribute values. Both bounds
+// are optional; the zero value (no bounds) matches every value.
+type Range struct {
+	Low, High       Value
+	HasLow, HasHigh bool
+	IncLow, IncHigh bool
+}
+
+// NewRange builds the half-open interval [low, high) that the cracking
+// papers use as their canonical predicate.
+func NewRange(low, high Value) Range {
+	return Range{Low: low, High: high, HasLow: true, HasHigh: true, IncLow: true, IncHigh: false}
+}
+
+// ClosedRange builds the closed interval [low, high].
+func ClosedRange(low, high Value) Range {
+	return Range{Low: low, High: high, HasLow: true, HasHigh: true, IncLow: true, IncHigh: true}
+}
+
+// AtLeast builds the one-sided predicate v >= low.
+func AtLeast(low Value) Range {
+	return Range{Low: low, HasLow: true, IncLow: true}
+}
+
+// LessThan builds the one-sided predicate v < high.
+func LessThan(high Value) Range {
+	return Range{High: high, HasHigh: true}
+}
+
+// Point builds the equality predicate v == x as the closed range [x, x].
+func Point(x Value) Range { return ClosedRange(x, x) }
+
+// Contains reports whether val satisfies the predicate.
+func (r Range) Contains(val Value) bool {
+	if r.HasLow {
+		if r.IncLow {
+			if val < r.Low {
+				return false
+			}
+		} else if val <= r.Low {
+			return false
+		}
+	}
+	if r.HasHigh {
+		if r.IncHigh {
+			if val > r.High {
+				return false
+			}
+		} else if val >= r.High {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no value can satisfy the predicate.
+func (r Range) Empty() bool {
+	if !r.HasLow || !r.HasHigh {
+		return false
+	}
+	if r.Low < r.High {
+		return false
+	}
+	if r.Low > r.High {
+		return true
+	}
+	// Low == High: only the closed-closed combination admits the point.
+	return !(r.IncLow && r.IncHigh)
+}
+
+// String renders the predicate in interval notation.
+func (r Range) String() string {
+	lo, hi := "(-inf", "+inf)"
+	if r.HasLow {
+		b := "("
+		if r.IncLow {
+			b = "["
+		}
+		lo = fmt.Sprintf("%s%d", b, r.Low)
+	}
+	if r.HasHigh {
+		b := ")"
+		if r.IncHigh {
+			b = "]"
+		}
+		hi = fmt.Sprintf("%d%s", r.High, b)
+	}
+	return lo + ", " + hi
+}
+
+// IDList is a selection vector: the row identifiers of qualifying
+// tuples, in no particular order.
+type IDList []RowID
+
+// Sorted returns a sorted copy, used when comparing result sets.
+func (ids IDList) Sorted() IDList {
+	out := make(IDList, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two selection vectors contain the same row
+// identifiers, regardless of order.
+func (ids IDList) Equal(other IDList) bool {
+	if len(ids) != len(other) {
+		return false
+	}
+	a, b := ids.Sorted(), other.Sorted()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package column
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(4)
+	if v.Len() != 0 {
+		t.Fatalf("new vector length = %d, want 0", v.Len())
+	}
+	id := v.Append(42)
+	if id != 0 {
+		t.Fatalf("first append rowid = %d, want 0", id)
+	}
+	v.AppendAll(7, -3, 42)
+	if v.Len() != 4 {
+		t.Fatalf("len = %d, want 4", v.Len())
+	}
+	if v.Get(2) != -3 {
+		t.Fatalf("Get(2) = %d, want -3", v.Get(2))
+	}
+	v.Set(2, 100)
+	if v.Get(2) != 100 {
+		t.Fatalf("after Set, Get(2) = %d, want 100", v.Get(2))
+	}
+	min, ok := v.Min()
+	if !ok || min != 7 {
+		t.Fatalf("Min = %d,%v want 7,true", min, ok)
+	}
+	max, ok := v.Max()
+	if !ok || max != 100 {
+		t.Fatalf("Max = %d,%v want 100,true", max, ok)
+	}
+}
+
+func TestVectorEmptyMinMax(t *testing.T) {
+	v := NewVector(0)
+	if _, ok := v.Min(); ok {
+		t.Fatal("Min on empty vector must report !ok")
+	}
+	if _, ok := v.Max(); ok {
+		t.Fatal("Max on empty vector must report !ok")
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := FromValues([]Value{1, 2, 3})
+	c := v.Clone()
+	c.Set(0, 99)
+	if v.Get(0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestVectorIsSorted(t *testing.T) {
+	if !FromValues([]Value{1, 2, 2, 3}).IsSorted() {
+		t.Fatal("sorted vector reported unsorted")
+	}
+	if FromValues([]Value{3, 1}).IsSorted() {
+		t.Fatal("unsorted vector reported sorted")
+	}
+	if !FromValues(nil).IsSorted() {
+		t.Fatal("empty vector should count as sorted")
+	}
+}
+
+func TestPairsFromVector(t *testing.T) {
+	v := FromValues([]Value{10, 20, 30})
+	p := PairsFromVector(v)
+	if len(p) != 3 {
+		t.Fatalf("len = %d, want 3", len(p))
+	}
+	for i, pr := range p {
+		if pr.Row != RowID(i) || pr.Val != v.Get(i) {
+			t.Fatalf("pair %d = %+v, want {%d %d}", i, pr, v.Get(i), i)
+		}
+	}
+}
+
+func TestPairsSortByValue(t *testing.T) {
+	p := PairsFromValues([]Value{5, 1, 3, 1})
+	p.SortByValue()
+	if !p.IsSortedByValue() {
+		t.Fatalf("not sorted: %+v", p)
+	}
+	// Ties broken by RowID: the two 1s must keep rows 1 then 3.
+	if p[0].Row != 1 || p[1].Row != 3 {
+		t.Fatalf("tie-break by rowid violated: %+v", p)
+	}
+}
+
+func TestPairsCloneAndAccessors(t *testing.T) {
+	p := PairsFromValues([]Value{4, 2})
+	c := p.Clone()
+	c[0].Val = 99
+	if p[0].Val != 4 {
+		t.Fatal("Clone must not share storage")
+	}
+	vals := p.Values()
+	rows := p.Rows()
+	if vals[0] != 4 || vals[1] != 2 || rows[0] != 0 || rows[1] != 1 {
+		t.Fatalf("accessors wrong: vals=%v rows=%v", vals, rows)
+	}
+}
+
+func TestValueMultiset(t *testing.T) {
+	p := PairsFromValues([]Value{1, 2, 2, 3, 3, 3})
+	m := p.ValueMultiset()
+	if m[1] != 1 || m[2] != 2 || m[3] != 3 {
+		t.Fatalf("multiset wrong: %v", m)
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Range
+		val  Value
+		want bool
+	}{
+		{"halfopen includes low", NewRange(10, 20), 10, true},
+		{"halfopen excludes high", NewRange(10, 20), 20, false},
+		{"halfopen inside", NewRange(10, 20), 15, true},
+		{"halfopen below", NewRange(10, 20), 9, false},
+		{"closed includes high", ClosedRange(10, 20), 20, true},
+		{"point matches", Point(7), 7, true},
+		{"point rejects", Point(7), 8, false},
+		{"atleast", AtLeast(5), 5, true},
+		{"atleast below", AtLeast(5), 4, false},
+		{"lessthan", LessThan(5), 4, true},
+		{"lessthan at bound", LessThan(5), 5, false},
+		{"unbounded", Range{}, -999, true},
+	}
+	for _, c := range cases {
+		if got := c.r.Contains(c.val); got != c.want {
+			t.Errorf("%s: %s Contains(%d) = %v, want %v", c.name, c.r, c.val, got, c.want)
+		}
+	}
+}
+
+func TestRangeEmpty(t *testing.T) {
+	if NewRange(10, 10).Empty() != true {
+		t.Fatal("[10,10) must be empty")
+	}
+	if ClosedRange(10, 10).Empty() {
+		t.Fatal("[10,10] must not be empty")
+	}
+	if NewRange(10, 20).Empty() {
+		t.Fatal("[10,20) must not be empty")
+	}
+	if !NewRange(20, 10).Empty() {
+		t.Fatal("[20,10) must be empty")
+	}
+	if AtLeast(3).Empty() {
+		t.Fatal("one-sided ranges are never empty")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if s := NewRange(1, 5).String(); s != "[1, 5)" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (Range{}).String(); s != "(-inf, +inf)" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := ClosedRange(1, 5).String(); s != "[1, 5]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestIDListEqual(t *testing.T) {
+	a := IDList{3, 1, 2}
+	b := IDList{1, 2, 3}
+	if !a.Equal(b) {
+		t.Fatal("same sets must be equal regardless of order")
+	}
+	if a.Equal(IDList{1, 2}) {
+		t.Fatal("different lengths must not be equal")
+	}
+	if a.Equal(IDList{1, 2, 4}) {
+		t.Fatal("different members must not be equal")
+	}
+	if !(IDList{}).Equal(IDList{}) {
+		t.Fatal("empty sets are equal")
+	}
+}
+
+// Property: Contains on a half-open range agrees with the arithmetic
+// definition low <= v < high.
+func TestRangeContainsProperty(t *testing.T) {
+	f := func(low, high, v int32) bool {
+		r := NewRange(Value(low), Value(high))
+		want := Value(v) >= Value(low) && Value(v) < Value(high)
+		return r.Contains(Value(v)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sorting pairs preserves the value multiset.
+func TestPairsSortPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = Value(rng.Intn(50))
+		}
+		p := PairsFromValues(vals)
+		before := p.ValueMultiset()
+		p.SortByValue()
+		after := p.ValueMultiset()
+		if len(before) != len(after) {
+			t.Fatal("multiset size changed by sort")
+		}
+		for k, v := range before {
+			if after[k] != v {
+				t.Fatalf("multiset changed for key %d: %d -> %d", k, v, after[k])
+			}
+		}
+	}
+}

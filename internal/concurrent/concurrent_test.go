@@ -1,0 +1,200 @@
+package concurrent
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/workload"
+)
+
+func scanOracle(vals []column.Value, r column.Range) column.IDList {
+	var out column.IDList
+	for i, v := range vals {
+		if r.Contains(v) {
+			out = append(out, column.RowID(i))
+		}
+	}
+	return out
+}
+
+func TestSequentialCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := workload.DataUniform(1, 3000, 600)
+	ix := New(vals, core.DefaultOptions())
+	for q := 0; q < 200; q++ {
+		lo := column.Value(rng.Intn(620) - 10)
+		r := column.NewRange(lo, lo+column.Value(rng.Intn(60)))
+		got := ix.Select(r)
+		want := scanOracle(vals, r)
+		if !got.Equal(want) {
+			t.Fatalf("query %d %s: got %d rows want %d", q, r, len(got), len(want))
+		}
+		if c := ix.Count(r); c != len(want) {
+			t.Fatalf("Count(%s) = %d want %d", r, c, len(want))
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3000 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.Cost().IsZero() {
+		t.Fatal("work must be recorded")
+	}
+}
+
+func TestEmptyPredicate(t *testing.T) {
+	ix := New([]column.Value{1, 2, 3}, core.DefaultOptions())
+	if got := ix.Select(column.NewRange(5, 5)); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if ix.Count(column.NewRange(9, 3)) != 0 {
+		t.Fatal("inverted range must be empty")
+	}
+}
+
+func TestSharedPathUsedAfterConvergence(t *testing.T) {
+	vals := workload.DataUniform(2, 10000, 10000)
+	ix := New(vals, core.DefaultOptions())
+	r := column.NewRange(100, 300)
+	ix.Count(r) // cracks: exclusive
+	before := ix.SharedQueries()
+	for i := 0; i < 10; i++ {
+		ix.Count(r) // bounds exist: shared
+	}
+	if ix.SharedQueries()-before != 10 {
+		t.Fatalf("repeat queries should take the shared path, shared=%d", ix.SharedQueries()-before)
+	}
+	if ix.ExclusiveQueries() == 0 {
+		t.Fatal("the first query must have taken the exclusive path")
+	}
+}
+
+func TestConcurrentQueriesMatchOracle(t *testing.T) {
+	vals := workload.DataUniform(3, 50000, 100000)
+	ix := New(vals, core.DefaultOptions())
+
+	const goroutines = 8
+	const perGoroutine = 200
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < perGoroutine; q++ {
+				// Draw from a bounded set of distinct predicates so that
+				// goroutines repeat each other's queries and exercise the
+				// shared (read-only) path as the index converges.
+				lo := column.Value(rng.Intn(50) * 2000)
+				r := column.NewRange(lo, lo+1500)
+				got := ix.Select(r)
+				// Verify every returned row satisfies the predicate and
+				// the count matches an independent scan.
+				for _, row := range got {
+					if !r.Contains(vals[row]) {
+						errs <- "returned row does not satisfy predicate"
+						return
+					}
+				}
+				if want := scanOracle(vals, r); len(got) != len(want) {
+					errs <- "result cardinality mismatch"
+					return
+				}
+			}
+		}(int64(g + 10))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := ix.SharedQueries() + ix.ExclusiveQueries()
+	if total != goroutines*perGoroutine {
+		t.Fatalf("query accounting lost queries: %d of %d", total, goroutines*perGoroutine)
+	}
+	if ix.SharedQueries() == 0 {
+		t.Fatal("expected at least some queries to take the shared path")
+	}
+}
+
+func TestConcurrentQueriesWithUpdates(t *testing.T) {
+	vals := workload.DataUniform(4, 20000, 50000)
+	ix := New(vals, core.DefaultOptions())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writer goroutine: inserts and deletes its own tuples.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		next := column.RowID(1_000_000)
+		var mine []column.Pair
+		for i := 0; i < 2000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(mine) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(mine))
+				if err := ix.Delete(mine[k].Row, mine[k].Val); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+				mine = append(mine[:k], mine[k+1:]...)
+				continue
+			}
+			p := column.Pair{Val: column.Value(rng.Intn(50000)), Row: next}
+			next++
+			ix.Insert(p)
+			mine = append(mine, p)
+		}
+	}()
+	// Reader goroutines: results must always be internally consistent
+	// (every returned row satisfies the predicate).
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 500; q++ {
+				lo := column.Value(rng.Intn(50000))
+				r := column.NewRange(lo, lo+500)
+				n := ix.Count(r)
+				if n < 0 {
+					t.Error("negative count")
+					return
+				}
+			}
+		}(int64(200 + g))
+	}
+	wg.Wait()
+	close(stop)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameAndPieces(t *testing.T) {
+	ix := New([]column.Value{5, 1, 9, 3}, core.DefaultOptions())
+	if ix.Name() != "cracking-concurrent" {
+		t.Fatalf("Name = %q", ix.Name())
+	}
+	if ix.NumPieces() != 1 {
+		t.Fatalf("fresh column pieces = %d", ix.NumPieces())
+	}
+	ix.Count(column.NewRange(2, 6))
+	if ix.NumPieces() < 2 {
+		t.Fatalf("pieces after a query = %d", ix.NumPieces())
+	}
+}

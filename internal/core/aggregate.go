@@ -1,0 +1,62 @@
+// Aggregations over cracked ranges.
+//
+// Analytical queries rarely stop at a selection; they aggregate over
+// it. Because cracking leaves every queried range contiguous, range
+// aggregates become tight loops over one memory region, and they adapt
+// exactly like selections do: the first aggregate over a range pays for
+// the cracking, later ones only read the piece.
+
+package core
+
+import "adaptiveindex/internal/column"
+
+// Sum answers SUM(value) over the tuples matching r, cracking as a side
+// effect. The boolean is false when no tuple qualifies.
+func (cc *CrackerColumn) Sum(r column.Range) (column.Value, bool) {
+	start, end := cc.SelectPositions(r)
+	if end <= start {
+		return 0, false
+	}
+	var sum column.Value
+	for i := start; i < end; i++ {
+		sum += cc.pairs[i].Val
+	}
+	cc.c.ValuesTouched += uint64(end - start)
+	return sum, true
+}
+
+// Min answers MIN(value) over the tuples matching r, cracking as a side
+// effect. The boolean is false when no tuple qualifies.
+func (cc *CrackerColumn) Min(r column.Range) (column.Value, bool) {
+	start, end := cc.SelectPositions(r)
+	if end <= start {
+		return 0, false
+	}
+	min := cc.pairs[start].Val
+	for i := start + 1; i < end; i++ {
+		if v := cc.pairs[i].Val; v < min {
+			min = v
+		}
+	}
+	cc.c.ValuesTouched += uint64(end - start)
+	cc.c.Comparisons += uint64(end - start - 1)
+	return min, true
+}
+
+// Max answers MAX(value) over the tuples matching r, cracking as a side
+// effect. The boolean is false when no tuple qualifies.
+func (cc *CrackerColumn) Max(r column.Range) (column.Value, bool) {
+	start, end := cc.SelectPositions(r)
+	if end <= start {
+		return 0, false
+	}
+	max := cc.pairs[start].Val
+	for i := start + 1; i < end; i++ {
+		if v := cc.pairs[i].Val; v > max {
+			max = v
+		}
+	}
+	cc.c.ValuesTouched += uint64(end - start)
+	cc.c.Comparisons += uint64(end - start - 1)
+	return max, true
+}

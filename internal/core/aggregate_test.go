@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptiveindex/internal/column"
+)
+
+func aggregateOracle(vals []column.Value, r column.Range) (sum, min, max column.Value, any bool) {
+	for _, v := range vals {
+		if !r.Contains(v) {
+			continue
+		}
+		if !any {
+			min, max = v, v
+			any = true
+		} else {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		sum += v
+	}
+	return sum, min, max, any
+}
+
+func TestAggregatesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	vals := randomValues(rng, 3000, 1000)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	queries := []column.Range{
+		column.NewRange(100, 200),
+		column.ClosedRange(0, 999),
+		column.Point(500),
+		column.AtLeast(950),
+		column.LessThan(25),
+		{},
+		column.NewRange(2000, 3000), // nothing qualifies
+	}
+	for q := 0; q < 80; q++ {
+		lo := column.Value(rng.Intn(1000))
+		queries = append(queries, column.NewRange(lo, lo+column.Value(rng.Intn(100))))
+	}
+	for _, r := range queries {
+		wantSum, wantMin, wantMax, wantAny := aggregateOracle(vals, r)
+		sum, okSum := cc.Sum(r)
+		min, okMin := cc.Min(r)
+		max, okMax := cc.Max(r)
+		if okSum != wantAny || okMin != wantAny || okMax != wantAny {
+			t.Fatalf("range %s: presence flags sum=%v min=%v max=%v want %v", r, okSum, okMin, okMax, wantAny)
+		}
+		if !wantAny {
+			continue
+		}
+		if sum != wantSum || min != wantMin || max != wantMax {
+			t.Fatalf("range %s: got sum=%d min=%d max=%d, want %d/%d/%d", r, sum, min, max, wantSum, wantMin, wantMax)
+		}
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatesAdapt(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := randomValues(rng, 200000, 1000000)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	r := column.NewRange(100000, 120000)
+
+	before := cc.Cost().Total()
+	cc.Sum(r)
+	first := cc.Cost().Total() - before
+
+	before = cc.Cost().Total()
+	cc.Sum(r)
+	repeat := cc.Cost().Total() - before
+	if repeat*5 > first {
+		t.Fatalf("repeat aggregate should be much cheaper: first %d, repeat %d", first, repeat)
+	}
+}
+
+func TestAggregatesOnEmptyColumn(t *testing.T) {
+	cc := NewCrackerColumn(nil, DefaultOptions())
+	if _, ok := cc.Sum(column.NewRange(0, 10)); ok {
+		t.Fatal("Sum on empty column must report !ok")
+	}
+	if _, ok := cc.Min(column.Range{}); ok {
+		t.Fatal("Min on empty column must report !ok")
+	}
+	if _, ok := cc.Max(column.AtLeast(0)); ok {
+		t.Fatal("Max on empty column must report !ok")
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptiveindex/internal/column"
+)
+
+// scanOracle returns the row ids a full scan would return for r.
+func scanOracle(vals []column.Value, r column.Range) column.IDList {
+	var out column.IDList
+	for i, v := range vals {
+		if r.Contains(v) {
+			out = append(out, column.RowID(i))
+		}
+	}
+	return out
+}
+
+func randomValues(rng *rand.Rand, n, domain int) []column.Value {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(domain))
+	}
+	return vals
+}
+
+func allOptionVariants() map[string]Options {
+	return map[string]Options{
+		"crack-in-two only":  {CrackInThree: false},
+		"crack-in-three":     {CrackInThree: true},
+		"stochastic pivots":  {CrackInThree: true, RandomPivotThreshold: 64},
+		"stochastic two-way": {CrackInThree: false, RandomPivotThreshold: 16},
+	}
+}
+
+func TestSelectMatchesScanOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			vals := randomValues(rng, 2000, 500)
+			cc := NewCrackerColumn(vals, opts)
+			for q := 0; q < 200; q++ {
+				lo := column.Value(rng.Intn(520) - 10)
+				hi := lo + column.Value(rng.Intn(120))
+				r := column.NewRange(lo, hi)
+				got := cc.Select(r)
+				want := scanOracle(vals, r)
+				if !got.Equal(want) {
+					t.Fatalf("query %d %s: got %d rows, want %d rows", q, r, len(got), len(want))
+				}
+				if err := cc.Validate(); err != nil {
+					t.Fatalf("query %d: invariant violated: %v", q, err)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectOneSidedAndSpecialRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vals := randomValues(rng, 1000, 100)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+
+	cases := []column.Range{
+		column.AtLeast(50),
+		column.LessThan(20),
+		column.Point(33),
+		column.ClosedRange(10, 10),
+		column.NewRange(40, 40),     // empty half-open range
+		column.NewRange(90, 10),     // inverted, empty
+		{},                          // unbounded
+		column.ClosedRange(-5, 300), // covers everything
+		column.NewRange(99, 100),
+	}
+	for _, r := range cases {
+		got := cc.Select(r)
+		want := scanOracle(vals, r)
+		if !got.Equal(want) {
+			t.Fatalf("range %s: got %d rows, want %d rows", r, len(got), len(want))
+		}
+		if err := cc.Validate(); err != nil {
+			t.Fatalf("range %s: %v", r, err)
+		}
+	}
+}
+
+func TestExclusiveLowInclusiveHighBounds(t *testing.T) {
+	vals := []column.Value{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	r := column.Range{Low: 3, High: 7, HasLow: true, HasHigh: true, IncLow: false, IncHigh: true}
+	got := cc.Select(r)
+	want := scanOracle(vals, r) // values 4,5,6,7
+	if !got.Equal(want) || len(got) != 4 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Degenerate (x, x] is empty.
+	rEmpty := column.Range{Low: 3, High: 3, HasLow: true, HasHigh: true, IncLow: false, IncHigh: true}
+	if res := cc.Select(rEmpty); len(res) != 0 {
+		t.Fatalf("expected empty result, got %v", res)
+	}
+}
+
+func TestCrackingPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := randomValues(rng, 3000, 200)
+	before := column.PairsFromValues(vals).ValueMultiset()
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	for q := 0; q < 300; q++ {
+		lo := column.Value(rng.Intn(200))
+		cc.Select(column.NewRange(lo, lo+10))
+	}
+	after := cc.Pairs().ValueMultiset()
+	if len(before) != len(after) {
+		t.Fatalf("multiset key count changed: %d -> %d", len(before), len(after))
+	}
+	for k, n := range before {
+		if after[k] != n {
+			t.Fatalf("multiset changed for value %d: %d -> %d", k, n, after[k])
+		}
+	}
+	// Row ids must remain a permutation of 0..n-1.
+	seen := make(map[column.RowID]bool, len(vals))
+	for _, p := range cc.Pairs() {
+		if seen[p.Row] {
+			t.Fatalf("duplicate rowid %d after cracking", p.Row)
+		}
+		seen[p.Row] = true
+	}
+	if len(seen) != len(vals) {
+		t.Fatalf("lost rowids: %d of %d", len(seen), len(vals))
+	}
+}
+
+func TestPerQueryWorkDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	vals := randomValues(rng, 100000, 1000000)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+
+	firstDelta := uint64(0)
+	var lateDeltas []uint64
+	for q := 0; q < 200; q++ {
+		lo := column.Value(rng.Intn(1000000))
+		before := cc.Cost().Total()
+		cc.Count(column.NewRange(lo, lo+10000))
+		delta := cc.Cost().Total() - before
+		if q == 0 {
+			firstDelta = delta
+		}
+		if q >= 190 {
+			lateDeltas = append(lateDeltas, delta)
+		}
+	}
+	var lateAvg uint64
+	for _, d := range lateDeltas {
+		lateAvg += d
+	}
+	lateAvg /= uint64(len(lateDeltas))
+	if lateAvg*5 > firstDelta {
+		t.Fatalf("cracking did not converge: first query work %d, late average %d", firstDelta, lateAvg)
+	}
+}
+
+func TestNumPiecesGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := randomValues(rng, 5000, 100000)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	if cc.NumPieces() != 1 {
+		t.Fatalf("fresh column must have one piece, got %d", cc.NumPieces())
+	}
+	prev := 1
+	for q := 0; q < 20; q++ {
+		lo := column.Value(rng.Intn(100000))
+		cc.Count(column.NewRange(lo, lo+500))
+		if cc.NumPieces() < prev {
+			t.Fatalf("piece count decreased: %d -> %d", prev, cc.NumPieces())
+		}
+		prev = cc.NumPieces()
+	}
+	if prev < 5 {
+		t.Fatalf("expected piece count to grow, got %d", prev)
+	}
+}
+
+func TestStochasticPivotsBoundLargestPiece(t *testing.T) {
+	// A strictly sequential workload is cracking's worst case: without
+	// random pivots every query leaves one huge untouched piece.
+	n := 20000
+	vals := make([]column.Value, n)
+	rng := rand.New(rand.NewSource(12))
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(n))
+	}
+	threshold := 512
+	cc := NewCrackerColumn(vals, Options{CrackInThree: true, RandomPivotThreshold: threshold})
+	for lo := 0; lo < n; lo += n / 50 {
+		cc.Count(column.NewRange(column.Value(lo), column.Value(lo+100)))
+	}
+	// After the workload, no piece that a query bound landed in should
+	// remain enormous; specifically the largest piece must be well
+	// below the untouched-remainder size a plain cracker would leave.
+	largest := 0
+	for _, p := range cc.Pieces() {
+		if p.End-p.Start > largest {
+			largest = p.End - p.Start
+		}
+	}
+	if largest > n/4 {
+		t.Fatalf("stochastic cracking left a piece of %d tuples (n=%d)", largest, n)
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountAgainstSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vals := randomValues(rng, 1000, 300)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	for q := 0; q < 50; q++ {
+		lo := column.Value(rng.Intn(300))
+		r := column.NewRange(lo, lo+25)
+		if got, want := cc.Count(r), len(scanOracle(vals, r)); got != want {
+			t.Fatalf("Count(%s) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	vals := []column.Value{5, 6, 7}
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	cc.Select(column.NewRange(6, 7))
+	v, err := cc.Get(2)
+	if err != nil || v != 7 {
+		t.Fatalf("Get(2) = %d, %v", v, err)
+	}
+	if _, err := cc.Get(99); err != ErrNotFound {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+}
+
+func TestSelectPositionsContiguity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	vals := randomValues(rng, 2000, 1000)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	for q := 0; q < 100; q++ {
+		lo := column.Value(rng.Intn(1000))
+		r := column.NewRange(lo, lo+37)
+		start, end := cc.SelectPositions(r)
+		if start > end {
+			t.Fatalf("start %d > end %d", start, end)
+		}
+		// Every position inside [start,end) must satisfy the predicate,
+		// every position outside must not.
+		for i, p := range cc.Pairs() {
+			in := i >= start && i < end
+			if in != r.Contains(p.Val) {
+				t.Fatalf("query %s: position %d value %d inside=%v contains=%v",
+					r, i, p.Val, in, r.Contains(p.Val))
+			}
+		}
+	}
+}
+
+func TestNewCrackerColumnFromPairs(t *testing.T) {
+	pairs := column.Pairs{{Val: 5, Row: 100}, {Val: 1, Row: 200}, {Val: 9, Row: 300}}
+	cc := NewCrackerColumnFromPairs(pairs.Clone(), DefaultOptions())
+	got := cc.Select(column.ClosedRange(1, 5))
+	want := column.IDList{100, 200}
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	cc := NewCrackerColumn(nil, DefaultOptions())
+	if got := cc.Select(column.NewRange(1, 10)); len(got) != 0 {
+		t.Fatalf("expected empty result on empty column, got %v", got)
+	}
+	if cc.NumPieces() != 1 {
+		t.Fatalf("empty column pieces = %d", cc.NumPieces())
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateHeavyColumn(t *testing.T) {
+	// Columns with very few distinct values stress the boundary logic
+	// because many pivots coincide.
+	vals := make([]column.Value, 5000)
+	rng := rand.New(rand.NewSource(15))
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(3))
+	}
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			cc := NewCrackerColumn(vals, opts)
+			for q := 0; q < 50; q++ {
+				lo := column.Value(rng.Intn(4) - 1)
+				hi := lo + column.Value(rng.Intn(3))
+				r := column.ClosedRange(lo, hi)
+				if got, want := cc.Select(r), scanOracle(vals, r); !got.Equal(want) {
+					t.Fatalf("query %s: got %d want %d", r, len(got), len(want))
+				}
+			}
+			if err := cc.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property-based oracle check with testing/quick: for arbitrary small
+// columns and predicates, cracking returns exactly the scan result.
+func TestQuickOracleEquivalence(t *testing.T) {
+	f := func(raw []int16, loRaw, width uint8, seq []uint8) bool {
+		vals := make([]column.Value, len(raw))
+		for i, v := range raw {
+			vals[i] = column.Value(v % 64)
+		}
+		cc := NewCrackerColumn(vals, DefaultOptions())
+		// Run a short query sequence so cracking state accumulates,
+		// checking every answer against the oracle.
+		queries := append([]uint8{loRaw}, seq...)
+		for _, q := range queries {
+			lo := column.Value(int(q%64) - 32)
+			r := column.NewRange(lo, lo+column.Value(width%16))
+			if !cc.Select(r).Equal(scanOracle(vals, r)) {
+				return false
+			}
+			if cc.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrackInThreeVersusTwoEquivalence(t *testing.T) {
+	// Both variants must produce identical result sets and both must
+	// satisfy the invariants; crack-in-three should not do more swaps.
+	rng := rand.New(rand.NewSource(16))
+	vals := randomValues(rng, 10000, 100000)
+	two := NewCrackerColumn(vals, Options{CrackInThree: false})
+	three := NewCrackerColumn(vals, Options{CrackInThree: true})
+	for q := 0; q < 100; q++ {
+		lo := column.Value(rng.Intn(100000))
+		r := column.NewRange(lo, lo+1000)
+		a, b := two.Select(r), three.Select(r)
+		if !a.Equal(b) {
+			t.Fatalf("query %d: crack-in-two and crack-in-three disagree (%d vs %d rows)", q, len(a), len(b))
+		}
+	}
+	if err := two.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := three.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

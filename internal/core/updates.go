@@ -1,0 +1,172 @@
+// Ripple insertion and deletion for cracker columns.
+//
+// "Updating a cracked database" (Idreos, Kersten, Manegold, SIGMOD
+// 2007) keeps updates adaptive as well: pending insertions and
+// deletions are buffered next to the cracker column and merged into it
+// on demand, while queries run. The low-level mechanism that makes a
+// single merge cheap is the ripple: because every piece of a cracked
+// column is internally unordered, making room for (or closing the gap
+// left by) one tuple only requires moving one tuple per affected piece
+// — the first or last tuple of each piece hops to the piece's other
+// end — instead of shifting everything. The methods in this file
+// implement that mechanism; the merge policies that decide when to call
+// them live in package updates.
+
+package core
+
+import (
+	"fmt"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/crackeridx"
+)
+
+// insertRegion determines where value val belongs in the cracked
+// layout. It returns the distinct boundary positions in
+// [insertionPoint, limit) that have to ripple to make room, together
+// with the first boundary the value lies to the left of (shiftFrom);
+// hasShift is false when the value belongs after every boundary. limit
+// is the current column length.
+func (cc *CrackerColumn) insertRegion(val column.Value, limit int) (ripplePositions []int, shiftFrom crackeridx.Bound, hasShift bool) {
+	bs := cc.index.Boundaries()
+	// Find the first boundary whose bound val satisfies (falls left
+	// of). Everything before it val lies to the right of; therefore the
+	// tuple belongs immediately before that boundary's position.
+	k := len(bs)
+	for i, b := range bs {
+		cc.c.Comparisons++
+		if satisfiesLeft(val, b.Bound) {
+			k = i
+			break
+		}
+	}
+	if k == len(bs) {
+		return nil, crackeridx.Bound{}, false
+	}
+	insertPos := bs[k].Pos
+	prev := -1
+	for _, b := range bs[k:] {
+		if b.Pos >= limit {
+			break
+		}
+		if b.Pos != prev && b.Pos >= insertPos {
+			ripplePositions = append(ripplePositions, b.Pos)
+			prev = b.Pos
+		}
+	}
+	return ripplePositions, bs[k].Bound, true
+}
+
+// RippleInsert inserts the pair into the cracker column, placing it in
+// the piece its value belongs to and rippling one tuple per subsequent
+// piece to keep every piece contiguous. All cracker-index invariants
+// are preserved.
+func (cc *CrackerColumn) RippleInsert(p column.Pair) {
+	n := len(cc.pairs)
+	ripple, shiftFrom, hasShift := cc.insertRegion(p.Val, n)
+	cc.pairs = append(cc.pairs, column.Pair{})
+	hole := n
+	// Ripple backwards: every piece that starts at a boundary position
+	// after the insertion point donates its first tuple to its own end.
+	// The final hole position equals the insertion point: the first
+	// rippled boundary position, or the end of the column when the
+	// value belongs after every boundary.
+	for i := len(ripple) - 1; i >= 0; i-- {
+		pos := ripple[i]
+		if pos != hole {
+			cc.pairs[hole] = cc.pairs[pos]
+			cc.c.Swaps++
+		}
+		hole = pos
+	}
+	cc.pairs[hole] = p
+	cc.c.TuplesCopied++
+	cc.c.ValuesTouched++
+	// Only the boundaries the new value lies to the left of move one
+	// slot up; boundaries that merely share the insertion position but
+	// order before the value's piece must stay put.
+	if hasShift {
+		cc.index.ShiftPositionsFromBound(shiftFrom, 1)
+	}
+}
+
+// deleteRegion determines the piece [start, end) that holds values
+// equal to val and the distinct boundary positions in (end, limit) that
+// delimit the pieces which have to ripple to close the gap.
+func (cc *CrackerColumn) deleteRegion(val column.Value, limit int) (start, end int, rippleEnds []int) {
+	bs := cc.index.Boundaries()
+	start, end = 0, limit
+	k := len(bs)
+	for i, b := range bs {
+		cc.c.Comparisons++
+		if satisfiesLeft(val, b.Bound) {
+			k = i
+			break
+		}
+	}
+	if k < len(bs) {
+		end = bs[k].Pos
+	}
+	if k > 0 {
+		start = bs[k-1].Pos
+	}
+	// The pieces after [start, end) are delimited by the distinct
+	// boundary positions in (end, limit); each contributes the position
+	// one past its last tuple.
+	prev := end
+	for _, b := range bs[k:] {
+		if b.Pos <= prev || b.Pos >= limit {
+			continue
+		}
+		rippleEnds = append(rippleEnds, b.Pos)
+		prev = b.Pos
+	}
+	if end < limit {
+		rippleEnds = append(rippleEnds, limit)
+	}
+	return start, end, rippleEnds
+}
+
+// RippleDelete removes the tuple with the given row identifier, whose
+// value must be val, from the cracker column, rippling one tuple per
+// subsequent piece to close the gap. It returns ErrNotFound if no such
+// tuple exists in the piece val belongs to.
+func (cc *CrackerColumn) RippleDelete(row column.RowID, val column.Value) error {
+	n := len(cc.pairs)
+	if n == 0 {
+		return fmt.Errorf("%w: row %d value %d", ErrNotFound, row, val)
+	}
+	start, end, rippleEnds := cc.deleteRegion(val, n)
+	pos := -1
+	for i := start; i < end; i++ {
+		cc.c.ValuesTouched++
+		if cc.pairs[i].Row == row && cc.pairs[i].Val == val {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("%w: row %d value %d", ErrNotFound, row, val)
+	}
+	// Close the gap inside the piece with its own last tuple, then let
+	// every subsequent piece donate its last tuple to the piece before
+	// it.
+	hole := end - 1
+	if pos != hole {
+		cc.pairs[pos] = cc.pairs[hole]
+		cc.c.Swaps++
+	}
+	for _, pieceEnd := range rippleEnds {
+		last := pieceEnd - 1
+		if last != hole {
+			cc.pairs[hole] = cc.pairs[last]
+			cc.c.Swaps++
+		}
+		hole = last
+	}
+	cc.pairs = cc.pairs[:n-1]
+	// Every boundary at or after the end of the emptied slot's piece
+	// moves one slot down.
+	cc.index.ShiftPositions(end, -1)
+	return nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adaptiveindex/internal/column"
+)
+
+func TestRippleInsertIntoFreshColumn(t *testing.T) {
+	cc := NewCrackerColumn([]column.Value{5, 1, 9}, DefaultOptions())
+	cc.RippleInsert(column.Pair{Val: 7, Row: 100})
+	if cc.Len() != 4 {
+		t.Fatalf("Len = %d", cc.Len())
+	}
+	got := cc.Select(column.Point(7))
+	if !got.Equal(column.IDList{100}) {
+		t.Fatalf("got %v", got)
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRippleInsertPreservesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	vals := randomValues(rng, 2000, 1000)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	// Crack the column with a few queries first.
+	for q := 0; q < 30; q++ {
+		lo := column.Value(rng.Intn(1000))
+		cc.Count(column.NewRange(lo, lo+50))
+	}
+	// Insert values all over the domain, validating as we go.
+	expect := append([]column.Value(nil), vals...)
+	nextRow := column.RowID(len(vals))
+	for i := 0; i < 500; i++ {
+		v := column.Value(rng.Intn(1100) - 50)
+		cc.RippleInsert(column.Pair{Val: v, Row: nextRow})
+		expect = append(expect, v)
+		nextRow++
+		if i%100 == 0 {
+			if err := cc.Validate(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cc.Len() != len(expect) {
+		t.Fatalf("Len = %d, want %d", cc.Len(), len(expect))
+	}
+	// Every query must see the inserted values.
+	for q := 0; q < 50; q++ {
+		lo := column.Value(rng.Intn(1100) - 50)
+		r := column.NewRange(lo, lo+77)
+		want := 0
+		for _, v := range expect {
+			if r.Contains(v) {
+				want++
+			}
+		}
+		if got := cc.Count(r); got != want {
+			t.Fatalf("query %s: got %d want %d", r, got, want)
+		}
+	}
+}
+
+func TestRippleInsertBoundaryValues(t *testing.T) {
+	cc := NewCrackerColumn([]column.Value{1, 2, 3, 4, 5, 6, 7, 8}, DefaultOptions())
+	cc.Count(column.NewRange(3, 6)) // establishes boundaries <3 and <6
+	// Insert values exactly at the boundary pivots.
+	cc.RippleInsert(column.Pair{Val: 3, Row: 100})
+	cc.RippleInsert(column.Pair{Val: 6, Row: 101})
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Count(column.NewRange(3, 6)); got != 4 {
+		t.Fatalf("Count[3,6) = %d, want 4 (3,4,5 plus inserted 3)", got)
+	}
+	if got := cc.Count(column.Point(6)); got != 2 {
+		t.Fatalf("Count(=6) = %d, want 2", got)
+	}
+}
+
+func TestRippleDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	vals := randomValues(rng, 1500, 400)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	for q := 0; q < 20; q++ {
+		lo := column.Value(rng.Intn(400))
+		cc.Count(column.NewRange(lo, lo+30))
+	}
+	alive := make(map[column.RowID]column.Value, len(vals))
+	for i, v := range vals {
+		alive[column.RowID(i)] = v
+	}
+	// Delete a third of the rows in random order.
+	rows := make([]column.RowID, 0, len(alive))
+	for r := range alive {
+		rows = append(rows, r)
+	}
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	for _, row := range rows[:500] {
+		if err := cc.RippleDelete(row, alive[row]); err != nil {
+			t.Fatalf("delete row %d: %v", row, err)
+		}
+		delete(alive, row)
+	}
+	if cc.Len() != len(alive) {
+		t.Fatalf("Len = %d, want %d", cc.Len(), len(alive))
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 50; q++ {
+		lo := column.Value(rng.Intn(400))
+		r := column.NewRange(lo, lo+45)
+		want := 0
+		for _, v := range alive {
+			if r.Contains(v) {
+				want++
+			}
+		}
+		if got := cc.Count(r); got != want {
+			t.Fatalf("query %s: got %d want %d", r, got, want)
+		}
+	}
+}
+
+func TestRippleDeleteNotFound(t *testing.T) {
+	cc := NewCrackerColumn([]column.Value{1, 2, 3}, DefaultOptions())
+	cc.Count(column.NewRange(1, 3))
+	if err := cc.RippleDelete(99, 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+	// Wrong value for an existing row must also fail (the tuple is not
+	// in the piece the wrong value maps to).
+	if err := cc.RippleDelete(0, 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound for mismatched value, got %v", err)
+	}
+	empty := NewCrackerColumn(nil, DefaultOptions())
+	if err := empty.RippleDelete(0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound on empty column, got %v", err)
+	}
+}
+
+func TestRippleInsertDeleteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	vals := randomValues(rng, 800, 300)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	for q := 0; q < 15; q++ {
+		lo := column.Value(rng.Intn(300))
+		cc.Count(column.NewRange(lo, lo+25))
+	}
+	// Insert then delete the same tuples; the query answers must end up
+	// identical to the original column's.
+	inserted := make(column.Pairs, 0, 200)
+	for i := 0; i < 200; i++ {
+		p := column.Pair{Val: column.Value(rng.Intn(300)), Row: column.RowID(10000 + i)}
+		cc.RippleInsert(p)
+		inserted = append(inserted, p)
+	}
+	for _, p := range inserted {
+		if err := cc.RippleDelete(p.Row, p.Val); err != nil {
+			t.Fatalf("delete %v: %v", p, err)
+		}
+	}
+	if cc.Len() != len(vals) {
+		t.Fatalf("Len = %d, want %d", cc.Len(), len(vals))
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 30; q++ {
+		lo := column.Value(rng.Intn(300))
+		r := column.NewRange(lo, lo+40)
+		if got, want := cc.Count(r), len(scanOracle(vals, r)); got != want {
+			t.Fatalf("query %s: got %d want %d", r, got, want)
+		}
+	}
+}
+
+func TestRippleCheaperThanRebuild(t *testing.T) {
+	// A ripple insert must cost on the order of the number of pieces,
+	// not the number of tuples.
+	rng := rand.New(rand.NewSource(24))
+	n := 100000
+	vals := randomValues(rng, n, n)
+	cc := NewCrackerColumn(vals, DefaultOptions())
+	for q := 0; q < 50; q++ {
+		lo := column.Value(rng.Intn(n))
+		cc.Count(column.NewRange(lo, lo+1000))
+	}
+	before := cc.Cost().Total()
+	cc.RippleInsert(column.Pair{Val: column.Value(n / 2), Row: column.RowID(n + 1)})
+	delta := cc.Cost().Total() - before
+	if delta > uint64(n/100) {
+		t.Fatalf("ripple insert cost %d is too close to a rebuild of %d tuples", delta, n)
+	}
+}

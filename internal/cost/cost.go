@@ -1,0 +1,100 @@
+// Package cost provides logical work counters shared by every index and
+// operator implementation in this repository.
+//
+// The adaptive-indexing literature compares algorithms primarily by the
+// amount of physical reorganisation and data access they perform, not by
+// wall-clock time on one particular machine. Because Go's garbage
+// collector and allocator add noise to cache-level timings (see
+// DESIGN.md, "Cost model"), every operator in this code base maintains a
+// Counters value describing the logical work it performed: values
+// touched, comparisons, swaps, tuples copied and (for the disk-oriented
+// adaptive-merging model) page touches. Benchmarks report both wall
+// time and these counters; the reproduction's shape claims are made on
+// the counters.
+package cost
+
+import "fmt"
+
+// Counters accumulates the logical work performed by an operator or an
+// index over its lifetime. The zero value is ready to use. Counters is
+// not safe for concurrent mutation; callers that share an index across
+// goroutines must synchronise externally (see crackctx locking in the
+// core package).
+type Counters struct {
+	// ValuesTouched counts individual attribute values read or written.
+	ValuesTouched uint64
+	// Comparisons counts value comparisons (predicate evaluations,
+	// pivot comparisons, merge comparisons).
+	Comparisons uint64
+	// Swaps counts element exchanges performed by physical
+	// reorganisation (cracking, partitioning, sorting).
+	Swaps uint64
+	// TuplesCopied counts tuples materialised into result or
+	// intermediate buffers.
+	TuplesCopied uint64
+	// RandomTouches counts attribute values fetched by out-of-order row
+	// identifier (late tuple reconstruction after cracking). They are
+	// weighted more heavily than sequential touches in Total because
+	// each one is a likely cache miss — the effect sideways cracking
+	// exists to remove.
+	RandomTouches uint64
+	// PageTouches counts logical page accesses under the adaptive
+	// merging I/O model (see internal/adaptivemerge).
+	PageTouches uint64
+}
+
+// randomTouchWeight is the Total() weight of one random access relative
+// to one sequential touch, approximating a cache miss versus a cache
+// line already in flight.
+const randomTouchWeight = 4
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.ValuesTouched += other.ValuesTouched
+	c.Comparisons += other.Comparisons
+	c.Swaps += other.Swaps
+	c.TuplesCopied += other.TuplesCopied
+	c.RandomTouches += other.RandomTouches
+	c.PageTouches += other.PageTouches
+}
+
+// Sub returns the component-wise difference c - other. It is used to
+// compute per-query deltas from cumulative counters.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		ValuesTouched: c.ValuesTouched - other.ValuesTouched,
+		Comparisons:   c.Comparisons - other.Comparisons,
+		Swaps:         c.Swaps - other.Swaps,
+		TuplesCopied:  c.TuplesCopied - other.TuplesCopied,
+		RandomTouches: c.RandomTouches - other.RandomTouches,
+		PageTouches:   c.PageTouches - other.PageTouches,
+	}
+}
+
+// Total returns a single scalar summarising the work in c. Every unit
+// of sequential work counts once; random accesses count
+// randomTouchWeight times. The benches report the individual components
+// as well.
+func (c Counters) Total() uint64 {
+	return c.ValuesTouched + c.Comparisons + c.Swaps + c.TuplesCopied +
+		randomTouchWeight*c.RandomTouches + c.PageTouches
+}
+
+// IsZero reports whether no work has been recorded.
+func (c Counters) IsZero() bool {
+	return c == Counters{}
+}
+
+// String renders the counters compactly for logs and CLI output.
+func (c Counters) String() string {
+	return fmt.Sprintf("touched=%d cmp=%d swap=%d copied=%d random=%d pages=%d",
+		c.ValuesTouched, c.Comparisons, c.Swaps, c.TuplesCopied, c.RandomTouches, c.PageTouches)
+}
+
+// Recorder is implemented by every component that tracks logical work.
+// It allows the benchmark harness to collect per-query deltas without
+// knowing the concrete index type.
+type Recorder interface {
+	// Cost returns the cumulative work performed so far.
+	Cost() Counters
+}

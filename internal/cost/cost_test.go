@@ -1,0 +1,82 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdd(t *testing.T) {
+	var c Counters
+	c.Add(Counters{ValuesTouched: 1, Comparisons: 2, Swaps: 3, TuplesCopied: 4, PageTouches: 5})
+	c.Add(Counters{ValuesTouched: 10, Comparisons: 20, Swaps: 30, TuplesCopied: 40, PageTouches: 50})
+	want := Counters{ValuesTouched: 11, Comparisons: 22, Swaps: 33, TuplesCopied: 44, PageTouches: 55}
+	if c != want {
+		t.Fatalf("Add: got %+v want %+v", c, want)
+	}
+}
+
+func TestSub(t *testing.T) {
+	a := Counters{ValuesTouched: 11, Comparisons: 22, Swaps: 33, TuplesCopied: 44, PageTouches: 55}
+	b := Counters{ValuesTouched: 1, Comparisons: 2, Swaps: 3, TuplesCopied: 4, PageTouches: 5}
+	got := a.Sub(b)
+	want := Counters{ValuesTouched: 10, Comparisons: 20, Swaps: 30, TuplesCopied: 40, PageTouches: 50}
+	if got != want {
+		t.Fatalf("Sub: got %+v want %+v", got, want)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	c := Counters{ValuesTouched: 1, Comparisons: 2, Swaps: 3, TuplesCopied: 4, PageTouches: 5}
+	if got := c.Total(); got != 15 {
+		t.Fatalf("Total: got %d want 15", got)
+	}
+	var zero Counters
+	if zero.Total() != 0 {
+		t.Fatalf("Total of zero value must be 0")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var zero Counters
+	if !zero.IsZero() {
+		t.Fatal("zero value must report IsZero")
+	}
+	if (Counters{Swaps: 1}).IsZero() {
+		t.Fatal("non-zero counters must not report IsZero")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Counters{ValuesTouched: 7, Comparisons: 8}
+	s := c.String()
+	for _, frag := range []string{"touched=7", "cmp=8", "swap=0", "copied=0", "pages=0"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String %q missing %q", s, frag)
+		}
+	}
+}
+
+// Property: Add then Sub of the same value is the identity.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b Counters) bool {
+		c := a
+		c.Add(b)
+		return c.Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Total is additive under Add.
+func TestTotalAdditive(t *testing.T) {
+	f := func(a, b Counters) bool {
+		c := a
+		c.Add(b)
+		return c.Total() == a.Total()+b.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,340 @@
+package crackeridx
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptiveindex/internal/column"
+)
+
+func TestBoundCompare(t *testing.T) {
+	cases := []struct {
+		a, b Bound
+		want int
+	}{
+		{Bound{10, false}, Bound{20, false}, -1},
+		{Bound{20, false}, Bound{10, false}, 1},
+		{Bound{10, false}, Bound{10, false}, 0},
+		{Bound{10, true}, Bound{10, true}, 0},
+		{Bound{10, false}, Bound{10, true}, -1},
+		{Bound{10, true}, Bound{10, false}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if s := (Bound{5, false}).String(); s != "<5" {
+		t.Fatalf("got %q", s)
+	}
+	if s := (Bound{5, true}).String(); s != "<=5" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	ix := New()
+	if _, ok := ix.Lookup(Bound{5, false}); ok {
+		t.Fatal("lookup on empty index must fail")
+	}
+	ix.Insert(Bound{5, false}, 100)
+	ix.Insert(Bound{10, false}, 200)
+	ix.Insert(Bound{10, true}, 250)
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	pos, ok := ix.Lookup(Bound{10, false})
+	if !ok || pos != 200 {
+		t.Fatalf("Lookup = %d,%v", pos, ok)
+	}
+	// Overwrite.
+	ix.Insert(Bound{10, false}, 222)
+	pos, _ = ix.Lookup(Bound{10, false})
+	if pos != 222 {
+		t.Fatalf("overwrite failed, pos = %d", pos)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len after overwrite = %d, want 3", ix.Len())
+	}
+	if err := ix.Validate(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := New()
+	for i := 0; i < 20; i++ {
+		ix.Insert(Bound{Value: column.Value(i)}, i*10)
+	}
+	if !ix.Delete(Bound{Value: 7}) {
+		t.Fatal("Delete of existing bound must return true")
+	}
+	if ix.Delete(Bound{Value: 7}) {
+		t.Fatal("Delete of absent bound must return false")
+	}
+	if _, ok := ix.Lookup(Bound{Value: 7}); ok {
+		t.Fatal("deleted bound still present")
+	}
+	if ix.Len() != 19 {
+		t.Fatalf("Len = %d, want 19", ix.Len())
+	}
+	if err := ix.Validate(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Delete everything.
+	for i := 0; i < 20; i++ {
+		ix.Delete(Bound{Value: column.Value(i)})
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len after deleting all = %d", ix.Len())
+	}
+}
+
+func TestPieceForEmptyIndex(t *testing.T) {
+	ix := New()
+	piece, _, exact := ix.PieceFor(Bound{Value: 50}, 1000)
+	if exact {
+		t.Fatal("empty index cannot have an exact boundary")
+	}
+	if piece.Start != 0 || piece.End != 1000 || piece.HasLower || piece.HasUpper {
+		t.Fatalf("piece = %+v, want whole column", piece)
+	}
+}
+
+func TestPieceForNarrowing(t *testing.T) {
+	ix := New()
+	ix.Insert(Bound{Value: 10}, 100)
+	ix.Insert(Bound{Value: 50}, 400)
+	ix.Insert(Bound{Value: 90}, 800)
+
+	piece, _, exact := ix.PieceFor(Bound{Value: 30}, 1000)
+	if exact {
+		t.Fatal("bound 30 should not be exact")
+	}
+	if piece.Start != 100 || piece.End != 400 {
+		t.Fatalf("piece = [%d,%d), want [100,400)", piece.Start, piece.End)
+	}
+	if !piece.HasLower || piece.Lower.Value != 10 || !piece.HasUpper || piece.Upper.Value != 50 {
+		t.Fatalf("piece bounds wrong: %+v", piece)
+	}
+
+	// Exact hit.
+	_, pos, exact := ix.PieceFor(Bound{Value: 50}, 1000)
+	if !exact || pos != 400 {
+		t.Fatalf("exact lookup failed: %d %v", pos, exact)
+	}
+
+	// Below all boundaries.
+	piece, _, _ = ix.PieceFor(Bound{Value: 5}, 1000)
+	if piece.Start != 0 || piece.End != 100 {
+		t.Fatalf("piece = [%d,%d), want [0,100)", piece.Start, piece.End)
+	}
+	// Above all boundaries.
+	piece, _, _ = ix.PieceFor(Bound{Value: 95}, 1000)
+	if piece.Start != 800 || piece.End != 1000 {
+		t.Fatalf("piece = [%d,%d), want [800,1000)", piece.Start, piece.End)
+	}
+}
+
+func TestPieces(t *testing.T) {
+	ix := New()
+	// Empty index: one piece covering everything.
+	ps := ix.Pieces(100)
+	if len(ps) != 1 || ps[0].Start != 0 || ps[0].End != 100 {
+		t.Fatalf("pieces of empty index = %+v", ps)
+	}
+
+	ix.Insert(Bound{Value: 10}, 30)
+	ix.Insert(Bound{Value: 20}, 60)
+	ps = ix.Pieces(100)
+	if len(ps) != 3 {
+		t.Fatalf("expected 3 pieces, got %+v", ps)
+	}
+	wantStarts := []int{0, 30, 60}
+	wantEnds := []int{30, 60, 100}
+	for i, p := range ps {
+		if p.Start != wantStarts[i] || p.End != wantEnds[i] {
+			t.Fatalf("piece %d = [%d,%d), want [%d,%d)", i, p.Start, p.End, wantStarts[i], wantEnds[i])
+		}
+	}
+	if ps[0].HasLower || !ps[0].HasUpper {
+		t.Fatalf("first piece bounds wrong: %+v", ps[0])
+	}
+	if !ps[2].HasLower || ps[2].HasUpper {
+		t.Fatalf("last piece bounds wrong: %+v", ps[2])
+	}
+
+	// A boundary at position 0 and at n must not create empty pieces.
+	ix2 := New()
+	ix2.Insert(Bound{Value: 1}, 0)
+	ix2.Insert(Bound{Value: 99}, 100)
+	ps = ix2.Pieces(100)
+	if len(ps) != 1 {
+		t.Fatalf("expected 1 piece, got %+v", ps)
+	}
+}
+
+func TestShiftPositions(t *testing.T) {
+	ix := New()
+	ix.Insert(Bound{Value: 10}, 100)
+	ix.Insert(Bound{Value: 20}, 200)
+	ix.Insert(Bound{Value: 30}, 300)
+	ix.ShiftPositions(200, 5)
+	if pos, _ := ix.Lookup(Bound{Value: 10}); pos != 100 {
+		t.Fatalf("boundary below fromPos must not shift, got %d", pos)
+	}
+	if pos, _ := ix.Lookup(Bound{Value: 20}); pos != 205 {
+		t.Fatalf("boundary at fromPos must shift, got %d", pos)
+	}
+	if pos, _ := ix.Lookup(Bound{Value: 30}); pos != 305 {
+		t.Fatalf("boundary above fromPos must shift, got %d", pos)
+	}
+}
+
+func TestShiftPositionsFromBound(t *testing.T) {
+	ix := New()
+	// Two boundaries sharing the same position (an empty piece between
+	// them) plus one further out.
+	ix.Insert(Bound{Value: 10}, 100)
+	ix.Insert(Bound{Value: 20}, 100)
+	ix.Insert(Bound{Value: 30}, 200)
+	// Shifting from bound <20 must leave <10 alone even though it sits
+	// at the same position.
+	ix.ShiftPositionsFromBound(Bound{Value: 20}, 1)
+	if pos, _ := ix.Lookup(Bound{Value: 10}); pos != 100 {
+		t.Fatalf("bound <10 must not move, got %d", pos)
+	}
+	if pos, _ := ix.Lookup(Bound{Value: 20}); pos != 101 {
+		t.Fatalf("bound <20 must move, got %d", pos)
+	}
+	if pos, _ := ix.Lookup(Bound{Value: 30}); pos != 201 {
+		t.Fatalf("bound <30 must move, got %d", pos)
+	}
+	if err := ix.Validate(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapseRange(t *testing.T) {
+	ix := New()
+	ix.Insert(Bound{Value: 10}, 100)
+	ix.Insert(Bound{Value: 20}, 150)
+	ix.Insert(Bound{Value: 30}, 200)
+	ix.Insert(Bound{Value: 40}, 300)
+	// Remove positions [100, 200): the boundary at 150 collapses to
+	// 100, the one at 200 stays logically at the cut (shifts to 100),
+	// and the one at 300 shifts left by 100.
+	ix.CollapseRange(100, 200)
+	if pos, _ := ix.Lookup(Bound{Value: 10}); pos != 100 {
+		t.Fatalf("boundary at start must not move, got %d", pos)
+	}
+	if pos, _ := ix.Lookup(Bound{Value: 20}); pos != 100 {
+		t.Fatalf("boundary inside removed range must collapse to start, got %d", pos)
+	}
+	if pos, _ := ix.Lookup(Bound{Value: 30}); pos != 100 {
+		t.Fatalf("boundary at end must shift to start, got %d", pos)
+	}
+	if pos, _ := ix.Lookup(Bound{Value: 40}); pos != 200 {
+		t.Fatalf("boundary beyond removed range must shift left, got %d", pos)
+	}
+	if err := ix.Validate(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate collapse is a no-op.
+	ix.CollapseRange(500, 500)
+	if pos, _ := ix.Lookup(Bound{Value: 40}); pos != 200 {
+		t.Fatalf("no-op collapse moved a boundary to %d", pos)
+	}
+}
+
+func TestClear(t *testing.T) {
+	ix := New()
+	ix.Insert(Bound{Value: 1}, 1)
+	ix.Clear()
+	if ix.Len() != 0 {
+		t.Fatal("Clear must empty the index")
+	}
+	if _, ok := ix.Lookup(Bound{Value: 1}); ok {
+		t.Fatal("Clear must drop boundaries")
+	}
+}
+
+func TestValidateDetectsBadPositions(t *testing.T) {
+	ix := New()
+	ix.Insert(Bound{Value: 10}, 500)
+	ix.Insert(Bound{Value: 20}, 100) // positions decrease in bound order
+	if err := ix.Validate(1000); err == nil {
+		t.Fatal("Validate must flag non-monotonic positions")
+	}
+	ix2 := New()
+	ix2.Insert(Bound{Value: 10}, 5000)
+	if err := ix2.Validate(1000); err == nil {
+		t.Fatal("Validate must flag out-of-range positions")
+	}
+}
+
+// Random insert/delete/lookup torture test against a reference map,
+// also checking AVL balance throughout.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ix := New()
+	ref := make(map[Bound]int)
+	for step := 0; step < 5000; step++ {
+		v := column.Value(rng.Intn(200))
+		b := Bound{Value: v, Inclusive: rng.Intn(2) == 0}
+		switch rng.Intn(3) {
+		case 0:
+			pos := rng.Intn(100000)
+			ix.Insert(b, pos)
+			ref[b] = pos
+		case 1:
+			got := ix.Delete(b)
+			_, want := ref[b]
+			if got != want {
+				t.Fatalf("step %d: Delete(%s) = %v, want %v", step, b, got, want)
+			}
+			delete(ref, b)
+		default:
+			pos, ok := ix.Lookup(b)
+			wantPos, wantOK := ref[b]
+			if ok != wantOK || (ok && pos != wantPos) {
+				t.Fatalf("step %d: Lookup(%s) = %d,%v want %d,%v", step, b, pos, ok, wantPos, wantOK)
+			}
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, ix.Len(), len(ref))
+		}
+	}
+	if err := validateNode(ix.root, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	bs := ix.Boundaries()
+	if len(bs) != len(ref) {
+		t.Fatalf("Boundaries returned %d entries, want %d", len(bs), len(ref))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Bound.Compare(bs[i].Bound) >= 0 {
+			t.Fatal("Boundaries not sorted")
+		}
+	}
+}
+
+func TestSortedPositions(t *testing.T) {
+	ix := New()
+	ix.Insert(Bound{Value: 10}, 100)
+	ix.Insert(Bound{Value: 5}, 50)
+	ix.Insert(Bound{Value: 20}, 200)
+	got := ix.SortedPositions()
+	want := []int{50, 100, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package engine is a miniature column-store execution layer, standing
+// in for the MonetDB kernel the surveyed techniques were built into
+// (see DESIGN.md, substitutions).
+//
+// It provides tables of fixed-width columns, a catalog, and the query
+// operators the tutorial's examples need: range selection, projection
+// with tuple reconstruction, and an equi-join. The point of the package
+// is the integration it demonstrates — adaptive indexing lives inside
+// the select operator, so physical reorganisation happens as a side
+// effect of ordinary query execution. Each query chooses an access
+// path:
+//
+//   - PathScan:     scan the selection column, reconstruct by rowid.
+//   - PathCracking: crack the selection column (package core), then
+//     perform late tuple reconstruction by rowid — fast selection but
+//     random-access projection.
+//   - PathSideways: sideways cracking (package sideways) — selection
+//     and projection both become sequential after a few queries.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/sideways"
+)
+
+// Errors returned by the engine and catalog.
+var (
+	// ErrUnknownTable is returned when a query names a table that is
+	// not registered in the catalog.
+	ErrUnknownTable = errors.New("engine: unknown table")
+	// ErrUnknownColumn is returned when a query names a column that
+	// does not exist in its table.
+	ErrUnknownColumn = errors.New("engine: unknown column")
+	// ErrColumnLength is returned when a column is added whose length
+	// does not match the table's existing columns.
+	ErrColumnLength = errors.New("engine: column length mismatch")
+	// ErrDuplicate is returned when a table or column is registered
+	// twice.
+	ErrDuplicate = errors.New("engine: duplicate name")
+)
+
+// Table is a named collection of equally long columns.
+type Table struct {
+	name  string
+	cols  map[string][]column.Value
+	order []string
+	nrows int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{name: name, cols: make(map[string][]column.Value)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return t.nrows }
+
+// Columns returns the column names in creation order.
+func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
+
+// AddColumn adds a column. All columns of a table must have the same
+// length; the first column fixes it.
+func (t *Table) AddColumn(name string, vals []column.Value) error {
+	if _, exists := t.cols[name]; exists {
+		return fmt.Errorf("%w: column %q in table %q", ErrDuplicate, name, t.name)
+	}
+	if len(t.order) > 0 && len(vals) != t.nrows {
+		return fmt.Errorf("%w: column %q has %d values, table %q has %d rows",
+			ErrColumnLength, name, len(vals), t.name, t.nrows)
+	}
+	t.cols[name] = vals
+	t.order = append(t.order, name)
+	t.nrows = len(vals)
+	return nil
+}
+
+// Column returns the raw values of a column.
+func (t *Table) Column(name string) ([]column.Value, error) {
+	vals, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, t.name, name)
+	}
+	return vals, nil
+}
+
+// Catalog is a registry of tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Register adds a table to the catalog.
+func (c *Catalog) Register(t *Table) error {
+	if _, exists := c.tables[t.name]; exists {
+		return fmt.Errorf("%w: table %q", ErrDuplicate, t.name)
+	}
+	c.tables[t.name] = t
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns the registered table names.
+func (c *Catalog) Tables() []string {
+	out := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		out = append(out, name)
+	}
+	return out
+}
+
+// AccessPath selects how a selection (and its projection) is executed.
+type AccessPath uint8
+
+// Access paths.
+const (
+	PathScan AccessPath = iota
+	PathCracking
+	PathSideways
+)
+
+// String returns the access-path name.
+func (p AccessPath) String() string {
+	switch p {
+	case PathScan:
+		return "scan"
+	case PathCracking:
+		return "cracking"
+	case PathSideways:
+		return "sideways"
+	default:
+		return fmt.Sprintf("AccessPath(%d)", uint8(p))
+	}
+}
+
+// Result is the output of a select-project query: the qualifying row
+// identifiers and, positionally aligned with them, the projected
+// columns.
+type Result struct {
+	Rows    column.IDList
+	Columns map[string][]column.Value
+}
+
+// Engine executes queries against a catalog, maintaining adaptive
+// index state (cracker columns and sideways map sets) per column as a
+// side effect of the queries it runs. It is not safe for concurrent
+// use.
+type Engine struct {
+	cat      *Catalog
+	crackers map[string]*core.CrackerColumn
+	mapsets  map[string]*sideways.MapSet
+	opts     core.Options
+	c        cost.Counters
+}
+
+// New creates an engine over the catalog using the given cracking
+// options for every adaptive structure it builds.
+func New(cat *Catalog, opts core.Options) *Engine {
+	return &Engine{
+		cat:      cat,
+		crackers: make(map[string]*core.CrackerColumn),
+		mapsets:  make(map[string]*sideways.MapSet),
+		opts:     opts,
+	}
+}
+
+// Cost returns the cumulative logical work of the engine and every
+// adaptive structure it maintains.
+func (e *Engine) Cost() cost.Counters {
+	c := e.c
+	for _, cc := range e.crackers {
+		c.Add(cc.Cost())
+	}
+	for _, ms := range e.mapsets {
+		c.Add(ms.Cost())
+	}
+	return c
+}
+
+func key(table, col string) string { return table + "." + col }
+
+// crackerFor returns (creating on demand) the cracker column for
+// table.col.
+func (e *Engine) crackerFor(t *Table, col string) (*core.CrackerColumn, error) {
+	k := key(t.name, col)
+	if cc, ok := e.crackers[k]; ok {
+		return cc, nil
+	}
+	vals, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	cc := core.NewCrackerColumn(vals, e.opts)
+	e.crackers[k] = cc
+	return cc, nil
+}
+
+// mapsetFor returns (creating on demand) the sideways map set with
+// table.col as its selection attribute.
+func (e *Engine) mapsetFor(t *Table, col string) (*sideways.MapSet, error) {
+	k := key(t.name, col)
+	if ms, ok := e.mapsets[k]; ok {
+		return ms, nil
+	}
+	head, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	tails := make(map[string][]column.Value, len(t.order)-1)
+	for _, other := range t.order {
+		if other == col {
+			continue
+		}
+		tails[other], _ = t.Column(other)
+	}
+	ms, err := sideways.NewMapSet(col, head, tails, sideways.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	e.mapsets[k] = ms
+	return ms, nil
+}
+
+// SelectRows returns the row identifiers of tuples in table whose
+// column attr satisfies r, using the requested access path.
+func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath) (column.IDList, error) {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	switch path {
+	case PathCracking:
+		cc, err := e.crackerFor(t, attr)
+		if err != nil {
+			return nil, err
+		}
+		return cc.Select(r), nil
+	case PathSideways:
+		ms, err := e.mapsetFor(t, attr)
+		if err != nil {
+			return nil, err
+		}
+		return ms.SelectRows(r)
+	default:
+		vals, err := t.Column(attr)
+		if err != nil {
+			return nil, err
+		}
+		var out column.IDList
+		for i, v := range vals {
+			e.c.ValuesTouched++
+			e.c.Comparisons++
+			if r.Contains(v) {
+				out = append(out, column.RowID(i))
+				e.c.TuplesCopied++
+			}
+		}
+		return out, nil
+	}
+}
+
+// SelectProject answers "SELECT projectAttrs FROM table WHERE whereAttr
+// IN r" using the requested access path, returning projections aligned
+// with the returned row identifiers.
+func (e *Engine) SelectProject(table, whereAttr string, r column.Range, projectAttrs []string, path AccessPath) (*Result, error) {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	// Validate projection attributes up front for every path.
+	for _, attr := range projectAttrs {
+		if _, err := t.Column(attr); err != nil {
+			return nil, err
+		}
+	}
+	if path == PathSideways {
+		ms, err := e.mapsetFor(t, whereAttr)
+		if err != nil {
+			return nil, err
+		}
+		rows, values, err := ms.SelectProjectMulti(r, projectAttrs)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Rows: rows, Columns: values}, nil
+	}
+	rows, err := e.SelectRows(table, whereAttr, r, path)
+	if err != nil {
+		return nil, err
+	}
+	// Late tuple reconstruction: fetch every projected attribute by row
+	// identifier. After cracking, the rows come back in cracked (i.e.
+	// essentially random) order, which is exactly the random-access
+	// pattern sideways cracking is designed to avoid; a scan returns
+	// rows in storage order, so its reconstruction stays sequential.
+	randomOrder := path == PathCracking
+	res := &Result{Rows: rows, Columns: make(map[string][]column.Value, len(projectAttrs))}
+	for _, attr := range projectAttrs {
+		vals, _ := t.Column(attr)
+		out := make([]column.Value, len(rows))
+		for i, row := range rows {
+			out[i] = vals[row]
+			if randomOrder {
+				e.c.RandomTouches++
+			} else {
+				e.c.ValuesTouched++
+			}
+			e.c.TuplesCopied++
+		}
+		res.Columns[attr] = out
+	}
+	return res, nil
+}
+
+// JoinCount returns the number of matching pairs of the equi-join
+// t1.a1 = t2.a2, executed as a hash join (build on the smaller input).
+// It exists to exercise multi-table plans on top of the substrate; the
+// adaptive part of this repository is selection-centric, as in the
+// tutorial.
+func (e *Engine) JoinCount(table1, attr1, table2, attr2 string) (int, error) {
+	t1, err := e.cat.Table(table1)
+	if err != nil {
+		return 0, err
+	}
+	t2, err := e.cat.Table(table2)
+	if err != nil {
+		return 0, err
+	}
+	v1, err := t1.Column(attr1)
+	if err != nil {
+		return 0, err
+	}
+	v2, err := t2.Column(attr2)
+	if err != nil {
+		return 0, err
+	}
+	build, probe := v1, v2
+	if len(v2) < len(v1) {
+		build, probe = v2, v1
+	}
+	ht := make(map[column.Value]int, len(build))
+	for _, v := range build {
+		ht[v]++
+		e.c.ValuesTouched++
+	}
+	matches := 0
+	for _, v := range probe {
+		e.c.ValuesTouched++
+		e.c.Comparisons++
+		matches += ht[v]
+	}
+	return matches, nil
+}
+
+// Validate checks every adaptive structure the engine has built.
+func (e *Engine) Validate() error {
+	for k, cc := range e.crackers {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("cracker %s: %w", k, err)
+		}
+	}
+	for k, ms := range e.mapsets {
+		if err := ms.Validate(); err != nil {
+			return fmt.Errorf("mapset %s: %w", k, err)
+		}
+	}
+	return nil
+}

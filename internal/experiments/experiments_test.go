@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough to run every experiment in
+// well under a second.
+func tiny() Config {
+	return Config{N: 20000, Queries: 100, Domain: 20000, Selectivity: 0.01, Seed: 7}
+}
+
+func TestAllDefinitionsRun(t *testing.T) {
+	for _, def := range All() {
+		def := def
+		t.Run(def.ID, func(t *testing.T) {
+			res := def.Run(tiny())
+			if res.ID != def.ID {
+				t.Fatalf("result ID %q, want %q", res.ID, def.ID)
+			}
+			if res.Text == "" {
+				t.Fatal("empty report text")
+			}
+			if len(res.Summaries) == 0 {
+				t.Fatal("no summary rows")
+			}
+			for _, s := range res.Summaries {
+				if s.IndexName == "" {
+					t.Fatal("summary row without a name")
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E4"); !ok {
+		t.Fatal("E4 must exist")
+	}
+	if _, ok := Lookup("e4"); !ok {
+		t.Fatal("lookup must be case-insensitive")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("E99 must not exist")
+	}
+	if len(All()) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(All()))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.N <= 0 || c.Queries <= 0 || c.Domain <= 0 || c.Selectivity <= 0 || c.Seed == 0 {
+		t.Fatalf("withDefaults left zero fields: %+v", c)
+	}
+	d := DefaultConfig()
+	if d.N != 1_000_000 || d.Queries != 1000 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	// Domain defaults to N when unset.
+	c2 := Config{N: 123}.withDefaults()
+	if c2.Domain != 123 {
+		t.Fatalf("Domain default = %d, want 123", c2.Domain)
+	}
+}
+
+// The headline shape claims of the reproduction, checked at small
+// scale so they run as part of the normal test suite.
+func TestE1Shape(t *testing.T) {
+	res := E1PerQueryCurve(tiny())
+	var scan, full, crack uint64
+	var crackFirst, fullFirst uint64
+	for _, s := range res.Summaries {
+		switch s.IndexName {
+		case "scan":
+			scan = s.TotalWork
+		case "fullsort":
+			full = s.TotalWork
+			fullFirst = s.FirstQuery
+		case "cracking":
+			crack = s.TotalWork
+			crackFirst = s.FirstQuery
+		}
+	}
+	if crack >= scan {
+		t.Fatalf("cracking total work (%d) must beat scanning (%d)", crack, scan)
+	}
+	if crackFirst >= fullFirst {
+		t.Fatalf("cracking first query (%d) must be cheaper than full index build (%d)", crackFirst, fullFirst)
+	}
+	if full == 0 {
+		t.Fatal("full index run missing")
+	}
+}
+
+func TestE3Ordering(t *testing.T) {
+	res := E3FirstQuery(tiny())
+	first := map[string]uint64{}
+	for _, s := range res.Summaries {
+		first[s.IndexName] = s.FirstQuery
+	}
+	if first["scan"] >= first["fullsort"] {
+		t.Fatalf("scan first query (%d) must be cheaper than lazy full sort (%d)", first["scan"], first["fullsort"])
+	}
+	if first["cracking"] >= first["fullsort"] {
+		t.Fatalf("cracking first query (%d) must be cheaper than lazy full sort (%d)", first["cracking"], first["fullsort"])
+	}
+	if first["fullsort-eager"] >= first["cracking"] {
+		t.Fatalf("the eagerly built index must have a near-zero first query, got %d", first["fullsort-eager"])
+	}
+	if first["adaptivemerge"] <= first["cracking"] {
+		t.Fatalf("adaptive merging's first query (%d) must cost more than cracking's (%d)",
+			first["adaptivemerge"], first["cracking"])
+	}
+}
+
+func TestE8AdaptiveReactsToShift(t *testing.T) {
+	res := E8OnlineOffline(tiny())
+	totals := map[string]uint64{}
+	for _, s := range res.Summaries {
+		totals[s.IndexName] = s.TotalWork
+	}
+	if totals["cracking"] >= totals["scan"] {
+		t.Fatalf("adaptive indexing (%d) must beat scanning (%d) across the workload change",
+			totals["cracking"], totals["scan"])
+	}
+	if !strings.Contains(res.Text, "workload change") {
+		t.Fatal("report text should mention the workload change")
+	}
+}
+
+func TestE12ReportsPageTouches(t *testing.T) {
+	res := E12MergeIO(tiny())
+	if !strings.Contains(res.Text, "page") {
+		t.Fatal("E12 must report page touches")
+	}
+	// Smaller runs mean more runs and therefore more probe page
+	// touches; just assert all configurations produced rows.
+	if len(res.Summaries) < 4 {
+		t.Fatalf("expected at least 4 rows, got %d", len(res.Summaries))
+	}
+}

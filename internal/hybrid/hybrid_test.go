@@ -1,0 +1,274 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptiveindex/internal/column"
+)
+
+func scanOracle(vals []column.Value, r column.Range) column.IDList {
+	var out column.IDList
+	for i, v := range vals {
+		if r.Contains(v) {
+			out = append(out, column.RowID(i))
+		}
+	}
+	return out
+}
+
+func randomValues(rng *rand.Rand, n, domain int) []column.Value {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(domain))
+	}
+	return vals
+}
+
+func allVariants(vals []column.Value, partSize int) map[string]*Index {
+	return map[string]*Index{
+		"HCC": NewHCC(vals, partSize),
+		"HCS": NewHCS(vals, partSize),
+		"HSS": NewHSS(vals, partSize),
+		"HRS": NewHRS(vals, partSize),
+		"HRC": NewHRC(vals, partSize),
+	}
+}
+
+func TestAllVariantsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := randomValues(rng, 4000, 1000)
+	queries := []column.Range{
+		column.NewRange(100, 200),
+		column.NewRange(100, 200), // repeat: served from final partition
+		column.ClosedRange(500, 510),
+		column.Point(777),
+		column.AtLeast(950),
+		column.LessThan(30),
+		{},
+		column.NewRange(5000, 6000),
+	}
+	for q := 0; q < 80; q++ {
+		lo := column.Value(rng.Intn(1050) - 25)
+		queries = append(queries, column.NewRange(lo, lo+column.Value(rng.Intn(150))))
+	}
+	for name, ix := range allVariants(vals, 512) {
+		t.Run(name, func(t *testing.T) {
+			for i, r := range queries {
+				got := ix.Select(r)
+				want := scanOracle(vals, r)
+				if !got.Equal(want) {
+					t.Fatalf("%s query %d %s: got %d rows want %d", name, i, r, len(got), len(want))
+				}
+				if err := ix.Validate(); err != nil {
+					t.Fatalf("%s query %d: %v", name, i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestNames(t *testing.T) {
+	vals := []column.Value{1}
+	want := map[string]string{
+		"hybrid-crack-crack": NewHCC(vals, 8).Name(),
+		"hybrid-crack-sort":  NewHCS(vals, 8).Name(),
+		"hybrid-sort-sort":   NewHSS(vals, 8).Name(),
+		"hybrid-radix-sort":  NewHRS(vals, 8).Name(),
+		"hybrid-radix-crack": NewHRC(vals, 8).Name(),
+	}
+	for expected, got := range want {
+		if got != expected {
+			t.Errorf("Name mismatch: got %q want %q", got, expected)
+		}
+	}
+	if PartitionCrack.String() != "crack" || PartitionSort.String() != "sort" || PartitionRadix.String() != "radix" {
+		t.Error("PartitionStrategy.String wrong")
+	}
+	if FinalCrack.String() != "crack" || FinalSort.String() != "sort" {
+		t.Error("FinalStrategy.String wrong")
+	}
+}
+
+func TestLazyInitialization(t *testing.T) {
+	vals := randomValues(rand.New(rand.NewSource(2)), 1000, 100)
+	ix := NewHCS(vals, 128)
+	if !ix.Cost().IsZero() {
+		t.Fatal("no work may happen before the first query")
+	}
+	if got := ix.Select(column.NewRange(50, 50)); len(got) != 0 {
+		t.Fatalf("empty predicate returned %v", got)
+	}
+	if !ix.Cost().IsZero() {
+		t.Fatal("an empty predicate must not initialize the index")
+	}
+	ix.Count(column.NewRange(10, 20))
+	if ix.Cost().IsZero() {
+		t.Fatal("the first real query must be charged")
+	}
+}
+
+func TestFirstQueryCostOrdering(t *testing.T) {
+	// The defining trade-off: sorting the initial partitions costs more
+	// on the first query than radix clustering, which costs more than
+	// cracking them.
+	rng := rand.New(rand.NewSource(3))
+	vals := randomValues(rng, 50000, 1000000)
+	r := column.NewRange(1000, 5000)
+
+	hcc := NewHCC(vals, 4096)
+	hss := NewHSS(vals, 4096)
+	hrs := NewHRS(vals, 4096)
+	hcc.Count(r)
+	hss.Count(r)
+	hrs.Count(r)
+
+	ccCost, ssCost, rsCost := hcc.Cost().Total(), hss.Cost().Total(), hrs.Cost().Total()
+	if ccCost >= ssCost {
+		t.Fatalf("expected first-query cost HCC < HSS, got %d vs %d", ccCost, ssCost)
+	}
+	if rsCost >= ssCost {
+		t.Fatalf("expected first-query cost HRS < HSS, got %d vs %d", rsCost, ssCost)
+	}
+	// Sorting every partition must cost well over 1.5x the lightweight
+	// preparations, not marginally more.
+	if ssCost < ccCost*3/2 {
+		t.Fatalf("sort-initial first query should be substantially more expensive: HCC %d, HSS %d", ccCost, ssCost)
+	}
+}
+
+func TestConvergenceAfterCoveringQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 8000
+	vals := randomValues(rng, n, n)
+	for name, ix := range allVariants(vals, 1024) {
+		k := 16
+		width := n / k
+		for i := 0; i < k; i++ {
+			lo := column.Value(i * width)
+			ix.Count(column.NewRange(lo, lo+column.Value(width)))
+		}
+		ix.Count(column.Range{}) // sweep up anything at the domain edge
+		if !ix.Converged() {
+			t.Fatalf("%s: not converged, %d tuples remain in partitions", name, ix.RemainingInPartitions())
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRepeatQueryCheapAfterMigration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := randomValues(rng, 50000, 100000)
+	for name, ix := range allVariants(vals, 4096) {
+		r := column.NewRange(2000, 4000)
+		before := ix.Cost().Total()
+		ix.Count(r)
+		first := ix.Cost().Total() - before
+
+		before = ix.Cost().Total()
+		ix.Count(r)
+		second := ix.Cost().Total() - before
+		if second*5 > first {
+			t.Fatalf("%s: repeat query not cheaper: first %d, repeat %d", name, first, second)
+		}
+	}
+}
+
+func TestRemainingDecreasesMonotonically(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := randomValues(rng, 5000, 5000)
+	ix := NewHCC(vals, 512)
+	prev := len(vals)
+	for q := 0; q < 50; q++ {
+		lo := column.Value(rng.Intn(5000))
+		ix.Count(column.NewRange(lo, lo+200))
+		rem := ix.RemainingInPartitions()
+		if rem > prev {
+			t.Fatalf("remaining grew: %d -> %d", prev, rem)
+		}
+		prev = rem
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	for name, ix := range allVariants(nil, 64) {
+		if got := ix.Select(column.NewRange(0, 10)); len(got) != 0 {
+			t.Fatalf("%s: empty column returned %v", name, got)
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDuplicateHeavyColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]column.Value, 3000)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(3))
+	}
+	for name, ix := range allVariants(vals, 256) {
+		for q := 0; q < 30; q++ {
+			lo := column.Value(rng.Intn(4) - 1)
+			r := column.ClosedRange(lo, lo+column.Value(rng.Intn(3)))
+			if got, want := ix.Select(r), scanOracle(vals, r); !got.Equal(want) {
+				t.Fatalf("%s query %s: got %d want %d", name, r, len(got), len(want))
+			}
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.PartitionSize <= 0 || o.RadixBuckets <= 1 || o.Fanout <= 0 {
+		t.Fatalf("withDefaults left bad fields: %+v", o)
+	}
+	ix := New([]column.Value{5, 2, 9}, Options{})
+	if got := ix.Select(column.ClosedRange(2, 5)); len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: every hybrid variant is scan-equivalent on arbitrary small
+// inputs and query sequences.
+func TestQuickOracleEquivalence(t *testing.T) {
+	f := func(raw []int16, seq []uint8, variant uint8) bool {
+		vals := make([]column.Value, len(raw))
+		for i, v := range raw {
+			vals[i] = column.Value(v % 100)
+		}
+		var ix *Index
+		switch variant % 5 {
+		case 0:
+			ix = NewHCC(vals, 32)
+		case 1:
+			ix = NewHCS(vals, 32)
+		case 2:
+			ix = NewHSS(vals, 32)
+		case 3:
+			ix = NewHRS(vals, 32)
+		default:
+			ix = NewHRC(vals, 32)
+		}
+		for _, q := range seq {
+			lo := column.Value(int(q%100) - 50)
+			r := column.NewRange(lo, lo+13)
+			if !ix.Select(r).Equal(scanOracle(vals, r)) {
+				return false
+			}
+			if ix.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package persist provides snapshot and restore for cracker columns,
+// addressing the "disk based processing" and "long term maintenance of
+// structures" open topics the tutorial lists: the knowledge a workload
+// has invested into a cracked column (its physical order and its
+// cracker index) survives a restart instead of being re-learned from
+// scratch.
+//
+// A snapshot stores the (value, rowid) pairs in their current physical
+// order together with every boundary of the cracker index, using
+// encoding/gob. Restoring rebuilds a CrackerColumn that answers the
+// next query exactly as the original would have.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/crackeridx"
+)
+
+// snapshot is the on-disk representation. Fields are exported for gob.
+type snapshot struct {
+	FormatVersion int
+	Values        []column.Value
+	Rows          []column.RowID
+	Boundaries    []boundary
+}
+
+type boundary struct {
+	Value     column.Value
+	Inclusive bool
+	Pos       int
+}
+
+// formatVersion guards against reading snapshots written by an
+// incompatible future layout.
+const formatVersion = 1
+
+// Save writes a snapshot of the cracker column to w.
+func Save(w io.Writer, cc *core.CrackerColumn) error {
+	pairs := cc.Pairs()
+	snap := snapshot{
+		FormatVersion: formatVersion,
+		Values:        make([]column.Value, len(pairs)),
+		Rows:          make([]column.RowID, len(pairs)),
+	}
+	for i, p := range pairs {
+		snap.Values[i] = p.Val
+		snap.Rows[i] = p.Row
+	}
+	for _, b := range cc.Index().Boundaries() {
+		snap.Boundaries = append(snap.Boundaries, boundary{Value: b.Value, Inclusive: b.Inclusive, Pos: b.Pos})
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from r and rebuilds the cracker column with the
+// given options. The restored column is validated before it is
+// returned.
+func Load(r io.Reader, opts core.Options) (*core.CrackerColumn, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	if snap.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d", snap.FormatVersion)
+	}
+	if len(snap.Values) != len(snap.Rows) {
+		return nil, fmt.Errorf("persist: corrupt snapshot: %d values but %d rows", len(snap.Values), len(snap.Rows))
+	}
+	pairs := make(column.Pairs, len(snap.Values))
+	for i := range snap.Values {
+		pairs[i] = column.Pair{Val: snap.Values[i], Row: snap.Rows[i]}
+	}
+	cc := core.NewCrackerColumnFromPairs(pairs, opts)
+	for _, b := range snap.Boundaries {
+		if b.Pos < 0 || b.Pos > len(pairs) {
+			return nil, fmt.Errorf("persist: corrupt snapshot: boundary position %d outside [0,%d]", b.Pos, len(pairs))
+		}
+		cc.Index().Insert(crackeridx.Bound{Value: b.Value, Inclusive: b.Inclusive}, b.Pos)
+	}
+	if err := cc.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: snapshot violates cracking invariants: %w", err)
+	}
+	return cc, nil
+}
+
+// SaveFile writes a snapshot to the named file, creating or truncating
+// it.
+func SaveFile(path string, cc *core.CrackerColumn) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := Save(f, cc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from the named file.
+func LoadFile(path string, opts core.Options) (*core.CrackerColumn, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Load(f, opts)
+}

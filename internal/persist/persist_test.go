@@ -1,0 +1,163 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/workload"
+)
+
+func crackedColumn(t *testing.T, n, queries int) (*core.CrackerColumn, []column.Value) {
+	t.Helper()
+	vals := workload.DataUniform(1, n, n)
+	cc := core.NewCrackerColumn(vals, core.DefaultOptions())
+	gen := workload.NewUniform(2, 0, column.Value(n), 0.02)
+	for i := 0; i < queries; i++ {
+		cc.Count(gen.Next())
+	}
+	return cc, vals
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cc, vals := crackedColumn(t, 20000, 50)
+	var buf bytes.Buffer
+	if err := Save(&buf, cc); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != cc.Len() {
+		t.Fatalf("restored %d tuples, want %d", restored.Len(), cc.Len())
+	}
+	if restored.NumPieces() != cc.NumPieces() {
+		t.Fatalf("restored %d pieces, want %d", restored.NumPieces(), cc.NumPieces())
+	}
+	// The restored column must answer queries identically to a scan and
+	// to the original.
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 50; q++ {
+		lo := column.Value(rng.Intn(20000))
+		r := column.NewRange(lo, lo+500)
+		want := 0
+		for _, v := range vals {
+			if r.Contains(v) {
+				want++
+			}
+		}
+		if got := restored.Count(r); got != want {
+			t.Fatalf("query %s: got %d want %d", r, got, want)
+		}
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoredColumnRetainsConvergence(t *testing.T) {
+	cc, _ := crackedColumn(t, 100000, 300)
+	var buf bytes.Buffer
+	if err := Save(&buf, cc); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh column pays ~a scan for its first query; the restored one
+	// must not, because it keeps the boundaries the workload paid for.
+	fresh := core.NewCrackerColumn(workload.DataUniform(1, 100000, 100000), core.DefaultOptions())
+	r := column.NewRange(40000, 41000)
+
+	beforeFresh := fresh.Cost().Total()
+	fresh.Count(r)
+	freshCost := fresh.Cost().Total() - beforeFresh
+
+	beforeRestored := restored.Cost().Total()
+	restored.Count(r)
+	restoredCost := restored.Cost().Total() - beforeRestored
+
+	if restoredCost*10 > freshCost {
+		t.Fatalf("restored column should answer far cheaper than a fresh one: %d vs %d", restoredCost, freshCost)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	cc, _ := crackedColumn(t, 5000, 20)
+	path := filepath.Join(t.TempDir(), "col.snapshot")
+	if err := SaveFile(path, cc); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != cc.Len() {
+		t.Fatalf("restored %d tuples, want %d", restored.Len(), cc.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing"), core.DefaultOptions()); err == nil {
+		t.Fatal("loading a missing file must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("this is not a snapshot"), core.DefaultOptions()); err == nil {
+		t.Fatal("garbage input must fail to decode")
+	}
+}
+
+func encodeSnapshot(t *testing.T, snap snapshot) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	base := snapshot{
+		FormatVersion: formatVersion,
+		Values:        []column.Value{1, 2, 3},
+		Rows:          []column.RowID{0, 1, 2},
+	}
+
+	wrongVersion := base
+	wrongVersion.FormatVersion = 99
+	if _, err := Load(encodeSnapshot(t, wrongVersion), core.DefaultOptions()); err == nil {
+		t.Fatal("wrong format version must be rejected")
+	}
+
+	mismatched := base
+	mismatched.Rows = []column.RowID{0}
+	if _, err := Load(encodeSnapshot(t, mismatched), core.DefaultOptions()); err == nil {
+		t.Fatal("mismatched value/row lengths must be rejected")
+	}
+
+	badBoundaryPos := base
+	badBoundaryPos.Boundaries = []boundary{{Value: 2, Pos: 99}}
+	if _, err := Load(encodeSnapshot(t, badBoundaryPos), core.DefaultOptions()); err == nil {
+		t.Fatal("out-of-range boundary positions must be rejected")
+	}
+
+	// A boundary whose position contradicts the stored physical order
+	// must be caught by the cracking-invariant validation.
+	badInvariant := base
+	badInvariant.Values = []column.Value{9, 1, 5} // value 9 sits left of the "<2" split below
+	badInvariant.Boundaries = []boundary{{Value: 2, Pos: 2}}
+	if _, err := Load(encodeSnapshot(t, badInvariant), core.DefaultOptions()); err == nil {
+		t.Fatal("snapshots violating cracking invariants must be rejected")
+	}
+
+	// The untampered base snapshot loads fine.
+	if _, err := Load(encodeSnapshot(t, base), core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package updates
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+)
+
+// model is a reference implementation used as the oracle: a plain map
+// of live rows.
+type model struct {
+	values  map[column.RowID]column.Value
+	nextRow column.RowID
+}
+
+func newModel(vals []column.Value) *model {
+	m := &model{values: make(map[column.RowID]column.Value), nextRow: column.RowID(len(vals))}
+	for i, v := range vals {
+		m.values[column.RowID(i)] = v
+	}
+	return m
+}
+
+func (m *model) insert(v column.Value) column.RowID {
+	row := m.nextRow
+	m.nextRow++
+	m.values[row] = v
+	return row
+}
+
+func (m *model) delete(row column.RowID) bool {
+	if _, ok := m.values[row]; !ok {
+		return false
+	}
+	delete(m.values, row)
+	return true
+}
+
+func (m *model) selectRange(r column.Range) column.IDList {
+	var out column.IDList
+	for row, v := range m.values {
+		if r.Contains(v) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func (m *model) someRow(rng *rand.Rand) (column.RowID, bool) {
+	if len(m.values) == 0 {
+		return 0, false
+	}
+	k := rng.Intn(len(m.values))
+	for row := range m.values {
+		if k == 0 {
+			return row, true
+		}
+		k--
+	}
+	return 0, false
+}
+
+func randomValues(rng *rand.Rand, n, domain int) []column.Value {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(domain))
+	}
+	return vals
+}
+
+func allPolicies() []MergePolicy {
+	return []MergePolicy{MergeGradually, MergeCompletely, MergeImmediately}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if MergeGradually.String() != "gradual" || MergeCompletely.String() != "complete" || MergeImmediately.String() != "immediate" {
+		t.Fatal("policy names wrong")
+	}
+	u := New([]column.Value{1}, core.DefaultOptions(), MergeGradually)
+	if u.Name() != "cracking+updates(gradual)" {
+		t.Fatalf("Name = %q", u.Name())
+	}
+}
+
+func TestInterleavedWorkloadMatchesModel(t *testing.T) {
+	for _, policy := range allPolicies() {
+		t.Run(policy.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			vals := randomValues(rng, 2000, 500)
+			u := New(vals, core.DefaultOptions(), policy)
+			m := newModel(vals)
+
+			for step := 0; step < 2000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // query
+					lo := column.Value(rng.Intn(520) - 10)
+					r := column.NewRange(lo, lo+column.Value(rng.Intn(60)))
+					got := u.Select(r)
+					want := m.selectRange(r)
+					if !got.Equal(want) {
+						t.Fatalf("step %d %s query %s: got %d rows want %d", step, policy, r, len(got), len(want))
+					}
+				case op < 8: // insert
+					v := column.Value(rng.Intn(520) - 10)
+					rowU := u.Insert(v)
+					rowM := m.insert(v)
+					if rowU != rowM {
+						t.Fatalf("step %d: row id mismatch %d vs %d", step, rowU, rowM)
+					}
+				default: // delete
+					row, ok := m.someRow(rng)
+					if !ok {
+						continue
+					}
+					m.delete(row)
+					if err := u.Delete(row); err != nil {
+						t.Fatalf("step %d: delete %d: %v", step, row, err)
+					}
+				}
+				if step%250 == 0 {
+					if err := u.Validate(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := u.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if u.Len() != len(m.values) {
+				t.Fatalf("Len = %d, want %d", u.Len(), len(m.values))
+			}
+		})
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	u := New([]column.Value{1, 2, 3}, core.DefaultOptions(), MergeGradually)
+	if err := u.Delete(99); !errors.Is(err, ErrRowNotFound) {
+		t.Fatalf("expected ErrRowNotFound, got %v", err)
+	}
+	if err := u.Delete(1); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := u.Delete(1); !errors.Is(err, ErrRowNotFound) {
+		t.Fatalf("double delete must fail, got %v", err)
+	}
+}
+
+func TestDeletePendingInsertDisappears(t *testing.T) {
+	u := New([]column.Value{10, 20}, core.DefaultOptions(), MergeGradually)
+	row := u.Insert(15)
+	if u.PendingInsertions() != 1 {
+		t.Fatalf("pending insertions = %d", u.PendingInsertions())
+	}
+	if err := u.Delete(row); err != nil {
+		t.Fatal(err)
+	}
+	if u.PendingInsertions() != 0 || u.PendingDeletions() != 0 {
+		t.Fatalf("pending buffers not empty: %d ins, %d del", u.PendingInsertions(), u.PendingDeletions())
+	}
+	got := u.Select(column.ClosedRange(0, 100))
+	if !got.Equal(column.IDList{0, 1}) {
+		t.Fatalf("got %v", got)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateIsDeletePlusInsert(t *testing.T) {
+	u := New([]column.Value{10, 20, 30}, core.DefaultOptions(), MergeGradually)
+	newRow, err := u.Update(1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newRow == 1 {
+		t.Fatal("update must assign a fresh row id")
+	}
+	got := u.Select(column.Point(25))
+	if !got.Equal(column.IDList{newRow}) {
+		t.Fatalf("got %v", got)
+	}
+	if len(u.Select(column.Point(20))) != 0 {
+		t.Fatal("old value still visible")
+	}
+	if _, err := u.Update(999, 1); !errors.Is(err, ErrRowNotFound) {
+		t.Fatalf("expected ErrRowNotFound, got %v", err)
+	}
+}
+
+func TestGradualMergesOnlyQueriedRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	vals := randomValues(rng, 1000, 1000)
+	u := New(vals, core.DefaultOptions(), MergeGradually)
+	// Crack a little first so merges are non-trivial.
+	u.Count(column.NewRange(200, 400))
+	// Insert values in two disjoint regions.
+	for i := 0; i < 50; i++ {
+		u.Insert(column.Value(rng.Intn(100)))       // region A: [0, 100)
+		u.Insert(column.Value(500 + rng.Intn(100))) // region B: [500, 600)
+	}
+	if u.PendingInsertions() != 100 {
+		t.Fatalf("pending = %d", u.PendingInsertions())
+	}
+	// A query over region A must merge only region A's updates.
+	u.Count(column.NewRange(0, 100))
+	if u.PendingInsertions() != 50 {
+		t.Fatalf("gradual merge should leave region B pending, have %d", u.PendingInsertions())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompleteMergesEverythingWhenTouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	vals := randomValues(rng, 1000, 1000)
+	u := New(vals, core.DefaultOptions(), MergeCompletely)
+	u.Count(column.NewRange(200, 400))
+	for i := 0; i < 50; i++ {
+		u.Insert(column.Value(rng.Intn(100)))
+		u.Insert(column.Value(500 + rng.Intn(100)))
+	}
+	// A query that touches none of the pending values leaves the buffer
+	// alone.
+	u.Count(column.NewRange(300, 400))
+	if u.PendingInsertions() != 100 {
+		t.Fatalf("untouched query must not merge, pending = %d", u.PendingInsertions())
+	}
+	// A query that touches region A merges everything.
+	u.Count(column.NewRange(0, 100))
+	if u.PendingInsertions() != 0 {
+		t.Fatalf("complete merge must drain the buffer, pending = %d", u.PendingInsertions())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmediateAppliesAtOnce(t *testing.T) {
+	vals := []column.Value{10, 20, 30}
+	u := New(vals, core.DefaultOptions(), MergeImmediately)
+	u.Count(column.NewRange(0, 100))
+	u.Insert(15)
+	if u.PendingInsertions() != 0 {
+		t.Fatal("immediate policy must not buffer")
+	}
+	if err := u.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if u.PendingDeletions() != 0 {
+		t.Fatal("immediate policy must not buffer deletions")
+	}
+	got := u.Select(column.ClosedRange(0, 100))
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradualSmoothsSpikes(t *testing.T) {
+	// The shape claim of E5: with the same interleaved workload, the
+	// most expensive single query under gradual merging is cheaper than
+	// under complete merging (which occasionally merges everything at
+	// once).
+	run := func(policy MergePolicy) uint64 {
+		rng := rand.New(rand.NewSource(34))
+		vals := randomValues(rng, 20000, 100000)
+		u := New(vals, core.DefaultOptions(), policy)
+		var maxDelta uint64
+		for q := 0; q < 300; q++ {
+			for i := 0; i < 20; i++ {
+				u.Insert(column.Value(rng.Intn(100000)))
+			}
+			lo := column.Value(rng.Intn(100000))
+			before := u.Cost().Total()
+			u.Count(column.NewRange(lo, lo+1000))
+			if d := u.Cost().Total() - before; d > maxDelta && q > 0 {
+				maxDelta = d
+			}
+		}
+		return maxDelta
+	}
+	gradualMax := run(MergeGradually)
+	completeMax := run(MergeCompletely)
+	if gradualMax >= completeMax {
+		t.Fatalf("gradual merging should smooth spikes: max per-query work gradual=%d complete=%d",
+			gradualMax, completeMax)
+	}
+}

@@ -1,0 +1,374 @@
+// Package workload provides deterministic data and query generators for
+// the adaptive-indexing experiments.
+//
+// The adaptive indexing benchmark (Graefe, Idreos, Kuno, Manegold,
+// TPCTC 2010) and the evaluations of the surveyed papers exercise the
+// indexes with a handful of canonical workload shapes: uniformly random
+// range queries of a fixed selectivity, skewed workloads that hammer a
+// hot region, sequentially sliding ranges (cracking's worst case),
+// periodically shifting focus (the dynamic-workload scenario that
+// motivates adaptive indexing in the first place), point lookups and
+// mixtures. All generators here are deterministic given their seed so
+// experiments are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptiveindex/internal/column"
+)
+
+// Generator produces an endless, deterministic stream of range
+// predicates.
+type Generator interface {
+	// Name identifies the workload shape in reports.
+	Name() string
+	// Next returns the next query predicate.
+	Next() column.Range
+}
+
+// Queries drains n predicates from the generator into a slice.
+func Queries(g Generator, n int) []column.Range {
+	out := make([]column.Range, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Data generators
+// ---------------------------------------------------------------------------
+
+// DataUniform returns n values drawn uniformly from [0, domain).
+func DataUniform(seed int64, n, domain int) []column.Value {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(domain))
+	}
+	return vals
+}
+
+// DataSorted returns the values 0..n-1 in order — the already-indexed
+// best case.
+func DataSorted(n int) []column.Value {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(i)
+	}
+	return vals
+}
+
+// DataReversed returns the values n-1..0 — a fully inverted column.
+func DataReversed(n int) []column.Value {
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(n - 1 - i)
+	}
+	return vals
+}
+
+// DataZipf returns n values skewed towards the low end of [0, domain)
+// with Zipf parameter s (s > 1; larger is more skewed).
+func DataZipf(seed int64, n, domain int, s float64) []column.Value {
+	rng := rand.New(rand.NewSource(seed))
+	if s <= 1 {
+		s = 1.01
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(domain-1))
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(z.Uint64())
+	}
+	return vals
+}
+
+// DataDuplicates returns n values drawn from only `distinct` different
+// values, stressing duplicate handling.
+func DataDuplicates(seed int64, n, distinct int) []column.Value {
+	if distinct < 1 {
+		distinct = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]column.Value, n)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(distinct))
+	}
+	return vals
+}
+
+// ---------------------------------------------------------------------------
+// Query generators
+// ---------------------------------------------------------------------------
+
+// Uniform generates range queries whose low end is uniform over the
+// domain and whose width corresponds to the requested selectivity.
+type Uniform struct {
+	rng        *rand.Rand
+	domainLow  column.Value
+	domainHigh column.Value
+	width      column.Value
+}
+
+// NewUniform creates a uniform range-query generator over
+// [domainLow, domainHigh) with the given selectivity (fraction of the
+// domain covered by each query, e.g. 0.1 for 10%).
+func NewUniform(seed int64, domainLow, domainHigh column.Value, selectivity float64) *Uniform {
+	width := column.Value(float64(domainHigh-domainLow) * selectivity)
+	if width < 1 {
+		width = 1
+	}
+	return &Uniform{
+		rng:        rand.New(rand.NewSource(seed)),
+		domainLow:  domainLow,
+		domainHigh: domainHigh,
+		width:      width,
+	}
+}
+
+// Name identifies the workload shape.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Next returns the next query predicate.
+func (u *Uniform) Next() column.Range {
+	span := u.domainHigh - u.domainLow - u.width
+	if span < 1 {
+		span = 1
+	}
+	lo := u.domainLow + column.Value(u.rng.Int63n(int64(span)))
+	return column.NewRange(lo, lo+u.width)
+}
+
+// Skewed generates range queries whose position is Zipf-distributed, so
+// a small hot region receives most of the queries.
+type Skewed struct {
+	rng        *rand.Rand
+	zipf       *rand.Zipf
+	domainLow  column.Value
+	domainHigh column.Value
+	width      column.Value
+}
+
+// NewSkewed creates a skewed range-query generator; s controls the
+// skew (s > 1, larger is more skewed).
+func NewSkewed(seed int64, domainLow, domainHigh column.Value, selectivity, s float64) *Skewed {
+	rng := rand.New(rand.NewSource(seed))
+	width := column.Value(float64(domainHigh-domainLow) * selectivity)
+	if width < 1 {
+		width = 1
+	}
+	if s <= 1 {
+		s = 1.3
+	}
+	span := uint64(domainHigh - domainLow)
+	if span < 2 {
+		span = 2
+	}
+	return &Skewed{
+		rng:        rng,
+		zipf:       rand.NewZipf(rng, s, 1, span-1),
+		domainLow:  domainLow,
+		domainHigh: domainHigh,
+		width:      width,
+	}
+}
+
+// Name identifies the workload shape.
+func (s *Skewed) Name() string { return "skewed" }
+
+// Next returns the next query predicate.
+func (s *Skewed) Next() column.Range {
+	lo := s.domainLow + column.Value(s.zipf.Uint64())
+	hi := lo + s.width
+	if hi > s.domainHigh {
+		hi = s.domainHigh
+	}
+	return column.NewRange(lo, hi)
+}
+
+// Sequential generates ranges that slide monotonically through the
+// domain, wrapping around at the end — the access pattern that defeats
+// plain cracking's convergence and motivates stochastic pivots.
+type Sequential struct {
+	domainLow  column.Value
+	domainHigh column.Value
+	width      column.Value
+	step       column.Value
+	next       column.Value
+}
+
+// NewSequential creates a sliding-range generator with the given
+// selectivity; each query advances by one query width.
+func NewSequential(domainLow, domainHigh column.Value, selectivity float64) *Sequential {
+	width := column.Value(float64(domainHigh-domainLow) * selectivity)
+	if width < 1 {
+		width = 1
+	}
+	return &Sequential{
+		domainLow:  domainLow,
+		domainHigh: domainHigh,
+		width:      width,
+		step:       width,
+		next:       domainLow,
+	}
+}
+
+// Name identifies the workload shape.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Next returns the next query predicate.
+func (s *Sequential) Next() column.Range {
+	lo := s.next
+	hi := lo + s.width
+	if hi >= s.domainHigh {
+		hi = s.domainHigh
+		s.next = s.domainLow
+	} else {
+		s.next = lo + s.step
+	}
+	return column.NewRange(lo, hi)
+}
+
+// Shifting focuses all queries on one sub-domain for a while, then
+// jumps to another sub-domain — the "workload change" scenario used to
+// compare offline, online and adaptive indexing (experiment E8).
+type Shifting struct {
+	rng         *rand.Rand
+	domainLow   column.Value
+	domainHigh  column.Value
+	width       column.Value
+	focusFrac   float64
+	shiftEvery  int
+	issued      int
+	focusOffset column.Value
+	focusSpan   column.Value
+}
+
+// NewShifting creates a generator that confines its queries to a window
+// covering focusFrac of the domain and moves that window every
+// shiftEvery queries.
+func NewShifting(seed int64, domainLow, domainHigh column.Value, selectivity, focusFrac float64, shiftEvery int) *Shifting {
+	if shiftEvery < 1 {
+		shiftEvery = 1
+	}
+	if focusFrac <= 0 || focusFrac > 1 {
+		focusFrac = 0.2
+	}
+	width := column.Value(float64(domainHigh-domainLow) * selectivity)
+	if width < 1 {
+		width = 1
+	}
+	s := &Shifting{
+		rng:        rand.New(rand.NewSource(seed)),
+		domainLow:  domainLow,
+		domainHigh: domainHigh,
+		width:      width,
+		focusFrac:  focusFrac,
+		shiftEvery: shiftEvery,
+	}
+	s.pickFocus()
+	return s
+}
+
+func (s *Shifting) pickFocus() {
+	domain := s.domainHigh - s.domainLow
+	s.focusSpan = column.Value(float64(domain) * s.focusFrac)
+	if s.focusSpan <= s.width {
+		s.focusSpan = s.width + 1
+	}
+	maxOffset := domain - s.focusSpan
+	if maxOffset < 1 {
+		maxOffset = 1
+	}
+	s.focusOffset = s.domainLow + column.Value(s.rng.Int63n(int64(maxOffset)))
+}
+
+// Name identifies the workload shape.
+func (s *Shifting) Name() string { return "shifting" }
+
+// Next returns the next query predicate.
+func (s *Shifting) Next() column.Range {
+	if s.issued > 0 && s.issued%s.shiftEvery == 0 {
+		s.pickFocus()
+	}
+	s.issued++
+	span := s.focusSpan - s.width
+	if span < 1 {
+		span = 1
+	}
+	lo := s.focusOffset + column.Value(s.rng.Int63n(int64(span)))
+	return column.NewRange(lo, lo+s.width)
+}
+
+// CurrentFocus exposes the active focus window, used by tests.
+func (s *Shifting) CurrentFocus() (column.Value, column.Value) {
+	return s.focusOffset, s.focusOffset + s.focusSpan
+}
+
+// Point generates equality predicates uniformly over the domain.
+type Point struct {
+	rng        *rand.Rand
+	domainLow  column.Value
+	domainHigh column.Value
+}
+
+// NewPoint creates a point-query generator over [domainLow, domainHigh).
+func NewPoint(seed int64, domainLow, domainHigh column.Value) *Point {
+	return &Point{rng: rand.New(rand.NewSource(seed)), domainLow: domainLow, domainHigh: domainHigh}
+}
+
+// Name identifies the workload shape.
+func (p *Point) Name() string { return "point" }
+
+// Next returns the next query predicate.
+func (p *Point) Next() column.Range {
+	span := p.domainHigh - p.domainLow
+	if span < 1 {
+		span = 1
+	}
+	return column.Point(p.domainLow + column.Value(p.rng.Int63n(int64(span))))
+}
+
+// Mixed interleaves several generators with the given weights.
+type Mixed struct {
+	rng     *rand.Rand
+	gens    []Generator
+	weights []float64
+	total   float64
+}
+
+// NewMixed creates a generator that picks one of the given generators
+// for every query, with probability proportional to its weight.
+func NewMixed(seed int64, gens []Generator, weights []float64) (*Mixed, error) {
+	if len(gens) == 0 || len(gens) != len(weights) {
+		return nil, fmt.Errorf("workload: %d generators but %d weights", len(gens), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workload: all weights are zero")
+	}
+	return &Mixed{rng: rand.New(rand.NewSource(seed)), gens: gens, weights: weights, total: total}, nil
+}
+
+// Name identifies the workload shape.
+func (m *Mixed) Name() string { return "mixed" }
+
+// Next returns the next query predicate.
+func (m *Mixed) Next() column.Range {
+	x := m.rng.Float64() * m.total
+	for i, w := range m.weights {
+		if x < w {
+			return m.gens[i].Next()
+		}
+		x -= w
+	}
+	return m.gens[len(m.gens)-1].Next()
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"testing"
+
+	"adaptiveindex/internal/column"
+)
+
+func TestDataUniformDeterministic(t *testing.T) {
+	a := DataUniform(1, 1000, 500)
+	b := DataUniform(1, 1000, 500)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce identical data")
+		}
+		if a[i] < 0 || a[i] >= 500 {
+			t.Fatalf("value %d outside domain", a[i])
+		}
+	}
+	c := DataUniform(2, 1000, 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+func TestDataSortedAndReversed(t *testing.T) {
+	s := DataSorted(100)
+	r := DataReversed(100)
+	for i := 0; i < 100; i++ {
+		if s[i] != column.Value(i) {
+			t.Fatalf("sorted[%d] = %d", i, s[i])
+		}
+		if r[i] != column.Value(99-i) {
+			t.Fatalf("reversed[%d] = %d", i, r[i])
+		}
+	}
+}
+
+func TestDataZipfSkew(t *testing.T) {
+	vals := DataZipf(3, 10000, 10000, 1.5)
+	low := 0
+	for _, v := range vals {
+		if v < 0 || v >= 10000 {
+			t.Fatalf("value %d outside domain", v)
+		}
+		if v < 100 {
+			low++
+		}
+	}
+	// A Zipf distribution concentrates mass on small values.
+	if low < len(vals)/2 {
+		t.Fatalf("expected most values below 100, got %d of %d", low, len(vals))
+	}
+	// s <= 1 must be clamped, not panic.
+	_ = DataZipf(3, 100, 100, 0.5)
+}
+
+func TestDataDuplicates(t *testing.T) {
+	vals := DataDuplicates(4, 1000, 3)
+	seen := map[column.Value]bool{}
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) > 3 {
+		t.Fatalf("expected at most 3 distinct values, got %d", len(seen))
+	}
+	_ = DataDuplicates(4, 10, 0) // clamped, must not panic
+}
+
+func TestUniformGenerator(t *testing.T) {
+	g := NewUniform(5, 0, 10000, 0.1)
+	if g.Name() != "uniform" {
+		t.Fatal("name")
+	}
+	for i := 0; i < 500; i++ {
+		r := g.Next()
+		if !r.HasLow || !r.HasHigh {
+			t.Fatal("uniform queries must be bounded")
+		}
+		if r.Low < 0 || r.High > 10000+1000 {
+			t.Fatalf("query %s escapes the domain", r)
+		}
+		if width := r.High - r.Low; width != 1000 {
+			t.Fatalf("width = %d, want 1000", width)
+		}
+	}
+	// Determinism.
+	g1, g2 := NewUniform(7, 0, 100, 0.2), NewUniform(7, 0, 100, 0.2)
+	for i := 0; i < 50; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed must produce identical queries")
+		}
+	}
+}
+
+func TestUniformTinyDomain(t *testing.T) {
+	g := NewUniform(6, 0, 1, 0.5)
+	r := g.Next()
+	if r.Empty() {
+		t.Fatalf("query %s is empty", r)
+	}
+}
+
+func TestSkewedGenerator(t *testing.T) {
+	g := NewSkewed(8, 0, 100000, 0.01, 1.5)
+	if g.Name() != "skewed" {
+		t.Fatal("name")
+	}
+	hot := 0
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if r.Low < 0 || r.High > 100000 {
+			t.Fatalf("query %s escapes the domain", r)
+		}
+		if r.Low < 10000 {
+			hot++
+		}
+	}
+	if hot < 600 {
+		t.Fatalf("expected a hot region near the low end, got %d/1000 queries there", hot)
+	}
+	_ = NewSkewed(8, 0, 1, 0.5, 0.2) // degenerate parameters must not panic
+}
+
+func TestSequentialGenerator(t *testing.T) {
+	g := NewSequential(0, 100, 0.1)
+	if g.Name() != "sequential" {
+		t.Fatal("name")
+	}
+	prev := column.Value(-1)
+	wrapped := false
+	for i := 0; i < 20; i++ {
+		r := g.Next()
+		if r.Low <= prev && !wrapped {
+			if r.Low == 0 {
+				wrapped = true
+			} else {
+				t.Fatalf("sequential generator went backwards: %d after %d", r.Low, prev)
+			}
+		}
+		prev = r.Low
+	}
+	if !wrapped {
+		t.Fatal("generator should have wrapped around within 20 steps of width 10")
+	}
+}
+
+func TestShiftingGenerator(t *testing.T) {
+	g := NewShifting(9, 0, 1000000, 0.001, 0.1, 50)
+	if g.Name() != "shifting" {
+		t.Fatal("name")
+	}
+	lo1, hi1 := g.CurrentFocus()
+	for i := 0; i < 50; i++ {
+		r := g.Next()
+		if r.Low < lo1 || r.High > hi1 {
+			t.Fatalf("query %s escapes focus [%d,%d)", r, lo1, hi1)
+		}
+	}
+	// After shiftEvery queries the focus must (almost surely) move.
+	g.Next()
+	lo2, _ := g.CurrentFocus()
+	if lo1 == lo2 {
+		// One collision is possible but unlikely; try once more.
+		for i := 0; i < 51; i++ {
+			g.Next()
+		}
+		lo3, _ := g.CurrentFocus()
+		if lo3 == lo1 {
+			t.Fatal("focus did not shift after shiftEvery queries")
+		}
+	}
+	_ = NewShifting(9, 0, 10, 0.5, 0, 0) // degenerate parameters must not panic
+}
+
+func TestPointGenerator(t *testing.T) {
+	g := NewPoint(10, 0, 1000)
+	if g.Name() != "point" {
+		t.Fatal("name")
+	}
+	for i := 0; i < 100; i++ {
+		r := g.Next()
+		if !r.IncLow || !r.IncHigh || r.Low != r.High {
+			t.Fatalf("point query %s is not an equality predicate", r)
+		}
+	}
+}
+
+func TestMixedGenerator(t *testing.T) {
+	u := NewUniform(11, 0, 1000, 0.1)
+	p := NewPoint(12, 0, 1000)
+	m, err := NewMixed(13, []Generator{u, p}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mixed" {
+		t.Fatal("name")
+	}
+	points, ranges := 0, 0
+	for i := 0; i < 500; i++ {
+		r := m.Next()
+		if r.Low == r.High {
+			points++
+		} else {
+			ranges++
+		}
+	}
+	if points == 0 || ranges == 0 {
+		t.Fatalf("mix is degenerate: %d points, %d ranges", points, ranges)
+	}
+
+	if _, err := NewMixed(1, nil, nil); err == nil {
+		t.Fatal("empty mix must error")
+	}
+	if _, err := NewMixed(1, []Generator{u}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched weights must error")
+	}
+	if _, err := NewMixed(1, []Generator{u}, []float64{-1}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	if _, err := NewMixed(1, []Generator{u}, []float64{0}); err == nil {
+		t.Fatal("all-zero weights must error")
+	}
+}
+
+func TestQueriesHelper(t *testing.T) {
+	g := NewUniform(14, 0, 100, 0.1)
+	qs := Queries(g, 25)
+	if len(qs) != 25 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, r := range qs {
+		if r.Empty() {
+			t.Fatalf("empty query %s", r)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package adaptiveindex
+
+import (
+	"adaptiveindex/internal/sideways"
+)
+
+// MultiColumn answers select-project queries over a multi-attribute
+// table using sideways cracking: selections on one attribute physically
+// drag the projected attributes along inside cracker maps, so both the
+// selection and the projection become contiguous reads as the workload
+// converges. Cracker maps are materialised lazily, only for the
+// projection attributes queries actually use (partial sideways
+// cracking).
+type MultiColumn struct {
+	inner *sideways.MapSet
+}
+
+// ProjectionResult holds the outcome of a select-project query: the
+// qualifying row identifiers and, positionally aligned with them, the
+// projected attribute values.
+type ProjectionResult struct {
+	Rows    []RowID
+	Columns map[string][]Value
+}
+
+// NewMultiColumn creates a sideways-cracking map set. selectionAttr
+// names the attribute queries filter on; selection holds its values;
+// projections holds the values of every attribute that may be
+// projected. All slices must have the same length. maxMaps bounds the
+// number of cracker maps that may be materialised (0 = unlimited).
+func NewMultiColumn(selectionAttr string, selection []Value, projections map[string][]Value, maxMaps int) (*MultiColumn, error) {
+	ms, err := sideways.NewMapSet(selectionAttr, selection, projections, sideways.Options{MaxMaps: maxMaps})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiColumn{inner: ms}, nil
+}
+
+// SelectionAttribute returns the attribute the map set cracks on.
+func (m *MultiColumn) SelectionAttribute() string { return m.inner.HeadAttribute() }
+
+// Len returns the number of tuples.
+func (m *MultiColumn) Len() int { return m.inner.Len() }
+
+// Stats returns the cumulative logical work performed so far.
+func (m *MultiColumn) Stats() Stats { return statsFrom(m.inner.Cost()) }
+
+// MaterializedMaps returns the projection attributes for which cracker
+// maps currently exist, in materialisation order.
+func (m *MultiColumn) MaterializedMaps() []string { return m.inner.MaterializedMaps() }
+
+// SelectProject answers "SELECT attrs WHERE selectionAttr IN r",
+// cracking the relevant maps as a side effect.
+func (m *MultiColumn) SelectProject(r Range, attrs ...string) (*ProjectionResult, error) {
+	rows, values, err := m.inner.SelectProjectMulti(r.internal(), attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectionResult{Rows: []RowID(rows), Columns: values}, nil
+}
+
+// SelectRows answers a pure selection on the selection attribute.
+func (m *MultiColumn) SelectRows(r Range) ([]RowID, error) {
+	rows, err := m.inner.SelectRows(r.internal())
+	if err != nil {
+		return nil, err
+	}
+	return []RowID(rows), nil
+}
+
+// Validate checks the structure's internal invariants. It is intended
+// for tests and debugging.
+func (m *MultiColumn) Validate() error { return m.inner.Validate() }

@@ -1,0 +1,156 @@
+package adaptiveindex
+
+import (
+	"time"
+
+	"adaptiveindex/internal/bench"
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/cost"
+)
+
+// QueryStat records one query's outcome during an experiment run.
+type QueryStat struct {
+	// Seq is the zero-based position of the query.
+	Seq int
+	// Query is the executed predicate.
+	Query Range
+	// Result is the number of qualifying tuples.
+	Result int
+	// Work is the logical work this query performed.
+	Work Stats
+	// Wall is the wall-clock duration of the query.
+	Wall time.Duration
+}
+
+// Series is the per-query record of one index over one workload, plus
+// the derived metrics of the adaptive-indexing benchmark.
+type Series struct {
+	IndexName string
+	Stats     []QueryStat
+
+	inner bench.Series
+}
+
+// Summary condenses a Series into one comparison row.
+type Summary struct {
+	// IndexName identifies the access path.
+	IndexName string
+	// FirstQueryCost is the work charged to the first query (TPCTC
+	// metric 1: initialization cost).
+	FirstQueryCost uint64
+	// TotalWork is the work summed over the whole sequence.
+	TotalWork uint64
+	// TailPerQuery is the average work of the final tenth of the
+	// sequence (the converged per-query cost).
+	TailPerQuery uint64
+	// MaxQueryCost is the most expensive single query.
+	MaxQueryCost uint64
+	// Convergence is the query index after which per-query work stays
+	// at or below the threshold passed to Summarize (-1: never; TPCTC
+	// metric 2).
+	Convergence int
+	// TotalWall is the summed wall-clock time.
+	TotalWall time.Duration
+}
+
+// Run drives the index through the query sequence, recording per-query
+// work and wall time.
+func Run(ix Index, queries []Range) Series {
+	runner := benchAdapter{ix: ix}
+	internalQueries := make([]column.Range, len(queries))
+	for i, q := range queries {
+		internalQueries[i] = q.internal()
+	}
+	s := bench.Run(runner, internalQueries)
+	out := Series{IndexName: s.IndexName, inner: s, Stats: make([]QueryStat, len(s.Stats))}
+	for i, st := range s.Stats {
+		out.Stats[i] = QueryStat{
+			Seq:    st.Seq,
+			Query:  fromInternalRange(st.Query),
+			Result: st.Result,
+			Work:   statsFrom(st.Work),
+			Wall:   st.Wall,
+		}
+	}
+	return out
+}
+
+// PerQueryTotals returns the scalar work of every query in order.
+func (s Series) PerQueryTotals() []uint64 { return s.inner.PerQueryTotals() }
+
+// CumulativeTotals returns the running sum of scalar work.
+func (s Series) CumulativeTotals() []uint64 { return s.inner.CumulativeTotals() }
+
+// FirstQueryCost is TPCTC metric 1: the work charged to the first
+// query.
+func (s Series) FirstQueryCost() uint64 { return s.inner.FirstQueryCost() }
+
+// Convergence is TPCTC metric 2: the query index after which every
+// remaining query's work stays at or below threshold (-1 if never).
+func (s Series) Convergence(threshold uint64) int { return s.inner.Convergence(threshold) }
+
+// BreakEven returns the query index at which this series' cumulative
+// work permanently drops to or below the other series' (-1 if never).
+func (s Series) BreakEven(other Series) int { return s.inner.BreakEven(other.inner) }
+
+// Summarize condenses the series into one comparison row, using
+// convergenceThreshold as the per-query work level that counts as "no
+// further adaptation overhead".
+func (s Series) Summarize(convergenceThreshold uint64) Summary {
+	sum := s.inner.Summarize(convergenceThreshold)
+	return Summary{
+		IndexName:      sum.IndexName,
+		FirstQueryCost: sum.FirstQuery,
+		TotalWork:      sum.TotalWork,
+		TailPerQuery:   sum.TailPerQuery,
+		MaxQueryCost:   sum.MaxQuery,
+		Convergence:    sum.Convergence,
+		TotalWall:      sum.TotalWall,
+	}
+}
+
+// Compare runs every index over (a fresh copy of) the same query
+// sequence and returns one summary row per index, using the last
+// index's tail cost as the convergence threshold reference. Indexes
+// adapt as they run, so each index sees the identical sequence.
+func Compare(indexes []Index, queries []Range) []Summary {
+	series := make([]Series, len(indexes))
+	for i, ix := range indexes {
+		series[i] = Run(ix, queries)
+	}
+	// Reference: the cheapest tail across all runs, times a small
+	// factor, is the "no further overhead" level.
+	var threshold uint64
+	for _, s := range series {
+		t := s.inner.TailAverage(max(1, len(queries)/10))
+		if threshold == 0 || (t > 0 && t < threshold) {
+			threshold = t
+		}
+	}
+	threshold *= 2
+	out := make([]Summary, len(series))
+	for i, s := range series {
+		out[i] = s.Summarize(threshold)
+	}
+	return out
+}
+
+// benchAdapter lets the internal harness drive a public Index.
+type benchAdapter struct {
+	ix Index
+}
+
+func (b benchAdapter) Name() string { return b.ix.Name() }
+
+func (b benchAdapter) Count(r column.Range) int {
+	return b.ix.Count(fromInternalRange(r))
+}
+
+func (b benchAdapter) Cost() cost.Counters { return b.ix.Stats().counters() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package adaptiveindex
+
+import (
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/updates"
+)
+
+// MergePolicy selects when pending updates are merged into an updatable
+// cracked column (see NewUpdatable).
+type MergePolicy string
+
+// Available merge policies.
+const (
+	// MergeGradually merges only the pending updates that fall inside a
+	// query's key range — the adaptive default.
+	MergeGradually MergePolicy = "gradual"
+	// MergeCompletely merges the whole pending buffer the first time a
+	// query is affected by any pending update.
+	MergeCompletely MergePolicy = "complete"
+	// MergeImmediately applies updates as they arrive (non-adaptive
+	// reference point).
+	MergeImmediately MergePolicy = "immediate"
+)
+
+func (p MergePolicy) internal() updates.MergePolicy {
+	switch p {
+	case MergeCompletely:
+		return updates.MergeCompletely
+	case MergeImmediately:
+		return updates.MergeImmediately
+	default:
+		return updates.MergeGradually
+	}
+}
+
+// Updatable is a cracked column that accepts insertions, deletions and
+// value updates while continuing to answer (and adapt to) range
+// selections. It satisfies Index.
+type Updatable struct {
+	inner *updates.Column
+}
+
+// NewUpdatable creates an updatable cracked column over the base values
+// with the given merge policy.
+func NewUpdatable(values []Value, policy MergePolicy) *Updatable {
+	return &Updatable{inner: updates.New(values, core.DefaultOptions(), policy.internal())}
+}
+
+// Name identifies the access path in reports.
+func (u *Updatable) Name() string { return u.inner.Name() }
+
+// Len returns the number of live tuples.
+func (u *Updatable) Len() int { return u.inner.Len() }
+
+// Select returns the row identifiers of live tuples matching r, merging
+// pending updates as the policy requires.
+func (u *Updatable) Select(r Range) []RowID {
+	return []RowID(u.inner.Select(r.internal()))
+}
+
+// Count returns the number of live tuples matching r.
+func (u *Updatable) Count(r Range) int { return u.inner.Count(r.internal()) }
+
+// Stats returns the cumulative logical work performed so far.
+func (u *Updatable) Stats() Stats { return statsFrom(u.inner.Cost()) }
+
+// Insert adds a tuple and returns its row identifier.
+func (u *Updatable) Insert(v Value) RowID { return u.inner.Insert(v) }
+
+// Delete removes the tuple with the given row identifier.
+func (u *Updatable) Delete(row RowID) error { return u.inner.Delete(column.RowID(row)) }
+
+// Update replaces the value of an existing tuple, returning the row
+// identifier of the replacement tuple.
+func (u *Updatable) Update(row RowID, newValue Value) (RowID, error) {
+	r, err := u.inner.Update(column.RowID(row), newValue)
+	return RowID(r), err
+}
+
+// PendingInsertions returns the number of buffered insertions.
+func (u *Updatable) PendingInsertions() int { return u.inner.PendingInsertions() }
+
+// PendingDeletions returns the number of buffered deletions.
+func (u *Updatable) PendingDeletions() int { return u.inner.PendingDeletions() }
+
+// Validate checks the structure's internal invariants. It is intended
+// for tests and debugging.
+func (u *Updatable) Validate() error { return u.inner.Validate() }

@@ -1,0 +1,131 @@
+package adaptiveindex
+
+import (
+	"fmt"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/workload"
+)
+
+// DataKind selects a synthetic data distribution.
+type DataKind string
+
+// Available data distributions.
+const (
+	// DataUniform draws values uniformly from [0, domain).
+	DataUniform DataKind = "uniform"
+	// DataSorted produces the values 0..n-1 in order.
+	DataSorted DataKind = "sorted"
+	// DataReversed produces the values n-1..0.
+	DataReversed DataKind = "reversed"
+	// DataZipf draws values with a Zipf skew towards the low end.
+	DataZipf DataKind = "zipf"
+	// DataDuplicates draws values from a very small set of distinct
+	// values.
+	DataDuplicates DataKind = "duplicates"
+)
+
+// GenerateData produces n values of the requested distribution over
+// [0, domain), deterministically for a given seed.
+func GenerateData(kind DataKind, seed int64, n, domain int) ([]Value, error) {
+	switch kind {
+	case DataUniform:
+		return workload.DataUniform(seed, n, domain), nil
+	case DataSorted:
+		return workload.DataSorted(n), nil
+	case DataReversed:
+		return workload.DataReversed(n), nil
+	case DataZipf:
+		return workload.DataZipf(seed, n, domain, 1.3), nil
+	case DataDuplicates:
+		distinct := domain
+		if distinct > 16 {
+			distinct = 16
+		}
+		return workload.DataDuplicates(seed, n, distinct), nil
+	default:
+		return nil, fmt.Errorf("adaptiveindex: unknown data kind %q", kind)
+	}
+}
+
+// WorkloadKind selects a query access pattern.
+type WorkloadKind string
+
+// Available workload shapes.
+const (
+	// WorkloadUniform issues range queries at uniformly random
+	// positions.
+	WorkloadUniform WorkloadKind = "uniform"
+	// WorkloadSkewed concentrates queries on a hot region (Zipf).
+	WorkloadSkewed WorkloadKind = "skewed"
+	// WorkloadSequential slides the query range monotonically through
+	// the domain.
+	WorkloadSequential WorkloadKind = "sequential"
+	// WorkloadShifting confines queries to a focus window that jumps
+	// periodically (the dynamic-workload scenario).
+	WorkloadShifting WorkloadKind = "shifting"
+	// WorkloadPoint issues equality predicates.
+	WorkloadPoint WorkloadKind = "point"
+)
+
+// WorkloadSpec describes a query workload.
+type WorkloadSpec struct {
+	Kind WorkloadKind
+	// Seed makes the sequence deterministic.
+	Seed int64
+	// DomainLow and DomainHigh bound the queried key space.
+	DomainLow, DomainHigh Value
+	// Selectivity is the fraction of the domain each range query
+	// covers (ignored by WorkloadPoint). Default 0.01.
+	Selectivity float64
+	// ShiftEvery is the focus-change period for WorkloadShifting
+	// (default 100 queries).
+	ShiftEvery int
+	// Skew is the Zipf parameter for WorkloadSkewed (default 1.3).
+	Skew float64
+}
+
+// GenerateQueries produces n predicates following the spec.
+func GenerateQueries(spec WorkloadSpec, n int) ([]Range, error) {
+	if spec.Selectivity <= 0 {
+		spec.Selectivity = 0.01
+	}
+	if spec.ShiftEvery <= 0 {
+		spec.ShiftEvery = 100
+	}
+	if spec.Skew <= 1 {
+		spec.Skew = 1.3
+	}
+	if spec.DomainHigh <= spec.DomainLow {
+		return nil, fmt.Errorf("adaptiveindex: empty workload domain [%d, %d)", spec.DomainLow, spec.DomainHigh)
+	}
+	var g workload.Generator
+	switch spec.Kind {
+	case WorkloadUniform:
+		g = workload.NewUniform(spec.Seed, spec.DomainLow, spec.DomainHigh, spec.Selectivity)
+	case WorkloadSkewed:
+		g = workload.NewSkewed(spec.Seed, spec.DomainLow, spec.DomainHigh, spec.Selectivity, spec.Skew)
+	case WorkloadSequential:
+		g = workload.NewSequential(spec.DomainLow, spec.DomainHigh, spec.Selectivity)
+	case WorkloadShifting:
+		g = workload.NewShifting(spec.Seed, spec.DomainLow, spec.DomainHigh, spec.Selectivity, 0.1, spec.ShiftEvery)
+	case WorkloadPoint:
+		g = workload.NewPoint(spec.Seed, spec.DomainLow, spec.DomainHigh)
+	default:
+		return nil, fmt.Errorf("adaptiveindex: unknown workload kind %q", spec.Kind)
+	}
+	internal := workload.Queries(g, n)
+	out := make([]Range, len(internal))
+	for i, r := range internal {
+		out[i] = fromInternalRange(r)
+	}
+	return out, nil
+}
+
+func fromInternalRange(r column.Range) Range {
+	return Range{
+		Low: r.Low, High: r.High,
+		HasLow: r.HasLow, HasHigh: r.HasHigh,
+		IncLow: r.IncLow, IncHigh: r.IncHigh,
+	}
+}
