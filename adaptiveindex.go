@@ -31,6 +31,8 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/hybrid"
+	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/partition"
 )
 
 // Value is the attribute value type indexed by this library.
@@ -124,10 +126,15 @@ func statsFrom(c cost.Counters) Stats {
 }
 
 // Index is a single-column access path. Adaptive kinds reorganise their
-// data as a side effect of Select and Count.
+// data as a side effect of Select and Count. It is the public face of
+// the canonical contract every implementation in this repository
+// satisfies (internal/index.Interface); Stats corresponds to the
+// internal Cost surface.
 type Index interface {
 	// Name identifies the index kind (and configuration) in reports.
 	Name() string
+	// Len returns the number of tuples indexed.
+	Len() int
 	// Select returns the row identifiers of values matching r.
 	Select(r Range) []RowID
 	// Count returns the number of values matching r without
@@ -182,6 +189,13 @@ const (
 	// KindHybridRadixCrack radix-clusters the initial partitions and
 	// cracks the final partition (HRC).
 	KindHybridRadixCrack Kind = "hybrid-radix-crack"
+	// KindParallel is partitioned parallel cracking: the column is
+	// split into value-range partitions at sampled quantile pivots,
+	// each with a private cracker index and latch, and queries fan out
+	// across the partitions they overlap. It is safe for concurrent
+	// use and returns the same results as KindCracking. The partition
+	// count is tuned with Options.Partitions.
+	KindParallel Kind = "cracking-parallel"
 )
 
 // Kinds returns every available index kind, in a stable order suitable
@@ -191,7 +205,7 @@ func Kinds() []Kind {
 		KindScan, KindFullSort, KindFullSortEager, KindOnline, KindSoftIndex,
 		KindCracking, KindStochasticCracking, KindAdaptiveMerging,
 		KindHybridCrackCrack, KindHybridCrackSort, KindHybridSortSort,
-		KindHybridRadixSort, KindHybridRadixCrack,
+		KindHybridRadixSort, KindHybridRadixCrack, KindParallel,
 	}
 }
 
@@ -201,7 +215,7 @@ func AdaptiveKinds() []Kind {
 	return []Kind{
 		KindCracking, KindStochasticCracking, KindAdaptiveMerging,
 		KindHybridCrackCrack, KindHybridCrackSort, KindHybridSortSort,
-		KindHybridRadixSort, KindHybridRadixCrack,
+		KindHybridRadixSort, KindHybridRadixCrack, KindParallel,
 	}
 }
 
@@ -223,6 +237,12 @@ type Options struct {
 	// PageSize is the logical page size of the adaptive-merging I/O
 	// model (default 1024).
 	PageSize int
+	// Partitions is the number of value-range shards used by
+	// KindParallel (default: one partition per available CPU).
+	Partitions int
+	// Workers bounds how many partitions one KindParallel query probes
+	// concurrently (default: the number of available CPUs).
+	Workers int
 	// Seed seeds any randomised strategy (stochastic cracking).
 	Seed int64
 }
@@ -259,7 +279,7 @@ func New(kind Kind, values []Value, opts *Options) (Index, error) {
 	case KindFullSort:
 		return wrap(baseline.NewFullSortIndex(values, false)), nil
 	case KindFullSortEager:
-		return named{wrap(baseline.NewFullSortIndex(values, true)), "fullsort-eager"}, nil
+		return wrap(index.Rename(baseline.NewFullSortIndex(values, true), "fullsort-eager")), nil
 	case KindOnline:
 		return wrap(baseline.NewOnlineIndex(values, o.OnlineTrigger)), nil
 	case KindSoftIndex:
@@ -267,11 +287,11 @@ func New(kind Kind, values []Value, opts *Options) (Index, error) {
 	case KindCracking:
 		return wrap(core.NewCrackerColumn(values, core.Options{CrackInThree: true, Seed: o.Seed})), nil
 	case KindStochasticCracking:
-		return named{wrap(core.NewCrackerColumn(values, core.Options{
+		return wrap(index.Rename(core.NewCrackerColumn(values, core.Options{
 			CrackInThree:         true,
 			RandomPivotThreshold: o.RandomPivotThreshold,
 			Seed:                 o.Seed,
-		})), "cracking-stochastic"}, nil
+		}), "cracking-stochastic")), nil
 	case KindAdaptiveMerging:
 		return wrap(adaptivemerge.New(values, adaptivemerge.Options{
 			RunSize:  o.PartitionSize,
@@ -287,28 +307,36 @@ func New(kind Kind, values []Value, opts *Options) (Index, error) {
 		return wrap(hybrid.NewHRS(values, o.PartitionSize)), nil
 	case KindHybridRadixCrack:
 		return wrap(hybrid.NewHRC(values, o.PartitionSize)), nil
+	case KindParallel:
+		return wrap(partition.New(values, partition.Options{
+			Partitions: o.Partitions,
+			Workers:    o.Workers,
+			Core:       core.Options{CrackInThree: true, Seed: o.Seed},
+		})), nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
 	}
 }
 
-// internalIndex is the surface every internal implementation provides.
-type internalIndex interface {
-	Name() string
-	Select(column.Range) column.IDList
-	Count(column.Range) int
-	Cost() cost.Counters
-}
-
-// adapter converts between the public and internal types.
+// adapter is the single bridge between the public Index surface and
+// the canonical internal contract (internal/index.Interface). Every
+// kind constructed by New — and the richer wrappers Concurrent and
+// Updatable, which embed it — shares this one conversion layer.
 type adapter struct {
-	inner internalIndex
+	inner index.Interface
 }
 
-func wrap(inner internalIndex) adapter { return adapter{inner: inner} }
+func wrap(inner index.Interface) adapter { return adapter{inner: inner} }
+
+// internalIndex exposes the wrapped contract so the Runner can drive
+// the internal implementation directly, without re-adapting.
+func (a adapter) internalIndex() index.Interface { return a.inner }
 
 // Name implements Index.
 func (a adapter) Name() string { return a.inner.Name() }
+
+// Len implements Index.
+func (a adapter) Len() int { return a.inner.Len() }
 
 // Select implements Index.
 func (a adapter) Select(r Range) []RowID {
@@ -320,13 +348,3 @@ func (a adapter) Count(r Range) int { return a.inner.Count(r.internal()) }
 
 // Stats implements Index.
 func (a adapter) Stats() Stats { return statsFrom(a.inner.Cost()) }
-
-// named overrides the reported name of a wrapped index, used when the
-// same internal implementation backs several public kinds.
-type named struct {
-	adapter
-	name string
-}
-
-// Name implements Index.
-func (n named) Name() string { return n.name }

@@ -1,6 +1,7 @@
 package adaptiveindex
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"adaptiveindex/internal/experiments"
@@ -96,6 +97,10 @@ func BenchmarkE11Ablation(b *testing.B) { benchmarkExperiment(b, "E11") }
 // I/O (page touch) model.
 func BenchmarkE12MergeIO(b *testing.B) { benchmarkExperiment(b, "E12") }
 
+// BenchmarkE13Parallel regenerates experiment E13: partitioned parallel
+// cracking versus the global-latch concurrent cracker.
+func BenchmarkE13Parallel(b *testing.B) { benchmarkExperiment(b, "E13") }
+
 // BenchmarkCrackingSelect measures the steady-state cost of a single
 // cracked range selection once the column has converged.
 func BenchmarkCrackingSelect(b *testing.B) {
@@ -135,4 +140,93 @@ func BenchmarkScanSelect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ix.Count(queries[i%len(queries)])
 	}
+}
+
+// benchWorkload builds the one-million-value column and query stream
+// the cracking-vs-parallel benchmarks share. The query stream includes
+// the adaptation phase: both kinds start cold, so the comparison covers
+// cracking work, not just converged probes.
+func benchWorkload(b *testing.B, wk WorkloadKind) ([]Value, []Range) {
+	b.Helper()
+	vals, err := GenerateData(DataUniform, 1, 1_000_000, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := GenerateQueries(WorkloadSpec{
+		Kind: wk, Seed: 2, DomainHigh: 1_000_000, Selectivity: 0.001,
+	}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vals, queries
+}
+
+// benchmarkSingleThreaded drives the index from one goroutine — the
+// only legal way to drive KindCracking, and the parallel baseline.
+func benchmarkSingleThreaded(b *testing.B, kind Kind, opts *Options, wk WorkloadKind) {
+	vals, queries := benchWorkload(b, wk)
+	ix, err := New(kind, vals, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Count(queries[i%len(queries)])
+	}
+}
+
+// benchmarkConcurrent drives the index from GOMAXPROCS goroutines at
+// once (KindParallel is safe for this; KindCracking is not). The
+// reported ns/op is aggregate throughput: partitioned cracking beating
+// the single-threaded numbers above is the point of the subsystem.
+func benchmarkConcurrent(b *testing.B, opts *Options, wk WorkloadKind) {
+	vals, queries := benchWorkload(b, wk)
+	ix, err := New(KindParallel, vals, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 61 // de-correlate the goroutines' query streams
+		for pb.Next() {
+			ix.Count(queries[i%len(queries)])
+			i++
+		}
+	})
+}
+
+// Cracking vs partitioned parallel cracking on the random workload.
+func BenchmarkKindCrackingRandom(b *testing.B) {
+	benchmarkSingleThreaded(b, KindCracking, nil, WorkloadUniform)
+}
+func BenchmarkKindParallelRandomP1(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 1}, WorkloadUniform)
+}
+func BenchmarkKindParallelRandomP2(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 2}, WorkloadUniform)
+}
+func BenchmarkKindParallelRandomP4(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 4}, WorkloadUniform)
+}
+func BenchmarkKindParallelRandomP8(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 8}, WorkloadUniform)
+}
+
+// The same comparison on the sequential (sliding-range) workload, the
+// adversarial pattern for plain cracking.
+func BenchmarkKindCrackingSequential(b *testing.B) {
+	benchmarkSingleThreaded(b, KindCracking, nil, WorkloadSequential)
+}
+func BenchmarkKindParallelSequentialP1(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 1}, WorkloadSequential)
+}
+func BenchmarkKindParallelSequentialP2(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 2}, WorkloadSequential)
+}
+func BenchmarkKindParallelSequentialP4(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 4}, WorkloadSequential)
+}
+func BenchmarkKindParallelSequentialP8(b *testing.B) {
+	benchmarkConcurrent(b, &Options{Partitions: 8}, WorkloadSequential)
 }

@@ -11,52 +11,38 @@ import (
 // cracker index run in parallel under a shared latch; queries that
 // still need to reorganise data serialise briefly on an exclusive
 // latch, so contention disappears as the index converges. It satisfies
-// Index.
+// Index through the shared contract adapter; for a column whose
+// reorganisation itself runs in parallel, see KindParallel.
 type Concurrent struct {
-	inner *concurrent.Index
+	adapter
+	cc *concurrent.Index
 }
 
 // NewConcurrent creates a concurrency-safe cracked column over the base
 // values.
 func NewConcurrent(values []Value) *Concurrent {
-	return &Concurrent{inner: concurrent.New(values, core.DefaultOptions())}
+	cc := concurrent.New(values, core.DefaultOptions())
+	return &Concurrent{adapter: wrap(cc), cc: cc}
 }
-
-// Name identifies the access path in reports.
-func (c *Concurrent) Name() string { return c.inner.Name() }
-
-// Len returns the number of tuples.
-func (c *Concurrent) Len() int { return c.inner.Len() }
-
-// Select returns the row identifiers of values matching r.
-func (c *Concurrent) Select(r Range) []RowID {
-	return []RowID(c.inner.Select(r.internal()))
-}
-
-// Count returns the number of values matching r.
-func (c *Concurrent) Count(r Range) int { return c.inner.Count(r.internal()) }
-
-// Stats returns the cumulative logical work performed so far.
-func (c *Concurrent) Stats() Stats { return statsFrom(c.inner.Cost()) }
 
 // Insert adds a tuple with the given value and row identifier.
 func (c *Concurrent) Insert(row RowID, v Value) {
-	c.inner.Insert(column.Pair{Val: v, Row: column.RowID(row)})
+	c.cc.Insert(column.Pair{Val: v, Row: column.RowID(row)})
 }
 
 // Delete removes the tuple with the given row identifier and value.
 func (c *Concurrent) Delete(row RowID, v Value) error {
-	return c.inner.Delete(column.RowID(row), v)
+	return c.cc.Delete(column.RowID(row), v)
 }
 
 // SharedQueries returns how many queries ran entirely under the shared
 // latch (no reorganisation needed).
-func (c *Concurrent) SharedQueries() uint64 { return c.inner.SharedQueries() }
+func (c *Concurrent) SharedQueries() uint64 { return c.cc.SharedQueries() }
 
 // ExclusiveQueries returns how many queries had to take the exclusive
 // latch to crack.
-func (c *Concurrent) ExclusiveQueries() uint64 { return c.inner.ExclusiveQueries() }
+func (c *Concurrent) ExclusiveQueries() uint64 { return c.cc.ExclusiveQueries() }
 
 // Validate checks the structure's internal invariants. It is intended
 // for tests and debugging.
-func (c *Concurrent) Validate() error { return c.inner.Validate() }
+func (c *Concurrent) Validate() error { return c.cc.Validate() }

@@ -1,0 +1,3 @@
+module adaptiveindex
+
+go 1.24

@@ -28,6 +28,7 @@ import (
 	"adaptiveindex/internal/btree"
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/index"
 )
 
 // Options configures an adaptive merging index.
@@ -86,6 +87,8 @@ func New(vals []column.Value, opts Options) *Index {
 
 // Name identifies the index kind to the benchmark harness.
 func (ix *Index) Name() string { return "adaptivemerge" }
+
+var _ index.Interface = (*Index)(nil)
 
 // Len returns the number of tuples indexed.
 func (ix *Index) Len() int { return len(ix.base) }

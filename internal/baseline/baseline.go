@@ -14,6 +14,15 @@ import (
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/index"
+)
+
+// Every baseline satisfies the canonical index contract.
+var (
+	_ index.Interface = (*FullScan)(nil)
+	_ index.Interface = (*FullSortIndex)(nil)
+	_ index.Interface = (*OnlineIndex)(nil)
+	_ index.Interface = (*SoftIndex)(nil)
 )
 
 // FullScan answers every query with a complete scan of the column. It

@@ -25,8 +25,10 @@ import (
 	"adaptiveindex/internal/cost"
 )
 
-// Index is the query surface the harness drives. Every adaptive index
-// and baseline in this repository satisfies it.
+// Index is the query surface the harness drives: the Count/Cost subset
+// of the canonical contract (internal/index.Interface), so every access
+// path in this repository — and anything else satisfying the contract —
+// can be measured without adaptation.
 type Index interface {
 	// Name identifies the access path in reports.
 	Name() string

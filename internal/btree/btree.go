@@ -16,6 +16,7 @@ import (
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/index"
 )
 
 // DefaultFanout is the maximum number of entries per node used when the
@@ -30,6 +31,8 @@ type Tree struct {
 	size   int
 	c      cost.Counters
 }
+
+var _ index.Interface = (*Tree)(nil)
 
 // nodeRef is either a *leaf or an *inner.
 type nodeRef interface{ isNode() }

@@ -29,6 +29,7 @@ import (
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/index"
 )
 
 // Index is a cracker column safe for concurrent use by multiple
@@ -47,6 +48,8 @@ type Index struct {
 	sharedHits    atomic.Uint64
 	exclusiveHits atomic.Uint64
 }
+
+var _ index.Interface = (*Index)(nil)
 
 // New creates a concurrent cracker column over the base values.
 func New(vals []column.Value, opts core.Options) *Index {

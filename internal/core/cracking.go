@@ -28,6 +28,7 @@ import (
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/crackeridx"
+	"adaptiveindex/internal/index"
 )
 
 // Options configures a CrackerColumn.
@@ -56,7 +57,8 @@ func DefaultOptions() Options {
 }
 
 // CrackerColumn is a cracked copy of a base column together with its
-// cracker index. It is not safe for concurrent use.
+// cracker index. It is not safe for concurrent use; packages concurrent
+// and partition add latching on top.
 type CrackerColumn struct {
 	pairs column.Pairs
 	index *crackeridx.Index
@@ -64,6 +66,8 @@ type CrackerColumn struct {
 	rng   *rand.Rand
 	c     cost.Counters
 }
+
+var _ index.Interface = (*CrackerColumn)(nil)
 
 // NewCrackerColumn builds the cracker column for the given base values.
 // Position i of the base column becomes the pair (vals[i], i); the

@@ -16,6 +16,9 @@
 //     random-access projection.
 //   - PathSideways: sideways cracking (package sideways) — selection
 //     and projection both become sequential after a few queries.
+//   - PathParallel: partitioned parallel cracking (package partition) —
+//     the selection column is sharded by value range and queries fan
+//     out across the partitions they overlap.
 package engine
 
 import (
@@ -25,6 +28,7 @@ import (
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/partition"
 	"adaptiveindex/internal/sideways"
 )
 
@@ -134,6 +138,7 @@ const (
 	PathScan AccessPath = iota
 	PathCracking
 	PathSideways
+	PathParallel
 )
 
 // String returns the access-path name.
@@ -145,6 +150,8 @@ func (p AccessPath) String() string {
 		return "cracking"
 	case PathSideways:
 		return "sideways"
+	case PathParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("AccessPath(%d)", uint8(p))
 	}
@@ -163,23 +170,31 @@ type Result struct {
 // side effect of the queries it runs. It is not safe for concurrent
 // use.
 type Engine struct {
-	cat      *Catalog
-	crackers map[string]*core.CrackerColumn
-	mapsets  map[string]*sideways.MapSet
-	opts     core.Options
-	c        cost.Counters
+	cat        *Catalog
+	crackers   map[string]*core.CrackerColumn
+	mapsets    map[string]*sideways.MapSet
+	parallels  map[string]*partition.Index
+	opts       core.Options
+	partitions int
+	c          cost.Counters
 }
 
 // New creates an engine over the catalog using the given cracking
 // options for every adaptive structure it builds.
 func New(cat *Catalog, opts core.Options) *Engine {
 	return &Engine{
-		cat:      cat,
-		crackers: make(map[string]*core.CrackerColumn),
-		mapsets:  make(map[string]*sideways.MapSet),
-		opts:     opts,
+		cat:       cat,
+		crackers:  make(map[string]*core.CrackerColumn),
+		mapsets:   make(map[string]*sideways.MapSet),
+		parallels: make(map[string]*partition.Index),
+		opts:      opts,
 	}
 }
+
+// SetParallelPartitions overrides the shard count used by PathParallel
+// structures built afterwards. Values <= 0 restore the default (one
+// partition per available CPU).
+func (e *Engine) SetParallelPartitions(p int) { e.partitions = p }
 
 // Cost returns the cumulative logical work of the engine and every
 // adaptive structure it maintains.
@@ -190,6 +205,9 @@ func (e *Engine) Cost() cost.Counters {
 	}
 	for _, ms := range e.mapsets {
 		c.Add(ms.Cost())
+	}
+	for _, px := range e.parallels {
+		c.Add(px.Cost())
 	}
 	return c
 }
@@ -210,6 +228,22 @@ func (e *Engine) crackerFor(t *Table, col string) (*core.CrackerColumn, error) {
 	cc := core.NewCrackerColumn(vals, e.opts)
 	e.crackers[k] = cc
 	return cc, nil
+}
+
+// parallelFor returns (creating on demand) the partitioned parallel
+// cracker for table.col.
+func (e *Engine) parallelFor(t *Table, col string) (*partition.Index, error) {
+	k := key(t.name, col)
+	if px, ok := e.parallels[k]; ok {
+		return px, nil
+	}
+	vals, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	px := partition.New(vals, partition.Options{Partitions: e.partitions, Core: e.opts})
+	e.parallels[k] = px
+	return px, nil
 }
 
 // mapsetFor returns (creating on demand) the sideways map set with
@@ -258,6 +292,12 @@ func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath)
 			return nil, err
 		}
 		return ms.SelectRows(r)
+	case PathParallel:
+		px, err := e.parallelFor(t, attr)
+		if err != nil {
+			return nil, err
+		}
+		return px.Select(r), nil
 	default:
 		vals, err := t.Column(attr)
 		if err != nil {
@@ -306,11 +346,12 @@ func (e *Engine) SelectProject(table, whereAttr string, r column.Range, projectA
 		return nil, err
 	}
 	// Late tuple reconstruction: fetch every projected attribute by row
-	// identifier. After cracking, the rows come back in cracked (i.e.
-	// essentially random) order, which is exactly the random-access
-	// pattern sideways cracking is designed to avoid; a scan returns
-	// rows in storage order, so its reconstruction stays sequential.
-	randomOrder := path == PathCracking
+	// identifier. After cracking — partitioned or not — the rows come
+	// back in cracked (i.e. essentially random) order, which is exactly
+	// the random-access pattern sideways cracking is designed to avoid;
+	// a scan returns rows in storage order, so its reconstruction stays
+	// sequential.
+	randomOrder := path == PathCracking || path == PathParallel
 	res := &Result{Rows: rows, Columns: make(map[string][]column.Value, len(projectAttrs))}
 	for _, attr := range projectAttrs {
 		vals, _ := t.Column(attr)
@@ -379,6 +420,11 @@ func (e *Engine) Validate() error {
 	for k, ms := range e.mapsets {
 		if err := ms.Validate(); err != nil {
 			return fmt.Errorf("mapset %s: %w", k, err)
+		}
+	}
+	for k, px := range e.parallels {
+		if err := px.Validate(); err != nil {
+			return fmt.Errorf("parallel %s: %w", k, err)
 		}
 	}
 	return nil

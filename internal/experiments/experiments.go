@@ -11,15 +11,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"adaptiveindex/internal/adaptivemerge"
 	"adaptiveindex/internal/baseline"
 	"adaptiveindex/internal/bench"
 	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/concurrent"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/hybrid"
+	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/partition"
 	"adaptiveindex/internal/updates"
 	"adaptiveindex/internal/workload"
 )
@@ -102,6 +107,7 @@ func All() []Definition {
 		{"E10", "Data-size scaling", E10Scaling},
 		{"E11", "Crack strategy ablation", E11Ablation},
 		{"E12", "Adaptive merging I/O model: page touches", E12MergeIO},
+		{"E13", "Partitioned parallel cracking: sharded vs global latch", E13Parallel},
 	}
 }
 
@@ -130,13 +136,16 @@ func standardPaths(cfg Config, vals []column.Value) map[string]bench.Index {
 	return map[string]bench.Index{
 		"scan":           baseline.NewFullScan(vals),
 		"fullsort":       baseline.NewFullSortIndex(vals, false),
-		"fullsort-eager": eagerFullSort{baseline.NewFullSortIndex(vals, true)},
+		"fullsort-eager": index.Rename(baseline.NewFullSortIndex(vals, true), "fullsort-eager"),
 		"online":         baseline.NewOnlineIndex(vals, 10),
 		"softindex":      baseline.NewSoftIndex(vals, 10),
 		"cracking":       core.NewCrackerColumn(vals, core.DefaultOptions()),
-		"cracking-stochastic": stochName{core.NewCrackerColumn(vals, core.Options{
+		"cracking-stochastic": index.Rename(core.NewCrackerColumn(vals, core.Options{
 			CrackInThree: true, RandomPivotThreshold: 1 << 14,
-		})},
+		}), "cracking-stochastic"),
+		// Partition count pinned so logical-work numbers stay
+		// machine-independent (the default tracks GOMAXPROCS).
+		"cracking-parallel":  partition.New(vals, partition.Options{Partitions: 4, Core: core.DefaultOptions()}),
 		"adaptivemerge":      adaptivemerge.New(vals, adaptivemerge.DefaultOptions()),
 		"hybrid-crack-crack": hybrid.NewHCC(vals, 1<<16),
 		"hybrid-crack-sort":  hybrid.NewHCS(vals, 1<<16),
@@ -144,17 +153,6 @@ func standardPaths(cfg Config, vals []column.Value) map[string]bench.Index {
 		"hybrid-radix-sort":  hybrid.NewHRS(vals, 1<<16),
 	}
 }
-
-// eagerFullSort renames the eagerly built full index so it can appear
-// next to the lazy one in reports.
-type eagerFullSort struct{ *baseline.FullSortIndex }
-
-func (eagerFullSort) Name() string { return "fullsort-eager" }
-
-// stochName renames the stochastic cracker.
-type stochName struct{ *core.CrackerColumn }
-
-func (stochName) Name() string { return "cracking-stochastic" }
 
 // convergenceThreshold derives the "no further adaptation overhead"
 // level from a converged full index run.
@@ -454,7 +452,7 @@ func E8OnlineOffline(cfg Config) Result {
 	queries := append(append([]column.Range{}, lowFocus...), highFocus...)
 
 	paths := []bench.Index{
-		eagerFullSort{baseline.NewFullSortIndex(vals, true)},
+		index.Rename(baseline.NewFullSortIndex(vals, true), "fullsort-eager"),
 		baseline.NewOnlineIndex(vals, 50),
 		baseline.NewSoftIndex(vals, 50),
 		core.NewCrackerColumn(vals, core.DefaultOptions()),
@@ -592,4 +590,67 @@ func E12MergeIO(cfg Config) Result {
 	rows = append(rows, sum)
 	fmt.Fprintf(&b, "%-24s %14d %14d %14s\n", sum.IndexName, s.TotalWork().PageTouches, sum.TotalWork, "-")
 	return Result{ID: "E12", Title: "Adaptive merging I/O model", Summaries: rows, Text: b.String()}
+}
+
+// E13Parallel evaluates partitioned parallel cracking. Part one drives
+// the partitioned index through the standard sequential harness to show
+// its logical work stays in the same regime as plain cracking (the
+// partitioning pass replaces the cracker-copy pass). Part two replays
+// the identical query sequence from several goroutines at once and
+// compares wall-clock time against the global-latch concurrent cracker
+// of package concurrent — the contention the per-partition latches
+// remove.
+func E13Parallel(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	vals := data(cfg)
+	queries := uniformQueries(cfg)
+
+	// Part 1: sequential logical work, cracking vs partition counts.
+	full := bench.RunNamed(baseline.NewFullSortIndex(vals, false), "uniform", queries)
+	threshold := convergenceThreshold(full)
+	rows := []bench.Summary{full.Summarize(threshold)}
+	competitors := []bench.Index{
+		core.NewCrackerColumn(vals, core.DefaultOptions()),
+	}
+	for _, p := range []int{2, 4, 8} {
+		competitors = append(competitors, index.Rename(
+			partition.New(vals, partition.Options{Partitions: p, Core: core.DefaultOptions()}),
+			fmt.Sprintf("cracking-parallel(p=%d)", p)))
+	}
+	for _, ix := range competitors {
+		s := bench.RunNamed(ix, "uniform", queries)
+		rows = append(rows, s.Summarize(threshold))
+	}
+	var b strings.Builder
+	b.WriteString(bench.FormatTable("E13: partitioned parallel cracking — sequential logical work", rows))
+
+	// Part 2: concurrent replay wall clock, global latch vs partitioned
+	// latches.
+	goroutines := 8
+	storm := func(count func(column.Range) int) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(offset int) {
+				defer wg.Done()
+				for i := 0; i < len(queries); i += goroutines {
+					count(queries[(i+offset)%len(queries)])
+				}
+			}(g)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	globalLatch := concurrent.New(vals, core.DefaultOptions())
+	sharded := partition.New(vals, partition.Options{Partitions: goroutines, Core: core.DefaultOptions()})
+	globalWall := storm(globalLatch.Count)
+	shardedWall := storm(sharded.Count)
+	fmt.Fprintf(&b, "\nconcurrent replay (%d goroutines, %d queries):\n", goroutines, len(queries))
+	fmt.Fprintf(&b, "%-32s %14s\n", "access path", "wall")
+	fmt.Fprintf(&b, "%-32s %14s\n", globalLatch.Name()+" (global latch)", globalWall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-32s %14s\n",
+		fmt.Sprintf("%s (p=%d)", sharded.Name(), sharded.NumPartitions()), shardedWall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "partition probes: shared=%d exclusive=%d\n", sharded.SharedQueries(), sharded.ExclusiveQueries())
+	return Result{ID: "E13", Title: "Partitioned parallel cracking", Summaries: rows, Text: b.String()}
 }

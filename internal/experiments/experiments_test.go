@@ -44,8 +44,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(All()))
+	if len(All()) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(All()))
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/crackeridx"
+	"adaptiveindex/internal/index"
 )
 
 // PartitionStrategy selects how the initial partitions organise
@@ -124,6 +125,8 @@ type Index struct {
 	initialized bool
 	c           cost.Counters
 }
+
+var _ index.Interface = (*Index)(nil)
 
 // New creates a hybrid index with the given options. Nothing is built
 // until the first query.

@@ -1,0 +1,75 @@
+// Package index defines the canonical contract every single-column
+// access path in this repository implements: the baselines (package
+// baseline), database cracking (package core), adaptive merging,
+// the hybrids, the concurrency-safe cracker (package concurrent), the
+// updatable cracker (package updates) and the partitioned parallel
+// cracker (package partition).
+//
+// Before this package existed, every consumer — the public facade, the
+// benchmark harness, the experiment suite, the execution engine —
+// re-declared its own structural interface and hand-adapted each index
+// kind to it. Centralising the contract here means an access path is
+// written once, asserted once, and plugs into every layer: the bench
+// harness drives the Count/Cost subset, the engine and the public API
+// drive the full surface, and tools can treat all kinds uniformly.
+package index
+
+import (
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/cost"
+)
+
+// Interface is the canonical single-column access path. Adaptive kinds
+// reorganise their data as a side effect of Select and Count; all
+// implementations report their cumulative logical work through Cost.
+//
+// Implementations that are not otherwise documented as
+// concurrency-safe may be driven by one goroutine at a time only.
+type Interface interface {
+	// Name identifies the index kind (and configuration) in reports.
+	Name() string
+	// Len returns the number of tuples indexed.
+	Len() int
+	// Select returns the row identifiers of values matching r.
+	Select(r column.Range) column.IDList
+	// Count returns the number of values matching r without
+	// materialising their row identifiers.
+	Count(r column.Range) int
+	// Cost returns the cumulative logical work performed so far.
+	Cost() cost.Counters
+}
+
+// Rename wraps an index so it reports the given name, used when the
+// same implementation backs several configured kinds (for example the
+// eagerly built full-sort index, or stochastic cracking, which is a
+// cracker column with random pivots enabled).
+func Rename(inner Interface, name string) Interface {
+	return renamed{Interface: inner, name: name}
+}
+
+type renamed struct {
+	Interface
+	name string
+}
+
+// Name implements Interface.
+func (r renamed) Name() string { return r.name }
+
+// MergeIDLists concatenates per-partition selection vectors into one
+// result, allocating exactly once. Partitioned access paths use it to
+// combine fan-out results; order across partitions is preserved but,
+// like every IDList in this repository, carries no semantic meaning.
+func MergeIDLists(parts []column.IDList) column.IDList {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make(column.IDList, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

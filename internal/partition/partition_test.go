@@ -1,0 +1,303 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/workload"
+)
+
+// oracle is the sorted-reference result: row identifiers of values
+// matching r, computed by brute force.
+func oracle(vals []column.Value, r column.Range) column.IDList {
+	var out column.IDList
+	for i, v := range vals {
+		if r.Contains(v) {
+			out = append(out, column.RowID(i))
+		}
+	}
+	return out
+}
+
+func uniformValues(seed int64, n, domain int) []column.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]column.Value, n)
+	for i := range out {
+		out[i] = column.Value(rng.Intn(domain))
+	}
+	return out
+}
+
+// testQueries builds a mixed predicate set exercising every bound
+// combination: two-sided, one-sided, point, unbounded and empty.
+func testQueries(seed int64, n, domain int) []column.Range {
+	rng := rand.New(rand.NewSource(seed))
+	queries := []column.Range{
+		{}, // match-all
+		column.Point(column.Value(domain / 2)),
+		column.AtLeast(column.Value(domain - domain/10)),
+		column.LessThan(column.Value(domain / 10)),
+		column.NewRange(column.Value(domain), column.Value(2*domain)), // beyond the data
+		column.ClosedRange(5, 5),
+		column.NewRange(7, 7), // empty
+	}
+	maxWidth := domain / 20
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+	for i := 0; i < n; i++ {
+		lo := column.Value(rng.Intn(domain))
+		width := column.Value(rng.Intn(maxWidth) + 1)
+		queries = append(queries, column.NewRange(lo, lo+width))
+	}
+	return queries
+}
+
+func TestSelectMatchesOracleAcrossPartitionCounts(t *testing.T) {
+	vals := uniformValues(1, 20000, 50000)
+	queries := testQueries(2, 150, 50000)
+	for _, p := range []int{1, 2, 3, 4, 8, 16} {
+		ix := New(vals, Options{Partitions: p, Workers: 4, Core: core.DefaultOptions()})
+		if got := ix.NumPartitions(); got > p {
+			t.Fatalf("p=%d: got %d partitions", p, got)
+		}
+		for qi, q := range queries {
+			got := ix.Select(q)
+			want := oracle(vals, q)
+			if !got.Equal(want) {
+				t.Fatalf("p=%d query %d %s: got %d rows, want %d", p, qi, q, len(got), len(want))
+			}
+			if n := ix.Count(q); n != len(want) {
+				t.Fatalf("p=%d query %d %s: Count = %d, want %d", p, qi, q, n, len(want))
+			}
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if ix.Cost().IsZero() {
+			t.Fatalf("p=%d: no work recorded", p)
+		}
+	}
+}
+
+// TestParallelAgreesWithSingleCracker drives a partitioned index and a
+// plain cracker column through the identical workload and requires
+// identical results on every query — the contract KindParallel makes
+// with KindCracking.
+func TestParallelAgreesWithSingleCracker(t *testing.T) {
+	vals := uniformValues(3, 30000, 30000)
+	ix := New(vals, Options{Partitions: 8, Workers: 4, Core: core.DefaultOptions()})
+	cc := core.NewCrackerColumn(vals, core.DefaultOptions())
+	queries := workload.Queries(workload.NewUniform(4, 0, 30000, 0.02), 400)
+	for qi, q := range queries {
+		got, want := ix.Select(q), cc.Select(q)
+		if !got.Equal(want) {
+			t.Fatalf("query %d %s: parallel %d rows, cracking %d rows", qi, q, len(got), len(want))
+		}
+	}
+}
+
+func TestSkewedDataStillPartitions(t *testing.T) {
+	// Zipf-skewed data: quantile pivots must keep partitions populated
+	// and results correct.
+	vals := workload.DataZipf(5, 20000, 40000, 1.3)
+	ix := New(vals, Options{Partitions: 8, Workers: 4, Core: core.DefaultOptions()})
+	for _, q := range testQueries(6, 100, 40000) {
+		if got, want := ix.Select(q), oracle(vals, q); !got.Equal(want) {
+			t.Fatalf("query %s: got %d rows, want %d", q, len(got), len(want))
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	// Few distinct values: pivot deduplication must collapse partitions
+	// without losing tuples.
+	vals := workload.DataDuplicates(7, 5000, 3)
+	ix := New(vals, Options{Partitions: 8, Workers: 2, Core: core.DefaultOptions()})
+	if ix.NumPartitions() > 3 {
+		t.Fatalf("3 distinct values cannot support %d partitions", ix.NumPartitions())
+	}
+	for _, q := range testQueries(8, 60, 3) {
+		if got, want := ix.Select(q), oracle(vals, q); !got.Equal(want) {
+			t.Fatalf("query %s: got %d rows, want %d", q, len(got), len(want))
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndTinyColumns(t *testing.T) {
+	empty := New(nil, DefaultOptions())
+	if empty.Len() != 0 || empty.Count(column.Range{}) != 0 || empty.Select(column.Range{}) != nil {
+		t.Fatal("empty column must answer zero rows")
+	}
+	if err := empty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tiny := New([]column.Value{9}, Options{Partitions: 16})
+	if got := tiny.Select(column.Point(9)); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPartitionStatsAndBoundaryCracking(t *testing.T) {
+	vals := uniformValues(9, 40000, 40000)
+	ix := New(vals, Options{Partitions: 4, Workers: 4, Core: core.DefaultOptions()})
+	stats := ix.PartitionStats()
+	if len(stats) != 4 {
+		t.Fatalf("got %d partitions", len(stats))
+	}
+	if stats[0].HasLower || !stats[0].HasUpper || stats[len(stats)-1].HasUpper {
+		t.Fatal("edge partitions must be open-ended")
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Len
+	}
+	if total != len(vals) {
+		t.Fatalf("partition lengths sum to %d, want %d", total, len(vals))
+	}
+
+	// A wide predicate whose bounds fall strictly inside the two edge
+	// partitions covers the interior partitions entirely: they must
+	// answer it on the shared path without cracking, while only the two
+	// boundary partitions crack.
+	wide := column.NewRange(stats[0].Upper/2, stats[3].Lower+1000)
+	ix.Count(wide)
+	after := ix.PartitionStats()
+	for i := 1; i < 3; i++ {
+		if after[i].Pieces != 1 {
+			t.Fatalf("interior partition %d cracked (pieces=%d) for a covering predicate", i, after[i].Pieces)
+		}
+		if after[i].SharedHits != 1 || after[i].ExclusiveHits != 0 {
+			t.Fatalf("interior partition %d: shared=%d exclusive=%d", i, after[i].SharedHits, after[i].ExclusiveHits)
+		}
+	}
+	for _, i := range []int{0, 3} {
+		if after[i].ExclusiveHits != 1 {
+			t.Fatalf("boundary partition %d: exclusive=%d, want 1", i, after[i].ExclusiveHits)
+		}
+	}
+
+	// Repeating the same predicate takes the shared path everywhere:
+	// the bounds are recorded boundaries now.
+	ix.Count(wide)
+	final := ix.PartitionStats()
+	for i, st := range final {
+		if st.ExclusiveHits != after[i].ExclusiveHits {
+			t.Fatalf("partition %d cracked again on a repeated predicate", i)
+		}
+		if st.SharedHits != after[i].SharedHits+1 {
+			t.Fatalf("partition %d: shared hits %d -> %d", i, after[i].SharedHits, st.SharedHits)
+		}
+	}
+}
+
+func TestQueryOutsidePartitionTouchesNothing(t *testing.T) {
+	vals := uniformValues(11, 10000, 10000)
+	ix := New(vals, Options{Partitions: 4, Workers: 4, Core: core.DefaultOptions()})
+	stats := ix.PartitionStats()
+	// A predicate strictly inside partition 0 must not probe the rest.
+	r := column.NewRange(0, stats[0].Upper/2)
+	ix.Count(r)
+	after := ix.PartitionStats()
+	for i := 1; i < len(after); i++ {
+		if after[i].SharedHits != 0 || after[i].ExclusiveHits != 0 {
+			t.Fatalf("partition %d was probed for %s", i, r)
+		}
+	}
+	if after[0].SharedHits+after[0].ExclusiveHits == 0 {
+		t.Fatal("partition 0 was not probed")
+	}
+}
+
+// TestQuickOracle property-tests arbitrary value sets and predicates
+// against the sorted-reference oracle.
+func TestQuickOracle(t *testing.T) {
+	f := func(raw []int16, lo int16, width uint8, p uint8) bool {
+		vals := make([]column.Value, len(raw))
+		for i, v := range raw {
+			vals[i] = column.Value(v)
+		}
+		ix := New(vals, Options{Partitions: int(p%8) + 1, Workers: 3, Core: core.DefaultOptions()})
+		r := column.ClosedRange(column.Value(lo), column.Value(lo)+column.Value(width))
+		if !ix.Select(r).Equal(oracle(vals, r)) {
+			return false
+		}
+		return ix.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameKeepsBehaviour(t *testing.T) {
+	vals := uniformValues(13, 1000, 1000)
+	var ix index.Interface = New(vals, Options{Partitions: 2})
+	renamed := index.Rename(ix, "p2")
+	if renamed.Name() != "p2" {
+		t.Fatalf("Name = %q", renamed.Name())
+	}
+	r := column.NewRange(100, 200)
+	if renamed.Count(r) != len(oracle(vals, r)) {
+		t.Fatal("renamed index answers differently")
+	}
+}
+
+func TestMergeIDLists(t *testing.T) {
+	if index.MergeIDLists(nil) != nil {
+		t.Fatal("empty merge must be nil")
+	}
+	got := index.MergeIDLists([]column.IDList{{3, 1}, nil, {2}})
+	want := column.IDList{1, 2, 3}
+	sorted := got.Sorted()
+	if len(sorted) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+// sortedCopy is a helper for the stress test's oracle.
+func sortedCopy(vals []column.Value) []column.Value {
+	out := append([]column.Value(nil), vals...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// countOracle counts matches against a pre-sorted copy with binary
+// searches, so the stress test's verification stays cheap.
+func countOracle(sorted []column.Value, r column.Range) int {
+	lo := 0
+	if r.HasLow {
+		b := r.Low
+		if !r.IncLow {
+			b++
+		}
+		lo = sort.Search(len(sorted), func(i int) bool { return sorted[i] >= b })
+	}
+	hi := len(sorted)
+	if r.HasHigh {
+		b := r.High
+		if r.IncHigh {
+			b++
+		}
+		hi = sort.Search(len(sorted), func(i int) bool { return sorted[i] >= b })
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,179 @@
+package partition
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+)
+
+// TestConcurrentStorm drives many goroutines of mixed Select/Count
+// traffic at one partitioned index and verifies every single result
+// against the sorted-reference oracle. Run with -race (CI does): it is
+// the primary check that per-partition latching publishes cracks
+// safely.
+func TestConcurrentStorm(t *testing.T) {
+	const (
+		n          = 60000
+		domain     = 60000
+		goroutines = 8
+		perG       = 300
+	)
+	vals := uniformValues(21, n, domain)
+	sorted := sortedCopy(vals)
+	ix := New(vals, Options{Partitions: 8, Workers: 4, Core: core.DefaultOptions()})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < perG; q++ {
+				lo := column.Value(rng.Intn(domain))
+				r := column.NewRange(lo, lo+column.Value(rng.Intn(domain/20)+1))
+				want := countOracle(sorted, r)
+				if q%3 == 0 {
+					if got := ix.Count(r); got != want {
+						t.Errorf("Count(%s) = %d, want %d", r, got, want)
+						return
+					}
+				} else {
+					rows := ix.Select(r)
+					if len(rows) != want {
+						t.Errorf("Select(%s) returned %d rows, want %d", r, len(rows), want)
+						return
+					}
+					for _, row := range rows {
+						if !r.Contains(vals[row]) {
+							t.Errorf("Select(%s) returned row %d value %d outside the range", r, row, vals[row])
+							return
+						}
+					}
+				}
+			}
+		}(int64(g) * 101)
+	}
+	wg.Wait()
+
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.SharedQueries() == 0 || ix.ExclusiveQueries() == 0 {
+		t.Fatalf("expected both latch paths under a storm: shared=%d exclusive=%d",
+			ix.SharedQueries(), ix.ExclusiveQueries())
+	}
+}
+
+// TestContentionConvergesToSharedPath replays a bounded predicate set
+// concurrently and checks the per-partition counters: once every bound
+// of the set is a recorded boundary, further rounds must take only the
+// shared path — the concurrency behaviour mirrors the convergence
+// behaviour, now per partition.
+func TestContentionConvergesToSharedPath(t *testing.T) {
+	const domain = 40000
+	vals := uniformValues(22, 40000, domain)
+	ix := New(vals, Options{Partitions: 4, Workers: 4, Core: core.DefaultOptions()})
+
+	queries := make([]column.Range, 40)
+	for i := range queries {
+		lo := column.Value(i * (domain / len(queries)))
+		queries[i] = column.NewRange(lo, lo+500)
+	}
+
+	storm := func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(offset int) {
+				defer wg.Done()
+				for q := 0; q < len(queries); q++ {
+					ix.Count(queries[(q+offset)%len(queries)])
+				}
+			}(g * 5)
+		}
+		wg.Wait()
+	}
+
+	storm()
+	mid := ix.PartitionStats()
+	var exclusiveAfterWarmup uint64
+	for _, st := range mid {
+		exclusiveAfterWarmup += st.ExclusiveHits
+	}
+	if exclusiveAfterWarmup == 0 {
+		t.Fatal("warm-up storm should have cracked")
+	}
+
+	// Every bound is now a boundary in its partition: replaying the set
+	// must not take a single exclusive latch anywhere.
+	storm()
+	final := ix.PartitionStats()
+	for i, st := range final {
+		if st.ExclusiveHits != mid[i].ExclusiveHits {
+			t.Fatalf("partition %d took the exclusive latch after convergence: %d -> %d",
+				i, mid[i].ExclusiveHits, st.ExclusiveHits)
+		}
+		if st.SharedHits <= mid[i].SharedHits {
+			t.Fatalf("partition %d saw no shared traffic in the replay", i)
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointRangesCrackInParallel pins goroutines to
+// disjoint key regions, the scenario partitioning exists for: each
+// region's cracking must stay inside its own partitions.
+func TestConcurrentDisjointRangesCrackInParallel(t *testing.T) {
+	const domain = 32000
+	vals := uniformValues(23, 32000, domain)
+	sorted := sortedCopy(vals)
+	ix := New(vals, Options{Partitions: 4, Workers: 4, Core: core.DefaultOptions()})
+	stats := ix.PartitionStats()
+
+	var wg sync.WaitGroup
+	for g := 0; g < len(stats); g++ {
+		// Region g: strictly inside partition g's value interval.
+		lo, hi := column.Value(0), stats[0].Upper
+		if g > 0 {
+			lo = stats[g].Lower
+		}
+		if g < len(stats)-1 {
+			hi = stats[g].Upper
+		} else {
+			hi = domain
+		}
+		wg.Add(1)
+		go func(seed int64, lo, hi column.Value) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			span := int(hi - lo)
+			if span < 2 {
+				return
+			}
+			for q := 0; q < 200; q++ {
+				a := lo + column.Value(rng.Intn(span))
+				b := a + column.Value(rng.Intn(span/4+1))
+				if b >= hi {
+					b = hi - 1
+				}
+				if b <= a {
+					continue
+				}
+				r := column.NewRange(a, b)
+				if got, want := ix.Count(r), countOracle(sorted, r); got != want {
+					t.Errorf("Count(%s) = %d, want %d", r, got, want)
+					return
+				}
+			}
+		}(int64(g)*31+7, lo, hi)
+	}
+	wg.Wait()
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/index"
 )
 
 // MergePolicy selects when pending updates are merged into the cracker
@@ -76,6 +77,8 @@ type Column struct {
 	nextRow column.RowID
 	c       cost.Counters
 }
+
+var _ index.Interface = (*Column)(nil)
 
 // New creates an updatable cracker column over the base values using
 // the given cracking options and merge policy.

@@ -1,0 +1,87 @@
+package adaptiveindex
+
+import (
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/partition"
+)
+
+// Parallel is a partitioned parallel cracked column: the base values
+// are split into value-range partitions at sampled quantile pivots,
+// each partition owns a private cracker index and latch, and queries
+// fan out across the partitions they overlap through a bounded worker
+// pool. It is safe for use by multiple goroutines at once and returns
+// the same results as KindCracking. It satisfies Index through the
+// shared contract adapter.
+//
+// New(KindParallel, ...) builds the same structure behind the plain
+// Index interface; NewParallel additionally exposes the per-partition
+// observability surface.
+type Parallel struct {
+	adapter
+	px *partition.Index
+}
+
+// PartitionStat describes one partition of a Parallel index.
+type PartitionStat struct {
+	// Len is the number of tuples the partition holds.
+	Len int
+	// Pieces is the partition's current cracker piece count.
+	Pieces int
+	// SharedHits and ExclusiveHits count how many probes of this
+	// partition ran under the shared latch versus had to take the
+	// exclusive latch to crack.
+	SharedHits, ExclusiveHits uint64
+	// Lower and Upper delimit the partition's value interval
+	// [Lower, Upper); HasLower/HasUpper are false at the domain edges.
+	Lower, Upper       Value
+	HasLower, HasUpper bool
+}
+
+// NewParallel creates a partitioned parallel cracked column over the
+// base values. A nil opts selects defaults (one partition and one
+// worker per available CPU).
+func NewParallel(values []Value, opts *Options) *Parallel {
+	o := opts.withDefaults()
+	px := partition.New(values, partition.Options{
+		Partitions: o.Partitions,
+		Workers:    o.Workers,
+		Core:       core.Options{CrackInThree: true, Seed: o.Seed},
+	})
+	return &Parallel{adapter: wrap(px), px: px}
+}
+
+// NumPartitions returns the number of value-range partitions. It can be
+// lower than the configured count when the data has few distinct
+// values.
+func (p *Parallel) NumPartitions() int { return p.px.NumPartitions() }
+
+// SharedQueries returns how many partition probes ran entirely under a
+// shared latch (no reorganisation needed).
+func (p *Parallel) SharedQueries() uint64 { return p.px.SharedQueries() }
+
+// ExclusiveQueries returns how many partition probes had to take their
+// partition's exclusive latch to crack.
+func (p *Parallel) ExclusiveQueries() uint64 { return p.px.ExclusiveQueries() }
+
+// PartitionStats returns one row per partition, in value order.
+func (p *Parallel) PartitionStats() []PartitionStat {
+	internal := p.px.PartitionStats()
+	out := make([]PartitionStat, len(internal))
+	for i, st := range internal {
+		out[i] = PartitionStat{
+			Len:           st.Len,
+			Pieces:        st.Pieces,
+			SharedHits:    st.SharedHits,
+			ExclusiveHits: st.ExclusiveHits,
+			Lower:         st.Lower,
+			Upper:         st.Upper,
+			HasLower:      st.HasLower,
+			HasUpper:      st.HasUpper,
+		}
+	}
+	return out
+}
+
+// Validate checks the structure's internal invariants. It is intended
+// for tests and debugging.
+func (p *Parallel) Validate() error { return p.px.Validate() }

@@ -1,0 +1,126 @@
+package adaptiveindex
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestParallelMatchesCrackingOnIdenticalWorkloads is the acceptance
+// property of KindParallel: on the same data and the same query
+// sequence it returns exactly the rows KindCracking returns (both are
+// checked against the sorted-reference scan oracle).
+func TestParallelMatchesCrackingOnIdenticalWorkloads(t *testing.T) {
+	vals, err := GenerateData(DataUniform, 11, 30000, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := GenerateQueries(WorkloadSpec{
+		Kind: WorkloadUniform, Seed: 12, DomainLow: 0, DomainHigh: 60000, Selectivity: 0.01,
+	}, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries = append(queries, Point(100), AtLeast(59000), LessThan(50), Range{})
+
+	for _, partitions := range []int{1, 2, 4, 8} {
+		crack, err := New(KindCracking, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := New(KindParallel, vals, &Options{Partitions: partitions})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Len() != crack.Len() {
+			t.Fatalf("p=%d: Len %d vs %d", partitions, par.Len(), crack.Len())
+		}
+		for qi, q := range queries {
+			got, reference := par.Select(q), crack.Select(q)
+			if !sameRowSet(got, reference) {
+				t.Fatalf("p=%d query %d %s: parallel %d rows, cracking %d rows",
+					partitions, qi, q, len(got), len(reference))
+			}
+			if !sameRowSet(got, scanOracle(vals, q)) {
+				t.Fatalf("p=%d query %d %s: parallel disagrees with the oracle", partitions, qi, q)
+			}
+			if par.Count(q) != crack.Count(q) {
+				t.Fatalf("p=%d query %d %s: Count mismatch", partitions, qi, q)
+			}
+		}
+	}
+}
+
+// Property: for arbitrary data and predicates, KindParallel and
+// KindCracking are indistinguishable.
+func TestQuickParallelEquivalence(t *testing.T) {
+	f := func(raw []int16, lo int16, width uint8, partitions uint8) bool {
+		vals := make([]Value, len(raw))
+		for i, v := range raw {
+			vals[i] = Value(v)
+		}
+		r := ClosedRange(Value(lo), Value(lo)+Value(width))
+		crack, err1 := New(KindCracking, vals, nil)
+		par, err2 := New(KindParallel, vals, &Options{Partitions: int(partitions%8) + 1})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sameRowSet(par.Select(r), crack.Select(r)) && par.Count(r) == crack.Count(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelPublicObservability(t *testing.T) {
+	vals, _ := GenerateData(DataUniform, 13, 40000, 40000)
+	p := NewParallel(vals, &Options{Partitions: 4})
+	if p.Name() != "cracking-parallel" || p.Len() != 40000 {
+		t.Fatal("accessors wrong")
+	}
+	if p.NumPartitions() < 2 || p.NumPartitions() > 4 {
+		t.Fatalf("NumPartitions = %d", p.NumPartitions())
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for q := 0; q < 100; q++ {
+				lo := Value(((q + offset) % 40) * 1000)
+				r := NewRange(lo, lo+800)
+				rows := p.Select(r)
+				for _, row := range rows {
+					if !r.Contains(vals[row]) {
+						t.Errorf("row %d does not satisfy %s", row, r)
+						return
+					}
+				}
+			}
+		}(g * 7)
+	}
+	wg.Wait()
+
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.SharedQueries() == 0 || p.ExclusiveQueries() == 0 {
+		t.Fatalf("expected both latch paths: shared=%d exclusive=%d",
+			p.SharedQueries(), p.ExclusiveQueries())
+	}
+	stats := p.PartitionStats()
+	if len(stats) != p.NumPartitions() {
+		t.Fatalf("got %d stat rows for %d partitions", len(stats), p.NumPartitions())
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Len
+	}
+	if total != len(vals) {
+		t.Fatalf("partition lengths sum to %d, want %d", total, len(vals))
+	}
+	if p.Stats().Total() == 0 {
+		t.Fatal("no work recorded")
+	}
+}

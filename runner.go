@@ -6,6 +6,7 @@ import (
 	"adaptiveindex/internal/bench"
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/index"
 )
 
 // QueryStat records one query's outcome during an experiment run.
@@ -56,7 +57,7 @@ type Summary struct {
 // Run drives the index through the query sequence, recording per-query
 // work and wall time.
 func Run(ix Index, queries []Range) Series {
-	runner := benchAdapter{ix: ix}
+	runner := benchIndexFor(ix)
 	internalQueries := make([]column.Range, len(queries))
 	for i, q := range queries {
 		internalQueries[i] = q.internal()
@@ -135,18 +136,30 @@ func Compare(indexes []Index, queries []Range) []Summary {
 	return out
 }
 
-// benchAdapter lets the internal harness drive a public Index.
-type benchAdapter struct {
+// benchIndexFor resolves the internal index the harness should drive.
+// Every Index built by this package carries its internal/index
+// implementation and is driven directly; a foreign Index implementation
+// is bridged generically through the public surface.
+func benchIndexFor(ix Index) bench.Index {
+	if backed, ok := ix.(interface{ internalIndex() index.Interface }); ok {
+		return backed.internalIndex()
+	}
+	return publicBridge{ix: ix}
+}
+
+// publicBridge adapts a third-party Index implementation to the
+// harness. It exists only for indexes not created by this package.
+type publicBridge struct {
 	ix Index
 }
 
-func (b benchAdapter) Name() string { return b.ix.Name() }
+func (b publicBridge) Name() string { return b.ix.Name() }
 
-func (b benchAdapter) Count(r column.Range) int {
+func (b publicBridge) Count(r column.Range) int {
 	return b.ix.Count(fromInternalRange(r))
 }
 
-func (b benchAdapter) Cost() cost.Counters { return b.ix.Stats().counters() }
+func (b publicBridge) Cost() cost.Counters { return b.ix.Stats().counters() }
 
 func max(a, b int) int {
 	if a > b {

@@ -36,54 +36,38 @@ func (p MergePolicy) internal() updates.MergePolicy {
 
 // Updatable is a cracked column that accepts insertions, deletions and
 // value updates while continuing to answer (and adapt to) range
-// selections. It satisfies Index.
+// selections. It satisfies Index through the shared contract adapter.
 type Updatable struct {
-	inner *updates.Column
+	adapter
+	col *updates.Column
 }
 
 // NewUpdatable creates an updatable cracked column over the base values
 // with the given merge policy.
 func NewUpdatable(values []Value, policy MergePolicy) *Updatable {
-	return &Updatable{inner: updates.New(values, core.DefaultOptions(), policy.internal())}
+	col := updates.New(values, core.DefaultOptions(), policy.internal())
+	return &Updatable{adapter: wrap(col), col: col}
 }
-
-// Name identifies the access path in reports.
-func (u *Updatable) Name() string { return u.inner.Name() }
-
-// Len returns the number of live tuples.
-func (u *Updatable) Len() int { return u.inner.Len() }
-
-// Select returns the row identifiers of live tuples matching r, merging
-// pending updates as the policy requires.
-func (u *Updatable) Select(r Range) []RowID {
-	return []RowID(u.inner.Select(r.internal()))
-}
-
-// Count returns the number of live tuples matching r.
-func (u *Updatable) Count(r Range) int { return u.inner.Count(r.internal()) }
-
-// Stats returns the cumulative logical work performed so far.
-func (u *Updatable) Stats() Stats { return statsFrom(u.inner.Cost()) }
 
 // Insert adds a tuple and returns its row identifier.
-func (u *Updatable) Insert(v Value) RowID { return u.inner.Insert(v) }
+func (u *Updatable) Insert(v Value) RowID { return u.col.Insert(v) }
 
 // Delete removes the tuple with the given row identifier.
-func (u *Updatable) Delete(row RowID) error { return u.inner.Delete(column.RowID(row)) }
+func (u *Updatable) Delete(row RowID) error { return u.col.Delete(column.RowID(row)) }
 
 // Update replaces the value of an existing tuple, returning the row
 // identifier of the replacement tuple.
 func (u *Updatable) Update(row RowID, newValue Value) (RowID, error) {
-	r, err := u.inner.Update(column.RowID(row), newValue)
+	r, err := u.col.Update(column.RowID(row), newValue)
 	return RowID(r), err
 }
 
 // PendingInsertions returns the number of buffered insertions.
-func (u *Updatable) PendingInsertions() int { return u.inner.PendingInsertions() }
+func (u *Updatable) PendingInsertions() int { return u.col.PendingInsertions() }
 
 // PendingDeletions returns the number of buffered deletions.
-func (u *Updatable) PendingDeletions() int { return u.inner.PendingDeletions() }
+func (u *Updatable) PendingDeletions() int { return u.col.PendingDeletions() }
 
 // Validate checks the structure's internal invariants. It is intended
 // for tests and debugging.
-func (u *Updatable) Validate() error { return u.inner.Validate() }
+func (u *Updatable) Validate() error { return u.col.Validate() }
