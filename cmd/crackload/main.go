@@ -1,0 +1,231 @@
+// Command crackload replays a workload against a crackserve daemon
+// from N concurrent sessions and reports throughput and latency
+// percentiles — the IDEBench-style view of an interactive exploration
+// backend: many users with think time, judged by per-query latency.
+//
+//	crackload -addr localhost:8080 -workload hotset -sessions 16 -queries 500
+//	crackload -addr localhost:8080 -workload skewed -op select -think 10ms
+//
+// Sessions replay internal/workload generators over the wire: hot-set
+// sessions share one pool of ranges (concurrent users of the same
+// dashboard), the other shapes get independent per-session streams.
+// After the run, the tool fetches /stats and prints the server-side
+// view (batches, shared scans, crack count) next to the client-side
+// latencies.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crackload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	base        string
+	sessions    int
+	perSession  int
+	shape       string
+	selectivity float64
+	domain      int64
+	seed        int64
+	op          string
+	think       time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("crackload", flag.ContinueOnError)
+	var cfg config
+	var addr string
+	fs.StringVar(&addr, "addr", "localhost:8080", "crackserve address (host:port or URL)")
+	fs.IntVar(&cfg.sessions, "sessions", 8, "concurrent client sessions")
+	fs.IntVar(&cfg.perSession, "queries", 200, "queries per session")
+	fs.StringVar(&cfg.shape, "workload", "hotset", "workload shape ("+strings.Join(workload.Names(), ", ")+")")
+	fs.Float64Var(&cfg.selectivity, "selectivity", 0.01, "query selectivity (fraction of the domain)")
+	fs.Int64Var(&cfg.domain, "domain", 1_000_000, "value domain queried (match the server's -domain)")
+	fs.Int64Var(&cfg.seed, "seed", 42, "workload seed")
+	fs.StringVar(&cfg.op, "op", "count", "query operation: count or select")
+	fs.DurationVar(&cfg.think, "think", 0, "think time between a session's queries")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.op != "count" && cfg.op != "select" {
+		return cfg, fmt.Errorf("unknown -op %q (want count or select)", cfg.op)
+	}
+	if cfg.sessions < 1 || cfg.perSession < 1 {
+		return cfg, fmt.Errorf("-sessions and -queries must be positive")
+	}
+	cfg.base = addr
+	if !strings.Contains(cfg.base, "://") {
+		cfg.base = "http://" + cfg.base
+	}
+	cfg.base = strings.TrimRight(cfg.base, "/")
+	return cfg, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	gens, err := workload.SessionGenerators(cfg.shape, cfg.seed, cfg.sessions, 0, column.Value(cfg.domain), cfg.selectivity)
+	if err != nil {
+		return err
+	}
+
+	type sessionResult struct {
+		latencies []time.Duration
+		errs      int
+		firstErr  error
+	}
+	results := make([]sessionResult, cfg.sessions)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.sessions; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res := &results[id]
+			res.latencies = make([]time.Duration, 0, cfg.perSession)
+			for q := 0; q < cfg.perSession; q++ {
+				r := gens[id].Next()
+				body, err := json.Marshal(wireQuery(cfg.op, r))
+				if err != nil {
+					res.errs++
+					continue
+				}
+				t0 := time.Now()
+				err = postQuery(client, cfg.base, body)
+				lat := time.Since(t0)
+				if err != nil {
+					res.errs++
+					if res.firstErr == nil {
+						res.firstErr = err
+					}
+				} else {
+					res.latencies = append(res.latencies, lat)
+				}
+				if cfg.think > 0 {
+					time.Sleep(cfg.think)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	var firstErr error
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		errs += res.errs
+		if firstErr == nil {
+			firstErr = res.firstErr
+		}
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no query succeeded (first error: %v)", firstErr)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return all[i]
+	}
+
+	total := cfg.sessions * cfg.perSession
+	fmt.Fprintf(out, "crackload: workload=%s op=%s sessions=%d queries/session=%d total=%d\n",
+		cfg.shape, cfg.op, cfg.sessions, cfg.perSession, total)
+	fmt.Fprintf(out, "wall %v  throughput %.1f q/s  errors %d\n",
+		wall.Round(time.Millisecond), float64(len(all))/wall.Seconds(), errs)
+	if errs > 0 && firstErr != nil {
+		fmt.Fprintf(out, "first error: %v\n", firstErr)
+	}
+	fmt.Fprintf(out, "latency p50=%v p95=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+
+	if st, err := fetchStats(client, cfg.base); err == nil {
+		fmt.Fprintf(out, "server: kind=%s len=%d partitions=%d cracks=%d mode=%s batches=%d shared-scans=%d rejected=%d p50=%dµs p99=%dµs\n",
+			st.Index.Kind, st.Index.Len, st.Index.Partitions, st.Index.Cracks,
+			st.Mode, st.Batches, st.SharedScans, st.Rejected, st.Latency.P50Us, st.Latency.P99Us)
+	} else {
+		fmt.Fprintf(out, "server: stats unavailable: %v\n", err)
+	}
+	return nil
+}
+
+// wireQuery converts an internal predicate to the wire form.
+func wireQuery(op string, r column.Range) server.QueryRequest {
+	q := server.QueryRequest{Op: op}
+	if r.HasLow {
+		lo := r.Low
+		q.Low = &lo
+		if !r.IncLow {
+			f := false
+			q.IncLow = &f
+		}
+	}
+	if r.HasHigh {
+		hi := r.High
+		q.High = &hi
+		if r.IncHigh {
+			tr := true
+			q.IncHigh = &tr
+		}
+	}
+	return q
+}
+
+func postQuery(client *http.Client, base string, body []byte) error {
+	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		io.Copy(&msg, io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
+	}
+	// Drain so the connection is reused.
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func fetchStats(client *http.Client, base string) (server.Stats, error) {
+	var st server.Stats
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/workload"
+)
+
+func startBackend(t *testing.T, n int) (*server.Service, *httptest.Server) {
+	t.Helper()
+	vals := workload.DataUniform(1, n, n)
+	built, err := server.BuildIndex("cracking", vals, server.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := server.NewService(server.Config{
+		Index:       built.Index,
+		Kind:        built.Kind,
+		BatchWindow: 200 * time.Microsecond,
+		Cracker:     built.Cracker,
+	})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// TestReplayAgainstLiveServer replays a hot-set workload over the wire
+// and checks the report and the server-side accounting agree.
+func TestReplayAgainstLiveServer(t *testing.T) {
+	svc, ts := startBackend(t, 20_000)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "4",
+		"-queries", "30",
+		"-workload", "hotset",
+		"-domain", "20000",
+		"-op", "select",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"total=120", "throughput", "latency p50=", "server: kind=cracking", "errors 0"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	// +0 stats queries: /stats is not counted as a query.
+	if st := svc.Stats(); st.Queries != 120 {
+		t.Fatalf("server answered %d queries, want 120", st.Queries)
+	}
+}
+
+// TestWorkloadShapesOverTheWire exercises every named shape end to end.
+func TestWorkloadShapesOverTheWire(t *testing.T) {
+	_, ts := startBackend(t, 5_000)
+	for _, shape := range workload.Names() {
+		var out bytes.Buffer
+		err := run([]string{
+			"-addr", strings.TrimPrefix(ts.URL, "http://"), // exercise host:port normalisation
+			"-sessions", "2",
+			"-queries", "5",
+			"-workload", shape,
+			"-domain", "5000",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v\noutput:\n%s", shape, err, out.String())
+		}
+		if !strings.Contains(out.String(), "errors 0") {
+			t.Fatalf("%s: queries failed:\n%s", shape, out.String())
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-op", "truncate"},
+		{"-workload", "tsunami", "-addr", "localhost:1"},
+		{"-sessions", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v must fail", args)
+		}
+	}
+}
+
+func TestUnreachableServer(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-addr", "127.0.0.1:1", "-sessions", "1", "-queries", "2"}, &out)
+	if err == nil {
+		t.Fatal("unreachable server must fail")
+	}
+}

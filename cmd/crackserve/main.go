@@ -1,0 +1,193 @@
+// Command crackserve is the query service daemon: it hosts an adaptive
+// index (any kind internal/server can build, including the partitioned
+// parallel cracker) behind an HTTP endpoint with shared-scan batching,
+// admission control and latency histograms.
+//
+//	crackserve -addr :8080 -kind cracking -n 1000000 -snapshot /tmp/col.snap
+//	crackserve -kind cracking-parallel -partitions 8 -batch-window 500us
+//
+// The hosted column is generated deterministically from -seed, so a
+// daemon restarted with the same flags serves the same data. With
+// -snapshot set, a graceful shutdown (SIGINT/SIGTERM) writes the
+// cracked state through internal/persist and the next boot restores it:
+// the physical order and cracker index the workload paid for survive
+// the restart instead of being re-learned.
+//
+// Endpoints: POST /query, GET /stats, GET /healthz (see
+// internal/server).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crackserve:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed daemon configuration.
+type config struct {
+	addr        string
+	kind        string
+	n           int
+	domain      int
+	seed        int64
+	partitions  int
+	workers     int
+	batchWindow time.Duration
+	batchMax    int
+	inFlight    int
+	snapshot    string
+	drainWait   time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("crackserve", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.kind, "kind", "cracking", "index kind ("+strings.Join(server.Kinds(), ", ")+")")
+	fs.IntVar(&cfg.n, "n", 1_000_000, "number of tuples in the hosted column")
+	fs.IntVar(&cfg.domain, "domain", 0, "value domain (default: same as -n)")
+	fs.Int64Var(&cfg.seed, "seed", 42, "data generation seed")
+	fs.IntVar(&cfg.partitions, "partitions", 0, "partition count for cracking-parallel (default: one per CPU)")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker bound for cracking-parallel (default: one per CPU)")
+	fs.DurationVar(&cfg.batchWindow, "batch-window", 500*time.Microsecond, "batch coalescing window (0 disables batching)")
+	fs.IntVar(&cfg.batchMax, "batch-max", 64, "max queries per batch")
+	fs.IntVar(&cfg.inFlight, "inflight", 1024, "admission limit on in-flight queries")
+	fs.StringVar(&cfg.snapshot, "snapshot", "", "snapshot file, restored on boot and written on graceful shutdown (cracking and cracking-stochastic kinds)")
+	fs.DurationVar(&cfg.drainWait, "drain-wait", 5*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.domain <= 0 {
+		cfg.domain = cfg.n
+	}
+	return cfg, nil
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, cfg, ln, out)
+}
+
+// serve hosts the service on the listener until ctx is cancelled, then
+// shuts down gracefully: the HTTP server drains, the scheduler
+// quiesces, and the cracked state is snapshotted.
+func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) error {
+	vals := workload.DataUniform(cfg.seed, cfg.n, cfg.domain)
+	built, err := server.BuildIndex(cfg.kind, vals, server.BuildOptions{
+		Partitions:   cfg.partitions,
+		Workers:      cfg.workers,
+		Seed:         cfg.seed,
+		SnapshotPath: cfg.snapshot,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	svc := server.NewService(server.Config{
+		Index:           built.Index,
+		Kind:            built.Kind,
+		BatchWindow:     cfg.batchWindow,
+		MaxBatch:        cfg.batchMax,
+		MaxInFlight:     cfg.inFlight,
+		ConcurrencySafe: built.ConcurrencySafe,
+		Cracker:         built.Cracker,
+	})
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	boot := "cold start"
+	if built.Restored {
+		boot = fmt.Sprintf("restored from %s", cfg.snapshot)
+	}
+	fmt.Fprintf(out, "crackserve: %s on %s (%s, %d tuples)\n", svc, ln.Addr(), boot, cfg.n)
+	if cfg.snapshot != "" && built.Cracker == nil {
+		fmt.Fprintf(out, "crackserve: warning: kind %q has no snapshot support, -snapshot %s will be ignored\n",
+			cfg.kind, cfg.snapshot)
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		svc.Close()
+		return err
+	}
+
+	fmt.Fprintln(out, "crackserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		httpSrv.Close()
+	}
+	svc.Close()
+
+	if cfg.snapshot != "" {
+		if err := writeSnapshot(svc, cfg.snapshot, out); err != nil {
+			return err
+		}
+	}
+	st := svc.Stats()
+	fmt.Fprintf(out, "crackserve: served %d queries (%d batches, %d shared scans), p50=%dµs p99=%dµs\n",
+		st.Queries, st.Batches, st.SharedScans, st.Latency.P50Us, st.Latency.P99Us)
+	return shutdownErr
+}
+
+// writeSnapshot persists the quiesced index atomically (write to a
+// temp file, then rename), so a crash mid-write never corrupts the
+// previous snapshot.
+func writeSnapshot(svc *server.Service, path string, out io.Writer) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	ok, err := svc.SnapshotTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if !ok {
+		os.Remove(tmp)
+		fmt.Fprintln(out, "crackserve: index kind has no snapshot support, skipping")
+		return nil
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	fmt.Fprintf(out, "crackserve: snapshot written to %s\n", path)
+	return nil
+}

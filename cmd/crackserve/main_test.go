@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptiveindex/internal/server"
+)
+
+// syncBuffer is a Buffer safe to read while the serve goroutine is
+// still logging to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServe boots serve() on an ephemeral port and waits until it
+// answers /healthz. It returns the base URL, a cancel that triggers
+// graceful shutdown, and a channel carrying serve's return value.
+func startServe(t *testing.T, cfg config) (string, context.CancelFunc, chan error, *syncBuffer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ln, &out) }()
+
+	url := "http://" + ln.Addr().String()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return url, cancel, done, &out
+			}
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getStats(t *testing.T, url string) server.Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestKillRestartCycle is the daemon-level restart contract: a graceful
+// shutdown snapshots the cracked state, and a rebooted daemon restores
+// it — same answers, same pieces, no re-learning.
+func TestKillRestartCycle(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "col.snapshot")
+	cfg := config{
+		kind:        "cracking",
+		n:           50_000,
+		domain:      50_000,
+		seed:        7,
+		batchWindow: 200 * time.Microsecond,
+		batchMax:    64,
+		inFlight:    128,
+		snapshot:    snap,
+		drainWait:   5 * time.Second,
+	}
+
+	url, cancel, done, out := startServe(t, cfg)
+
+	// Crack the column over the wire.
+	counts := make(map[string]int)
+	for i := 0; i < 60; i++ {
+		lo := (i * 700) % 49000
+		body := fmt.Sprintf(`{"op":"count","low":%d,"high":%d}`, lo, lo+500)
+		resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr server.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		counts[body] = qr.Count
+	}
+	before := getStats(t, url)
+	if before.Index.Cracks == 0 {
+		t.Fatal("no cracks after a query stream")
+	}
+
+	// Graceful shutdown must write the snapshot.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v\noutput:\n%s", err, out)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if !strings.Contains(out.String(), "snapshot written") {
+		t.Fatalf("missing snapshot log line:\n%s", out)
+	}
+
+	// Reboot from the snapshot.
+	url2, cancel2, done2, out2 := startServe(t, cfg)
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	logDeadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out2.String(), "restored from") {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("reboot did not restore:\n%s", out2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	after := getStats(t, url2)
+	if after.Index.Cracks != before.Index.Cracks {
+		t.Fatalf("restored %d cracks, want %d", after.Index.Cracks, before.Index.Cracks)
+	}
+	// Replaying the same queries must return identical counts and must
+	// not crack further (the state was restored, not re-learned).
+	for body, want := range counts {
+		resp, err := http.Post(url2+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr server.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if qr.Count != want {
+			t.Fatalf("after restart, %s returned %d, want %d", body, qr.Count, want)
+		}
+	}
+	if final := getStats(t, url2); final.Index.Cracks != before.Index.Cracks {
+		t.Fatalf("replay cracked further after restore: %d -> %d", before.Index.Cracks, final.Index.Cracks)
+	}
+}
+
+// TestServeParallelKind smoke-tests the partitioned kind end to end.
+func TestServeParallelKind(t *testing.T) {
+	cfg := config{
+		kind:        "cracking-parallel",
+		n:           20_000,
+		domain:      20_000,
+		seed:        3,
+		partitions:  4,
+		batchWindow: 200 * time.Microsecond,
+		batchMax:    64,
+		inFlight:    128,
+		drainWait:   time.Second,
+	}
+	url, cancel, done, _ := startServe(t, cfg)
+	defer func() {
+		cancel()
+		<-done
+	}()
+	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(`{"op":"select","low":100,"high":300}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if qr.Count == 0 || len(qr.Rows) != qr.Count {
+		t.Fatalf("bad response: %+v", qr)
+	}
+	if st := getStats(t, url); st.Index.Partitions != 4 {
+		t.Fatalf("partitions=%d, want 4", st.Index.Partitions)
+	}
+}
+
+// TestFlagParsing exercises run()'s flag surface without binding a
+// real listener for the error cases.
+func TestFlagParsing(t *testing.T) {
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+	cfg, err := parseFlags([]string{"-n", "1000", "-kind", "cracking"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.domain != 1000 {
+		t.Fatalf("domain must default to n, got %d", cfg.domain)
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-kind", "no-such-kind", "-n", "10"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}

@@ -1,0 +1,86 @@
+package concurrent
+
+import (
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/index"
+)
+
+var (
+	_ index.Batcher       = (*Index)(nil)
+	_ index.SelectBatcher = (*Index)(nil)
+)
+
+// CountBatch answers a batch of predicates with at most two latch
+// acquisitions instead of one per query: a first pass under the shared
+// latch answers every predicate whose bounds are already boundaries,
+// then the remainder cracks under a single exclusive latch acquisition,
+// in recursive-median order. Per-query dispatch pays the latch
+// handshake — and, for cracking queries, the writer convoy behind the
+// exclusive latch — once per query; the batch pays it once per batch.
+//
+// Writers (Insert/Delete) may interleave between the shared and
+// exclusive passes, so two predicates of one batch can observe
+// different logical contents — the same visibility a sequence of
+// individual Counts has.
+func (ix *Index) CountBatch(rs []column.Range) []int {
+	out := make([]int, len(rs))
+	pending := ix.sharedPass(rs, out, nil)
+	if len(pending) == 0 {
+		return out
+	}
+	ix.mu.Lock()
+	for _, i := range pending {
+		start, end := ix.cc.SelectPositions(rs[i])
+		out[i] = end - start
+	}
+	ix.mu.Unlock()
+	ix.exclusiveHits.Add(uint64(len(pending)))
+	return out
+}
+
+// SelectBatch is CountBatch with materialised selection vectors.
+func (ix *Index) SelectBatch(rs []column.Range) []column.IDList {
+	rows := make([]column.IDList, len(rs))
+	out := make([]int, len(rs))
+	pending := ix.sharedPass(rs, out, rows)
+	if len(pending) == 0 {
+		return rows
+	}
+	ix.mu.Lock()
+	for _, i := range pending {
+		start, end := ix.cc.SelectPositions(rs[i])
+		rows[i] = ix.collect(start, end)
+	}
+	ix.mu.Unlock()
+	ix.exclusiveHits.Add(uint64(len(pending)))
+	return rows
+}
+
+// sharedPass answers every predicate resolvable from existing
+// boundaries under one shared latch acquisition, and returns the
+// indices still needing to crack, in pivot order. rows is nil for
+// count-only batches.
+func (ix *Index) sharedPass(rs []column.Range, out []int, rows []column.IDList) []int {
+	var pending []int
+	shared := uint64(0)
+	ix.mu.RLock()
+	for _, i := range index.BatchOrder(rs) {
+		r := rs[i]
+		if r.Empty() {
+			shared++
+			continue
+		}
+		if start, end, ok := ix.tryPositions(r); ok {
+			out[i] = end - start
+			if rows != nil {
+				rows[i] = ix.collect(start, end)
+			}
+			shared++
+			continue
+		}
+		pending = append(pending, i)
+	}
+	ix.mu.RUnlock()
+	ix.sharedHits.Add(shared)
+	return pending
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/index"
+)
+
+var (
+	_ index.Batcher       = (*CrackerColumn)(nil)
+	_ index.SelectBatcher = (*CrackerColumn)(nil)
+)
+
+// CountBatch answers a batch of range predicates as one shared cracking
+// pass: the predicates execute in recursive-median order
+// (index.BatchOrder), so the batch subdivides the column geometrically
+// — O(n·log k) for k queries — even when the batch's arrival order is
+// the ascending sequence that costs plain per-query dispatch O(k·n).
+// Results are positional.
+func (cc *CrackerColumn) CountBatch(rs []column.Range) []int {
+	out := make([]int, len(rs))
+	for _, i := range index.BatchOrder(rs) {
+		start, end := cc.SelectPositions(rs[i])
+		out[i] = end - start
+	}
+	return out
+}
+
+// SelectBatch is CountBatch with materialised selection vectors.
+func (cc *CrackerColumn) SelectBatch(rs []column.Range) []column.IDList {
+	out := make([]column.IDList, len(rs))
+	for _, i := range index.BatchOrder(rs) {
+		out[i] = cc.Select(rs[i])
+	}
+	return out
+}

@@ -1,5 +1,5 @@
 // Package experiments defines the reproduction's experiment suite
-// E1..E12 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
+// E1..E14 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
 // builds its data, workload and competing access paths from the other
 // internal packages, runs them through the bench harness, and returns a
 // structured result plus a formatted text report. The cmd/aibench CLI
@@ -25,6 +25,7 @@ import (
 	"adaptiveindex/internal/hybrid"
 	"adaptiveindex/internal/index"
 	"adaptiveindex/internal/partition"
+	"adaptiveindex/internal/server"
 	"adaptiveindex/internal/updates"
 	"adaptiveindex/internal/workload"
 )
@@ -108,6 +109,7 @@ func All() []Definition {
 		{"E11", "Crack strategy ablation", E11Ablation},
 		{"E12", "Adaptive merging I/O model: page touches", E12MergeIO},
 		{"E13", "Partitioned parallel cracking: sharded vs global latch", E13Parallel},
+		{"E14", "Query service: throughput/latency vs batch window and sessions", E14Server},
 	}
 }
 
@@ -653,4 +655,89 @@ func E13Parallel(cfg Config) Result {
 		fmt.Sprintf("%s (p=%d)", sharded.Name(), sharded.NumPartitions()), shardedWall.Round(time.Microsecond))
 	fmt.Fprintf(&b, "partition probes: shared=%d exclusive=%d\n", sharded.SharedQueries(), sharded.ExclusiveQueries())
 	return Result{ID: "E13", Title: "Partitioned parallel cracking", Summaries: rows, Text: b.String()}
+}
+
+// E14Server evaluates the query service layer: the same hot-set
+// workload (concurrent sessions drawing from one shared pool of ranges,
+// the IDEBench-style interactive exploration shape) is replayed through
+// the service at several session counts, with per-query dispatch versus
+// shared-scan batching at two window lengths. Reported per cell:
+// wall-clock throughput, client-observed latency percentiles, and the
+// fraction of queries answered from a scan shared with an identical
+// predicate in the same batch. Latch contention and redundant
+// materialisation are invisible to logical work counters, so this
+// experiment, like E13's part two, reports wall time.
+func E14Server(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	vals := data(cfg)
+
+	sessionCounts := []int{1, 8, 32}
+	windows := []time.Duration{0, 200 * time.Microsecond, time.Millisecond}
+
+	var rows []bench.Summary
+	var b strings.Builder
+	b.WriteString("E14: query service, hot-set workload (selectivity " +
+		fmt.Sprintf("%.3f", cfg.Selectivity) + ", op=select)\n")
+	fmt.Fprintf(&b, "%-24s %10s %12s %10s %10s %10s %12s\n",
+		"configuration", "wall", "queries/s", "p50", "p95", "p99", "shared-frac")
+	for _, sessions := range sessionCounts {
+		perSession := cfg.Queries / sessions
+		if perSession < 1 {
+			perSession = 1
+		}
+		gens, err := workload.SessionGenerators("hotset", cfg.Seed+8, sessions, 0, column.Value(cfg.Domain), cfg.Selectivity)
+		if err != nil {
+			b.WriteString("error: " + err.Error() + "\n")
+			continue
+		}
+		streams := make([][]column.Range, sessions)
+		for g := range streams {
+			streams[g] = workload.Queries(gens[g], perSession)
+		}
+		for _, window := range windows {
+			built, err := server.BuildIndex("cracking", vals, server.BuildOptions{Seed: cfg.Seed})
+			if err != nil {
+				b.WriteString("error: " + err.Error() + "\n")
+				continue
+			}
+			svc := server.NewService(server.Config{Index: built.Index, Kind: built.Kind, BatchWindow: window})
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < sessions; g++ {
+				wg.Add(1)
+				go func(stream []column.Range) {
+					defer wg.Done()
+					for _, r := range stream {
+						if _, err := svc.Select(r); err != nil {
+							return
+						}
+					}
+				}(streams[g])
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			st := svc.Stats()
+			svc.Close()
+
+			name := fmt.Sprintf("s=%d/direct", sessions)
+			if window > 0 {
+				name = fmt.Sprintf("s=%d/batched(%s)", sessions, window)
+			}
+			total := sessions * perSession
+			sharedFrac := 0.0
+			if st.Queries > 0 {
+				sharedFrac = float64(st.SharedScans) / float64(st.Queries)
+			}
+			fmt.Fprintf(&b, "%-24s %10s %12.0f %8dµs %8dµs %8dµs %12.3f\n",
+				name, wall.Round(time.Microsecond), float64(total)/wall.Seconds(),
+				st.Latency.P50Us, st.Latency.P95Us, st.Latency.P99Us, sharedFrac)
+			rows = append(rows, bench.Summary{
+				IndexName: name,
+				TotalWork: built.Index.Cost().Total(),
+				TotalWall: wall,
+			})
+		}
+	}
+	b.WriteString("\nshared-frac: fraction of queries answered from a scan shared with an\nidentical predicate coalesced into the same batch.\n")
+	return Result{ID: "E14", Title: "Query service: shared-scan batching", Summaries: rows, Text: b.String()}
 }

@@ -44,8 +44,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(All()))
+	if len(All()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(All()))
 	}
 }
 

@@ -15,6 +15,8 @@
 package index
 
 import (
+	"sort"
+
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/cost"
 )
@@ -54,6 +56,127 @@ type renamed struct {
 
 // Name implements Interface.
 func (r renamed) Name() string { return r.name }
+
+// Unwrap exposes the wrapped index so capability probes (the batch
+// entry points here, piece counters in observers) reach the
+// implementation behind the rename instead of seeing a bare Interface.
+func (r renamed) Unwrap() Interface { return r.Interface }
+
+// Unwrapper is implemented by wrappers that delegate to an inner index.
+type Unwrapper interface {
+	Unwrap() Interface
+}
+
+// Unwrap follows the wrapper chain to the innermost index.
+func Unwrap(ix Interface) Interface {
+	for {
+		u, ok := ix.(Unwrapper)
+		if !ok {
+			return ix
+		}
+		ix = u.Unwrap()
+	}
+}
+
+// Batcher is the optional batch entry point of the contract: an access
+// path that can answer a whole batch of Count predicates in one pass.
+// Implementations exploit whatever structure makes a shared pass
+// cheaper than per-query dispatch — a cracker column executes the batch
+// in pivot order so consecutive predicates land in warm pieces, a
+// latched index acquires its latch once for the whole batch instead of
+// once per query, and a partitioned index plans all probes before
+// fanning out. The query service layer (internal/server) coalesces
+// concurrent client queries into such batches.
+type Batcher interface {
+	// CountBatch answers rs[i] like Count(rs[i]) and returns the
+	// results positionally. Implementations that admit concurrent
+	// logical updates (Insert/Delete) may observe updates interleaved
+	// between the batch's predicates, exactly as a sequence of
+	// individual Counts would.
+	CountBatch(rs []column.Range) []int
+}
+
+// SelectBatcher is the materialising variant of Batcher.
+type SelectBatcher interface {
+	// SelectBatch answers rs[i] like Select(rs[i]) and returns the
+	// selection vectors positionally.
+	SelectBatch(rs []column.Range) []column.IDList
+}
+
+// CountBatch answers a batch of predicates through the index's batch
+// entry point when it has one (looking through Rename-style wrappers),
+// and falls back to per-query dispatch otherwise, so callers can batch
+// unconditionally.
+func CountBatch(ix Interface, rs []column.Range) []int {
+	if b, ok := Unwrap(ix).(Batcher); ok {
+		return b.CountBatch(rs)
+	}
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = ix.Count(r)
+	}
+	return out
+}
+
+// SelectBatch answers a batch of predicates with materialised selection
+// vectors, using the batch entry point when available.
+func SelectBatch(ix Interface, rs []column.Range) []column.IDList {
+	if b, ok := Unwrap(ix).(SelectBatcher); ok {
+		return b.SelectBatch(rs)
+	}
+	out := make([]column.IDList, len(rs))
+	for i, r := range rs {
+		out[i] = ix.Select(r)
+	}
+	return out
+}
+
+// BatchOrder returns the execution order that makes one batch of range
+// predicates subdivide an adaptive index like a balanced tree: the
+// predicates are sorted by bound and emitted in recursive-median order
+// (median first, then the medians of each half, and so on).
+//
+// The naive orders are both bad for a cracker. Arrival order is merely
+// unplanned; ascending order is the known sequential-workload
+// pathology — every query re-scans the still-uncracked right piece, so
+// a batch of k queries costs O(k·n). Median-first order cracks the
+// column at the batch's median bound first, so each half of the batch
+// then works inside a piece half the size: the whole batch costs
+// O(n·log k), the same geometric subdivision a well-shuffled workload
+// produces, regardless of how adversarial the batch's arrival order
+// was.
+func BatchOrder(rs []column.Range) []int {
+	sorted := make([]int, len(rs))
+	for i := range sorted {
+		sorted[i] = i
+	}
+	sort.SliceStable(sorted, func(a, b int) bool {
+		ra, rb := rs[sorted[a]], rs[sorted[b]]
+		if ra.HasLow != rb.HasLow {
+			return !ra.HasLow
+		}
+		if ra.HasLow && ra.Low != rb.Low {
+			return ra.Low < rb.Low
+		}
+		if ra.HasHigh != rb.HasHigh {
+			return rb.HasHigh
+		}
+		return ra.HasHigh && ra.High < rb.High
+	})
+	out := make([]int, 0, len(sorted))
+	var emit func(lo, hi int)
+	emit = func(lo, hi int) {
+		if lo > hi {
+			return
+		}
+		mid := (lo + hi) / 2
+		out = append(out, sorted[mid])
+		emit(lo, mid-1)
+		emit(mid+1, hi)
+	}
+	emit(0, len(sorted)-1)
+	return out
+}
 
 // MergeIDLists concatenates per-partition selection vectors into one
 // result, allocating exactly once. Partitioned access paths use it to

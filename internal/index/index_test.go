@@ -1,0 +1,329 @@
+// Package index_test asserts the canonical contract from the outside:
+// every access path in the repository satisfies index.Interface and
+// answers Select/Count consistently with a brute-force reference, and
+// the contract-level plumbing (Rename, MergeIDLists, CountBatch /
+// SelectBatch fallbacks, BatchOrder) behaves as documented.
+package index_test
+
+import (
+	"testing"
+
+	"adaptiveindex/internal/adaptivemerge"
+	"adaptiveindex/internal/baseline"
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/concurrent"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/hybrid"
+	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/partition"
+	"adaptiveindex/internal/updates"
+	"adaptiveindex/internal/workload"
+)
+
+const (
+	testN       = 10_000
+	testQueries = 80
+)
+
+// registeredKinds builds one instance of every access path in the
+// repository over a fresh copy of the same data set.
+func registeredKinds(vals []column.Value) map[string]index.Interface {
+	fresh := func() []column.Value {
+		out := make([]column.Value, len(vals))
+		copy(out, vals)
+		return out
+	}
+	return map[string]index.Interface{
+		"scan":           baseline.NewFullScan(fresh()),
+		"fullsort":       baseline.NewFullSortIndex(fresh(), false),
+		"fullsort-eager": baseline.NewFullSortIndex(fresh(), true),
+		"online":         baseline.NewOnlineIndex(fresh(), 10),
+		"softindex":      baseline.NewSoftIndex(fresh(), 10),
+		"cracking":       core.NewCrackerColumn(fresh(), core.DefaultOptions()),
+		"cracking-stochastic": core.NewCrackerColumn(fresh(), core.Options{
+			CrackInThree: true, RandomPivotThreshold: 1 << 10,
+		}),
+		"cracking-concurrent": concurrent.New(fresh(), core.DefaultOptions()),
+		"cracking-parallel":   partition.New(fresh(), partition.Options{Partitions: 4}),
+		"adaptivemerge":       adaptivemerge.New(fresh(), adaptivemerge.DefaultOptions()),
+		"hybrid-crack-crack":  hybrid.NewHCC(fresh(), 1<<10),
+		"hybrid-crack-sort":   hybrid.NewHCS(fresh(), 1<<10),
+		"hybrid-sort-sort":    hybrid.NewHSS(fresh(), 1<<10),
+		"hybrid-radix-sort":   hybrid.NewHRS(fresh(), 1<<10),
+		"hybrid-radix-crack":  hybrid.NewHRC(fresh(), 1<<10),
+		"updatable":           updates.New(fresh(), core.DefaultOptions(), updates.MergeGradually),
+	}
+}
+
+// testPredicates mixes the predicate shapes the contract admits:
+// half-open, closed, one-sided, point, unbounded and empty.
+func testPredicates() []column.Range {
+	qs := workload.Queries(workload.NewUniform(3, 0, testN, 0.01), testQueries)
+	qs = append(qs,
+		column.ClosedRange(100, 200),
+		column.AtLeast(testN-500),
+		column.LessThan(250),
+		column.Point(1234),
+		column.Range{},                             // match everything
+		column.NewRange(500, 500),                  // empty half-open
+		column.ClosedRange(testN+1000, testN+2000), // outside the domain
+	)
+	return qs
+}
+
+// TestEveryKindSatisfiesContractConsistently is the contract test: for
+// every registered kind, Count equals the brute-force reference, Select
+// returns exactly the qualifying row identifiers, Len is stable, and
+// Cost never decreases.
+func TestEveryKindSatisfiesContractConsistently(t *testing.T) {
+	vals := workload.DataUniform(1, testN, testN)
+	for name, ix := range registeredKinds(vals) {
+		t.Run(name, func(t *testing.T) {
+			if ix.Name() == "" {
+				t.Fatal("empty Name()")
+			}
+			if ix.Len() != testN {
+				t.Fatalf("Len()=%d, want %d", ix.Len(), testN)
+			}
+			prevCost := ix.Cost().Total()
+			for _, r := range testPredicates() {
+				want := 0
+				var wantRows column.IDList
+				for i, v := range vals {
+					if r.Contains(v) {
+						want++
+						wantRows = append(wantRows, column.RowID(i))
+					}
+				}
+				if got := ix.Count(r); got != want {
+					t.Fatalf("Count(%s)=%d, want %d", r, got, want)
+				}
+				rows := ix.Select(r)
+				if !rows.Equal(wantRows) {
+					t.Fatalf("Select(%s) returned %d rows, want %d qualifying", r, len(rows), want)
+				}
+				if c := ix.Cost().Total(); c < prevCost {
+					t.Fatalf("Cost went backwards: %d -> %d", prevCost, c)
+				} else {
+					prevCost = c
+				}
+			}
+			if ix.Len() != testN {
+				t.Fatalf("Len changed to %d after queries", ix.Len())
+			}
+		})
+	}
+}
+
+// TestBatchEntryPointsMatchSingleDispatch verifies CountBatch and
+// SelectBatch (native or fallback) agree with one-at-a-time execution
+// for every kind.
+func TestBatchEntryPointsMatchSingleDispatch(t *testing.T) {
+	vals := workload.DataUniform(2, testN, testN)
+	queries := testPredicates()
+	for name, ix := range registeredKinds(vals) {
+		t.Run(name, func(t *testing.T) {
+			reference := make([]int, len(queries))
+			for i, r := range queries {
+				n := 0
+				for _, v := range vals {
+					if r.Contains(v) {
+						n++
+					}
+				}
+				reference[i] = n
+			}
+			counts := index.CountBatch(ix, queries)
+			if len(counts) != len(queries) {
+				t.Fatalf("CountBatch returned %d results for %d queries", len(counts), len(queries))
+			}
+			for i := range queries {
+				if counts[i] != reference[i] {
+					t.Fatalf("CountBatch[%d] (%s) = %d, want %d", i, queries[i], counts[i], reference[i])
+				}
+			}
+			rows := index.SelectBatch(ix, queries)
+			for i := range queries {
+				if len(rows[i]) != reference[i] {
+					t.Fatalf("SelectBatch[%d] (%s) returned %d rows, want %d", i, queries[i], len(rows[i]), reference[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRename verifies the rename wrapper overrides the name and only
+// the name.
+func TestRename(t *testing.T) {
+	vals := workload.DataUniform(4, 1000, 1000)
+	inner := core.NewCrackerColumn(vals, core.DefaultOptions())
+	renamed := index.Rename(inner, "special")
+	if renamed.Name() != "special" {
+		t.Fatalf("Name()=%q, want %q", renamed.Name(), "special")
+	}
+	if inner.Name() != "cracking" {
+		t.Fatalf("inner name changed to %q", inner.Name())
+	}
+	r := column.NewRange(100, 300)
+	if renamed.Count(r) != inner.Count(r) {
+		t.Fatal("rename must delegate Count")
+	}
+	if renamed.Len() != inner.Len() {
+		t.Fatal("rename must delegate Len")
+	}
+	if !renamed.Select(r).Equal(inner.Select(r)) {
+		t.Fatal("rename must delegate Select")
+	}
+	if renamed.Cost() != inner.Cost() {
+		t.Fatal("rename must delegate Cost")
+	}
+	// Renaming a rename keeps delegating.
+	double := index.Rename(renamed, "outer")
+	if double.Name() != "outer" || double.Count(r) != inner.Count(r) {
+		t.Fatal("nested rename broken")
+	}
+}
+
+// TestMergeIDLists covers the partition-result merge plumbing.
+func TestMergeIDLists(t *testing.T) {
+	if got := index.MergeIDLists(nil); got != nil {
+		t.Fatalf("merging nothing must be nil, got %v", got)
+	}
+	if got := index.MergeIDLists([]column.IDList{nil, {}, nil}); got != nil {
+		t.Fatalf("merging empties must be nil, got %v", got)
+	}
+	parts := []column.IDList{{3, 1}, nil, {2}, {5, 4}}
+	got := index.MergeIDLists(parts)
+	want := column.IDList{3, 1, 2, 5, 4}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d ids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge must preserve per-part order: got %v, want %v", got, want)
+		}
+	}
+	if cap(got) != len(got) {
+		t.Fatalf("merge must allocate exactly once: len %d cap %d", len(got), cap(got))
+	}
+}
+
+// TestBatchOrder verifies the recursive-median order: a permutation of
+// the input, median bound first, and halves recursively.
+func TestBatchOrder(t *testing.T) {
+	rs := []column.Range{
+		column.NewRange(70, 80),
+		column.NewRange(10, 20),
+		column.NewRange(50, 60),
+		column.NewRange(30, 40),
+		column.NewRange(90, 95),
+	}
+	order := index.BatchOrder(rs)
+	if len(order) != len(rs) {
+		t.Fatalf("order has %d entries, want %d", len(order), len(rs))
+	}
+	seen := make(map[int]bool)
+	for _, i := range order {
+		if i < 0 || i >= len(rs) || seen[i] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[i] = true
+	}
+	// Sorted lows are 10,30,50,70,90: the median (50) must be first.
+	if rs[order[0]].Low != 50 {
+		t.Fatalf("median bound must execute first, got low=%d", rs[order[0]].Low)
+	}
+	// An unbounded-low predicate sorts before every bounded one.
+	withOpen := append([]column.Range{column.LessThan(5)}, rs...)
+	orderOpen := index.BatchOrder(withOpen)
+	found := false
+	for _, i := range orderOpen {
+		if !withOpen[i].HasLow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("open-low predicate lost")
+	}
+	if got := index.BatchOrder(nil); len(got) != 0 {
+		t.Fatalf("empty batch order must be empty, got %v", got)
+	}
+}
+
+// TestBatchOrderDefeatsSequentialPathology is the reason BatchOrder
+// exists: an ascending batch executed in arrival order re-scans the
+// uncracked right piece every query (O(k·n)); in recursive-median order
+// the same batch subdivides geometrically. The work ratio must be
+// decisive, not marginal.
+func TestBatchOrderDefeatsSequentialPathology(t *testing.T) {
+	const n = 50_000
+	const k = 64
+	ascending := make([]column.Range, k)
+	for i := range ascending {
+		lo := column.Value(i * (n / k))
+		ascending[i] = column.NewRange(lo, lo+n/(2*k))
+	}
+	vals := workload.DataUniform(5, n, n)
+
+	arrival := core.NewCrackerColumn(vals, core.DefaultOptions())
+	for _, r := range ascending {
+		arrival.Count(r)
+	}
+	arrivalWork := arrival.Cost().Total()
+
+	batched := core.NewCrackerColumn(vals, core.DefaultOptions())
+	batched.CountBatch(ascending)
+	batchedWork := batched.Cost().Total()
+
+	if batchedWork*2 >= arrivalWork {
+		t.Fatalf("median order must at least halve the sequential pathology: batch=%d arrival=%d",
+			batchedWork, arrivalWork)
+	}
+}
+
+// TestContractCostSurface sanity-checks the cost counters flow through
+// the contract (a cracking query touches values; a scan touches all).
+func TestContractCostSurface(t *testing.T) {
+	vals := workload.DataUniform(6, 1000, 1000)
+	scan := baseline.NewFullScan(vals)
+	scan.Count(column.NewRange(0, 10))
+	if c := scan.Cost(); c.ValuesTouched < 1000 {
+		t.Fatalf("scan touched %d values, want >= 1000", c.ValuesTouched)
+	}
+	var zero cost.Counters
+	if zero.Total() != 0 {
+		t.Fatal("zero counters must cost zero")
+	}
+}
+
+// TestRenameKeepsBatchEntryPoint is the regression test for capability
+// loss behind Rename: the batch entry point must reach the wrapped
+// implementation, or a renamed cracker silently falls back to per-query
+// dispatch and re-inherits the ascending-batch pathology.
+func TestRenameKeepsBatchEntryPoint(t *testing.T) {
+	const n = 50_000
+	const k = 64
+	ascending := make([]column.Range, k)
+	for i := range ascending {
+		lo := column.Value(i * (n / k))
+		ascending[i] = column.NewRange(lo, lo+n/(2*k))
+	}
+	vals := workload.DataUniform(5, n, n)
+
+	arrival := core.NewCrackerColumn(vals, core.DefaultOptions())
+	for _, r := range ascending {
+		arrival.Count(r)
+	}
+	arrivalWork := arrival.Cost().Total()
+
+	inner := core.NewCrackerColumn(vals, core.DefaultOptions())
+	wrapped := index.Rename(index.Rename(inner, "x"), "y")
+	index.CountBatch(wrapped, ascending)
+	if got := index.Unwrap(wrapped); got != index.Interface(inner) {
+		t.Fatal("Unwrap must reach the innermost index")
+	}
+	if batchedWork := inner.Cost().Total(); batchedWork*2 >= arrivalWork {
+		t.Fatalf("renamed index lost the batch entry point: batch=%d arrival=%d", batchedWork, arrivalWork)
+	}
+}

@@ -1,0 +1,34 @@
+package partition
+
+import (
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/index"
+)
+
+var (
+	_ index.Batcher       = (*Index)(nil)
+	_ index.SelectBatcher = (*Index)(nil)
+)
+
+// CountBatch answers a batch of predicates in recursive-median order
+// (index.BatchOrder). Each predicate still fans out across the
+// partitions it overlaps, but the ordered execution gives the
+// per-partition crackers the same geometric-subdivision guarantee plain
+// cracking gets from the batch entry point, so an adversarially ordered
+// batch cannot degenerate into repeated large-piece scans.
+func (ix *Index) CountBatch(rs []column.Range) []int {
+	out := make([]int, len(rs))
+	for _, i := range index.BatchOrder(rs) {
+		out[i] = ix.Count(rs[i])
+	}
+	return out
+}
+
+// SelectBatch is CountBatch with materialised selection vectors.
+func (ix *Index) SelectBatch(rs []column.Range) []column.IDList {
+	out := make([]column.IDList, len(rs))
+	for _, i := range index.BatchOrder(rs) {
+		out[i] = ix.Select(rs[i])
+	}
+	return out
+}

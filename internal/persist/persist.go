@@ -7,11 +7,20 @@
 //
 // A snapshot stores the (value, rowid) pairs in their current physical
 // order together with every boundary of the cracker index, using
-// encoding/gob. Restoring rebuilds a CrackerColumn that answers the
-// next query exactly as the original would have.
+// encoding/gob behind a fixed-layout header. Restoring rebuilds a
+// CrackerColumn that answers the next query exactly as the original
+// would have.
+//
+// The header — an 8-byte magic string and a big-endian uint32 format
+// version — is checked before any gob decoding, so a snapshot written
+// by an incompatible layout (or a file that is not a snapshot at all)
+// is rejected with a clear error instead of whatever
+// struct-shape-dependent failure gob would produce.
 package persist
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -37,11 +46,44 @@ type boundary struct {
 }
 
 // formatVersion guards against reading snapshots written by an
-// incompatible future layout.
-const formatVersion = 1
+// incompatible future layout. Version 2 introduced the fixed-layout
+// header; version 1 files (bare gob) predate it and are rejected at the
+// magic check.
+const formatVersion = 2
+
+// magic identifies a snapshot file. It is checked — together with the
+// header version — before any gob decoding.
+var magic = [8]byte{'A', 'D', 'I', 'X', 'S', 'N', 'A', 'P'}
+
+// writeHeader emits the fixed-layout snapshot header.
+func writeHeader(w io.Writer) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.BigEndian, uint32(formatVersion))
+}
+
+// readHeader validates the magic and returns the header version.
+func readHeader(r io.Reader) (uint32, error) {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return 0, fmt.Errorf("persist: reading snapshot header: %w", err)
+	}
+	if !bytes.Equal(got[:], magic[:]) {
+		return 0, fmt.Errorf("persist: not a snapshot file (bad magic %q)", got)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return 0, fmt.Errorf("persist: reading snapshot version: %w", err)
+	}
+	return version, nil
+}
 
 // Save writes a snapshot of the cracker column to w.
 func Save(w io.Writer, cc *core.CrackerColumn) error {
+	if err := writeHeader(w); err != nil {
+		return fmt.Errorf("persist: writing header: %w", err)
+	}
 	pairs := cc.Pairs()
 	snap := snapshot{
 		FormatVersion: formatVersion,
@@ -62,15 +104,22 @@ func Save(w io.Writer, cc *core.CrackerColumn) error {
 }
 
 // Load reads a snapshot from r and rebuilds the cracker column with the
-// given options. The restored column is validated before it is
-// returned.
+// given options. The format version is verified before the payload is
+// decoded, and the restored column is validated before it is returned.
 func Load(r io.Reader, opts core.Options) (*core.CrackerColumn, error) {
+	version, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot format version %d (this build reads version %d)", version, formatVersion)
+	}
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("persist: decode: %w", err)
 	}
 	if snap.FormatVersion != formatVersion {
-		return nil, fmt.Errorf("persist: unsupported snapshot version %d", snap.FormatVersion)
+		return nil, fmt.Errorf("persist: snapshot payload version %d contradicts header version %d", snap.FormatVersion, formatVersion)
 	}
 	if len(snap.Values) != len(snap.Rows) {
 		return nil, fmt.Errorf("persist: corrupt snapshot: %d values but %d rows", len(snap.Values), len(snap.Rows))

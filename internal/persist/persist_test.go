@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"math/rand"
 	"path/filepath"
@@ -108,14 +109,79 @@ func TestSaveLoadFile(t *testing.T) {
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load(strings.NewReader("this is not a snapshot"), core.DefaultOptions()); err == nil {
+	_, err := Load(strings.NewReader("this is not a snapshot"), core.DefaultOptions())
+	if err == nil {
 		t.Fatal("garbage input must fail to decode")
+	}
+	// The rejection must come from the magic check, before gob ever
+	// sees the data, and must say so clearly.
+	if !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("garbage must be rejected at the magic check, got: %v", err)
+	}
+}
+
+func TestLoadRejectsTruncatedHeader(t *testing.T) {
+	for _, partial := range []string{"", "ADIX", "ADIXSNAP", "ADIXSNAP\x00"} {
+		if _, err := Load(strings.NewReader(partial), core.DefaultOptions()); err == nil {
+			t.Fatalf("truncated header %q must be rejected", partial)
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedFormatVersion(t *testing.T) {
+	// A well-formed header carrying a future version must be rejected
+	// with a clear error before any payload decoding — the payload here
+	// is garbage that gob would choke on unintelligibly.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.BigEndian, uint32(99)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("future payload gob cannot parse")
+	_, err := Load(&buf, core.DefaultOptions())
+	if err == nil {
+		t.Fatal("wrong format version must be rejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "version 2") {
+		t.Fatalf("version error must name both versions, got: %v", err)
+	}
+}
+
+func TestLoadRejectsBareGobSnapshots(t *testing.T) {
+	// Version-1 files were bare gob with no header; they must fail at
+	// the magic check rather than half-decode.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshot{FormatVersion: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, core.DefaultOptions()); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("bare gob snapshot must fail the magic check, got: %v", err)
+	}
+}
+
+func TestLoadRejectsHeaderPayloadVersionContradiction(t *testing.T) {
+	// A header claiming the current version over a payload recording a
+	// different one is corruption, not a version skew.
+	var buf bytes.Buffer
+	if err := writeHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload := snapshot{FormatVersion: 1, Values: []column.Value{1}, Rows: []column.RowID{0}}
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, core.DefaultOptions()); err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("payload/header version contradiction must be rejected, got: %v", err)
 	}
 }
 
 func encodeSnapshot(t *testing.T, snap snapshot) *bytes.Buffer {
 	t.Helper()
 	var buf bytes.Buffer
+	if err := writeHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		t.Fatal(err)
 	}
@@ -127,12 +193,6 @@ func TestLoadRejectsCorruptSnapshots(t *testing.T) {
 		FormatVersion: formatVersion,
 		Values:        []column.Value{1, 2, 3},
 		Rows:          []column.RowID{0, 1, 2},
-	}
-
-	wrongVersion := base
-	wrongVersion.FormatVersion = 99
-	if _, err := Load(encodeSnapshot(t, wrongVersion), core.DefaultOptions()); err == nil {
-		t.Fatal("wrong format version must be rejected")
 	}
 
 	mismatched := base

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/workload"
+)
+
+// BenchmarkDispatch compares shared-scan batching against per-query
+// dispatch over the same hosted cracker column, driven by 8 closed-loop
+// sessions replaying a shared hot-set workload (the overlapping shape
+// interactive exploration produces). Reported ns/op is per query.
+//
+//	go test ./internal/server -bench Dispatch -benchtime 10000x
+func BenchmarkDispatch(b *testing.B) {
+	const n = 500_000
+	const sessions = 8
+	vals := workload.DataUniform(1, n, n)
+
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"direct", 0},
+		{"batched-500us", 500 * time.Microsecond},
+	} {
+		b.Run(fmt.Sprintf("%s/sessions=%d", mode.name, sessions), func(b *testing.B) {
+			built, err := BuildIndex("cracking", vals, BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc := NewService(Config{Index: built.Index, Kind: built.Kind, BatchWindow: mode.window})
+			defer svc.Close()
+
+			gens, err := workload.SessionGenerators("hotset", 3, sessions, 0, n, 0.02)
+			if err != nil {
+				b.Fatal(err)
+			}
+			streams := make([][]column.Range, sessions)
+			per := (b.N + sessions - 1) / sessions
+			for g := range streams {
+				streams[g] = workload.Queries(gens[g], per)
+			}
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < sessions; g++ {
+				wg.Add(1)
+				go func(stream []column.Range) {
+					defer wg.Done()
+					for _, r := range stream {
+						if _, err := svc.Select(r); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(streams[g])
+			}
+			wg.Wait()
+			b.StopTimer()
+			st := svc.Stats()
+			b.ReportMetric(float64(st.SharedScans)/float64(st.Queries), "shared-frac")
+		})
+	}
+}

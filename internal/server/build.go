@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"adaptiveindex/internal/baseline"
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/concurrent"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/partition"
+	"adaptiveindex/internal/persist"
+)
+
+// BuildOptions tunes BuildIndex.
+type BuildOptions struct {
+	// Partitions and Workers configure the "cracking-parallel" kind
+	// (defaults: one per available CPU).
+	Partitions int
+	Workers    int
+	// RandomPivotThreshold configures "cracking-stochastic" (default
+	// 16384).
+	RandomPivotThreshold int
+	// Seed seeds randomised strategies.
+	Seed int64
+	// SnapshotPath, when non-empty and the kind supports it, restores
+	// the index's cracked state from the snapshot instead of starting
+	// cold. A missing file is not an error (cold start).
+	SnapshotPath string
+}
+
+// Built couples a constructed index with the service-relevant facts
+// about it.
+type Built struct {
+	Index index.Interface
+	Kind  string
+	// ConcurrencySafe reports whether the index may be driven by
+	// multiple goroutines directly.
+	ConcurrencySafe bool
+	// Cracker is non-nil for snapshot-capable kinds.
+	Cracker Snapshotter
+	// Restored reports whether the index was rebuilt from a snapshot.
+	Restored bool
+}
+
+// Kinds lists the index kinds BuildIndex accepts, in a stable order.
+func Kinds() []string {
+	return []string{"scan", "fullsort", "cracking", "cracking-stochastic", "cracking-concurrent", "cracking-parallel"}
+}
+
+// BuildIndex constructs a hosted index by kind name. The kind names
+// match the public library's Kind strings where both exist. Snapshot
+// restore applies to the plain and stochastic cracking kinds, whose
+// state internal/persist captures.
+func BuildIndex(kind string, vals []column.Value, opts BuildOptions) (Built, error) {
+	coreOpts := core.Options{CrackInThree: true, Seed: opts.Seed}
+	switch kind {
+	case "scan":
+		return Built{Index: baseline.NewFullScan(vals), Kind: kind}, nil
+	case "fullsort":
+		return Built{Index: baseline.NewFullSortIndex(vals, false), Kind: kind}, nil
+	case "cracking":
+		cc, restored, err := restoreOrBuild(opts.SnapshotPath, vals, coreOpts)
+		if err != nil {
+			return Built{}, err
+		}
+		return Built{Index: cc, Kind: kind, Cracker: crackerSnapshot{cc}, Restored: restored}, nil
+	case "cracking-stochastic":
+		threshold := opts.RandomPivotThreshold
+		if threshold <= 0 {
+			threshold = 1 << 14
+		}
+		coreOpts.RandomPivotThreshold = threshold
+		cc, restored, err := restoreOrBuild(opts.SnapshotPath, vals, coreOpts)
+		if err != nil {
+			return Built{}, err
+		}
+		return Built{
+			Index:    index.Rename(cc, kind),
+			Kind:     kind,
+			Cracker:  crackerSnapshot{cc},
+			Restored: restored,
+		}, nil
+	case "cracking-concurrent":
+		return Built{Index: concurrent.New(vals, coreOpts), Kind: kind, ConcurrencySafe: true}, nil
+	case "cracking-parallel":
+		px := partition.New(vals, partition.Options{
+			Partitions: opts.Partitions,
+			Workers:    opts.Workers,
+			Core:       coreOpts,
+		})
+		return Built{Index: px, Kind: kind, ConcurrencySafe: true}, nil
+	default:
+		kinds := Kinds()
+		sort.Strings(kinds)
+		return Built{}, fmt.Errorf("server: unknown index kind %q (have %v)", kind, kinds)
+	}
+}
+
+// restoreOrBuild loads the cracker column from the snapshot when one
+// exists, falling back to a cold build over vals.
+func restoreOrBuild(path string, vals []column.Value, opts core.Options) (*core.CrackerColumn, bool, error) {
+	if path == "" {
+		return core.NewCrackerColumn(vals, opts), false, nil
+	}
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return core.NewCrackerColumn(vals, opts), false, nil
+		}
+		return nil, false, fmt.Errorf("server: snapshot %s: %w", path, err)
+	}
+	cc, err := persist.LoadFile(path, opts)
+	if err != nil {
+		return nil, false, fmt.Errorf("server: restoring snapshot %s: %w", path, err)
+	}
+	return cc, true, nil
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"adaptiveindex/internal/column"
+)
+
+// QueryRequest is the wire form of one range query.
+//
+//	POST /query {"op":"count","low":10,"high":20}
+//
+// Omitted bounds are unbounded; incLow defaults to true and incHigh to
+// false, so {low, high} is the canonical half-open interval [low, high).
+type QueryRequest struct {
+	// Op is "count" (default) or "select".
+	Op      string `json:"op,omitempty"`
+	Low     *int64 `json:"low,omitempty"`
+	High    *int64 `json:"high,omitempty"`
+	IncLow  *bool  `json:"incLow,omitempty"`
+	IncHigh *bool  `json:"incHigh,omitempty"`
+}
+
+// Range converts the wire form to the internal predicate.
+func (q QueryRequest) Range() column.Range {
+	r := column.Range{IncLow: true}
+	if q.Low != nil {
+		r.HasLow, r.Low = true, *q.Low
+	}
+	if q.High != nil {
+		r.HasHigh, r.High = true, *q.High
+	}
+	if q.IncLow != nil {
+		r.IncLow = *q.IncLow
+	}
+	if q.IncHigh != nil {
+		r.IncHigh = *q.IncHigh
+	}
+	return r
+}
+
+// QueryResponse is the wire form of a query result.
+type QueryResponse struct {
+	Count int `json:"count"`
+	// Rows carries the qualifying row identifiers for select queries.
+	Rows []column.RowID `json:"rows,omitempty"`
+	// LatencyUs is the server-side latency of this query, queueing
+	// included.
+	LatencyUs int64 `json:"latency_us"`
+}
+
+// errorResponse is the wire form of a failure.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /query   answer one range query (see QueryRequest)
+//	GET  /stats   observable service + index state (see Stats)
+//	GET  /healthz liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var q QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid query: %v", err)})
+		return
+	}
+	start := time.Now()
+	var resp QueryResponse
+	var err error
+	switch q.Op {
+	case "", "count":
+		resp.Count, err = s.Count(q.Range())
+	case "select":
+		var rows column.IDList
+		rows, err = s.Select(q.Range())
+		resp.Count, resp.Rows = len(rows), rows
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown op %q (want count or select)", q.Op)})
+		return
+	}
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrClosed) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	resp.LatencyUs = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newHTTPFixture(t *testing.T) (*Service, *httptest.Server, []int64) {
+	t.Helper()
+	vals := testData(20_000)
+	svc := newCrackingService(t, vals, 200*time.Microsecond)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts, vals
+}
+
+func postQuery(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPQueryCount(t *testing.T) {
+	_, ts, vals := newHTTPFixture(t)
+	resp, body := postQuery(t, ts.URL, `{"op":"count","low":100,"high":900}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	want := refCount(vals, QueryRequest{Low: i64(100), High: i64(900)}.Range())
+	if qr.Count != want {
+		t.Fatalf("count %d, want %d", qr.Count, want)
+	}
+	if qr.Rows != nil {
+		t.Fatal("count op must not materialise rows")
+	}
+}
+
+func TestHTTPQuerySelect(t *testing.T) {
+	_, ts, vals := newHTTPFixture(t)
+	resp, body := postQuery(t, ts.URL, `{"op":"select","low":5000,"high":5200}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != len(qr.Rows) {
+		t.Fatalf("count %d but %d rows", qr.Count, len(qr.Rows))
+	}
+	r := QueryRequest{Low: i64(5000), High: i64(5200)}.Range()
+	if want := refCount(vals, r); qr.Count != want {
+		t.Fatalf("count %d, want %d", qr.Count, want)
+	}
+	for _, row := range qr.Rows {
+		if !r.Contains(vals[row]) {
+			t.Fatalf("row %d value %d outside %s", row, vals[row], r)
+		}
+	}
+}
+
+func TestHTTPQueryOneSidedAndInclusive(t *testing.T) {
+	_, ts, vals := newHTTPFixture(t)
+	cases := []struct {
+		body string
+		want QueryRequest
+	}{
+		{`{"high":100}`, QueryRequest{High: i64(100)}},
+		{`{"low":19000}`, QueryRequest{Low: i64(19000)}},
+		{`{"low":50,"high":50,"incHigh":true}`, QueryRequest{Low: i64(50), High: i64(50), IncHigh: b(true)}},
+		{`{}`, QueryRequest{}},
+	}
+	for _, c := range cases {
+		resp, body := postQuery(t, ts.URL, c.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", c.body, resp.StatusCode, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if want := refCount(vals, c.want.Range()); qr.Count != want {
+			t.Fatalf("%s: count %d, want %d", c.body, qr.Count, want)
+		}
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts, _ := newHTTPFixture(t)
+	if resp, _ := postQuery(t, ts.URL, `{"op":"drop table"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postQuery(t, ts.URL, `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	_, ts, _ := newHTTPFixture(t)
+	for i := 0; i < 5; i++ {
+		postQuery(t, ts.URL, `{"low":10,"high":500}`)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Index.Kind != "cracking" || st.Index.Len != 20_000 || st.Queries != 5 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	if st.Index.Bytes != uint64(st.Index.Len)*pairBytes {
+		t.Fatalf("bytes %d, want %d", st.Index.Bytes, st.Index.Len*pairBytes)
+	}
+
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", health.StatusCode)
+	}
+}
+
+func i64(v int64) *int64 { return &v }
+func b(v bool) *bool     { return &v }

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// holds durations in [2^(i-1), 2^i) microseconds, so 48 buckets cover
+// sub-microsecond up to hours.
+const histBuckets = 48
+
+// histogram is a lock-free log-scale latency histogram. Percentiles are
+// resolved to a bucket's upper bound, which is exact enough for the
+// p50/p95/p99 service metrics (one power of two of resolution) and
+// keeps the query hot path to a single atomic increment.
+type histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // microseconds
+	max     atomic.Uint64 // microseconds
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := bits.Len64(us)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		prev := h.max.Load()
+		if us <= prev || h.max.CompareAndSwap(prev, us) {
+			return
+		}
+	}
+}
+
+// percentile returns the upper bound of the bucket holding the p-th
+// percentile observation (0 < p <= 1), in microseconds.
+func (h *histogram) percentile(p float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			return uint64(1) << i
+		}
+	}
+	return h.max.Load()
+}
+
+// LatencyStats is the percentile summary of the per-query latency
+// histogram, in microseconds.
+type LatencyStats struct {
+	Count   uint64 `json:"count"`
+	MeanUs  uint64 `json:"mean_us"`
+	P50Us   uint64 `json:"p50_us"`
+	P95Us   uint64 `json:"p95_us"`
+	P99Us   uint64 `json:"p99_us"`
+	MaxUs   uint64 `json:"max_us"`
+	TotalUs uint64 `json:"total_us"`
+}
+
+func (h *histogram) snapshot() LatencyStats {
+	count := h.count.Load()
+	sum := h.sum.Load()
+	st := LatencyStats{
+		Count:   count,
+		P50Us:   h.percentile(0.50),
+		P95Us:   h.percentile(0.95),
+		P99Us:   h.percentile(0.99),
+		MaxUs:   h.max.Load(),
+		TotalUs: sum,
+	}
+	if count > 0 {
+		st.MeanUs = sum / count
+	}
+	return st
+}

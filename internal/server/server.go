@@ -1,0 +1,457 @@
+// Package server is the query service layer: it hosts any access path
+// satisfying the canonical contract (internal/index.Interface) behind
+// concurrent client sessions, over HTTP or in process.
+//
+// The paper's adaptive indexing exists to serve exploratory query
+// streams whose shape is unknown up front; this package adds the layer
+// that accepts such streams from many concurrent users. Its core is a
+// batch scheduler implementing shared-scan batching: queries arriving
+// within a short window are coalesced into one batch, duplicate
+// predicates inside the batch are answered by a single execution whose
+// result is shared, and the remaining unique predicates are handed to
+// the index's batch entry point (index.CountBatch / index.SelectBatch),
+// which executes them in pivot order under one latch acquisition. On
+// the hot-set workloads interactive exploration produces (IDEBench:
+// many sessions re-issuing a dashboard's filters), most of a batch
+// collapses onto a few shared scans, where per-query dispatch would
+// serialise every query behind the index latch and re-materialise the
+// same result over and over.
+//
+// A second structural benefit: with the scheduler enabled, the single
+// executor goroutine is the only goroutine that ever touches the index,
+// so even access paths that are not concurrency-safe (a plain cracker
+// column) serve concurrent sessions without any latch at all.
+//
+// The service also provides per-query latency histograms (p50/p95/p99),
+// an in-flight admission limit, an observable stats snapshot, and
+// snapshot/restore of cracked state through internal/persist.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/persist"
+)
+
+// Errors returned by the service.
+var (
+	// ErrOverloaded is returned when the in-flight admission limit is
+	// reached; clients should back off and retry.
+	ErrOverloaded = errors.New("server: overloaded, admission limit reached")
+	// ErrClosed is returned for queries submitted after Close.
+	ErrClosed = errors.New("server: service closed")
+	// ErrNotClosed is returned by SnapshotTo on a still-running service.
+	ErrNotClosed = errors.New("server: service must be closed before snapshotting")
+)
+
+// Config configures a Service.
+type Config struct {
+	// Index is the hosted access path.
+	Index index.Interface
+	// Kind names the index kind in stats (defaults to Index.Name()).
+	Kind string
+	// BatchWindow is how long the scheduler waits, after the first
+	// query of a batch arrives, for more queries to coalesce with it.
+	// Zero or negative disables batching: every query dispatches
+	// directly against the index (serialised by a latch unless
+	// ConcurrencySafe is set).
+	BatchWindow time.Duration
+	// MaxBatch caps how many queries one batch may hold; a full batch
+	// executes immediately without waiting out the window (default 64).
+	MaxBatch int
+	// MaxInFlight is the admission limit: queries beyond it are
+	// rejected with ErrOverloaded instead of queueing without bound
+	// (default 1024).
+	MaxInFlight int
+	// ConcurrencySafe declares that Index may be driven by multiple
+	// goroutines at once (package concurrent, package partition), so
+	// direct dispatch can skip the service's own latch.
+	ConcurrencySafe bool
+	// Cracker, when non-nil, is the hosted index's underlying cracker
+	// column, enabling SnapshotTo. Built(...) wires it automatically
+	// for snapshot-capable kinds.
+	Cracker Snapshotter
+}
+
+// Snapshotter is the surface SnapshotTo needs from a hosted index.
+type Snapshotter interface {
+	SnapshotTo(w io.Writer) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Kind == "" {
+		c.Kind = c.Index.Name()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	return c
+}
+
+// op selects what a request wants from the index.
+type op uint8
+
+const (
+	opCount op = iota
+	opSelect
+	opStats
+)
+
+// request is one query in flight through the scheduler.
+type request struct {
+	op       op
+	r        column.Range
+	enqueued time.Time
+	resp     chan result
+}
+
+// result is the executor's answer to one request.
+type result struct {
+	count int
+	rows  column.IDList
+	stats *Stats
+}
+
+// Service hosts an index behind concurrent sessions. All methods are
+// safe for concurrent use.
+type Service struct {
+	cfg     Config
+	batched bool
+
+	// mu serialises direct-mode access to indexes that are not
+	// concurrency-safe, and Stats in direct mode.
+	mu sync.Mutex
+
+	queue     chan *request
+	closeOnce sync.Once
+	closed    chan struct{}
+	drained   chan struct{}
+
+	inFlight atomic.Int64
+	queries  atomic.Uint64
+	rejected atomic.Uint64
+	batches  atomic.Uint64
+	shared   atomic.Uint64
+	maxBatch atomic.Int64
+	hist     histogram
+	started  time.Time
+}
+
+// NewService creates and starts a service over the configured index.
+// Callers must Close it to stop the scheduler goroutine.
+func NewService(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		batched: cfg.BatchWindow > 0,
+		closed:  make(chan struct{}),
+		drained: make(chan struct{}),
+		started: time.Now(),
+	}
+	if s.batched {
+		// The queue buffers one admission limit's worth of requests so
+		// senders under the limit never block on the executor.
+		s.queue = make(chan *request, cfg.MaxInFlight)
+		go s.runExecutor()
+	} else {
+		close(s.drained)
+	}
+	return s
+}
+
+// Count answers a range predicate, batching it with concurrent queries
+// when the scheduler is enabled.
+func (s *Service) Count(r column.Range) (int, error) {
+	res, err := s.do(opCount, r)
+	return res.count, err
+}
+
+// Select answers a range predicate with the qualifying row identifiers.
+// Duplicate predicates coalesced into one batch share the same backing
+// selection vector; callers must treat it as read-only.
+func (s *Service) Select(r column.Range) (column.IDList, error) {
+	res, err := s.do(opSelect, r)
+	return res.rows, err
+}
+
+func (s *Service) do(o op, r column.Range) (result, error) {
+	if s.inFlight.Add(1) > int64(s.cfg.MaxInFlight) {
+		s.inFlight.Add(-1)
+		s.rejected.Add(1)
+		return result{}, ErrOverloaded
+	}
+	defer s.inFlight.Add(-1)
+
+	start := time.Now()
+	var res result
+	if s.batched {
+		req := &request{op: o, r: r, enqueued: start, resp: make(chan result, 1)}
+		select {
+		case s.queue <- req:
+		case <-s.closed:
+			return result{}, ErrClosed
+		}
+		// The executor drains the queue on close, but a request can
+		// land in the buffered queue just after the drain finished;
+		// watching drained avoids waiting on a reply that will never
+		// come.
+		select {
+		case res = <-req.resp:
+		case <-s.drained:
+			select {
+			case res = <-req.resp:
+			default:
+				return result{}, ErrClosed
+			}
+		}
+	} else {
+		select {
+		case <-s.closed:
+			return result{}, ErrClosed
+		default:
+		}
+		if !s.cfg.ConcurrencySafe {
+			s.mu.Lock()
+		}
+		res = s.executeOne(o, r)
+		if !s.cfg.ConcurrencySafe {
+			s.mu.Unlock()
+		}
+	}
+	s.queries.Add(1)
+	s.hist.observe(time.Since(start))
+	return res, nil
+}
+
+// executeOne answers a single request against the index directly.
+func (s *Service) executeOne(o op, r column.Range) result {
+	switch o {
+	case opSelect:
+		return result{rows: s.cfg.Index.Select(r)}
+	default:
+		return result{count: s.cfg.Index.Count(r)}
+	}
+}
+
+// runExecutor is the scheduler loop: it owns the index exclusively,
+// coalesces queued requests into batches and executes them.
+func (s *Service) runExecutor() {
+	defer close(s.drained)
+	for {
+		var batch []*request
+		select {
+		case req := <-s.queue:
+			batch = append(batch, req)
+		case <-s.closed:
+			s.drainAndExit()
+			return
+		}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			if s.drainQueued(&batch) {
+				continue
+			}
+			// Nothing queued: yield once so runnable senders get to
+			// publish their requests before the batch is judged
+			// complete (on few cores an admitted sender may simply not
+			// have run yet).
+			runtime.Gosched()
+			if s.drainQueued(&batch) {
+				continue
+			}
+			// Group-commit rule: when every admitted query is already in
+			// the batch, waiting out the rest of the window cannot grow
+			// it — closed-loop sessions are all blocked on this very
+			// batch — so execute immediately. The window only delays
+			// execution while stragglers are still on their way in.
+			if int64(len(batch)) >= s.inFlight.Load() {
+				break
+			}
+			select {
+			case req := <-s.queue:
+				batch = append(batch, req)
+			case <-timer.C:
+				break collect
+			case <-s.closed:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.executeBatch(batch)
+	}
+}
+
+// drainQueued moves every immediately available request into the batch
+// without blocking and reports whether it moved any.
+func (s *Service) drainQueued(batch *[]*request) bool {
+	got := false
+	for len(*batch) < s.cfg.MaxBatch {
+		select {
+		case req := <-s.queue:
+			*batch = append(*batch, req)
+			got = true
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// drainAndExit answers everything still queued at close time, so no
+// admitted request is left waiting.
+func (s *Service) drainAndExit() {
+	for {
+		select {
+		case req := <-s.queue:
+			s.executeBatch([]*request{req})
+		default:
+			return
+		}
+	}
+}
+
+// executeBatch answers one batch: duplicate predicates collapse onto a
+// single execution, the unique predicates go through the index's batch
+// entry point, and results are fanned back out to every waiter.
+func (s *Service) executeBatch(batch []*request) {
+	if len(batch) == 0 {
+		return
+	}
+
+	// Stats requests are answered from the executor so the snapshot is
+	// consistent with a quiescent index.
+	var queries []*request
+	for _, req := range batch {
+		if req.op == opStats {
+			st := s.statsLocked()
+			req.resp <- result{stats: &st}
+			continue
+		}
+		queries = append(queries, req)
+	}
+	if len(queries) == 0 {
+		return
+	}
+	s.batches.Add(1)
+	for {
+		prev := s.maxBatch.Load()
+		if int64(len(queries)) <= prev || s.maxBatch.CompareAndSwap(prev, int64(len(queries))) {
+			break
+		}
+	}
+
+	// Deduplicate: one execution per distinct predicate. A predicate
+	// needed by any Select is executed materialising, and Counts on the
+	// same predicate read the vector's length.
+	type slot struct {
+		idx        int
+		wantSelect bool
+	}
+	uniq := make(map[column.Range]*slot, len(queries))
+	var ranges []column.Range
+	for _, req := range queries {
+		sl, ok := uniq[req.r]
+		if !ok {
+			sl = &slot{idx: len(ranges)}
+			uniq[req.r] = sl
+			ranges = append(ranges, req.r)
+		}
+		if req.op == opSelect {
+			sl.wantSelect = true
+		}
+	}
+	s.shared.Add(uint64(len(queries) - len(ranges)))
+
+	// Split the unique predicates into materialising and count-only
+	// executions, preserving the slot indices.
+	var selRanges, cntRanges []column.Range
+	selSlot := make([]int, 0, len(ranges))
+	cntSlot := make([]int, 0, len(ranges))
+	for i, r := range ranges {
+		if uniq[r].wantSelect {
+			selSlot = append(selSlot, i)
+			selRanges = append(selRanges, r)
+		} else {
+			cntSlot = append(cntSlot, i)
+			cntRanges = append(cntRanges, r)
+		}
+	}
+	rows := make([]column.IDList, len(ranges))
+	counts := make([]int, len(ranges))
+	if len(selRanges) > 0 {
+		for j, ids := range index.SelectBatch(s.cfg.Index, selRanges) {
+			rows[selSlot[j]] = ids
+			counts[selSlot[j]] = len(ids)
+		}
+	}
+	if len(cntRanges) > 0 {
+		for j, n := range index.CountBatch(s.cfg.Index, cntRanges) {
+			counts[cntSlot[j]] = n
+		}
+	}
+
+	for _, req := range queries {
+		sl := uniq[req.r]
+		if req.op == opSelect {
+			req.resp <- result{count: counts[sl.idx], rows: rows[sl.idx]}
+		} else {
+			req.resp <- result{count: counts[sl.idx]}
+		}
+	}
+}
+
+// Close stops accepting queries, waits for the scheduler to drain every
+// admitted request, and quiesces the index. It is idempotent.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	<-s.drained
+}
+
+// SnapshotTo writes the hosted index's cracked state through
+// internal/persist. The service must be closed first, so the snapshot
+// sees a quiescent index; kinds without snapshot support return
+// (false, nil).
+func (s *Service) SnapshotTo(w io.Writer) (bool, error) {
+	select {
+	case <-s.closed:
+	default:
+		return false, ErrNotClosed
+	}
+	<-s.drained
+	if s.cfg.Cracker == nil {
+		return false, nil
+	}
+	if err := s.cfg.Cracker.SnapshotTo(w); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// crackerSnapshot adapts persist.Save to the Snapshotter surface.
+type crackerSnapshot struct {
+	cc *core.CrackerColumn
+}
+
+func (c crackerSnapshot) SnapshotTo(w io.Writer) error { return persist.Save(w, c.cc) }
+
+// String renders the service configuration for logs.
+func (s *Service) String() string {
+	mode := "direct"
+	if s.batched {
+		mode = fmt.Sprintf("batched(window=%s,max=%d)", s.cfg.BatchWindow, s.cfg.MaxBatch)
+	}
+	return fmt.Sprintf("server{kind=%s n=%d %s inflight<=%d}", s.cfg.Kind, s.cfg.Index.Len(), mode, s.cfg.MaxInFlight)
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"time"
+
+	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/partition"
+)
+
+// pairBytes is the logical footprint of one indexed tuple: an 8-byte
+// value plus a 4-byte row identifier.
+const pairBytes = 12
+
+// IndexStats describes the hosted index's current state.
+type IndexStats struct {
+	// Kind is the configured index kind; Name is what the index calls
+	// itself in reports.
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	// Len is the number of indexed tuples, Bytes their logical
+	// footprint (value + rowid pairs).
+	Len   int    `json:"len"`
+	Bytes uint64 `json:"bytes"`
+	// Partitions is the shard count of a partitioned index (1
+	// otherwise).
+	Partitions int `json:"partitions"`
+	// Cracks is the total number of cracked pieces across the index
+	// (0 for non-cracking kinds that do not expose pieces).
+	Cracks int `json:"cracks"`
+	// WorkTotal is the index's cumulative logical work (cost model
+	// scalar).
+	WorkTotal uint64 `json:"work_total"`
+}
+
+// Stats is the service's observable state, served by /stats.
+type Stats struct {
+	Index IndexStats `json:"index"`
+
+	// Mode is "batched" or "direct"; BatchWindowUs and MaxBatch echo
+	// the scheduler configuration.
+	Mode          string `json:"mode"`
+	BatchWindowUs int64  `json:"batch_window_us"`
+	MaxBatch      int    `json:"max_batch"`
+
+	// Queries is the number of answered queries; Rejected counts
+	// admissions refused at the in-flight limit.
+	Queries  uint64 `json:"queries"`
+	Rejected uint64 `json:"rejected"`
+	// Batches is the number of executed batches; SharedScans counts
+	// queries answered by an execution shared with an identical
+	// predicate in the same batch; MaxBatchSeen is the largest batch
+	// executed so far.
+	Batches      uint64 `json:"batches"`
+	SharedScans  uint64 `json:"shared_scans"`
+	MaxBatchSeen int64  `json:"max_batch_seen"`
+
+	// InFlight and MaxInFlight describe the admission state.
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+
+	Latency LatencyStats `json:"latency"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// piecer is the optional piece-count surface cracker-style indexes
+// expose.
+type piecer interface{ NumPieces() int }
+
+// indexStats introspects the hosted index. Callers must hold whatever
+// access the index requires (the executor goroutine in batched mode,
+// s.mu in direct mode over a non-concurrency-safe index).
+func (s *Service) indexStats() IndexStats {
+	ix := s.cfg.Index
+	st := IndexStats{
+		Kind:       s.cfg.Kind,
+		Name:       ix.Name(),
+		Len:        ix.Len(),
+		Bytes:      uint64(ix.Len()) * pairBytes,
+		Partitions: 1,
+		WorkTotal:  ix.Cost().Total(),
+	}
+	// Probe the innermost implementation: a Rename-style wrapper must
+	// not hide the piece or partition counters.
+	switch t := index.Unwrap(ix).(type) {
+	case *partition.Index:
+		st.Partitions = t.NumPartitions()
+		for _, p := range t.PartitionStats() {
+			st.Cracks += p.Pieces
+		}
+	case piecer:
+		st.Cracks = t.NumPieces()
+	}
+	return st
+}
+
+// statsLocked assembles a Stats snapshot; the index portion requires
+// the caller to have safe access to the index.
+func (s *Service) statsLocked() Stats {
+	mode := "direct"
+	if s.batched {
+		mode = "batched"
+	}
+	return Stats{
+		Index:         s.indexStats(),
+		Mode:          mode,
+		BatchWindowUs: s.cfg.BatchWindow.Microseconds(),
+		MaxBatch:      s.cfg.MaxBatch,
+		Queries:       s.queries.Load(),
+		Rejected:      s.rejected.Load(),
+		Batches:       s.batches.Load(),
+		SharedScans:   s.shared.Load(),
+		MaxBatchSeen:  s.maxBatch.Load(),
+		InFlight:      s.inFlight.Load(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Latency:       s.hist.snapshot(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+}
+
+// Stats returns an observable snapshot of the service and its index.
+// In batched mode the snapshot is taken by the executor between
+// batches, so the index portion is consistent; admission is bypassed so
+// stats stay available under overload.
+func (s *Service) Stats() Stats {
+	select {
+	case <-s.closed:
+		// Closed and drained: the index is quiescent.
+		<-s.drained
+		return s.statsLocked()
+	default:
+	}
+	if s.batched {
+		req := &request{op: opStats, enqueued: time.Now(), resp: make(chan result, 1)}
+		select {
+		case s.queue <- req:
+		case <-s.closed:
+			<-s.drained
+			return s.statsLocked()
+		}
+		select {
+		case res := <-req.resp:
+			if res.stats != nil {
+				return *res.stats
+			}
+		case <-s.drained:
+			select {
+			case res := <-req.resp:
+				if res.stats != nil {
+					return *res.stats
+				}
+			default:
+			}
+		}
+		<-s.drained
+		return s.statsLocked()
+	}
+	if !s.cfg.ConcurrencySafe {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.statsLocked()
+}

@@ -15,6 +15,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"adaptiveindex/internal/column"
 )
@@ -331,6 +332,55 @@ func (p *Point) Next() column.Range {
 	return column.Point(p.domainLow + column.Value(p.rng.Int63n(int64(span))))
 }
 
+// HotSet draws every query from a fixed pool of distinct ranges with
+// Zipf-distributed popularity — the shape interactive exploration front
+// ends produce (IDEBench): a dashboard's handful of filters re-issued
+// by many concurrent sessions, a few of them far more often than the
+// rest. It is the canonical overlapping workload for the query service
+// layer's shared-scan batching, because concurrent sessions frequently
+// ask for literally the same predicate inside one batch window.
+type HotSet struct {
+	pool []column.Range
+	zipf *rand.Zipf
+}
+
+// NewHotSet creates a hot-set generator: poolSize distinct uniform
+// ranges of the given selectivity over [domainLow, domainHigh), drawn
+// with Zipf parameter s (s > 1, larger concentrates more queries on the
+// hottest ranges).
+func NewHotSet(seed int64, domainLow, domainHigh column.Value, selectivity float64, poolSize int, s float64) *HotSet {
+	if poolSize < 2 {
+		poolSize = 2
+	}
+	if s <= 1 {
+		s = 1.3
+	}
+	pool := Queries(NewUniform(seed, domainLow, domainHigh, selectivity), poolSize)
+	return NewHotSetFrom(pool, seed+1, s)
+}
+
+// NewHotSetFrom creates a hot-set generator drawing from an existing
+// pool with its own draw sequence. Concurrent sessions exploring the
+// same dashboard share one pool but draw independently — the
+// cross-session overlap that makes shared-scan batching pay.
+func NewHotSetFrom(pool []column.Range, seed int64, s float64) *HotSet {
+	if s <= 1 {
+		s = 1.3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &HotSet{pool: pool, zipf: rand.NewZipf(rng, s, 1, uint64(len(pool)-1))}
+}
+
+// Name identifies the workload shape.
+func (h *HotSet) Name() string { return "hotset" }
+
+// Next returns the next query predicate.
+func (h *HotSet) Next() column.Range { return h.pool[h.zipf.Uint64()] }
+
+// PoolSize returns the number of distinct ranges queries are drawn
+// from.
+func (h *HotSet) PoolSize() int { return len(h.pool) }
+
 // Mixed interleaves several generators with the given weights.
 type Mixed struct {
 	rng     *rand.Rand
@@ -371,4 +421,79 @@ func (m *Mixed) Next() column.Range {
 		x -= w
 	}
 	return m.gens[len(m.gens)-1].Next()
+}
+
+// ---------------------------------------------------------------------------
+// Named construction (flags and wire formats)
+// ---------------------------------------------------------------------------
+
+// Names lists the workload shapes FromSpec can build, for flag help
+// texts and error messages.
+func Names() []string {
+	return []string{"uniform", "skewed", "sequential", "shifting", "point", "hotset"}
+}
+
+// FromSpec builds a generator from its wire/flag name, so the load
+// generator and the query service daemon can replay any workload shape
+// without compiling in per-shape plumbing. Shape parameters beyond the
+// common (seed, domain, selectivity) triple use the same canonical
+// values as the experiment suite.
+func FromSpec(name string, seed int64, domainLow, domainHigh column.Value, selectivity float64) (Generator, error) {
+	switch name {
+	case "uniform":
+		return NewUniform(seed, domainLow, domainHigh, selectivity), nil
+	case "skewed":
+		return NewSkewed(seed, domainLow, domainHigh, selectivity, 1.4), nil
+	case "sequential":
+		return NewSequential(domainLow, domainHigh, selectivity), nil
+	case "shifting":
+		return NewShifting(seed, domainLow, domainHigh, selectivity, 0.1, 200), nil
+	case "point":
+		return NewPoint(seed, domainLow, domainHigh), nil
+	case "hotset":
+		return NewHotSet(seed, domainLow, domainHigh, selectivity, 32, 1.3), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown shape %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// SessionGenerators returns one generator per concurrent session, all
+// replaying the named workload shape as independent users of the same
+// exploration: hot-set sessions share one pool of ranges (and therefore
+// overlap, the case shared-scan batching exists for), sequential
+// sessions are phase-staggered evenly across the domain cycle (the
+// generator is deterministic and seedless, so without the stagger every
+// session would slide in lockstep), and the remaining shapes get
+// per-session random streams.
+func SessionGenerators(name string, seed int64, sessions int, domainLow, domainHigh column.Value, selectivity float64) ([]Generator, error) {
+	if sessions < 1 {
+		sessions = 1
+	}
+	gens := make([]Generator, sessions)
+	if name == "hotset" {
+		pool := Queries(NewUniform(seed, domainLow, domainHigh, selectivity), 32)
+		for i := range gens {
+			gens[i] = NewHotSetFrom(pool, seed+int64(i)+1, 1.3)
+		}
+		return gens, nil
+	}
+	// One full slide through the domain takes about 1/selectivity
+	// queries.
+	cycle := 1
+	if selectivity > 0 && selectivity < 1 {
+		cycle = int(1 / selectivity)
+	}
+	for i := range gens {
+		g, err := FromSpec(name, seed+int64(i), domainLow, domainHigh, selectivity)
+		if err != nil {
+			return nil, err
+		}
+		if name == "sequential" {
+			for skip := i * cycle / sessions; skip > 0; skip-- {
+				g.Next()
+			}
+		}
+		gens[i] = g
+	}
+	return gens, nil
 }

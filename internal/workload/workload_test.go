@@ -245,3 +245,118 @@ func TestQueriesHelper(t *testing.T) {
 		}
 	}
 }
+
+func TestHotSetDrawsFromFixedPool(t *testing.T) {
+	h := NewHotSet(21, 0, 100_000, 0.01, 16, 1.3)
+	if h.Name() != "hotset" {
+		t.Fatalf("name %q", h.Name())
+	}
+	if h.PoolSize() != 16 {
+		t.Fatalf("pool size %d, want 16", h.PoolSize())
+	}
+	seen := make(map[column.Range]int)
+	for i := 0; i < 2000; i++ {
+		seen[h.Next()]++
+	}
+	if len(seen) > 16 {
+		t.Fatalf("drew %d distinct ranges from a pool of 16", len(seen))
+	}
+	// Zipf popularity: the hottest range must dominate a uniform share.
+	max := 0
+	for _, n := range seen {
+		if n > max {
+			max = n
+		}
+	}
+	if max <= 2000/16 {
+		t.Fatalf("no hot range: max draws %d of 2000", max)
+	}
+}
+
+func TestHotSetSharedPoolOverlaps(t *testing.T) {
+	pool := Queries(NewUniform(5, 0, 10_000, 0.02), 8)
+	a := NewHotSetFrom(pool, 1, 1.3)
+	b := NewHotSetFrom(pool, 2, 1.3)
+	inPool := func(r column.Range) bool {
+		for _, p := range pool {
+			if p == r {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 100; i++ {
+		if !inPool(a.Next()) || !inPool(b.Next()) {
+			t.Fatal("draw outside the shared pool")
+		}
+	}
+}
+
+func TestFromSpecBuildsEveryNamedShape(t *testing.T) {
+	for _, name := range Names() {
+		g, err := FromSpec(name, 11, 0, 50_000, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Name() != name {
+			t.Fatalf("FromSpec(%q) built generator named %q", name, g.Name())
+		}
+		for i := 0; i < 50; i++ {
+			r := g.Next()
+			if r.HasLow && r.HasHigh && r.Low > r.High {
+				t.Fatalf("%s: inverted range %s", name, r)
+			}
+		}
+	}
+	if _, err := FromSpec("tsunami", 1, 0, 100, 0.1); err == nil {
+		t.Fatal("unknown shape must error")
+	}
+}
+
+func TestSessionGeneratorsShareHotSetPool(t *testing.T) {
+	gens, err := SessionGenerators("hotset", 9, 4, 0, 10_000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 4 {
+		t.Fatalf("%d generators, want 4", len(gens))
+	}
+	// All sessions must draw from one pool: the union of distinct
+	// ranges across sessions stays within one pool's size.
+	seen := make(map[column.Range]bool)
+	for _, g := range gens {
+		for i := 0; i < 200; i++ {
+			seen[g.Next()] = true
+		}
+	}
+	if len(seen) > 32 {
+		t.Fatalf("sessions drew %d distinct ranges; hot-set sessions must share one pool", len(seen))
+	}
+
+	// Non-hot-set shapes get independent streams.
+	uni, err := SessionGenerators("uniform", 9, 2, 0, 10_000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni[0].Next() == uni[1].Next() {
+		t.Fatal("uniform sessions must not replay identical streams")
+	}
+
+	if _, err := SessionGenerators("tsunami", 1, 2, 0, 100, 0.1); err == nil {
+		t.Fatal("unknown shape must error")
+	}
+}
+
+func TestSessionGeneratorsStaggerSequentialPhases(t *testing.T) {
+	gens, err := SessionGenerators("sequential", 1, 4, 0, 10_000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firsts := make(map[column.Range]bool)
+	for _, g := range gens {
+		firsts[g.Next()] = true
+	}
+	if len(firsts) != 4 {
+		t.Fatalf("sequential sessions must start at distinct phases, got %d distinct of 4", len(firsts))
+	}
+}
