@@ -4,13 +4,16 @@
 // backend: many users with think time, judged by per-query latency.
 //
 //	crackload -addr localhost:8080 -workload hotset -sessions 16 -queries 500
-//	crackload -addr localhost:8080 -workload skewed -op select -think 10ms
+//	crackload -workload selectproject -table data -column c0 -project c1,c2
+//	crackload -workload multitable -op select
 //
 // Sessions replay internal/workload generators over the wire: hot-set
-// sessions share one pool of ranges (concurrent users of the same
-// dashboard), the other shapes get independent per-session streams.
-// After the run, the tool fetches /stats and prints the server-side
-// view (batches, shared scans, crack count) next to the client-side
+// and selectproject sessions share one pool of ranges (concurrent
+// users of the same dashboard), multitable sessions round-robin across
+// every table the server's /stats catalog lists, and the other shapes
+// get independent per-session streams. After the run, the tool fetches
+// /stats and prints the server-side view (catalog, cracked pieces,
+// planner decisions, batches, shared scans) next to the client-side
 // latencies.
 package main
 
@@ -49,23 +52,60 @@ type config struct {
 	seed        int64
 	op          string
 	think       time.Duration
+	table       string
+	col         string
+	project     []string
+	path        string
+}
+
+// shapeNames lists the workload shapes crackload accepts: every range
+// shape internal/workload names, plus the table-aware shapes.
+func shapeNames() []string {
+	return append(workload.Names(), "selectproject", "multitable")
 }
 
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("crackload", flag.ContinueOnError)
 	var cfg config
-	var addr string
+	var addr, project string
 	fs.StringVar(&addr, "addr", "localhost:8080", "crackserve address (host:port or URL)")
 	fs.IntVar(&cfg.sessions, "sessions", 8, "concurrent client sessions")
 	fs.IntVar(&cfg.perSession, "queries", 200, "queries per session")
-	fs.StringVar(&cfg.shape, "workload", "hotset", "workload shape ("+strings.Join(workload.Names(), ", ")+")")
+	fs.StringVar(&cfg.shape, "workload", "hotset", "workload shape ("+strings.Join(shapeNames(), ", ")+")")
 	fs.Float64Var(&cfg.selectivity, "selectivity", 0.01, "query selectivity (fraction of the domain)")
 	fs.Int64Var(&cfg.domain, "domain", 1_000_000, "value domain queried (match the server's -domain)")
 	fs.Int64Var(&cfg.seed, "seed", 42, "workload seed")
 	fs.StringVar(&cfg.op, "op", "count", "query operation: count or select")
 	fs.DurationVar(&cfg.think, "think", 0, "think time between a session's queries")
+	fs.StringVar(&cfg.table, "table", "", "table to query (default: the server's default table)")
+	fs.StringVar(&cfg.col, "column", "", "selection column (default: the server's default column)")
+	fs.StringVar(&project, "project", "", "comma-separated projection columns (selectproject shape; forces -op select)")
+	fs.StringVar(&cfg.path, "path", "", "access path to request (default: the server's default path)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if project != "" {
+		for _, p := range strings.Split(project, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.project = append(cfg.project, p)
+			}
+		}
+	}
+	known := false
+	for _, name := range shapeNames() {
+		if cfg.shape == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return cfg, fmt.Errorf("unknown -workload %q (want %s)", cfg.shape, strings.Join(shapeNames(), ", "))
+	}
+	if cfg.shape == "selectproject" && len(cfg.project) == 0 {
+		return cfg, fmt.Errorf("-workload selectproject needs -project")
+	}
+	if len(cfg.project) > 0 {
+		cfg.op = "select"
 	}
 	if cfg.op != "count" && cfg.op != "select" {
 		return cfg, fmt.Errorf("unknown -op %q (want count or select)", cfg.op)
@@ -81,12 +121,67 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
+// sessionStreams builds one table-level generator per session.
+func sessionStreams(cfg config, client *http.Client) ([]workload.TableGenerator, error) {
+	target := workload.Target{Table: cfg.table, Column: cfg.col, Project: cfg.project}
+	switch cfg.shape {
+	case "selectproject":
+		return workload.SelectProjectSessions(cfg.seed, cfg.sessions, target, 0, column.Value(cfg.domain), cfg.selectivity), nil
+	case "multitable":
+		// Enumerate the served catalog and hit every table.
+		st, err := fetchStats(client, cfg.base)
+		if err != nil {
+			return nil, fmt.Errorf("multitable needs the server catalog: %w", err)
+		}
+		if len(st.Tables) == 0 {
+			return nil, fmt.Errorf("server reports no tables")
+		}
+		var targets []workload.Target
+		for _, tab := range st.Tables {
+			tgt := workload.Target{Table: tab.Table}
+			if len(tab.Columns) > 0 {
+				tgt.Column = tab.Columns[0]
+			}
+			// Apply the projection only where every named column exists.
+			if len(cfg.project) > 0 && containsAll(tab.Columns, cfg.project) {
+				tgt.Project = cfg.project
+			}
+			targets = append(targets, tgt)
+		}
+		return workload.MultiTableSessions("hotset", cfg.seed, cfg.sessions, targets, 0, column.Value(cfg.domain), cfg.selectivity)
+	default:
+		gens, err := workload.SessionGenerators(cfg.shape, cfg.seed, cfg.sessions, 0, column.Value(cfg.domain), cfg.selectivity)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]workload.TableGenerator, len(gens))
+		for i, g := range gens {
+			out[i] = workload.NewFixedTarget(target, g)
+		}
+		return out, nil
+	}
+}
+
+func containsAll(have, want []string) bool {
+	set := make(map[string]bool, len(have))
+	for _, h := range have {
+		set[h] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}
+
 func run(args []string, out io.Writer) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
-	gens, err := workload.SessionGenerators(cfg.shape, cfg.seed, cfg.sessions, 0, column.Value(cfg.domain), cfg.selectivity)
+	client := &http.Client{Timeout: 30 * time.Second}
+	gens, err := sessionStreams(cfg, client)
 	if err != nil {
 		return err
 	}
@@ -97,7 +192,6 @@ func run(args []string, out io.Writer) error {
 		firstErr  error
 	}
 	results := make([]sessionResult, cfg.sessions)
-	client := &http.Client{Timeout: 30 * time.Second}
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -108,8 +202,8 @@ func run(args []string, out io.Writer) error {
 			res := &results[id]
 			res.latencies = make([]time.Duration, 0, cfg.perSession)
 			for q := 0; q < cfg.perSession; q++ {
-				r := gens[id].Next()
-				body, err := json.Marshal(wireQuery(cfg.op, r))
+				tq := gens[id].NextQuery()
+				body, err := json.Marshal(wireQuery(cfg, tq))
 				if err != nil {
 					res.errs++
 					continue
@@ -169,18 +263,32 @@ func run(args []string, out io.Writer) error {
 		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
 
 	if st, err := fetchStats(client, cfg.base); err == nil {
-		fmt.Fprintf(out, "server: kind=%s len=%d partitions=%d cracks=%d mode=%s batches=%d shared-scans=%d rejected=%d p50=%dµs p99=%dµs\n",
-			st.Index.Kind, st.Index.Len, st.Index.Partitions, st.Index.Cracks,
-			st.Mode, st.Batches, st.SharedScans, st.Rejected, st.Latency.P50Us, st.Latency.P99Us)
+		fmt.Fprintf(out, "server: tables=%d pieces=%d mode=%s batches=%d shared-scans=%d rejected=%d p50=%dµs p99=%dµs\n",
+			len(st.Tables), st.Structures.Pieces, st.Mode, st.Batches, st.SharedScans,
+			st.Rejected, st.Latency.P50Us, st.Latency.P99Us)
+		for _, plan := range st.Planner {
+			fmt.Fprintf(out, "planner: %s.%s phase=%s chosen=%s re-explores=%d\n",
+				plan.Table, plan.Column, plan.Phase, plan.Chosen, plan.ReExplores)
+		}
 	} else {
 		fmt.Fprintf(out, "server: stats unavailable: %v\n", err)
 	}
 	return nil
 }
 
-// wireQuery converts an internal predicate to the wire form.
-func wireQuery(op string, r column.Range) server.QueryRequest {
-	q := server.QueryRequest{Op: op}
+// wireQuery converts one table-level query to the wire form.
+func wireQuery(cfg config, tq workload.TableQuery) server.QueryRequest {
+	q := server.QueryRequest{
+		Op:      cfg.op,
+		Table:   tq.Table,
+		Column:  tq.Column,
+		Project: tq.Project,
+		Path:    cfg.path,
+	}
+	if len(tq.Project) > 0 {
+		q.Op = "select"
+	}
+	r := tq.R
 	if r.HasLow {
 		lo := r.Low
 		q.Low = &lo

@@ -13,17 +13,25 @@ import (
 
 func startBackend(t *testing.T, n int) (*server.Service, *httptest.Server) {
 	t.Helper()
-	vals := workload.DataUniform(1, n, n)
-	built, err := server.BuildIndex("cracking", vals, server.BuildOptions{})
+	cat, err := server.BuildCatalog([]server.TableSpec{
+		{Name: "data", Rows: n, Cols: 3},
+		{Name: "aux", Rows: n / 2, Cols: 2},
+	}, 1, n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := server.NewService(server.Config{
-		Index:       built.Index,
-		Kind:        built.Kind,
-		BatchWindow: 200 * time.Microsecond,
-		Cracker:     built.Cracker,
+	built, err := server.BuildEngine(cat, server.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := server.NewService(server.Config{
+		Engine:       built.Engine,
+		DefaultTable: "data",
+		BatchWindow:  200 * time.Microsecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -49,7 +57,7 @@ func TestReplayAgainstLiveServer(t *testing.T) {
 		t.Fatalf("%v\noutput:\n%s", err, out.String())
 	}
 	report := out.String()
-	for _, want := range []string{"total=120", "throughput", "latency p50=", "server: kind=cracking", "errors 0"} {
+	for _, want := range []string{"total=120", "throughput", "latency p50=", "server: tables=2", "errors 0", "planner: data.c0"} {
 		if !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)
 		}
@@ -57,6 +65,63 @@ func TestReplayAgainstLiveServer(t *testing.T) {
 	// +0 stats queries: /stats is not counted as a query.
 	if st := svc.Stats(); st.Queries != 120 {
 		t.Fatalf("server answered %d queries, want 120", st.Queries)
+	}
+}
+
+// TestSelectProjectOverTheWire replays the selectproject shape and
+// verifies the projection traffic builds sideways-capable state server
+// side.
+func TestSelectProjectOverTheWire(t *testing.T) {
+	svc, ts := startBackend(t, 10_000)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "3",
+		"-queries", "40",
+		"-workload", "selectproject",
+		"-project", "c1,c2",
+		"-domain", "10000",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"workload=selectproject op=select", "total=120", "errors 0"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	if st := svc.Stats(); st.Queries != 120 {
+		t.Fatalf("server answered %d queries, want 120", st.Queries)
+	}
+}
+
+// TestMultiTableOverTheWire drives every table the catalog lists.
+func TestMultiTableOverTheWire(t *testing.T) {
+	svc, ts := startBackend(t, 10_000)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "2",
+		"-queries", "20",
+		"-workload", "multitable",
+		"-domain", "10000",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "errors 0") {
+		t.Fatalf("queries failed:\n%s", out.String())
+	}
+	// Both tables must have been touched: the engine builds at least one
+	// structure (or planner state) per table the sessions hit.
+	st := svc.Stats()
+	tables := make(map[string]bool)
+	for _, plan := range st.Planner {
+		tables[plan.Table] = true
+	}
+	if len(tables) < 2 {
+		t.Fatalf("multitable replay reached %d tables, want 2 (planner: %+v)", len(tables), st.Planner)
 	}
 }
 
@@ -86,6 +151,7 @@ func TestFlagValidation(t *testing.T) {
 		{"-op", "truncate"},
 		{"-workload", "tsunami", "-addr", "localhost:1"},
 		{"-sessions", "0"},
+		{"-workload", "selectproject"}, // needs -project
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

@@ -1,17 +1,22 @@
-// Command crackserve is the query service daemon: it hosts an adaptive
-// index (any kind internal/server can build, including the partitioned
-// parallel cracker) behind an HTTP endpoint with shared-scan batching,
-// admission control and latency histograms.
+// Command crackserve is the query service daemon: it hosts a
+// multi-table adaptive execution engine (internal/engine) behind an
+// HTTP endpoint with shared-scan batching, a cost-driven access-path
+// planner, admission control and latency histograms.
 //
-//	crackserve -addr :8080 -kind cracking -n 1000000 -snapshot /tmp/col.snap
-//	crackserve -kind cracking-parallel -partitions 8 -batch-window 500us
+//	crackserve -addr :8080 -tables orders:1000000:4,events:200000:2 -snapshot /tmp/engine.snap
+//	crackserve -n 1000000 -path cracking -batch-window 500us
 //
-// The hosted column is generated deterministically from -seed, so a
-// daemon restarted with the same flags serves the same data. With
-// -snapshot set, a graceful shutdown (SIGINT/SIGTERM) writes the
-// cracked state through internal/persist and the next boot restores it:
-// the physical order and cracker index the workload paid for survive
-// the restart instead of being re-learned.
+// The hosted catalog is generated deterministically from -tables and
+// -seed (columns c0..c{k-1} per table), so a daemon restarted with the
+// same flags serves the same data. Queries name a table, a selection
+// column, a range and optional projection columns; the access path
+// defaults to -path ("auto": the engine's planner explores the paths
+// on real queries and exploits the cheapest, re-exploring on drift).
+// With -snapshot set, a graceful shutdown (SIGINT/SIGTERM) writes the
+// engine's adaptive state — cracked columns, sideways maps, planner
+// estimates — through internal/persist and the next boot restores it:
+// the physical design the workload paid for survives the restart
+// instead of being re-learned.
 //
 // Endpoints: POST /query, GET /stats, GET /healthz (see
 // internal/server).
@@ -31,8 +36,8 @@ import (
 	"syscall"
 	"time"
 
+	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/server"
-	"adaptiveindex/internal/workload"
 )
 
 func main() {
@@ -47,10 +52,11 @@ func main() {
 // config is the parsed daemon configuration.
 type config struct {
 	addr        string
-	kind        string
+	tables      string
 	n           int
 	domain      int
 	seed        int64
+	path        string
 	partitions  int
 	workers     int
 	batchWindow time.Duration
@@ -64,22 +70,23 @@ func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("crackserve", flag.ContinueOnError)
 	var cfg config
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	fs.StringVar(&cfg.kind, "kind", "cracking", "index kind ("+strings.Join(server.Kinds(), ", ")+")")
-	fs.IntVar(&cfg.n, "n", 1_000_000, "number of tuples in the hosted column")
-	fs.IntVar(&cfg.domain, "domain", 0, "value domain (default: same as -n)")
+	fs.StringVar(&cfg.tables, "tables", "", "catalog spec name:rows:cols[,name:rows:cols...] (default: data:<n>:3)")
+	fs.IntVar(&cfg.n, "n", 1_000_000, "rows of the default single-table catalog (ignored when -tables is set)")
+	fs.IntVar(&cfg.domain, "domain", 0, "value domain of every generated column (default: the table's row count)")
 	fs.Int64Var(&cfg.seed, "seed", 42, "data generation seed")
-	fs.IntVar(&cfg.partitions, "partitions", 0, "partition count for cracking-parallel (default: one per CPU)")
-	fs.IntVar(&cfg.workers, "workers", 0, "worker bound for cracking-parallel (default: one per CPU)")
+	fs.StringVar(&cfg.path, "path", "auto", "default access path ("+strings.Join(engine.PathNames(), ", ")+")")
+	fs.IntVar(&cfg.partitions, "partitions", 0, "partition count for the parallel path (default: one per CPU)")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker bound for the parallel path (default: one per CPU)")
 	fs.DurationVar(&cfg.batchWindow, "batch-window", 500*time.Microsecond, "batch coalescing window (0 disables batching)")
 	fs.IntVar(&cfg.batchMax, "batch-max", 64, "max queries per batch")
 	fs.IntVar(&cfg.inFlight, "inflight", 1024, "admission limit on in-flight queries")
-	fs.StringVar(&cfg.snapshot, "snapshot", "", "snapshot file, restored on boot and written on graceful shutdown (cracking and cracking-stochastic kinds)")
+	fs.StringVar(&cfg.snapshot, "snapshot", "", "engine snapshot file, restored on boot and written on graceful shutdown")
 	fs.DurationVar(&cfg.drainWait, "drain-wait", 5*time.Second, "graceful shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
-	if cfg.domain <= 0 {
-		cfg.domain = cfg.n
+	if cfg.tables == "" {
+		cfg.tables = fmt.Sprintf("data:%d:3", cfg.n)
 	}
 	return cfg, nil
 }
@@ -98,10 +105,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 // serve hosts the service on the listener until ctx is cancelled, then
 // shuts down gracefully: the HTTP server drains, the scheduler
-// quiesces, and the cracked state is snapshotted.
+// quiesces, and the engine state is snapshotted.
 func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) error {
-	vals := workload.DataUniform(cfg.seed, cfg.n, cfg.domain)
-	built, err := server.BuildIndex(cfg.kind, vals, server.BuildOptions{
+	specs, err := server.ParseTableSpecs(cfg.tables)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	cat, err := server.BuildCatalog(specs, cfg.seed, cfg.domain)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	built, err := server.BuildEngine(cat, server.EngineOptions{
 		Partitions:   cfg.partitions,
 		Workers:      cfg.workers,
 		Seed:         cfg.seed,
@@ -111,15 +127,18 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		ln.Close()
 		return err
 	}
-	svc := server.NewService(server.Config{
-		Index:           built.Index,
-		Kind:            built.Kind,
-		BatchWindow:     cfg.batchWindow,
-		MaxBatch:        cfg.batchMax,
-		MaxInFlight:     cfg.inFlight,
-		ConcurrencySafe: built.ConcurrencySafe,
-		Cracker:         built.Cracker,
+	svc, err := server.NewService(server.Config{
+		Engine:       built.Engine,
+		DefaultTable: specs[0].Name,
+		DefaultPath:  cfg.path,
+		BatchWindow:  cfg.batchWindow,
+		MaxBatch:     cfg.batchMax,
+		MaxInFlight:  cfg.inFlight,
 	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
@@ -129,11 +148,12 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 	if built.Restored {
 		boot = fmt.Sprintf("restored from %s", cfg.snapshot)
 	}
-	fmt.Fprintf(out, "crackserve: %s on %s (%s, %d tuples)\n", svc, ln.Addr(), boot, cfg.n)
-	if cfg.snapshot != "" && built.Cracker == nil {
-		fmt.Fprintf(out, "crackserve: warning: kind %q has no snapshot support, -snapshot %s will be ignored\n",
-			cfg.kind, cfg.snapshot)
+	var tables []string
+	for _, spec := range specs {
+		tables = append(tables, fmt.Sprintf("%s(%d rows, %d cols)", spec.Name, spec.Rows, spec.Cols))
 	}
+	fmt.Fprintf(out, "crackserve: %s on %s (%s)\n", svc, ln.Addr(), boot)
+	fmt.Fprintf(out, "crackserve: catalog %s\n", strings.Join(tables, ", "))
 
 	select {
 	case <-ctx.Done():
@@ -162,7 +182,7 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 	return shutdownErr
 }
 
-// writeSnapshot persists the quiesced index atomically (write to a
+// writeSnapshot persists the quiesced engine atomically (write to a
 // temp file, then rename), so a crash mid-write never corrupts the
 // previous snapshot.
 func writeSnapshot(svc *server.Service, path string, out io.Writer) error {
@@ -171,18 +191,13 @@ func writeSnapshot(svc *server.Service, path string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ok, err := svc.SnapshotTo(f)
+	err = svc.SnapshotTo(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("snapshot: %w", err)
-	}
-	if !ok {
-		os.Remove(tmp)
-		fmt.Fprintln(out, "crackserve: index kind has no snapshot support, skipping")
-		return nil
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)

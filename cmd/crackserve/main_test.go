@@ -82,16 +82,36 @@ func getStats(t *testing.T, url string) server.Stats {
 	return st
 }
 
-// TestKillRestartCycle is the daemon-level restart contract: a graceful
-// shutdown snapshots the cracked state, and a rebooted daemon restores
-// it — same answers, same pieces, no re-learning.
+func postJSON(t *testing.T, url, body string) server.QueryResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("%s: status %d: %s", body, resp.StatusCode, buf.String())
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// TestKillRestartCycle is the daemon-level restart contract against a
+// multi-table catalog: a graceful shutdown snapshots the engine's
+// adaptive state (cracked columns, sideways maps, planner estimates),
+// and a rebooted daemon restores it — same answers, same pieces, no
+// re-learning.
 func TestKillRestartCycle(t *testing.T) {
-	snap := filepath.Join(t.TempDir(), "col.snapshot")
+	snap := filepath.Join(t.TempDir(), "engine.snapshot")
 	cfg := config{
-		kind:        "cracking",
-		n:           50_000,
-		domain:      50_000,
+		tables:      "orders:50000:3,events:20000:2",
 		seed:        7,
+		path:        "auto",
 		batchWindow: 200 * time.Microsecond,
 		batchMax:    64,
 		inFlight:    128,
@@ -101,25 +121,29 @@ func TestKillRestartCycle(t *testing.T) {
 
 	url, cancel, done, out := startServe(t, cfg)
 
-	// Crack the column over the wire.
-	counts := make(map[string]int)
+	// Crack both tables over the wire: select-project exploration on
+	// orders (the planner routes it), plain counts on events.
+	bodies := make([]string, 0, 90)
 	for i := 0; i < 60; i++ {
 		lo := (i * 700) % 49000
-		body := fmt.Sprintf(`{"op":"count","low":%d,"high":%d}`, lo, lo+500)
-		resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var qr server.QueryResponse
-		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		counts[body] = qr.Count
+		bodies = append(bodies, fmt.Sprintf(
+			`{"op":"select","table":"orders","column":"c0","low":%d,"high":%d,"project":["c1"]}`, lo, lo+500))
+	}
+	for i := 0; i < 30; i++ {
+		lo := (i * 600) % 19000
+		bodies = append(bodies, fmt.Sprintf(
+			`{"op":"count","table":"events","column":"c0","low":%d,"high":%d}`, lo, lo+300))
+	}
+	counts := make(map[string]int)
+	for _, body := range bodies {
+		counts[body] = postJSON(t, url, body).Count
 	}
 	before := getStats(t, url)
-	if before.Index.Cracks == 0 {
-		t.Fatal("no cracks after a query stream")
+	if before.Structures.CrackerPieces+before.Structures.MapPieces == 0 {
+		t.Fatalf("no persistable pieces after a query stream: %+v", before.Structures)
+	}
+	if len(before.Planner) == 0 {
+		t.Fatal("auto traffic left no planner state")
 	}
 
 	// Graceful shutdown must write the snapshot.
@@ -148,37 +172,51 @@ func TestKillRestartCycle(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	after := getStats(t, url2)
-	if after.Index.Cracks != before.Index.Cracks {
-		t.Fatalf("restored %d cracks, want %d", after.Index.Cracks, before.Index.Cracks)
+	if after.Structures.CrackerPieces != before.Structures.CrackerPieces ||
+		after.Structures.MapPieces != before.Structures.MapPieces {
+		t.Fatalf("restored structures %+v, want %+v", after.Structures, before.Structures)
 	}
-	// Replaying the same queries must return identical counts and must
-	// not crack further (the state was restored, not re-learned).
+	if len(after.Planner) != len(before.Planner) {
+		t.Fatalf("restored %d planner states, want %d", len(after.Planner), len(before.Planner))
+	}
+	for i := range before.Planner {
+		if after.Planner[i].Chosen != before.Planner[i].Chosen || after.Planner[i].Phase != before.Planner[i].Phase {
+			t.Fatalf("planner state %d not restored: %+v vs %+v", i, after.Planner[i], before.Planner[i])
+		}
+	}
+	// Replay the same queries twice: identical counts both times, and
+	// the second replay must add no cracks. (The first replay may add a
+	// few — queries that probed the non-chosen path during the original
+	// explore phase now route to the restored planner's choice, whose
+	// structure finishes absorbing their bounds.)
+	for round := 0; round < 2; round++ {
+		for body, want := range counts {
+			if got := postJSON(t, url2, body).Count; got != want {
+				t.Fatalf("after restart (round %d), %s returned %d, want %d", round, body, got, want)
+			}
+		}
+	}
+	mid := getStats(t, url2)
 	for body, want := range counts {
-		resp, err := http.Post(url2+"/query", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var qr server.QueryResponse
-		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if qr.Count != want {
-			t.Fatalf("after restart, %s returned %d, want %d", body, qr.Count, want)
+		if got := postJSON(t, url2, body).Count; got != want {
+			t.Fatalf("final replay, %s returned %d, want %d", body, got, want)
 		}
 	}
-	if final := getStats(t, url2); final.Index.Cracks != before.Index.Cracks {
-		t.Fatalf("replay cracked further after restore: %d -> %d", before.Index.Cracks, final.Index.Cracks)
+	final := getStats(t, url2)
+	if final.Structures.CrackerPieces != mid.Structures.CrackerPieces ||
+		final.Structures.MapPieces != mid.Structures.MapPieces {
+		t.Fatalf("replay did not converge after restore: %+v -> %+v", mid.Structures, final.Structures)
 	}
 }
 
-// TestServeParallelKind smoke-tests the partitioned kind end to end.
-func TestServeParallelKind(t *testing.T) {
+// TestServeSelectProjectAndPaths smoke-tests the wire surface end to
+// end: select-project against a named table, explicit paths, and the
+// stats catalog.
+func TestServeSelectProjectAndPaths(t *testing.T) {
 	cfg := config{
-		kind:        "cracking-parallel",
-		n:           20_000,
-		domain:      20_000,
+		tables:      "data:20000:3",
 		seed:        3,
+		path:        "auto",
 		partitions:  4,
 		batchWindow: 200 * time.Microsecond,
 		batchMax:    64,
@@ -190,20 +228,31 @@ func TestServeParallelKind(t *testing.T) {
 		cancel()
 		<-done
 	}()
-	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(`{"op":"select","low":100,"high":300}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var qr server.QueryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+	qr := postJSON(t, url, `{"op":"select","low":100,"high":500,"project":["c1","c2"]}`)
 	if qr.Count == 0 || len(qr.Rows) != qr.Count {
 		t.Fatalf("bad response: %+v", qr)
 	}
-	if st := getStats(t, url); st.Index.Partitions != 4 {
-		t.Fatalf("partitions=%d, want 4", st.Index.Partitions)
+	if len(qr.Columns["c1"]) != qr.Count || len(qr.Columns["c2"]) != qr.Count {
+		t.Fatalf("projections missing: %+v", qr.Columns)
+	}
+	if qr.Path == "" || qr.Path == "auto" {
+		t.Fatalf("response must name the executed path, got %q", qr.Path)
+	}
+	for _, path := range []string{"scan", "cracking", "sideways", "parallel"} {
+		qr2 := postJSON(t, url, fmt.Sprintf(`{"op":"count","low":100,"high":500,"path":%q}`, path))
+		if qr2.Count != qr.Count {
+			t.Fatalf("path %s: count %d, want %d", path, qr2.Count, qr.Count)
+		}
+		if qr2.Path != path {
+			t.Fatalf("path %s executed as %q", path, qr2.Path)
+		}
+	}
+	st := getStats(t, url)
+	if len(st.Tables) != 1 || st.Tables[0].Table != "data" || len(st.Tables[0].Columns) != 3 {
+		t.Fatalf("unexpected catalog: %+v", st.Tables)
+	}
+	if st.Structures.Parallels == 0 {
+		t.Fatal("explicit parallel path built no partitioned structure")
 	}
 }
 
@@ -213,14 +262,17 @@ func TestFlagParsing(t *testing.T) {
 	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("bad flag must fail")
 	}
-	cfg, err := parseFlags([]string{"-n", "1000", "-kind", "cracking"})
+	cfg, err := parseFlags([]string{"-n", "1000"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.domain != 1000 {
-		t.Fatalf("domain must default to n, got %d", cfg.domain)
+	if cfg.tables != "data:1000:3" {
+		t.Fatalf("tables must default from -n, got %q", cfg.tables)
 	}
-	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-kind", "no-such-kind", "-n", "10"}, &bytes.Buffer{}); err == nil {
-		t.Fatal("unknown kind must fail")
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-tables", "bad-spec"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad table spec must fail")
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-n", "10", "-path", "no-such-path"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown path must fail")
 	}
 }

@@ -1,7 +1,8 @@
-// Example server starts an in-process query service over a partitioned
-// parallel cracker, fires a skewed hot-set workload at it from several
-// concurrent sessions, and prints the /stats snapshot — the quickest
-// way to see shared-scan batching and the latency histogram working.
+// Example server starts an in-process query service over a multi-table
+// adaptive engine, fires a skewed hot-set select-project workload at it
+// from several concurrent sessions, and prints the /stats snapshot —
+// the quickest way to see shared-scan batching, the access-path
+// planner, and the latency histogram working.
 //
 //	go run ./examples/server
 package main
@@ -24,34 +25,45 @@ func main() {
 		sessions = 8
 		queries  = 300
 	)
-	vals := workload.DataUniform(42, n, n)
-	built, err := server.BuildIndex("cracking-parallel", vals, server.BuildOptions{Partitions: 4})
+	// Two generated tables; "orders" is the default target.
+	cat, err := server.BuildCatalog([]server.TableSpec{
+		{Name: "orders", Rows: n, Cols: 3},
+		{Name: "events", Rows: n / 4, Cols: 2},
+	}, 42, n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc := server.NewService(server.Config{
-		Index:           built.Index,
-		Kind:            built.Kind,
-		BatchWindow:     500 * time.Microsecond,
-		ConcurrencySafe: built.ConcurrencySafe,
+	built, err := server.BuildEngine(cat, server.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := server.NewService(server.Config{
+		Engine:       built.Engine,
+		DefaultTable: "orders",
+		BatchWindow:  500 * time.Microsecond,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer svc.Close()
 	fmt.Println("started", svc)
 
 	// Eight sessions exploring the same dashboard: one shared hot-set
-	// pool, independent draw sequences.
-	gens, err := workload.SessionGenerators("hotset", 7, sessions, 0, n, 0.01)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// pool of select-project queries, independent draw sequences. The
+	// access path is left to the planner (PathAuto).
+	target := workload.Target{Table: "orders", Column: "c0", Project: []string{"c1"}}
+	gens := workload.SelectProjectSessions(7, sessions, target, 0, n, 0.01)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < sessions; g++ {
 		wg.Add(1)
-		go func(gen workload.Generator) {
+		go func(gen workload.TableGenerator) {
 			defer wg.Done()
 			for q := 0; q < queries; q++ {
-				if _, err := svc.Count(gen.Next()); err != nil {
+				tq := gen.NextQuery()
+				if _, err := svc.SelectQuery(server.Query{
+					Table: tq.Table, Column: tq.Column, R: tq.R, Project: tq.Project,
+				}); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -59,16 +71,21 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	fmt.Printf("replayed %d queries from %d sessions in %v (%.0f q/s)\n\n",
+	fmt.Printf("replayed %d select-project queries from %d sessions in %v (%.0f q/s)\n\n",
 		sessions*queries, sessions, wall.Round(time.Millisecond),
 		float64(sessions*queries)/wall.Seconds())
 
-	// A single handcrafted query showing the full surface.
-	rows, err := svc.Select(column.NewRange(1000, 1200))
+	// A couple of handcrafted queries showing the full surface.
+	reply, err := svc.SelectQuery(server.Query{R: column.NewRange(1000, 1200), Project: []string{"c1", "c2"}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("select [1000,1200) -> %d rows\n\n", len(rows))
+	fmt.Printf("select c1,c2 from orders where c0 in [1000,1200) -> %d rows via %s\n", reply.Count, reply.Path)
+	count, err := svc.CountQuery(server.Query{Table: "events", R: column.NewRange(5000, 9000)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count events where c0 in [5000,9000) -> %d\n\n", count)
 
 	// The same snapshot GET /stats serves, pretty-printed.
 	stats, err := json.MarshalIndent(svc.Stats(), "", "  ")

@@ -80,6 +80,17 @@ func (c Counters) Total() uint64 {
 		randomTouchWeight*c.RandomTouches + c.PageTouches
 }
 
+// Recurring returns the materialisation component of the work: tuples
+// copied into results plus weighted random accesses. Unlike
+// reorganisation work (swaps, piece scans, comparisons), which adaptive
+// structures invest once and amortise, this component is re-paid on
+// every repetition of a query shape — it is the steady-state marginal
+// cost a planner should compare access paths on. A scan has no
+// reorganisation at all, so for scans Total is the recurring cost.
+func (c Counters) Recurring() uint64 {
+	return c.TuplesCopied + randomTouchWeight*c.RandomTouches
+}
+
 // IsZero reports whether no work has been recorded.
 func (c Counters) IsZero() bool {
 	return c == Counters{}

@@ -80,3 +80,25 @@ func TestTotalAdditive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecurring(t *testing.T) {
+	c := Counters{
+		ValuesTouched: 100,
+		Comparisons:   50,
+		Swaps:         25,
+		TuplesCopied:  10,
+		RandomTouches: 3,
+		PageTouches:   7,
+	}
+	// Recurring is the materialisation component only: tuples copied
+	// plus weighted random accesses. Reorganisation work is excluded.
+	if got, want := c.Recurring(), uint64(10+4*3); got != want {
+		t.Fatalf("Recurring() = %d, want %d", got, want)
+	}
+	if c.Recurring() >= c.Total() {
+		t.Fatal("recurring cost must be a strict component of the total here")
+	}
+	if (Counters{}).Recurring() != 0 {
+		t.Fatal("zero counters must have zero recurring cost")
+	}
+}

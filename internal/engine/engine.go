@@ -19,11 +19,18 @@
 //   - PathParallel: partitioned parallel cracking (package partition) —
 //     the selection column is sharded by value range and queries fan
 //     out across the partitions they overlap.
+//   - PathAuto:     the engine picks — a per-(table, column) planner
+//     tracks the observed cost of each path (logical work counters
+//     plus wall time) and routes queries to the cheapest one,
+//     re-exploring when the chosen path's cost drifts up (see
+//     planner.go). Run is the entry point that resolves it.
 package engine
 
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
@@ -46,6 +53,9 @@ var (
 	// ErrDuplicate is returned when a table or column is registered
 	// twice.
 	ErrDuplicate = errors.New("engine: duplicate name")
+	// ErrUnknownPath is returned by ParsePath for an unrecognised
+	// access-path name.
+	ErrUnknownPath = errors.New("engine: unknown access path")
 )
 
 // Table is a named collection of equally long columns.
@@ -133,13 +143,19 @@ func (c *Catalog) Tables() []string {
 // AccessPath selects how a selection (and its projection) is executed.
 type AccessPath uint8
 
-// Access paths.
+// Access paths. The first four are the static paths; PathAuto delegates
+// the choice to the engine's planner and is only valid through Run.
 const (
 	PathScan AccessPath = iota
 	PathCracking
 	PathSideways
 	PathParallel
+	PathAuto
 )
+
+// numStaticPaths is the number of concrete access paths the planner
+// tracks; PathAuto is a routing directive, not an executable path.
+const numStaticPaths = 4
 
 // String returns the access-path name.
 func (p AccessPath) String() string {
@@ -152,18 +168,59 @@ func (p AccessPath) String() string {
 		return "sideways"
 	case PathParallel:
 		return "parallel"
+	case PathAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("AccessPath(%d)", uint8(p))
 	}
 }
 
-// Result is the output of a select-project query: the qualifying row
-// identifiers and, positionally aligned with them, the projected
-// columns.
+// PathNames lists the access-path names ParsePath accepts, in path
+// order, for flag help texts and error messages.
+func PathNames() []string {
+	return []string{"scan", "cracking", "sideways", "parallel", "auto"}
+}
+
+// ParsePath converts an access-path name (as produced by String) back
+// to the path. The empty string parses as PathAuto, so wire formats can
+// omit the field.
+func ParsePath(s string) (AccessPath, error) {
+	switch strings.ToLower(s) {
+	case "scan":
+		return PathScan, nil
+	case "cracking":
+		return PathCracking, nil
+	case "sideways":
+		return PathSideways, nil
+	case "parallel":
+		return PathParallel, nil
+	case "", "auto":
+		return PathAuto, nil
+	default:
+		return PathAuto, fmt.Errorf("%w %q (have %s)", ErrUnknownPath, s, strings.Join(PathNames(), ", "))
+	}
+}
+
+// Result is the output of one query. Count is always set; Rows and
+// Columns are nil for count-only queries (nothing is materialised for
+// them). Path records which access path actually executed the query
+// (for PathAuto, the planner's choice).
 type Result struct {
+	Count   int
 	Rows    column.IDList
 	Columns map[string][]column.Value
+	Path    AccessPath
 }
+
+// TableColumn identifies one selection column of the catalog; it keys
+// every per-column adaptive structure and planner state.
+type TableColumn struct {
+	Table  string
+	Column string
+}
+
+// String renders the key as "table.column".
+func (tc TableColumn) String() string { return tc.Table + "." + tc.Column }
 
 // Engine executes queries against a catalog, maintaining adaptive
 // index state (cracker columns and sideways map sets) per column as a
@@ -171,11 +228,13 @@ type Result struct {
 // use.
 type Engine struct {
 	cat        *Catalog
-	crackers   map[string]*core.CrackerColumn
-	mapsets    map[string]*sideways.MapSet
-	parallels  map[string]*partition.Index
+	crackers   map[TableColumn]*core.CrackerColumn
+	mapsets    map[TableColumn]*sideways.MapSet
+	parallels  map[TableColumn]*partition.Index
 	opts       core.Options
 	partitions int
+	workers    int
+	planner    *planner
 	c          cost.Counters
 }
 
@@ -184,17 +243,33 @@ type Engine struct {
 func New(cat *Catalog, opts core.Options) *Engine {
 	return &Engine{
 		cat:       cat,
-		crackers:  make(map[string]*core.CrackerColumn),
-		mapsets:   make(map[string]*sideways.MapSet),
-		parallels: make(map[string]*partition.Index),
+		crackers:  make(map[TableColumn]*core.CrackerColumn),
+		mapsets:   make(map[TableColumn]*sideways.MapSet),
+		parallels: make(map[TableColumn]*partition.Index),
 		opts:      opts,
+		planner:   newPlanner(DefaultPlannerOptions()),
 	}
 }
+
+// Catalog returns the catalog the engine executes against.
+func (e *Engine) Catalog() *Catalog { return e.cat }
 
 // SetParallelPartitions overrides the shard count used by PathParallel
 // structures built afterwards. Values <= 0 restore the default (one
 // partition per available CPU).
 func (e *Engine) SetParallelPartitions(p int) { e.partitions = p }
+
+// SetParallelWorkers overrides the per-query worker bound used by
+// PathParallel structures built afterwards. Values <= 0 restore the
+// default (one worker per available CPU).
+func (e *Engine) SetParallelWorkers(w int) { e.workers = w }
+
+// SetPlannerOptions replaces the PathAuto planner configuration. It
+// resets any routing state accumulated so far, so it should be called
+// before the engine serves queries.
+func (e *Engine) SetPlannerOptions(opts PlannerOptions) {
+	e.planner = newPlanner(opts)
+}
 
 // Cost returns the cumulative logical work of the engine and every
 // adaptive structure it maintains.
@@ -212,7 +287,7 @@ func (e *Engine) Cost() cost.Counters {
 	return c
 }
 
-func key(table, col string) string { return table + "." + col }
+func key(table, col string) TableColumn { return TableColumn{Table: table, Column: col} }
 
 // crackerFor returns (creating on demand) the cracker column for
 // table.col.
@@ -241,7 +316,7 @@ func (e *Engine) parallelFor(t *Table, col string) (*partition.Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	px := partition.New(vals, partition.Options{Partitions: e.partitions, Core: e.opts})
+	px := partition.New(vals, partition.Options{Partitions: e.partitions, Workers: e.workers, Core: e.opts})
 	e.parallels[k] = px
 	return px, nil
 }
@@ -298,7 +373,7 @@ func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath)
 			return nil, err
 		}
 		return px.Select(r), nil
-	default:
+	case PathScan:
 		vals, err := t.Column(attr)
 		if err != nil {
 			return nil, err
@@ -313,6 +388,55 @@ func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath)
 			}
 		}
 		return out, nil
+	default:
+		return nil, fmt.Errorf("engine: access path %s cannot execute directly (use Run for PathAuto)", path)
+	}
+}
+
+// CountRows returns the number of tuples in table whose column attr
+// satisfies r, using the requested access path. Nothing is
+// materialised: every path answers from positions (or, for a scan, a
+// counting pass), so counting charges no recurring copy work.
+func (e *Engine) CountRows(table, attr string, r column.Range, path AccessPath) (int, error) {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	switch path {
+	case PathCracking:
+		cc, err := e.crackerFor(t, attr)
+		if err != nil {
+			return 0, err
+		}
+		return cc.Count(r), nil
+	case PathSideways:
+		ms, err := e.mapsetFor(t, attr)
+		if err != nil {
+			return 0, err
+		}
+		return ms.CountRows(r)
+	case PathParallel:
+		px, err := e.parallelFor(t, attr)
+		if err != nil {
+			return 0, err
+		}
+		return px.Count(r), nil
+	case PathScan:
+		vals, err := t.Column(attr)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, v := range vals {
+			e.c.ValuesTouched++
+			e.c.Comparisons++
+			if r.Contains(v) {
+				n++
+			}
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("engine: access path %s cannot execute directly (use Run for PathAuto)", path)
 	}
 }
 
@@ -368,6 +492,137 @@ func (e *Engine) SelectProject(table, whereAttr string, r column.Range, projectA
 		res.Columns[attr] = out
 	}
 	return res, nil
+}
+
+// Query is one request against the catalog: "SELECT Project FROM
+// Table WHERE Column IN R", executed by Path. An empty Project list
+// returns row identifiers only; CountOnly asks for the qualifying
+// count without materialising anything (and excludes Project). PathAuto
+// (the zero-valued Path is PathScan, so callers must say PathAuto
+// explicitly) lets the per-column planner choose.
+type Query struct {
+	Table     string
+	Column    string
+	R         column.Range
+	Project   []string
+	CountOnly bool
+	Path      AccessPath
+}
+
+// candidatesFor returns the adaptive access paths the planner races
+// for a column of t. Only paths with distinct logical-work profiles
+// are raced: sideways cracking needs at least one projection attribute
+// to drag along, so single-column tables exclude it, and the parallel
+// path is never raced — it runs the same cracking algorithm sharded,
+// so its logical work is the cracker's (the experiments confirm
+// identical totals) and racing it would double the explore catch-up
+// cost to learn a duplicate number. Parallel stays reachable
+// explicitly, where its value — wall-clock concurrency, which logical
+// counters cannot see — belongs to the caller's deployment, not the
+// cost model.
+func (e *Engine) candidatesFor(t *Table) []AccessPath {
+	if len(t.order) > 1 {
+		return []AccessPath{PathCracking, PathSideways}
+	}
+	return []AccessPath{PathCracking}
+}
+
+// scanWork is the analytic cost model for PathScan on a table of n
+// rows: every value is touched and compared once. The planner uses it
+// to score the scan path without spending real queries on full scans.
+func scanWork(n int) float64 { return float64(2 * n) }
+
+// Run executes one query, resolving PathAuto through the planner and
+// feeding the planner the observed cost (logical work delta plus wall
+// time) of whatever path ran — explicit paths included, so experiment
+// traffic sharpens the planner's estimates for free.
+func (e *Engine) Run(q Query) (*Result, error) {
+	t, err := e.cat.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := t.Column(q.Column); err != nil {
+		return nil, err
+	}
+	if q.CountOnly && len(q.Project) > 0 {
+		return nil, fmt.Errorf("engine: a count-only query cannot project (%v)", q.Project)
+	}
+	tc := key(q.Table, q.Column)
+	candidates := e.candidatesFor(t)
+	scanCost := scanWork(t.NumRows())
+
+	path := q.Path
+	routed := false
+	if path == PathAuto {
+		path = e.planner.route(tc, candidates, scanCost)
+		routed = true
+	}
+
+	before := e.Cost()
+	start := time.Now()
+	var res *Result
+	switch {
+	case q.CountOnly:
+		var n int
+		n, err = e.CountRows(q.Table, q.Column, q.R, path)
+		res = &Result{Count: n}
+	case len(q.Project) > 0:
+		res, err = e.SelectProject(q.Table, q.Column, q.R, q.Project, path)
+		if err == nil {
+			res.Count = len(res.Rows)
+		}
+	default:
+		var rows column.IDList
+		rows, err = e.SelectRows(q.Table, q.Column, q.R, path)
+		res = &Result{Count: len(rows), Rows: rows}
+	}
+	if err != nil {
+		return nil, err
+	}
+	delta := e.Cost().Sub(before)
+	e.planner.observe(tc, candidates, scanCost, path, routed, delta, time.Since(start))
+	res.Path = path
+	return res, nil
+}
+
+// StructureStats summarises the adaptive structures the engine has
+// built so far.
+type StructureStats struct {
+	// Crackers, MapSets and Parallels count the per-column structures
+	// of each kind.
+	Crackers  int `json:"crackers"`
+	MapSets   int `json:"map_sets"`
+	Parallels int `json:"parallels"`
+	// CrackerPieces, MapPieces and ParallelPieces break the cracked
+	// pieces down by structure kind; Pieces is their total. Snapshots
+	// persist cracker and map pieces but not parallel ones (those are
+	// rebuilt in one partitioning pass).
+	CrackerPieces  int `json:"cracker_pieces"`
+	MapPieces      int `json:"map_pieces"`
+	ParallelPieces int `json:"parallel_pieces"`
+	Pieces         int `json:"pieces"`
+}
+
+// Structures reports the engine's adaptive-structure inventory.
+func (e *Engine) Structures() StructureStats {
+	s := StructureStats{
+		Crackers:  len(e.crackers),
+		MapSets:   len(e.mapsets),
+		Parallels: len(e.parallels),
+	}
+	for _, cc := range e.crackers {
+		s.CrackerPieces += cc.NumPieces()
+	}
+	for _, ms := range e.mapsets {
+		s.MapPieces += ms.NumPieces()
+	}
+	for _, px := range e.parallels {
+		for _, p := range px.PartitionStats() {
+			s.ParallelPieces += p.Pieces
+		}
+	}
+	s.Pieces = s.CrackerPieces + s.MapPieces + s.ParallelPieces
+	return s
 }
 
 // JoinCount returns the number of matching pairs of the equi-join

@@ -1,0 +1,327 @@
+// Engine state snapshot and restore.
+//
+// An engine's value is the physical reorganisation its workload has
+// paid for: cracked selection columns, materialised and aligned
+// sideways maps, and the planner's learned per-path cost estimates.
+// Snapshot captures exactly that state — base table data is NOT
+// included; it is the daemon's job to rebuild the same catalog
+// (deterministic generation, or reloading the same files) before
+// restoring. Restore validates every structure against the catalog it
+// is applied to, so a snapshot taken over different data is rejected
+// instead of serving wrong answers.
+//
+// Partitioned parallel crackers are deliberately not captured: their
+// state (quantile pivots plus per-partition crackers) is rebuilt in one
+// partitioning pass on first use, which costs about as much as
+// restoring it would.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/crackeridx"
+	"adaptiveindex/internal/sideways"
+)
+
+// BoundarySnap is one cracker-index boundary in portable form.
+type BoundarySnap struct {
+	Value     column.Value
+	Inclusive bool
+	Pos       int
+}
+
+// BoundSnap is one crack-history bound in portable form.
+type BoundSnap struct {
+	Value     column.Value
+	Inclusive bool
+}
+
+// CrackerSnap is the state of one cracked selection column: the
+// (value, rowid) pairs in current physical order plus every boundary.
+type CrackerSnap struct {
+	Values     []column.Value
+	Rows       []column.RowID
+	Boundaries []BoundarySnap
+}
+
+// MapSnap is the state of one sideways cracker map.
+type MapSnap struct {
+	Attr         string
+	Heads, Tails []column.Value
+	Rows         []column.RowID
+	Boundaries   []BoundarySnap
+	Aligned      int
+}
+
+// MapSetSnap is the state of one sideways map set.
+type MapSetSnap struct {
+	History []BoundSnap
+	Maps    []MapSnap
+}
+
+// PathSnap is the planner's accumulated observation of one path.
+type PathSnap struct {
+	Path    string
+	Queries uint64
+	Work    uint64
+	WallNs  int64
+	First   float64
+	EWMA    float64
+	Seen    bool
+	Warm    bool
+	Probes  int
+}
+
+// PlanSnap is the planner state for one (table, column).
+type PlanSnap struct {
+	Phase      string
+	Passes     int
+	Chosen     string
+	Baseline   float64
+	DriftRun   int
+	ReExplores int
+	Paths      []PathSnap
+}
+
+// State is everything Snapshot captures. It is a plain data structure
+// (gob- and json-friendly) so internal/persist can serialise it without
+// reaching into engine internals.
+type State struct {
+	Crackers map[TableColumn]CrackerSnap
+	MapSets  map[TableColumn]MapSetSnap
+	Plans    map[TableColumn]PlanSnap
+}
+
+// Snapshot captures the engine's adaptive state.
+func (e *Engine) Snapshot() State {
+	st := State{
+		Crackers: make(map[TableColumn]CrackerSnap, len(e.crackers)),
+		MapSets:  make(map[TableColumn]MapSetSnap, len(e.mapsets)),
+		Plans:    make(map[TableColumn]PlanSnap, len(e.planner.states)),
+	}
+	for tc, cc := range e.crackers {
+		pairs := cc.Pairs()
+		cs := CrackerSnap{
+			Values: make([]column.Value, len(pairs)),
+			Rows:   make([]column.RowID, len(pairs)),
+		}
+		for i, p := range pairs {
+			cs.Values[i], cs.Rows[i] = p.Val, p.Row
+		}
+		for _, b := range cc.Index().Boundaries() {
+			cs.Boundaries = append(cs.Boundaries, BoundarySnap{Value: b.Value, Inclusive: b.Inclusive, Pos: b.Pos})
+		}
+		st.Crackers[tc] = cs
+	}
+	for tc, ms := range e.mapsets {
+		d := ms.Dump()
+		mss := MapSetSnap{History: make([]BoundSnap, 0, len(d.History))}
+		for _, b := range d.History {
+			mss.History = append(mss.History, BoundSnap{Value: b.Value, Inclusive: b.Inclusive})
+		}
+		for _, md := range d.Maps {
+			m := MapSnap{Attr: md.Attr, Heads: md.Heads, Tails: md.Tails, Rows: md.Rows, Aligned: md.Aligned}
+			for _, b := range md.Boundaries {
+				m.Boundaries = append(m.Boundaries, BoundarySnap{Value: b.Value, Inclusive: b.Inclusive, Pos: b.Pos})
+			}
+			mss.Maps = append(mss.Maps, m)
+		}
+		st.MapSets[tc] = mss
+	}
+	for tc, ps := range e.planner.states {
+		snap := PlanSnap{
+			Phase:      ps.phase.String(),
+			Passes:     ps.passes,
+			Chosen:     ps.chosen.String(),
+			Baseline:   ps.baseline,
+			DriftRun:   ps.driftRun,
+			ReExplores: ps.reExplores,
+		}
+		for path := AccessPath(0); path < numStaticPaths; path++ {
+			obs := ps.paths[path]
+			snap.Paths = append(snap.Paths, PathSnap{
+				Path:    path.String(),
+				Queries: obs.queries,
+				Work:    obs.work,
+				WallNs:  obs.wall.Nanoseconds(),
+				First:   obs.first,
+				EWMA:    obs.ewma,
+				Seen:    obs.seen,
+				Warm:    obs.warm,
+				Probes:  obs.probes,
+			})
+		}
+		st.Plans[tc] = snap
+	}
+	return st
+}
+
+// Restore applies a snapshot to a fresh engine whose catalog holds the
+// same data the snapshot was taken over. Every restored structure is
+// validated; on error the engine is left untouched.
+func (e *Engine) Restore(st State) error {
+	crackers := make(map[TableColumn]*core.CrackerColumn, len(st.Crackers))
+	for tc, cs := range st.Crackers {
+		cc, err := e.restoreCracker(tc, cs)
+		if err != nil {
+			return err
+		}
+		crackers[tc] = cc
+	}
+	mapsets := make(map[TableColumn]*sideways.MapSet, len(st.MapSets))
+	for tc, mss := range st.MapSets {
+		ms, err := e.restoreMapSet(tc, mss)
+		if err != nil {
+			return err
+		}
+		mapsets[tc] = ms
+	}
+	plans := make(map[TableColumn]*planState, len(st.Plans))
+	for tc, snap := range st.Plans {
+		ps, err := e.restorePlan(tc, snap)
+		if err != nil {
+			return err
+		}
+		plans[tc] = ps
+	}
+	for tc, cc := range crackers {
+		e.crackers[tc] = cc
+	}
+	for tc, ms := range mapsets {
+		e.mapsets[tc] = ms
+	}
+	for tc, ps := range plans {
+		e.planner.states[tc] = ps
+	}
+	return nil
+}
+
+func (e *Engine) restoreCracker(tc TableColumn, cs CrackerSnap) (*core.CrackerColumn, error) {
+	t, err := e.cat.Table(tc.Table)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot cracker %s: %w", tc, err)
+	}
+	base, err := t.Column(tc.Column)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot cracker %s: %w", tc, err)
+	}
+	if len(cs.Values) != t.NumRows() || len(cs.Rows) != t.NumRows() {
+		return nil, fmt.Errorf("engine: snapshot cracker %s holds %d values, table has %d rows",
+			tc, len(cs.Values), t.NumRows())
+	}
+	pairs := make(column.Pairs, len(cs.Values))
+	for i := range cs.Values {
+		// A cracker snapshot is internally consistent by construction, so
+		// the cracking invariants alone cannot detect a snapshot taken
+		// over different data; pin every pair to the base column.
+		row := cs.Rows[i]
+		if int(row) < 0 || int(row) >= len(base) {
+			return nil, fmt.Errorf("engine: snapshot cracker %s: row %d outside table", tc, row)
+		}
+		if base[row] != cs.Values[i] {
+			return nil, fmt.Errorf("engine: snapshot cracker %s: row %d holds %d, catalog has %d (snapshot taken over different data?)",
+				tc, row, cs.Values[i], base[row])
+		}
+		pairs[i] = column.Pair{Val: cs.Values[i], Row: cs.Rows[i]}
+	}
+	cc := core.NewCrackerColumnFromPairs(pairs, e.opts)
+	for _, b := range cs.Boundaries {
+		if b.Pos < 0 || b.Pos > len(pairs) {
+			return nil, fmt.Errorf("engine: snapshot cracker %s: boundary position %d outside [0,%d]",
+				tc, b.Pos, len(pairs))
+		}
+		cc.Index().Insert(crackeridx.Bound{Value: b.Value, Inclusive: b.Inclusive}, b.Pos)
+	}
+	if err := cc.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: snapshot cracker %s violates cracking invariants: %w", tc, err)
+	}
+	return cc, nil
+}
+
+func (e *Engine) restoreMapSet(tc TableColumn, mss MapSetSnap) (*sideways.MapSet, error) {
+	t, err := e.cat.Table(tc.Table)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot map set %s: %w", tc, err)
+	}
+	head, err := t.Column(tc.Column)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot map set %s: %w", tc, err)
+	}
+	tails := make(map[string][]column.Value, len(t.order)-1)
+	for _, other := range t.order {
+		if other == tc.Column {
+			continue
+		}
+		tails[other], _ = t.Column(other)
+	}
+	d := sideways.Dump{History: make([]crackeridx.Bound, 0, len(mss.History))}
+	for _, b := range mss.History {
+		d.History = append(d.History, crackeridx.Bound{Value: b.Value, Inclusive: b.Inclusive})
+	}
+	for _, m := range mss.Maps {
+		md := sideways.MapDump{Attr: m.Attr, Heads: m.Heads, Tails: m.Tails, Rows: m.Rows, Aligned: m.Aligned}
+		for _, b := range m.Boundaries {
+			md.Boundaries = append(md.Boundaries, crackeridx.Boundary{
+				Bound: crackeridx.Bound{Value: b.Value, Inclusive: b.Inclusive},
+				Pos:   b.Pos,
+			})
+		}
+		d.Maps = append(d.Maps, md)
+	}
+	ms, err := sideways.RestoreMapSet(tc.Column, head, tails, sideways.DefaultOptions(), d)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot map set %s: %w", tc, err)
+	}
+	return ms, nil
+}
+
+func (e *Engine) restorePlan(tc TableColumn, snap PlanSnap) (*planState, error) {
+	t, err := e.cat.Table(tc.Table)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot plan %s: %w", tc, err)
+	}
+	if _, err := t.Column(tc.Column); err != nil {
+		return nil, fmt.Errorf("engine: snapshot plan %s: %w", tc, err)
+	}
+	chosen, err := ParsePath(snap.Chosen)
+	if err != nil || chosen >= numStaticPaths {
+		return nil, fmt.Errorf("engine: snapshot plan %s: bad chosen path %q", tc, snap.Chosen)
+	}
+	ps := &planState{
+		passes:     snap.Passes,
+		candidates: e.candidatesFor(t),
+		scanCost:   scanWork(t.NumRows()),
+		chosen:     chosen,
+		baseline:   snap.Baseline,
+		driftRun:   snap.DriftRun,
+		reExplores: snap.ReExplores,
+	}
+	switch snap.Phase {
+	case phaseExplore.String():
+		ps.phase = phaseExplore
+	case phaseExploit.String():
+		ps.phase = phaseExploit
+	default:
+		return nil, fmt.Errorf("engine: snapshot plan %s: bad phase %q", tc, snap.Phase)
+	}
+	for _, p := range snap.Paths {
+		path, err := ParsePath(p.Path)
+		if err != nil || path >= numStaticPaths {
+			return nil, fmt.Errorf("engine: snapshot plan %s: bad path %q", tc, p.Path)
+		}
+		ps.paths[path] = pathObs{
+			queries: p.Queries,
+			work:    p.Work,
+			wall:    time.Duration(p.WallNs),
+			first:   p.First,
+			ewma:    p.EWMA,
+			seen:    p.Seen,
+			warm:    p.Warm,
+			probes:  p.Probes,
+		}
+	}
+	return ps, nil
+}

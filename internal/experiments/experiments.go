@@ -1,5 +1,5 @@
 // Package experiments defines the reproduction's experiment suite
-// E1..E14 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
+// E1..E15 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
 // builds its data, workload and competing access paths from the other
 // internal packages, runs them through the bench harness, and returns a
 // structured result plus a formatted text report. The cmd/aibench CLI
@@ -110,6 +110,7 @@ func All() []Definition {
 		{"E12", "Adaptive merging I/O model: page touches", E12MergeIO},
 		{"E13", "Partitioned parallel cracking: sharded vs global latch", E13Parallel},
 		{"E14", "Query service: throughput/latency vs batch window and sessions", E14Server},
+		{"E15", "Access-path planner vs static paths on a drifting workload", E15Planner},
 	}
 }
 
@@ -695,12 +696,12 @@ func E14Server(cfg Config) Result {
 			streams[g] = workload.Queries(gens[g], perSession)
 		}
 		for _, window := range windows {
-			built, err := server.BuildIndex("cracking", vals, server.BuildOptions{Seed: cfg.Seed})
+			eng := singleColumnEngine(vals)
+			svc, err := server.NewService(server.Config{Engine: eng, DefaultPath: "cracking", BatchWindow: window})
 			if err != nil {
 				b.WriteString("error: " + err.Error() + "\n")
 				continue
 			}
-			svc := server.NewService(server.Config{Index: built.Index, Kind: built.Kind, BatchWindow: window})
 			var wg sync.WaitGroup
 			start := time.Now()
 			for g := 0; g < sessions; g++ {
@@ -733,11 +734,115 @@ func E14Server(cfg Config) Result {
 				st.Latency.P50Us, st.Latency.P95Us, st.Latency.P99Us, sharedFrac)
 			rows = append(rows, bench.Summary{
 				IndexName: name,
-				TotalWork: built.Index.Cost().Total(),
+				TotalWork: eng.Cost().Total(),
 				TotalWall: wall,
 			})
 		}
 	}
 	b.WriteString("\nshared-frac: fraction of queries answered from a scan shared with an\nidentical predicate coalesced into the same batch.\n")
 	return Result{ID: "E14", Title: "Query service: shared-scan batching", Summaries: rows, Text: b.String()}
+}
+
+// singleColumnEngine wraps a bare value vector in a one-table,
+// one-column catalog, the shape E14's single-predicate streams need.
+func singleColumnEngine(vals []column.Value) *engine.Engine {
+	tab := engine.NewTable("data")
+	if err := tab.AddColumn("c0", vals); err != nil {
+		panic(err)
+	}
+	cat := engine.NewCatalog()
+	if err := cat.Register(tab); err != nil {
+		panic(err)
+	}
+	return engine.New(cat, core.DefaultOptions())
+}
+
+// E15Planner evaluates the cost-driven access-path planner (PathAuto)
+// against every static path on a drifting hot-set select-project
+// workload: a pool of hot predicates is re-issued heavily and the pool
+// jumps to a new sub-domain every Queries/10 queries (the IDEBench
+// shape — a dashboard's filters re-issued as the analyst's focus
+// drifts), and every query projects one attribute, so the scan,
+// cracking, sideways and parallel paths genuinely differ in cost. The
+// planner must beat the worst static path by a wide margin and track
+// close to the best one, paying only a short explore phase — the
+// kernel, not the caller, picks the physical design.
+func E15Planner(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	shiftEvery := cfg.Queries / 10
+	if shiftEvery < 1 {
+		shiftEvery = 1
+	}
+	queries := workload.Queries(
+		workload.NewDriftingHotSet(cfg.Seed+15, 0, column.Value(cfg.Domain), cfg.Selectivity, 0.1, 16, 1.3, shiftEvery),
+		cfg.Queries)
+	project := []string{"c1"}
+
+	makeEngine := func() *engine.Engine {
+		tab := engine.NewTable("data")
+		for ci, seedOff := range []int64{0, 1, 2} {
+			vals := workload.DataUniform(cfg.Seed+seedOff, cfg.N, cfg.Domain)
+			if err := tab.AddColumn(fmt.Sprintf("c%d", ci), vals); err != nil {
+				panic(err)
+			}
+		}
+		cat := engine.NewCatalog()
+		if err := cat.Register(tab); err != nil {
+			panic(err)
+		}
+		return engine.New(cat, core.DefaultOptions())
+	}
+
+	var rows []bench.Summary
+	var b strings.Builder
+	fmt.Fprintf(&b, "E15: planner vs static paths, drifting select-project workload\n")
+	fmt.Fprintf(&b, "(%d queries, focus shifts every %d, selectivity %.3f, project %v)\n\n",
+		cfg.Queries, shiftEvery, cfg.Selectivity, project)
+	fmt.Fprintf(&b, "%-12s %14s %12s %10s\n", "path", "total-work", "work/query", "wall")
+
+	totals := make(map[string]uint64)
+	for _, path := range []engine.AccessPath{
+		engine.PathScan, engine.PathCracking, engine.PathSideways, engine.PathParallel, engine.PathAuto,
+	} {
+		eng := makeEngine()
+		start := time.Now()
+		for _, r := range queries {
+			if _, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: project, Path: path}); err != nil {
+				b.WriteString("error: " + err.Error() + "\n")
+				break
+			}
+		}
+		wall := time.Since(start)
+		total := eng.Cost().Total()
+		totals[path.String()] = total
+		rows = append(rows, bench.Summary{IndexName: path.String(), TotalWork: total, TotalWall: wall})
+		fmt.Fprintf(&b, "%-12s %14d %12d %10s\n",
+			path.String(), total, total/uint64(len(queries)), wall.Round(time.Microsecond))
+		if path == engine.PathAuto {
+			for _, plan := range eng.PlanStats() {
+				fmt.Fprintf(&b, "\nplanner %s.%s: phase=%s chosen=%s re-explores=%d\n",
+					plan.Table, plan.Column, plan.Phase, plan.Chosen, plan.ReExplores)
+				for _, p := range plan.Paths {
+					fmt.Fprintf(&b, "  %-10s queries=%-6d avg-work=%-12.0f ewma=%.0f\n",
+						p.Path, p.Queries, p.AvgWork, p.EWMA)
+				}
+			}
+		}
+	}
+
+	best, worst := uint64(0), uint64(0)
+	for _, name := range []string{"scan", "cracking", "sideways", "parallel"} {
+		t := totals[name]
+		if best == 0 || t < best {
+			best = t
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	if auto := totals["auto"]; best > 0 && auto > 0 {
+		fmt.Fprintf(&b, "\nauto/best = %.2fx, auto/worst = %.3fx (best static %d, worst static %d)\n",
+			float64(auto)/float64(best), float64(auto)/float64(worst), best, worst)
+	}
+	return Result{ID: "E15", Title: "Access-path planner vs static paths", Summaries: rows, Text: b.String()}
 }

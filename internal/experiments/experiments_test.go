@@ -44,8 +44,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(All()))
 	}
 }
 
@@ -127,6 +127,44 @@ func TestE8AdaptiveReactsToShift(t *testing.T) {
 	}
 	if !strings.Contains(res.Text, "workload change") {
 		t.Fatal("report text should mention the workload change")
+	}
+}
+
+// TestE15PlannerTracksBest is the acceptance gate for the access-path
+// planner: on the drifting hot-set select-project workload, PathAuto
+// must beat the worst static path by a wide margin (it pays a handful
+// of probes, never a full run of scans) and track the best static path
+// closely (the explore phase is the only overhead). The experiment
+// reports ~15-20% over best at default scale; the assertion leaves
+// room for seed variance.
+func TestE15PlannerTracksBest(t *testing.T) {
+	res := E15Planner(Config{N: 100_000, Queries: 600, Domain: 100_000, Selectivity: 0.01, Seed: 7})
+	totals := map[string]uint64{}
+	for _, s := range res.Summaries {
+		totals[s.IndexName] = s.TotalWork
+	}
+	auto := totals["auto"]
+	if auto == 0 {
+		t.Fatalf("auto run missing: %+v", totals)
+	}
+	best, worst := uint64(0), uint64(0)
+	for _, name := range []string{"scan", "cracking", "sideways", "parallel"} {
+		if totals[name] == 0 {
+			t.Fatalf("static path %s missing: %+v", name, totals)
+		}
+		if best == 0 || totals[name] < best {
+			best = totals[name]
+		}
+		if totals[name] > worst {
+			worst = totals[name]
+		}
+	}
+	if auto*4 > worst {
+		t.Fatalf("planner must beat the worst static path by a wide margin: auto %d, worst %d", auto, worst)
+	}
+	if auto*10 > best*13 {
+		t.Fatalf("planner must track within ~20%% of the best static path (allowing variance): auto %d, best %d (%.2fx)",
+			auto, best, float64(auto)/float64(best))
 	}
 }
 

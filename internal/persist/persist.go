@@ -1,21 +1,28 @@
-// Package persist provides snapshot and restore for cracker columns,
+// Package persist provides snapshot and restore for adaptive state,
 // addressing the "disk based processing" and "long term maintenance of
 // structures" open topics the tutorial lists: the knowledge a workload
-// has invested into a cracked column (its physical order and its
-// cracker index) survives a restart instead of being re-learned from
-// scratch.
+// has invested into adaptive structures (physical order, cracker
+// indexes, sideways maps, planner estimates) survives a restart instead
+// of being re-learned from scratch.
 //
-// A snapshot stores the (value, rowid) pairs in their current physical
-// order together with every boundary of the cracker index, using
-// encoding/gob behind a fixed-layout header. Restoring rebuilds a
-// CrackerColumn that answers the next query exactly as the original
-// would have.
+// Two payload kinds share one container format:
 //
-// The header — an 8-byte magic string and a big-endian uint32 format
-// version — is checked before any gob decoding, so a snapshot written
-// by an incompatible layout (or a file that is not a snapshot at all)
-// is rejected with a clear error instead of whatever
-// struct-shape-dependent failure gob would produce.
+//   - cracker: a single cracked column — its (value, rowid) pairs in
+//     current physical order plus every cracker-index boundary
+//     (Save/Load, the library-level surface).
+//   - engine: a whole execution engine's adaptive state — every cracked
+//     selection column, every sideways map set, and the PathAuto
+//     planner's learned per-path costs (SaveEngine/RestoreEngine, what
+//     crackserve writes on graceful shutdown).
+//
+// The container is encoding/gob behind a fixed-layout header: an 8-byte
+// magic string and a big-endian uint32 format version, checked before
+// any gob decoding, so a snapshot written by an incompatible layout (or
+// a file that is not a snapshot at all) is rejected with a clear error
+// instead of whatever struct-shape-dependent failure gob would produce.
+// Format version 3 introduced the payload kind and the engine payload;
+// version 2 (single-column only) and version 1 (bare gob) files are
+// rejected — regenerate them via crackserve.
 package persist
 
 import (
@@ -29,14 +36,23 @@ import (
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/crackeridx"
+	"adaptiveindex/internal/engine"
 )
 
-// snapshot is the on-disk representation. Fields are exported for gob.
+// snapshot is the on-disk envelope. Fields are exported for gob;
+// exactly one payload pointer is set, named by Kind.
 type snapshot struct {
 	FormatVersion int
-	Values        []column.Value
-	Rows          []column.RowID
-	Boundaries    []boundary
+	Kind          string
+	Cracker       *crackerPayload
+	Engine        *engine.State
+}
+
+// crackerPayload is the single-column payload.
+type crackerPayload struct {
+	Values     []column.Value
+	Rows       []column.RowID
+	Boundaries []boundary
 }
 
 type boundary struct {
@@ -45,11 +61,17 @@ type boundary struct {
 	Pos       int
 }
 
+// Payload kinds.
+const (
+	kindCracker = "cracker"
+	kindEngine  = "engine"
+)
+
 // formatVersion guards against reading snapshots written by an
-// incompatible future layout. Version 2 introduced the fixed-layout
-// header; version 1 files (bare gob) predate it and are rejected at the
-// magic check.
-const formatVersion = 2
+// incompatible layout. Version 3 introduced the payload kind and the
+// engine payload; version 2 files (single-column, no kind) and
+// version 1 files (bare gob, no header) predate it.
+const formatVersion = 3
 
 // magic identifies a snapshot file. It is checked — together with the
 // header version — before any gob decoding.
@@ -79,57 +101,76 @@ func readHeader(r io.Reader) (uint32, error) {
 	return version, nil
 }
 
+// decode reads and validates the envelope after the header.
+func decode(r io.Reader, wantKind string) (snapshot, error) {
+	version, err := readHeader(r)
+	if err != nil {
+		return snapshot{}, err
+	}
+	if version == 2 {
+		return snapshot{}, fmt.Errorf("persist: snapshot format version 2 is no longer readable (this build writes version %d); delete the file and regenerate it via crackserve", formatVersion)
+	}
+	if version != formatVersion {
+		return snapshot{}, fmt.Errorf("persist: unsupported snapshot format version %d (this build reads version %d)", version, formatVersion)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return snapshot{}, fmt.Errorf("persist: decode: %w", err)
+	}
+	if snap.FormatVersion != formatVersion {
+		return snapshot{}, fmt.Errorf("persist: snapshot payload version %d contradicts header version %d", snap.FormatVersion, formatVersion)
+	}
+	if snap.Kind != wantKind {
+		return snapshot{}, fmt.Errorf("persist: snapshot holds a %q payload, want %q", snap.Kind, wantKind)
+	}
+	return snap, nil
+}
+
 // Save writes a snapshot of the cracker column to w.
 func Save(w io.Writer, cc *core.CrackerColumn) error {
 	if err := writeHeader(w); err != nil {
 		return fmt.Errorf("persist: writing header: %w", err)
 	}
 	pairs := cc.Pairs()
-	snap := snapshot{
-		FormatVersion: formatVersion,
-		Values:        make([]column.Value, len(pairs)),
-		Rows:          make([]column.RowID, len(pairs)),
+	payload := &crackerPayload{
+		Values: make([]column.Value, len(pairs)),
+		Rows:   make([]column.RowID, len(pairs)),
 	}
 	for i, p := range pairs {
-		snap.Values[i] = p.Val
-		snap.Rows[i] = p.Row
+		payload.Values[i] = p.Val
+		payload.Rows[i] = p.Row
 	}
 	for _, b := range cc.Index().Boundaries() {
-		snap.Boundaries = append(snap.Boundaries, boundary{Value: b.Value, Inclusive: b.Inclusive, Pos: b.Pos})
+		payload.Boundaries = append(payload.Boundaries, boundary{Value: b.Value, Inclusive: b.Inclusive, Pos: b.Pos})
 	}
+	snap := snapshot{FormatVersion: formatVersion, Kind: kindCracker, Cracker: payload}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("persist: encode: %w", err)
 	}
 	return nil
 }
 
-// Load reads a snapshot from r and rebuilds the cracker column with the
-// given options. The format version is verified before the payload is
+// Load reads a cracker-column snapshot from r and rebuilds the column
+// with the given options. The header is verified before the payload is
 // decoded, and the restored column is validated before it is returned.
 func Load(r io.Reader, opts core.Options) (*core.CrackerColumn, error) {
-	version, err := readHeader(r)
+	snap, err := decode(r, kindCracker)
 	if err != nil {
 		return nil, err
 	}
-	if version != formatVersion {
-		return nil, fmt.Errorf("persist: unsupported snapshot format version %d (this build reads version %d)", version, formatVersion)
+	payload := snap.Cracker
+	if payload == nil {
+		return nil, fmt.Errorf("persist: corrupt snapshot: cracker payload missing")
 	}
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("persist: decode: %w", err)
+	if len(payload.Values) != len(payload.Rows) {
+		return nil, fmt.Errorf("persist: corrupt snapshot: %d values but %d rows", len(payload.Values), len(payload.Rows))
 	}
-	if snap.FormatVersion != formatVersion {
-		return nil, fmt.Errorf("persist: snapshot payload version %d contradicts header version %d", snap.FormatVersion, formatVersion)
-	}
-	if len(snap.Values) != len(snap.Rows) {
-		return nil, fmt.Errorf("persist: corrupt snapshot: %d values but %d rows", len(snap.Values), len(snap.Rows))
-	}
-	pairs := make(column.Pairs, len(snap.Values))
-	for i := range snap.Values {
-		pairs[i] = column.Pair{Val: snap.Values[i], Row: snap.Rows[i]}
+	pairs := make(column.Pairs, len(payload.Values))
+	for i := range payload.Values {
+		pairs[i] = column.Pair{Val: payload.Values[i], Row: payload.Rows[i]}
 	}
 	cc := core.NewCrackerColumnFromPairs(pairs, opts)
-	for _, b := range snap.Boundaries {
+	for _, b := range payload.Boundaries {
 		if b.Pos < 0 || b.Pos > len(pairs) {
 			return nil, fmt.Errorf("persist: corrupt snapshot: boundary position %d outside [0,%d]", b.Pos, len(pairs))
 		}
@@ -141,21 +182,44 @@ func Load(r io.Reader, opts core.Options) (*core.CrackerColumn, error) {
 	return cc, nil
 }
 
-// SaveFile writes a snapshot to the named file, creating or truncating
-// it.
-func SaveFile(path string, cc *core.CrackerColumn) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("persist: %w", err)
+// SaveEngine writes a snapshot of the engine's adaptive state (cracked
+// columns, sideways map sets, planner estimates) to w. Base table data
+// is not included; RestoreEngine expects an engine over the same
+// catalog data.
+func SaveEngine(w io.Writer, e *engine.Engine) error {
+	if err := writeHeader(w); err != nil {
+		return fmt.Errorf("persist: writing header: %w", err)
 	}
-	if err := Save(f, cc); err != nil {
-		f.Close()
-		return err
+	state := e.Snapshot()
+	snap := snapshot{FormatVersion: formatVersion, Kind: kindEngine, Engine: &state}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
 	}
-	return f.Close()
+	return nil
 }
 
-// LoadFile reads a snapshot from the named file.
+// RestoreEngine reads an engine snapshot from r and applies it to e,
+// which must be a fresh engine over a catalog holding the same data the
+// snapshot was taken over. Every restored structure is validated
+// against the catalog.
+func RestoreEngine(r io.Reader, e *engine.Engine) error {
+	snap, err := decode(r, kindEngine)
+	if err != nil {
+		return err
+	}
+	if snap.Engine == nil {
+		return fmt.Errorf("persist: corrupt snapshot: engine payload missing")
+	}
+	return e.Restore(*snap.Engine)
+}
+
+// SaveFile writes a cracker snapshot to the named file, creating or
+// truncating it.
+func SaveFile(path string, cc *core.CrackerColumn) error {
+	return saveToFile(path, func(w io.Writer) error { return Save(w, cc) })
+}
+
+// LoadFile reads a cracker snapshot from the named file.
 func LoadFile(path string, opts core.Options) (*core.CrackerColumn, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -163,4 +227,33 @@ func LoadFile(path string, opts core.Options) (*core.CrackerColumn, error) {
 	}
 	defer f.Close()
 	return Load(f, opts)
+}
+
+// SaveEngineFile writes an engine snapshot to the named file, creating
+// or truncating it.
+func SaveEngineFile(path string, e *engine.Engine) error {
+	return saveToFile(path, func(w io.Writer) error { return SaveEngine(w, e) })
+}
+
+// RestoreEngineFile reads an engine snapshot from the named file and
+// applies it to e.
+func RestoreEngineFile(path string, e *engine.Engine) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return RestoreEngine(f, e)
+}
+
+func saveToFile(path string, save func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -11,6 +11,7 @@ import (
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/workload"
 )
 
@@ -143,8 +144,35 @@ func TestLoadRejectsMismatchedFormatVersion(t *testing.T) {
 		t.Fatal("wrong format version must be rejected")
 	}
 	msg := err.Error()
-	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "version 2") {
+	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "version 3") {
 		t.Fatalf("version error must name both versions, got: %v", err)
+	}
+}
+
+func TestLoadRejectsV2WithRegenerateHint(t *testing.T) {
+	// Version-2 files (single-column snapshots without a payload kind)
+	// are no longer readable; the error must tell the operator what to
+	// do about it, not just that decoding failed.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.BigEndian, uint32(2)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("old v2 gob payload")
+	for _, load := range []func() error{
+		func() error { _, err := Load(bytes.NewReader(buf.Bytes()), core.DefaultOptions()); return err },
+		func() error {
+			return RestoreEngine(bytes.NewReader(buf.Bytes()), engine.New(engine.NewCatalog(), core.DefaultOptions()))
+		},
+	} {
+		err := load()
+		if err == nil {
+			t.Fatal("v2 snapshot must be rejected")
+		}
+		if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "regenerate") ||
+			!strings.Contains(err.Error(), "crackserve") {
+			t.Fatalf("v2 rejection must tell the operator to regenerate via crackserve, got: %v", err)
+		}
 	}
 }
 
@@ -160,22 +188,6 @@ func TestLoadRejectsBareGobSnapshots(t *testing.T) {
 	}
 }
 
-func TestLoadRejectsHeaderPayloadVersionContradiction(t *testing.T) {
-	// A header claiming the current version over a payload recording a
-	// different one is corruption, not a version skew.
-	var buf bytes.Buffer
-	if err := writeHeader(&buf); err != nil {
-		t.Fatal(err)
-	}
-	payload := snapshot{FormatVersion: 1, Values: []column.Value{1}, Rows: []column.RowID{0}}
-	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Load(&buf, core.DefaultOptions()); err == nil || !strings.Contains(err.Error(), "contradicts") {
-		t.Fatalf("payload/header version contradiction must be rejected, got: %v", err)
-	}
-}
-
 func encodeSnapshot(t *testing.T, snap snapshot) *bytes.Buffer {
 	t.Helper()
 	var buf bytes.Buffer
@@ -188,36 +200,212 @@ func encodeSnapshot(t *testing.T, snap snapshot) *bytes.Buffer {
 	return &buf
 }
 
+func TestLoadRejectsHeaderPayloadVersionContradiction(t *testing.T) {
+	// A header claiming the current version over a payload recording a
+	// different one is corruption, not a version skew.
+	payload := snapshot{
+		FormatVersion: 1,
+		Kind:          kindCracker,
+		Cracker:       &crackerPayload{Values: []column.Value{1}, Rows: []column.RowID{0}},
+	}
+	if _, err := Load(encodeSnapshot(t, payload), core.DefaultOptions()); err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("payload/header version contradiction must be rejected, got: %v", err)
+	}
+}
+
 func TestLoadRejectsCorruptSnapshots(t *testing.T) {
 	base := snapshot{
 		FormatVersion: formatVersion,
-		Values:        []column.Value{1, 2, 3},
-		Rows:          []column.RowID{0, 1, 2},
+		Kind:          kindCracker,
+		Cracker: &crackerPayload{
+			Values: []column.Value{1, 2, 3},
+			Rows:   []column.RowID{0, 1, 2},
+		},
+	}
+	clone := func() snapshot {
+		snap := base
+		payload := *base.Cracker
+		snap.Cracker = &payload
+		return snap
 	}
 
-	mismatched := base
-	mismatched.Rows = []column.RowID{0}
+	mismatched := clone()
+	mismatched.Cracker.Rows = []column.RowID{0}
 	if _, err := Load(encodeSnapshot(t, mismatched), core.DefaultOptions()); err == nil {
 		t.Fatal("mismatched value/row lengths must be rejected")
 	}
 
-	badBoundaryPos := base
-	badBoundaryPos.Boundaries = []boundary{{Value: 2, Pos: 99}}
+	badBoundaryPos := clone()
+	badBoundaryPos.Cracker.Boundaries = []boundary{{Value: 2, Pos: 99}}
 	if _, err := Load(encodeSnapshot(t, badBoundaryPos), core.DefaultOptions()); err == nil {
 		t.Fatal("out-of-range boundary positions must be rejected")
 	}
 
 	// A boundary whose position contradicts the stored physical order
 	// must be caught by the cracking-invariant validation.
-	badInvariant := base
-	badInvariant.Values = []column.Value{9, 1, 5} // value 9 sits left of the "<2" split below
-	badInvariant.Boundaries = []boundary{{Value: 2, Pos: 2}}
+	badInvariant := clone()
+	badInvariant.Cracker.Values = []column.Value{9, 1, 5} // value 9 sits left of the "<2" split below
+	badInvariant.Cracker.Boundaries = []boundary{{Value: 2, Pos: 2}}
 	if _, err := Load(encodeSnapshot(t, badInvariant), core.DefaultOptions()); err == nil {
 		t.Fatal("snapshots violating cracking invariants must be rejected")
+	}
+
+	missingPayload := snapshot{FormatVersion: formatVersion, Kind: kindCracker}
+	if _, err := Load(encodeSnapshot(t, missingPayload), core.DefaultOptions()); err == nil {
+		t.Fatal("missing payloads must be rejected")
 	}
 
 	// The untampered base snapshot loads fine.
 	if _, err := Load(encodeSnapshot(t, base), core.DefaultOptions()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// testCatalog builds a deterministic two-table catalog.
+func testCatalog(t *testing.T, seed int64, n int) *engine.Catalog {
+	t.Helper()
+	cat := engine.NewCatalog()
+	for ti, name := range []string{"orders", "events"} {
+		tab := engine.NewTable(name)
+		for ci, col := range []string{"c0", "c1", "c2"} {
+			vals := workload.DataUniform(seed+int64(ti*10+ci), n, n)
+			if err := tab.AddColumn(col, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cat.Register(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// TestEngineSnapshotRoundTrip is the v3 contract: cracked columns,
+// materialised sideways maps and planner state all survive a
+// save/restore cycle, the restored engine answers identically, and
+// replaying the converged workload does not crack further.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	const n = 20000
+	cat := testCatalog(t, 1, n)
+	eng := engine.New(cat, core.DefaultOptions())
+
+	queries := workload.Queries(workload.NewUniform(5, 0, n, 0.02), 120)
+	answers := make([]int, len(queries))
+	for i, r := range queries {
+		// Mix auto-routed select-project traffic (builds maps, feeds the
+		// planner) with explicit cracking selections on a second table.
+		res, err := eng.Run(engine.Query{Table: "orders", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[i] = len(res.Rows)
+		if _, err := eng.Run(engine.Query{Table: "events", Column: "c0", R: r, Path: engine.PathCracking}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	beforeStructs := eng.Structures()
+	beforePlans := eng.PlanStats()
+	if beforeStructs.CrackerPieces == 0 || beforeStructs.MapPieces == 0 {
+		t.Fatalf("workload built no persistable pieces: %+v", beforeStructs)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := engine.New(testCatalog(t, 1, n), core.DefaultOptions())
+	if err := RestoreEngine(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	afterStructs := restored.Structures()
+	if afterStructs.Crackers != beforeStructs.Crackers || afterStructs.MapSets != beforeStructs.MapSets {
+		t.Fatalf("restored structures %+v, want %+v", afterStructs, beforeStructs)
+	}
+	// Parallel structures are rebuilt on demand, not persisted; the
+	// cracker and map pieces must round-trip exactly.
+	if afterStructs.CrackerPieces != beforeStructs.CrackerPieces || afterStructs.MapPieces != beforeStructs.MapPieces {
+		t.Fatalf("restored pieces %+v, want %+v", afterStructs, beforeStructs)
+	}
+	afterPlans := restored.PlanStats()
+	if len(afterPlans) != len(beforePlans) {
+		t.Fatalf("restored %d planner states, want %d", len(afterPlans), len(beforePlans))
+	}
+	for i := range beforePlans {
+		if afterPlans[i].Phase != beforePlans[i].Phase || afterPlans[i].Chosen != beforePlans[i].Chosen {
+			t.Fatalf("planner state %d: restored %s/%s, want %s/%s", i,
+				afterPlans[i].Phase, afterPlans[i].Chosen, beforePlans[i].Phase, beforePlans[i].Chosen)
+		}
+	}
+
+	// Replay the workload twice: identical answers, and the second
+	// replay must add no cracks. (The first may add a few — queries that
+	// probed the non-chosen path during the original explore phase now
+	// route to the restored planner's choice, whose structure finishes
+	// absorbing their bounds.)
+	replay := func() {
+		for i, r := range queries {
+			res, err := restored.Run(engine.Query{Table: "orders", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathAuto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != answers[i] {
+				t.Fatalf("query %d: restored engine returned %d rows, want %d", i, len(res.Rows), answers[i])
+			}
+		}
+	}
+	replay()
+	mid := restored.Structures()
+	replay()
+	final := restored.Structures()
+	if final.CrackerPieces != mid.CrackerPieces || final.MapPieces != mid.MapPieces {
+		t.Fatalf("replay did not converge after restore: %+v -> %+v", mid, final)
+	}
+}
+
+func TestRestoreEngineRejectsMismatchedCatalog(t *testing.T) {
+	const n = 5000
+	eng := engine.New(testCatalog(t, 1, n), core.DefaultOptions())
+	for _, r := range workload.Queries(workload.NewUniform(3, 0, n, 0.02), 30) {
+		if _, err := eng.Run(engine.Query{Table: "orders", Column: "c0", R: r, Path: engine.PathCracking}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	// Different seed: same schema, different data. The cracked order in
+	// the snapshot does not belong to this catalog.
+	other := engine.New(testCatalog(t, 99, n), core.DefaultOptions())
+	if err := RestoreEngine(&buf, other); err == nil {
+		t.Fatal("restoring a snapshot over different data must fail validation")
+	}
+}
+
+func TestEngineSnapshotFileRoundTrip(t *testing.T) {
+	const n = 3000
+	cat := testCatalog(t, 2, n)
+	eng := engine.New(cat, core.DefaultOptions())
+	for _, r := range workload.Queries(workload.NewUniform(4, 0, n, 0.02), 20) {
+		if _, err := eng.Run(engine.Query{Table: "orders", Column: "c0", R: r, Path: engine.PathAuto}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "engine.snapshot")
+	if err := SaveEngineFile(path, eng); err != nil {
+		t.Fatal(err)
+	}
+	restored := engine.New(testCatalog(t, 2, n), core.DefaultOptions())
+	if err := RestoreEngineFile(path, restored); err != nil {
+		t.Fatal(err)
+	}
+	got, want := restored.Structures(), eng.Structures()
+	if got.Crackers != want.Crackers || got.MapSets != want.MapSets ||
+		got.CrackerPieces != want.CrackerPieces || got.MapPieces != want.MapPieces {
+		t.Fatalf("restored structures %+v, want %+v", got, want)
+	}
+	if err := RestoreEngineFile(filepath.Join(t.TempDir(), "missing"), restored); err == nil {
+		t.Fatal("restoring a missing file must fail")
 	}
 }

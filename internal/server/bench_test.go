@@ -11,7 +11,7 @@ import (
 )
 
 // BenchmarkDispatch compares shared-scan batching against per-query
-// dispatch over the same hosted cracker column, driven by 8 closed-loop
+// dispatch over the same hosted engine, driven by 8 closed-loop
 // sessions replaying a shared hot-set workload (the overlapping shape
 // interactive exploration produces). Reported ns/op is per query.
 //
@@ -19,7 +19,6 @@ import (
 func BenchmarkDispatch(b *testing.B) {
 	const n = 500_000
 	const sessions = 8
-	vals := workload.DataUniform(1, n, n)
 
 	for _, mode := range []struct {
 		name   string
@@ -29,12 +28,8 @@ func BenchmarkDispatch(b *testing.B) {
 		{"batched-500us", 500 * time.Microsecond},
 	} {
 		b.Run(fmt.Sprintf("%s/sessions=%d", mode.name, sessions), func(b *testing.B) {
-			built, err := BuildIndex("cracking", vals, BuildOptions{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			svc := NewService(Config{Index: built.Index, Kind: built.Kind, BatchWindow: mode.window})
-			defer svc.Close()
+			eng, _ := testEngine(b, n)
+			svc := newTestService(b, eng, mode.window, "cracking")
 
 			gens, err := workload.SessionGenerators("hotset", 3, sessions, 0, n, 0.02)
 			if err != nil {
@@ -64,6 +59,26 @@ func BenchmarkDispatch(b *testing.B) {
 			b.StopTimer()
 			st := svc.Stats()
 			b.ReportMetric(float64(st.SharedScans)/float64(st.Queries), "shared-frac")
+		})
+	}
+}
+
+// BenchmarkAutoVsStaticPath measures the served cost of PathAuto
+// against the static paths on a select-project hot-set workload — the
+// price of letting the planner decide.
+func BenchmarkAutoVsStaticPath(b *testing.B) {
+	const n = 200_000
+	for _, path := range []string{"scan", "cracking", "sideways", "parallel", "auto"} {
+		b.Run(path, func(b *testing.B) {
+			eng, _ := testEngine(b, n)
+			svc := newTestService(b, eng, 0, path)
+			queries := workload.Queries(workload.NewHotSet(5, 0, n, 0.01, 32, 1.3), b.N)
+			b.ResetTimer()
+			for _, r := range queries {
+				if _, err := svc.SelectQuery(Query{R: r, Project: []string{"c1"}}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -3,117 +3,139 @@ package server
 import (
 	"fmt"
 	"os"
-	"sort"
+	"strconv"
+	"strings"
 
-	"adaptiveindex/internal/baseline"
-	"adaptiveindex/internal/column"
-	"adaptiveindex/internal/concurrent"
 	"adaptiveindex/internal/core"
-	"adaptiveindex/internal/index"
-	"adaptiveindex/internal/partition"
+	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/persist"
+	"adaptiveindex/internal/workload"
 )
 
-// BuildOptions tunes BuildIndex.
-type BuildOptions struct {
-	// Partitions and Workers configure the "cracking-parallel" kind
+// TableSpec describes one table of a generated catalog.
+type TableSpec struct {
+	// Name is the table name.
+	Name string
+	// Rows is the number of tuples.
+	Rows int
+	// Cols is the number of columns; they are named c0..c{Cols-1}.
+	Cols int
+}
+
+// ColumnName returns the canonical name of generated column i.
+func ColumnName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// ParseTableSpecs parses a comma-separated list of "name:rows:cols"
+// table specifications, e.g. "orders:1000000:4,events:200000:2".
+func ParseTableSpecs(s string) ([]TableSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("server: empty table spec")
+	}
+	var specs []TableSpec
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("server: table spec %q: want name:rows:cols", part)
+		}
+		name := strings.TrimSpace(fields[0])
+		if name == "" {
+			return nil, fmt.Errorf("server: table spec %q: empty name", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("server: table spec repeats table %q", name)
+		}
+		seen[name] = true
+		rows, err := strconv.Atoi(fields[1])
+		if err != nil || rows < 1 {
+			return nil, fmt.Errorf("server: table spec %q: bad row count %q", part, fields[1])
+		}
+		cols, err := strconv.Atoi(fields[2])
+		if err != nil || cols < 1 {
+			return nil, fmt.Errorf("server: table spec %q: bad column count %q", part, fields[2])
+		}
+		specs = append(specs, TableSpec{Name: name, Rows: rows, Cols: cols})
+	}
+	return specs, nil
+}
+
+// BuildCatalog generates a deterministic catalog from table specs:
+// every column is uniform over [0, domain) (domain <= 0 means the
+// table's row count), seeded per (table, column) so a daemon restarted
+// with the same flags hosts byte-identical data — the property engine
+// snapshot restore depends on.
+func BuildCatalog(specs []TableSpec, seed int64, domain int) (*engine.Catalog, error) {
+	cat := engine.NewCatalog()
+	for ti, spec := range specs {
+		t := engine.NewTable(spec.Name)
+		d := domain
+		if d <= 0 {
+			d = spec.Rows
+		}
+		for ci := 0; ci < spec.Cols; ci++ {
+			colSeed := seed + int64(ti)*1009 + int64(ci)*97
+			if err := t.AddColumn(ColumnName(ci), workload.DataUniform(colSeed, spec.Rows, d)); err != nil {
+				return nil, err
+			}
+		}
+		if err := cat.Register(t); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// EngineOptions tunes BuildEngine.
+type EngineOptions struct {
+	// Partitions and Workers configure PathParallel structures
 	// (defaults: one per available CPU).
 	Partitions int
 	Workers    int
-	// RandomPivotThreshold configures "cracking-stochastic" (default
-	// 16384).
+	// RandomPivotThreshold enables stochastic pivots below the given
+	// piece size (0 disables them).
 	RandomPivotThreshold int
-	// Seed seeds randomised strategies.
+	// Seed seeds randomised cracking strategies.
 	Seed int64
-	// SnapshotPath, when non-empty and the kind supports it, restores
-	// the index's cracked state from the snapshot instead of starting
-	// cold. A missing file is not an error (cold start).
+	// Planner tunes the PathAuto planner; the zero value means the
+	// engine defaults.
+	Planner engine.PlannerOptions
+	// SnapshotPath, when non-empty, restores the engine's adaptive
+	// state from the snapshot instead of starting cold. A missing file
+	// is not an error (cold start).
 	SnapshotPath string
 }
 
-// Built couples a constructed index with the service-relevant facts
-// about it.
-type Built struct {
-	Index index.Interface
-	Kind  string
-	// ConcurrencySafe reports whether the index may be driven by
-	// multiple goroutines directly.
-	ConcurrencySafe bool
-	// Cracker is non-nil for snapshot-capable kinds.
-	Cracker Snapshotter
-	// Restored reports whether the index was rebuilt from a snapshot.
+// BuiltEngine couples a constructed engine with the restore outcome.
+type BuiltEngine struct {
+	Engine *engine.Engine
+	// Restored reports whether adaptive state was rebuilt from a
+	// snapshot.
 	Restored bool
 }
 
-// Kinds lists the index kinds BuildIndex accepts, in a stable order.
-func Kinds() []string {
-	return []string{"scan", "fullsort", "cracking", "cracking-stochastic", "cracking-concurrent", "cracking-parallel"}
-}
-
-// BuildIndex constructs a hosted index by kind name. The kind names
-// match the public library's Kind strings where both exist. Snapshot
-// restore applies to the plain and stochastic cracking kinds, whose
-// state internal/persist captures.
-func BuildIndex(kind string, vals []column.Value, opts BuildOptions) (Built, error) {
-	coreOpts := core.Options{CrackInThree: true, Seed: opts.Seed}
-	switch kind {
-	case "scan":
-		return Built{Index: baseline.NewFullScan(vals), Kind: kind}, nil
-	case "fullsort":
-		return Built{Index: baseline.NewFullSortIndex(vals, false), Kind: kind}, nil
-	case "cracking":
-		cc, restored, err := restoreOrBuild(opts.SnapshotPath, vals, coreOpts)
-		if err != nil {
-			return Built{}, err
-		}
-		return Built{Index: cc, Kind: kind, Cracker: crackerSnapshot{cc}, Restored: restored}, nil
-	case "cracking-stochastic":
-		threshold := opts.RandomPivotThreshold
-		if threshold <= 0 {
-			threshold = 1 << 14
-		}
-		coreOpts.RandomPivotThreshold = threshold
-		cc, restored, err := restoreOrBuild(opts.SnapshotPath, vals, coreOpts)
-		if err != nil {
-			return Built{}, err
-		}
-		return Built{
-			Index:    index.Rename(cc, kind),
-			Kind:     kind,
-			Cracker:  crackerSnapshot{cc},
-			Restored: restored,
-		}, nil
-	case "cracking-concurrent":
-		return Built{Index: concurrent.New(vals, coreOpts), Kind: kind, ConcurrencySafe: true}, nil
-	case "cracking-parallel":
-		px := partition.New(vals, partition.Options{
-			Partitions: opts.Partitions,
-			Workers:    opts.Workers,
-			Core:       coreOpts,
-		})
-		return Built{Index: px, Kind: kind, ConcurrencySafe: true}, nil
-	default:
-		kinds := Kinds()
-		sort.Strings(kinds)
-		return Built{}, fmt.Errorf("server: unknown index kind %q (have %v)", kind, kinds)
+// BuildEngine constructs the hosted engine over the catalog, restoring
+// a persisted snapshot when one exists.
+func BuildEngine(cat *engine.Catalog, opts EngineOptions) (BuiltEngine, error) {
+	coreOpts := core.Options{
+		CrackInThree:         true,
+		Seed:                 opts.Seed,
+		RandomPivotThreshold: opts.RandomPivotThreshold,
 	}
-}
-
-// restoreOrBuild loads the cracker column from the snapshot when one
-// exists, falling back to a cold build over vals.
-func restoreOrBuild(path string, vals []column.Value, opts core.Options) (*core.CrackerColumn, bool, error) {
-	if path == "" {
-		return core.NewCrackerColumn(vals, opts), false, nil
+	eng := engine.New(cat, coreOpts)
+	eng.SetParallelPartitions(opts.Partitions)
+	eng.SetParallelWorkers(opts.Workers)
+	eng.SetPlannerOptions(opts.Planner)
+	if opts.SnapshotPath == "" {
+		return BuiltEngine{Engine: eng}, nil
 	}
-	if _, err := os.Stat(path); err != nil {
+	if _, err := os.Stat(opts.SnapshotPath); err != nil {
 		if os.IsNotExist(err) {
-			return core.NewCrackerColumn(vals, opts), false, nil
+			return BuiltEngine{Engine: eng}, nil
 		}
-		return nil, false, fmt.Errorf("server: snapshot %s: %w", path, err)
+		return BuiltEngine{}, fmt.Errorf("server: snapshot %s: %w", opts.SnapshotPath, err)
 	}
-	cc, err := persist.LoadFile(path, opts)
-	if err != nil {
-		return nil, false, fmt.Errorf("server: restoring snapshot %s: %w", path, err)
+	if err := persist.RestoreEngineFile(opts.SnapshotPath, eng); err != nil {
+		return BuiltEngine{}, fmt.Errorf("server: restoring snapshot %s: %w", opts.SnapshotPath, err)
 	}
-	return cc, true, nil
+	return BuiltEngine{Engine: eng, Restored: true}, nil
 }

@@ -8,21 +8,34 @@ import (
 	"time"
 
 	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/engine"
 )
 
-// QueryRequest is the wire form of one range query.
+// QueryRequest is the wire form of one query.
 //
-//	POST /query {"op":"count","low":10,"high":20}
+//	POST /query {"op":"count","table":"orders","column":"c0","low":10,"high":20}
+//	POST /query {"op":"select","table":"orders","column":"c0","low":10,"high":20,
+//	             "project":["c1","c2"],"path":"auto"}
 //
 // Omitted bounds are unbounded; incLow defaults to true and incHigh to
 // false, so {low, high} is the canonical half-open interval [low, high).
+// Omitted table, column and path fall back to the service defaults
+// (the daemon's first table, its first column, and "auto").
 type QueryRequest struct {
 	// Op is "count" (default) or "select".
 	Op      string `json:"op,omitempty"`
+	Table   string `json:"table,omitempty"`
+	Column  string `json:"column,omitempty"`
 	Low     *int64 `json:"low,omitempty"`
 	High    *int64 `json:"high,omitempty"`
 	IncLow  *bool  `json:"incLow,omitempty"`
 	IncHigh *bool  `json:"incHigh,omitempty"`
+	// Project names the columns to return alongside the qualifying
+	// rows (select only).
+	Project []string `json:"project,omitempty"`
+	// Path selects the access path ("scan", "cracking", "sideways",
+	// "parallel", "auto"); empty means the service default.
+	Path string `json:"path,omitempty"`
 }
 
 // Range converts the wire form to the internal predicate.
@@ -43,11 +56,22 @@ func (q QueryRequest) Range() column.Range {
 	return r
 }
 
+// query converts the wire form to the service-level query.
+func (q QueryRequest) query() Query {
+	return Query{Table: q.Table, Column: q.Column, R: q.Range(), Project: q.Project, Path: q.Path}
+}
+
 // QueryResponse is the wire form of a query result.
 type QueryResponse struct {
 	Count int `json:"count"`
 	// Rows carries the qualifying row identifiers for select queries.
 	Rows []column.RowID `json:"rows,omitempty"`
+	// Columns holds the projected values, positionally aligned with
+	// Rows, for select-project queries.
+	Columns map[string][]column.Value `json:"columns,omitempty"`
+	// Path is the access path that executed the query (the planner's
+	// choice when the request said "auto").
+	Path string `json:"path"`
 	// LatencyUs is the server-side latency of this query, queueing
 	// included.
 	LatencyUs int64 `json:"latency_us"`
@@ -60,8 +84,8 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /query   answer one range query (see QueryRequest)
-//	GET  /stats   observable service + index state (see Stats)
+//	POST /query   answer one query (see QueryRequest)
+//	GET  /stats   observable service + catalog + planner state (see Stats)
 //	GET  /healthz liveness probe
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -84,29 +108,46 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	var resp QueryResponse
+	var reply Reply
 	var err error
 	switch q.Op {
 	case "", "count":
-		resp.Count, err = s.Count(q.Range())
+		reply, err = s.do(opCount, q.query())
 	case "select":
-		var rows column.IDList
-		rows, err = s.Select(q.Range())
-		resp.Count, resp.Rows = len(rows), rows
+		reply, err = s.SelectQuery(q.query())
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown op %q (want count or select)", q.Op)})
 		return
 	}
 	if err != nil {
-		status := http.StatusServiceUnavailable
-		if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrClosed) {
-			status = http.StatusInternalServerError
-		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
 		return
 	}
-	resp.LatencyUs = time.Since(start).Microseconds()
+	resp := QueryResponse{
+		Count:     reply.Count,
+		Rows:      reply.Rows,
+		Columns:   reply.Columns,
+		Path:      reply.Path.String(),
+		LatencyUs: time.Since(start).Microseconds(),
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps service errors to HTTP statuses: client mistakes
+// (unknown tables, columns, paths) are 400s, backpressure and shutdown
+// are 503s, anything else is a 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownTable),
+		errors.Is(err, engine.ErrUnknownColumn),
+		errors.Is(err, engine.ErrUnknownPath),
+		errors.Is(err, ErrProjectWithCount):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

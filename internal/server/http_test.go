@@ -7,12 +7,14 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"adaptiveindex/internal/column"
 )
 
-func newHTTPFixture(t *testing.T) (*Service, *httptest.Server, []int64) {
+func newHTTPFixture(t *testing.T) (*Service, *httptest.Server, []column.Value) {
 	t.Helper()
-	vals := testData(20_000)
-	svc := newCrackingService(t, vals, 200*time.Microsecond)
+	eng, vals := testEngine(t, 20_000)
+	svc := newTestService(t, eng, 200*time.Microsecond, "auto")
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
 	return svc, ts, vals
@@ -49,11 +51,15 @@ func TestHTTPQueryCount(t *testing.T) {
 	if qr.Rows != nil {
 		t.Fatal("count op must not materialise rows")
 	}
+	if qr.Path == "" || qr.Path == "auto" {
+		t.Fatalf("response must name the executed path, got %q", qr.Path)
+	}
 }
 
-func TestHTTPQuerySelect(t *testing.T) {
-	_, ts, vals := newHTTPFixture(t)
-	resp, body := postQuery(t, ts.URL, `{"op":"select","low":5000,"high":5200}`)
+func TestHTTPQuerySelectProject(t *testing.T) {
+	svc, ts, vals := newHTTPFixture(t)
+	resp, body := postQuery(t, ts.URL,
+		`{"op":"select","table":"data","column":"c0","low":5000,"high":5200,"project":["c1","c2"]}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -68,9 +74,21 @@ func TestHTTPQuerySelect(t *testing.T) {
 	if want := refCount(vals, r); qr.Count != want {
 		t.Fatalf("count %d, want %d", qr.Count, want)
 	}
-	for _, row := range qr.Rows {
+	tab, err := svc.cfg.Engine.Catalog().Table("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := tab.Column("c1")
+	c2, _ := tab.Column("c2")
+	if len(qr.Columns["c1"]) != len(qr.Rows) || len(qr.Columns["c2"]) != len(qr.Rows) {
+		t.Fatalf("projection lengths %d/%d for %d rows", len(qr.Columns["c1"]), len(qr.Columns["c2"]), len(qr.Rows))
+	}
+	for i, row := range qr.Rows {
 		if !r.Contains(vals[row]) {
 			t.Fatalf("row %d value %d outside %s", row, vals[row], r)
+		}
+		if qr.Columns["c1"][i] != c1[row] || qr.Columns["c2"][i] != c2[row] {
+			t.Fatalf("misaligned projection for row %d", row)
 		}
 	}
 }
@@ -103,11 +121,21 @@ func TestHTTPQueryOneSidedAndInclusive(t *testing.T) {
 
 func TestHTTPBadRequests(t *testing.T) {
 	_, ts, _ := newHTTPFixture(t)
-	if resp, _ := postQuery(t, ts.URL, `{"op":"drop table"}`); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown op: status %d, want 400", resp.StatusCode)
-	}
-	if resp, _ := postQuery(t, ts.URL, `{not json`); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	for _, c := range []struct {
+		body string
+		why  string
+	}{
+		{`{"op":"drop table"}`, "unknown op"},
+		{`{not json`, "malformed body"},
+		{`{"table":"no-such-table","low":1}`, "unknown table"},
+		{`{"column":"no-such-column","low":1}`, "unknown column"},
+		{`{"path":"btree-of-lies","low":1}`, "unknown path"},
+		{`{"op":"count","project":["c1"]}`, "count with projection"},
+		{`{"op":"select","project":["no-such-column"],"low":1}`, "unknown projection column"},
+	} {
+		if resp, body := postQuery(t, ts.URL, c.body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", c.why, resp.StatusCode, body)
+		}
 	}
 	resp, err := http.Get(ts.URL + "/query")
 	if err != nil {
@@ -136,11 +164,17 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Index.Kind != "cracking" || st.Index.Len != 20_000 || st.Queries != 5 {
-		t.Fatalf("unexpected stats: %+v", st)
+	if len(st.Tables) != 2 || st.Tables[0].Table != "aux" || st.Tables[1].Table != "data" {
+		t.Fatalf("unexpected catalog: %+v", st.Tables)
 	}
-	if st.Index.Bytes != uint64(st.Index.Len)*pairBytes {
-		t.Fatalf("bytes %d, want %d", st.Index.Bytes, st.Index.Len*pairBytes)
+	if st.Tables[1].Rows != 20_000 || len(st.Tables[1].Columns) != 3 {
+		t.Fatalf("unexpected data table stats: %+v", st.Tables[1])
+	}
+	if st.Queries != 5 {
+		t.Fatalf("queries %d, want 5", st.Queries)
+	}
+	if len(st.Planner) == 0 {
+		t.Fatal("auto traffic must surface planner state in /stats")
 	}
 
 	health, err := http.Get(ts.URL + "/healthz")

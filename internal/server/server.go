@@ -1,30 +1,37 @@
-// Package server is the query service layer: it hosts any access path
-// satisfying the canonical contract (internal/index.Interface) behind
-// concurrent client sessions, over HTTP or in process.
+// Package server is the query service layer: it hosts a multi-table
+// adaptive execution engine (internal/engine over an engine.Catalog)
+// behind concurrent client sessions, over HTTP or in process.
 //
 // The paper's adaptive indexing exists to serve exploratory query
 // streams whose shape is unknown up front; this package adds the layer
-// that accepts such streams from many concurrent users. Its core is a
-// batch scheduler implementing shared-scan batching: queries arriving
-// within a short window are coalesced into one batch, duplicate
-// predicates inside the batch are answered by a single execution whose
-// result is shared, and the remaining unique predicates are handed to
-// the index's batch entry point (index.CountBatch / index.SelectBatch),
-// which executes them in pivot order under one latch acquisition. On
-// the hot-set workloads interactive exploration produces (IDEBench:
-// many sessions re-issuing a dashboard's filters), most of a batch
-// collapses onto a few shared scans, where per-query dispatch would
-// serialise every query behind the index latch and re-materialise the
-// same result over and over.
+// that accepts such streams from many concurrent users. Wire-level
+// queries name a table, a selection column, a range, and optional
+// projection columns; the access path is normally left to the engine's
+// cost-driven planner (engine.PathAuto), with explicit paths kept for
+// experiments.
+//
+// The service's core is a batch scheduler implementing shared-scan
+// batching: queries arriving within a short window are coalesced into
+// one batch, duplicate queries (same table, column, predicate,
+// projection and path) are answered by a single execution whose result
+// is shared, and the remaining unique queries are grouped per
+// (table, column) and executed in recursive-median order
+// (index.BatchOrder), so a batch subdivides each adaptive structure
+// like a balanced tree instead of triggering the ascending-order
+// cracking pathology. On the hot-set workloads interactive exploration
+// produces (IDEBench: many sessions re-issuing a dashboard's filters),
+// most of a batch collapses onto a few shared executions.
 //
 // A second structural benefit: with the scheduler enabled, the single
-// executor goroutine is the only goroutine that ever touches the index,
-// so even access paths that are not concurrency-safe (a plain cracker
-// column) serve concurrent sessions without any latch at all.
+// executor goroutine is the only goroutine that ever touches the
+// engine, so the engine — which is not concurrency-safe — serves
+// concurrent sessions without any latch at all. In direct mode
+// (BatchWindow <= 0) a service latch serialises access instead.
 //
 // The service also provides per-query latency histograms (p50/p95/p99),
-// an in-flight admission limit, an observable stats snapshot, and
-// snapshot/restore of cracked state through internal/persist.
+// an in-flight admission limit, an observable stats snapshot (catalog,
+// structures, planner state, scheduler counters), and snapshot/restore
+// of the engine's adaptive state through internal/persist.
 package server
 
 import (
@@ -32,12 +39,14 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adaptiveindex/internal/column"
-	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/index"
 	"adaptiveindex/internal/persist"
 )
@@ -51,19 +60,29 @@ var (
 	ErrClosed = errors.New("server: service closed")
 	// ErrNotClosed is returned by SnapshotTo on a still-running service.
 	ErrNotClosed = errors.New("server: service must be closed before snapshotting")
+	// ErrProjectWithCount is returned when a count query names
+	// projection columns: counting materialises nothing, so the
+	// projection could only be silently discarded after paying for it.
+	ErrProjectWithCount = errors.New("server: \"project\" requires op \"select\"")
 )
 
 // Config configures a Service.
 type Config struct {
-	// Index is the hosted access path.
-	Index index.Interface
-	// Kind names the index kind in stats (defaults to Index.Name()).
-	Kind string
+	// Engine is the hosted execution engine; its catalog defines the
+	// tables queries may name. Required.
+	Engine *engine.Engine
+	// DefaultTable and DefaultColumn answer queries that do not name a
+	// table or selection column. They default to the catalog's first
+	// table (alphabetically) and its first column.
+	DefaultTable  string
+	DefaultColumn string
+	// DefaultPath names the access path for queries that do not request
+	// one explicitly. Empty means "auto" (the planner decides).
+	DefaultPath string
 	// BatchWindow is how long the scheduler waits, after the first
 	// query of a batch arrives, for more queries to coalesce with it.
 	// Zero or negative disables batching: every query dispatches
-	// directly against the index (serialised by a latch unless
-	// ConcurrencySafe is set).
+	// directly against the engine, serialised by the service latch.
 	BatchWindow time.Duration
 	// MaxBatch caps how many queries one batch may hold; a full batch
 	// executes immediately without waiting out the window (default 64).
@@ -72,35 +91,38 @@ type Config struct {
 	// rejected with ErrOverloaded instead of queueing without bound
 	// (default 1024).
 	MaxInFlight int
-	// ConcurrencySafe declares that Index may be driven by multiple
-	// goroutines at once (package concurrent, package partition), so
-	// direct dispatch can skip the service's own latch.
-	ConcurrencySafe bool
-	// Cracker, when non-nil, is the hosted index's underlying cracker
-	// column, enabling SnapshotTo. Built(...) wires it automatically
-	// for snapshot-capable kinds.
-	Cracker Snapshotter
 }
 
-// Snapshotter is the surface SnapshotTo needs from a hosted index.
-type Snapshotter interface {
-	SnapshotTo(w io.Writer) error
+// Query is one service-level request: "SELECT Project FROM Table WHERE
+// Column IN R", executed by the named access path. Empty Table, Column
+// or Path fall back to the service defaults.
+type Query struct {
+	Table   string
+	Column  string
+	R       column.Range
+	Project []string
+	// Path is the access-path name ("scan", "cracking", "sideways",
+	// "parallel", "auto"); empty means the service default.
+	Path string
 }
 
-func (c Config) withDefaults() Config {
-	if c.Kind == "" {
-		c.Kind = c.Index.Name()
-	}
-	if c.MaxBatch <= 0 {
-		c.MaxBatch = 64
-	}
-	if c.MaxInFlight <= 0 {
-		c.MaxInFlight = 1024
-	}
-	return c
+// Reply is the answer to one Query.
+type Reply struct {
+	// Count is the number of qualifying rows (always set).
+	Count int
+	// Rows carries the qualifying row identifiers for select queries.
+	// Duplicate queries coalesced into one batch share the same backing
+	// vector; callers must treat it as read-only.
+	Rows column.IDList
+	// Columns holds the projected values, positionally aligned with
+	// Rows, for select-project queries.
+	Columns map[string][]column.Value
+	// Path is the access path that executed the query (the planner's
+	// choice, for auto).
+	Path engine.AccessPath
 }
 
-// op selects what a request wants from the index.
+// op selects what a request wants from the engine.
 type op uint8
 
 const (
@@ -112,26 +134,27 @@ const (
 // request is one query in flight through the scheduler.
 type request struct {
 	op       op
-	r        column.Range
+	q        engine.Query // fully resolved: defaults applied, path parsed
 	enqueued time.Time
 	resp     chan result
 }
 
 // result is the executor's answer to one request.
 type result struct {
-	count int
-	rows  column.IDList
+	reply Reply
+	err   error
 	stats *Stats
 }
 
-// Service hosts an index behind concurrent sessions. All methods are
+// Service hosts an engine behind concurrent sessions. All methods are
 // safe for concurrent use.
 type Service struct {
-	cfg     Config
-	batched bool
+	cfg         Config
+	defaultPath engine.AccessPath
+	batched     bool
 
-	// mu serialises direct-mode access to indexes that are not
-	// concurrency-safe, and Stats in direct mode.
+	// mu serialises direct-mode access to the engine (which is not
+	// concurrency-safe), and Stats in direct mode.
 	mu sync.Mutex
 
 	queue     chan *request
@@ -149,16 +172,52 @@ type Service struct {
 	started  time.Time
 }
 
-// NewService creates and starts a service over the configured index.
+// NewService creates and starts a service over the configured engine.
 // Callers must Close it to stop the scheduler goroutine.
-func NewService(cfg Config) *Service {
-	cfg = cfg.withDefaults()
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1024
+	}
+	cat := cfg.Engine.Catalog()
+	if cfg.DefaultTable == "" {
+		tables := cat.Tables()
+		if len(tables) == 0 {
+			return nil, errors.New("server: catalog has no tables")
+		}
+		sort.Strings(tables)
+		cfg.DefaultTable = tables[0]
+	}
+	t, err := cat.Table(cfg.DefaultTable)
+	if err != nil {
+		return nil, fmt.Errorf("server: default table: %w", err)
+	}
+	if cfg.DefaultColumn == "" {
+		cols := t.Columns()
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("server: default table %q has no columns", cfg.DefaultTable)
+		}
+		cfg.DefaultColumn = cols[0]
+	}
+	if _, err := t.Column(cfg.DefaultColumn); err != nil {
+		return nil, fmt.Errorf("server: default column: %w", err)
+	}
+	defaultPath, err := engine.ParsePath(cfg.DefaultPath)
+	if err != nil {
+		return nil, fmt.Errorf("server: default path: %w", err)
+	}
 	s := &Service{
-		cfg:     cfg,
-		batched: cfg.BatchWindow > 0,
-		closed:  make(chan struct{}),
-		drained: make(chan struct{}),
-		started: time.Now(),
+		cfg:         cfg,
+		defaultPath: defaultPath,
+		batched:     cfg.BatchWindow > 0,
+		closed:      make(chan struct{}),
+		drained:     make(chan struct{}),
+		started:     time.Now(),
 	}
 	if s.batched {
 		// The queue buffers one admission limit's worth of requests so
@@ -168,40 +227,81 @@ func NewService(cfg Config) *Service {
 	} else {
 		close(s.drained)
 	}
-	return s
+	return s, nil
 }
 
-// Count answers a range predicate, batching it with concurrent queries
-// when the scheduler is enabled.
+// resolve applies the service defaults and parses the path name.
+func (s *Service) resolve(q Query) (engine.Query, error) {
+	eq := engine.Query{Table: q.Table, Column: q.Column, R: q.R, Project: q.Project}
+	if eq.Table == "" {
+		eq.Table = s.cfg.DefaultTable
+	}
+	if eq.Column == "" {
+		eq.Column = s.cfg.DefaultColumn
+	}
+	if q.Path == "" {
+		eq.Path = s.defaultPath
+	} else {
+		path, err := engine.ParsePath(q.Path)
+		if err != nil {
+			return engine.Query{}, err
+		}
+		eq.Path = path
+	}
+	return eq, nil
+}
+
+// Count answers a range predicate on the default table and column,
+// batching it with concurrent queries when the scheduler is enabled.
 func (s *Service) Count(r column.Range) (int, error) {
-	res, err := s.do(opCount, r)
-	return res.count, err
+	reply, err := s.do(opCount, Query{R: r})
+	return reply.Count, err
 }
 
-// Select answers a range predicate with the qualifying row identifiers.
-// Duplicate predicates coalesced into one batch share the same backing
-// selection vector; callers must treat it as read-only.
+// Select answers a range predicate on the default table and column
+// with the qualifying row identifiers.
 func (s *Service) Select(r column.Range) (column.IDList, error) {
-	res, err := s.do(opSelect, r)
-	return res.rows, err
+	reply, err := s.do(opSelect, Query{R: r})
+	return reply.Rows, err
 }
 
-func (s *Service) do(o op, r column.Range) (result, error) {
+// CountQuery answers a full query without materialising rows to the
+// caller.
+func (s *Service) CountQuery(q Query) (int, error) {
+	reply, err := s.do(opCount, q)
+	return reply.Count, err
+}
+
+// SelectQuery answers a full query, including projections when
+// q.Project names columns.
+func (s *Service) SelectQuery(q Query) (Reply, error) {
+	return s.do(opSelect, q)
+}
+
+func (s *Service) do(o op, q Query) (Reply, error) {
+	if o == opCount && len(q.Project) > 0 {
+		return Reply{}, ErrProjectWithCount
+	}
+	eq, err := s.resolve(q)
+	if err != nil {
+		return Reply{}, err
+	}
+	eq.CountOnly = o == opCount
 	if s.inFlight.Add(1) > int64(s.cfg.MaxInFlight) {
 		s.inFlight.Add(-1)
 		s.rejected.Add(1)
-		return result{}, ErrOverloaded
+		return Reply{}, ErrOverloaded
 	}
 	defer s.inFlight.Add(-1)
 
 	start := time.Now()
 	var res result
 	if s.batched {
-		req := &request{op: o, r: r, enqueued: start, resp: make(chan result, 1)}
+		req := &request{op: o, q: eq, enqueued: start, resp: make(chan result, 1)}
 		select {
 		case s.queue <- req:
 		case <-s.closed:
-			return result{}, ErrClosed
+			return Reply{}, ErrClosed
 		}
 		// The executor drains the queue on close, but a request can
 		// land in the buffered queue just after the drain finished;
@@ -213,39 +313,43 @@ func (s *Service) do(o op, r column.Range) (result, error) {
 			select {
 			case res = <-req.resp:
 			default:
-				return result{}, ErrClosed
+				return Reply{}, ErrClosed
 			}
 		}
 	} else {
 		select {
 		case <-s.closed:
-			return result{}, ErrClosed
+			return Reply{}, ErrClosed
 		default:
 		}
-		if !s.cfg.ConcurrencySafe {
-			s.mu.Lock()
-		}
-		res = s.executeOne(o, r)
-		if !s.cfg.ConcurrencySafe {
-			s.mu.Unlock()
-		}
+		s.mu.Lock()
+		res = s.executeOne(o, eq)
+		s.mu.Unlock()
+	}
+	if res.err != nil {
+		return Reply{}, res.err
 	}
 	s.queries.Add(1)
 	s.hist.observe(time.Since(start))
-	return res, nil
+	return res.reply, nil
 }
 
-// executeOne answers a single request against the index directly.
-func (s *Service) executeOne(o op, r column.Range) result {
-	switch o {
-	case opSelect:
-		return result{rows: s.cfg.Index.Select(r)}
-	default:
-		return result{count: s.cfg.Index.Count(r)}
+// executeOne answers a single request against the engine directly.
+// Count-only queries (eq.CountOnly) materialise nothing.
+func (s *Service) executeOne(o op, eq engine.Query) result {
+	res, err := s.cfg.Engine.Run(eq)
+	if err != nil {
+		return result{err: err}
 	}
+	reply := Reply{Count: res.Count, Path: res.Path}
+	if o == opSelect {
+		reply.Rows = res.Rows
+		reply.Columns = res.Columns
+	}
+	return result{reply: reply}
 }
 
-// runExecutor is the scheduler loop: it owns the index exclusively,
+// runExecutor is the scheduler loop: it owns the engine exclusively,
 // coalesces queued requests into batches and executes them.
 func (s *Service) runExecutor() {
 	defer close(s.drained)
@@ -323,16 +427,47 @@ func (s *Service) drainAndExit() {
 	}
 }
 
-// executeBatch answers one batch: duplicate predicates collapse onto a
-// single execution, the unique predicates go through the index's batch
-// entry point, and results are fanned back out to every waiter.
+// execKey identifies one distinct execution inside a batch: two
+// requests share an execution exactly when they agree on table,
+// selection column, predicate, projection list and access path.
+type execKey struct {
+	table  string
+	column string
+	r      column.Range
+	proj   string
+	path   engine.AccessPath
+}
+
+func keyOf(eq engine.Query) execKey {
+	return execKey{
+		table:  eq.Table,
+		column: eq.Column,
+		r:      eq.R,
+		proj:   strings.Join(eq.Project, "\x1f"),
+		path:   eq.Path,
+	}
+}
+
+// slot is one distinct execution of a batch and its shared outcome.
+// wantRows records whether any coalesced request needs materialised
+// rows; a slot wanted only by counts executes count-only.
+type slot struct {
+	eq       engine.Query
+	wantRows bool
+	res      result
+}
+
+// executeBatch answers one batch: duplicate queries collapse onto a
+// single execution, the unique queries are grouped per (table, column)
+// and executed in recursive-median order, and results are fanned back
+// out to every waiter.
 func (s *Service) executeBatch(batch []*request) {
 	if len(batch) == 0 {
 		return
 	}
 
 	// Stats requests are answered from the executor so the snapshot is
-	// consistent with a quiescent index.
+	// consistent with a quiescent engine.
 	var queries []*request
 	for _, req := range batch {
 		if req.op == opStats {
@@ -353,99 +488,83 @@ func (s *Service) executeBatch(batch []*request) {
 		}
 	}
 
-	// Deduplicate: one execution per distinct predicate. A predicate
-	// needed by any Select is executed materialising, and Counts on the
-	// same predicate read the vector's length.
-	type slot struct {
-		idx        int
-		wantSelect bool
-	}
-	uniq := make(map[column.Range]*slot, len(queries))
-	var ranges []column.Range
+	// Deduplicate: one execution per distinct (table, column, range,
+	// projection, path) key.
+	uniq := make(map[execKey]*slot, len(queries))
+	var order []execKey
 	for _, req := range queries {
-		sl, ok := uniq[req.r]
+		k := keyOf(req.q)
+		sl, ok := uniq[k]
 		if !ok {
-			sl = &slot{idx: len(ranges)}
-			uniq[req.r] = sl
-			ranges = append(ranges, req.r)
+			sl = &slot{eq: req.q}
+			uniq[k] = sl
+			order = append(order, k)
 		}
 		if req.op == opSelect {
-			sl.wantSelect = true
+			sl.wantRows = true
 		}
 	}
-	s.shared.Add(uint64(len(queries) - len(ranges)))
+	s.shared.Add(uint64(len(queries) - len(order)))
 
-	// Split the unique predicates into materialising and count-only
-	// executions, preserving the slot indices.
-	var selRanges, cntRanges []column.Range
-	selSlot := make([]int, 0, len(ranges))
-	cntSlot := make([]int, 0, len(ranges))
-	for i, r := range ranges {
-		if uniq[r].wantSelect {
-			selSlot = append(selSlot, i)
-			selRanges = append(selRanges, r)
-		} else {
-			cntSlot = append(cntSlot, i)
-			cntRanges = append(cntRanges, r)
+	// Group the unique executions by (table, column) and run each group
+	// in recursive-median order so the batch subdivides the adaptive
+	// structure geometrically regardless of arrival order.
+	groups := make(map[engine.TableColumn][]*slot)
+	var groupOrder []engine.TableColumn
+	for _, k := range order {
+		tc := engine.TableColumn{Table: k.table, Column: k.column}
+		if _, ok := groups[tc]; !ok {
+			groupOrder = append(groupOrder, tc)
 		}
+		groups[tc] = append(groups[tc], uniq[k])
 	}
-	rows := make([]column.IDList, len(ranges))
-	counts := make([]int, len(ranges))
-	if len(selRanges) > 0 {
-		for j, ids := range index.SelectBatch(s.cfg.Index, selRanges) {
-			rows[selSlot[j]] = ids
-			counts[selSlot[j]] = len(ids)
+	for _, tc := range groupOrder {
+		slots := groups[tc]
+		ranges := make([]column.Range, len(slots))
+		for i, sl := range slots {
+			ranges[i] = sl.eq.R
 		}
-	}
-	if len(cntRanges) > 0 {
-		for j, n := range index.CountBatch(s.cfg.Index, cntRanges) {
-			counts[cntSlot[j]] = n
+		for _, i := range index.BatchOrder(ranges) {
+			sl := slots[i]
+			sl.eq.CountOnly = !sl.wantRows
+			o := opSelect
+			if sl.eq.CountOnly {
+				o = opCount
+			}
+			sl.res = s.executeOne(o, sl.eq)
 		}
 	}
 
 	for _, req := range queries {
-		sl := uniq[req.r]
-		if req.op == opSelect {
-			req.resp <- result{count: counts[sl.idx], rows: rows[sl.idx]}
-		} else {
-			req.resp <- result{count: counts[sl.idx]}
+		sl := uniq[keyOf(req.q)]
+		res := sl.res
+		if res.err == nil && req.op == opCount {
+			res.reply = Reply{Count: res.reply.Count, Path: res.reply.Path}
 		}
+		req.resp <- res
 	}
 }
 
 // Close stops accepting queries, waits for the scheduler to drain every
-// admitted request, and quiesces the index. It is idempotent.
+// admitted request, and quiesces the engine. It is idempotent.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() { close(s.closed) })
 	<-s.drained
 }
 
-// SnapshotTo writes the hosted index's cracked state through
-// internal/persist. The service must be closed first, so the snapshot
-// sees a quiescent index; kinds without snapshot support return
-// (false, nil).
-func (s *Service) SnapshotTo(w io.Writer) (bool, error) {
+// SnapshotTo writes the hosted engine's adaptive state (cracked
+// columns, sideways maps, planner estimates) through internal/persist.
+// The service must be closed first, so the snapshot sees a quiescent
+// engine.
+func (s *Service) SnapshotTo(w io.Writer) error {
 	select {
 	case <-s.closed:
 	default:
-		return false, ErrNotClosed
+		return ErrNotClosed
 	}
 	<-s.drained
-	if s.cfg.Cracker == nil {
-		return false, nil
-	}
-	if err := s.cfg.Cracker.SnapshotTo(w); err != nil {
-		return true, err
-	}
-	return true, nil
+	return persist.SaveEngine(w, s.cfg.Engine)
 }
-
-// crackerSnapshot adapts persist.Save to the Snapshotter surface.
-type crackerSnapshot struct {
-	cc *core.CrackerColumn
-}
-
-func (c crackerSnapshot) SnapshotTo(w io.Writer) error { return persist.Save(w, c.cc) }
 
 // String renders the service configuration for logs.
 func (s *Service) String() string {
@@ -453,5 +572,8 @@ func (s *Service) String() string {
 	if s.batched {
 		mode = fmt.Sprintf("batched(window=%s,max=%d)", s.cfg.BatchWindow, s.cfg.MaxBatch)
 	}
-	return fmt.Sprintf("server{kind=%s n=%d %s inflight<=%d}", s.cfg.Kind, s.cfg.Index.Len(), mode, s.cfg.MaxInFlight)
+	tables := s.cfg.Engine.Catalog().Tables()
+	sort.Strings(tables)
+	return fmt.Sprintf("server{tables=%s default=%s.%s path=%s %s inflight<=%d}",
+		strings.Join(tables, ","), s.cfg.DefaultTable, s.cfg.DefaultColumn, s.defaultPath, mode, s.cfg.MaxInFlight)
 }

@@ -12,13 +12,41 @@ import (
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
-	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/workload"
 )
 
-// testData builds a deterministic uniform column.
-func testData(n int) []column.Value {
-	return workload.DataUniform(1, n, n)
+// testSpecs is the canonical two-table test catalog: "data" with three
+// columns, "aux" with two.
+func testSpecs(n int) []TableSpec {
+	return []TableSpec{
+		{Name: "data", Rows: n, Cols: 3},
+		{Name: "aux", Rows: n / 2, Cols: 2},
+	}
+}
+
+// testEngine builds a deterministic engine over the test catalog and
+// returns it with the base values of data.c0 (the default selection
+// column).
+func testEngine(t testing.TB, n int) (*engine.Engine, []column.Value) {
+	t.Helper()
+	cat, err := BuildCatalog(testSpecs(n), 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildEngine(cat, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := cat.Table("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := tab.Column("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return built.Engine, vals
 }
 
 // refCount answers r by brute force.
@@ -32,19 +60,12 @@ func refCount(vals []column.Value, r column.Range) int {
 	return n
 }
 
-func newCrackingService(t *testing.T, vals []column.Value, window time.Duration) *Service {
+func newTestService(t testing.TB, eng *engine.Engine, window time.Duration, path string) *Service {
 	t.Helper()
-	built, err := BuildIndex("cracking", vals, BuildOptions{})
+	svc, err := NewService(Config{Engine: eng, DefaultTable: "data", DefaultPath: path, BatchWindow: window})
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := NewService(Config{
-		Index:           built.Index,
-		Kind:            built.Kind,
-		BatchWindow:     window,
-		ConcurrencySafe: built.ConcurrencySafe,
-		Cracker:         built.Cracker,
-	})
 	t.Cleanup(svc.Close)
 	return svc
 }
@@ -52,11 +73,11 @@ func newCrackingService(t *testing.T, vals []column.Value, window time.Duration)
 // TestConcurrentSessionsGetCorrectAnswers drives the batched service
 // from many goroutines and checks every answer against a brute-force
 // reference. The batched scheduler is the only goroutine touching the
-// (not concurrency-safe) cracker column.
+// (not concurrency-safe) engine.
 func TestConcurrentSessionsGetCorrectAnswers(t *testing.T) {
 	const n = 50_000
-	vals := testData(n)
-	svc := newCrackingService(t, vals, 200*time.Microsecond)
+	eng, vals := testEngine(t, n)
+	svc := newTestService(t, eng, 200*time.Microsecond, "cracking")
 
 	const sessions = 8
 	const perSession = 60
@@ -130,8 +151,8 @@ func TestConcurrentSessionsGetCorrectAnswers(t *testing.T) {
 	if st.SharedScans == 0 {
 		t.Fatalf("hot-set workload over %d sessions produced no shared scans", sessions)
 	}
-	if st.Index.Cracks == 0 {
-		t.Fatal("cracking index reported zero pieces after a query storm")
+	if st.Structures.Pieces == 0 {
+		t.Fatal("cracking path reported zero pieces after a query storm")
 	}
 	if st.Latency.Count == 0 || st.Latency.P50Us == 0 || st.Latency.P99Us < st.Latency.P50Us {
 		t.Fatalf("implausible latency stats: %+v", st.Latency)
@@ -140,9 +161,8 @@ func TestConcurrentSessionsGetCorrectAnswers(t *testing.T) {
 
 // TestBatchingBeatsDirectDispatch is the acceptance benchmark-as-test:
 // on an overlapping hot-set workload with 8 concurrent sessions, the
-// batch scheduler must (a) execute strictly fewer index passes and do
-// strictly less materialisation work than per-query dispatch, and
-// (b) deliver higher throughput.
+// batch scheduler must (a) do strictly less materialisation work than
+// per-query dispatch, and (b) deliver higher throughput.
 func TestBatchingBeatsDirectDispatch(t *testing.T) {
 	const n = 300_000
 	const sessions = 8
@@ -160,13 +180,8 @@ func TestBatchingBeatsDirectDispatch(t *testing.T) {
 	}
 
 	run := func(window time.Duration) (time.Duration, Stats, uint64) {
-		vals := testData(n)
-		built, err := BuildIndex("cracking", vals, BuildOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		svc := NewService(Config{Index: built.Index, Kind: built.Kind, BatchWindow: window})
-		defer svc.Close()
+		eng, _ := testEngine(t, n)
+		svc := newTestService(t, eng, window, "cracking")
 		var wg sync.WaitGroup
 		var failed atomic.Bool
 		start := time.Now()
@@ -188,7 +203,7 @@ func TestBatchingBeatsDirectDispatch(t *testing.T) {
 			t.Fatal("query failed")
 		}
 		st := svc.Stats()
-		return wall, st, built.Index.Cost().TuplesCopied
+		return wall, st, eng.Cost().TuplesCopied
 	}
 
 	// Wall-clock comparisons on shared CI machines are noisy; interleave
@@ -228,36 +243,129 @@ func TestBatchingBeatsDirectDispatch(t *testing.T) {
 	}
 }
 
-// slowIndex stalls every Count so tests can observe the service while
-// the executor is busy.
-type slowIndex struct {
-	index.Interface
-	delay time.Duration
+// TestMultiTableSelectProject exercises the new wire surface in
+// process: queries naming tables, selection columns and projections,
+// verified against the base data.
+func TestMultiTableSelectProject(t *testing.T) {
+	const n = 20_000
+	eng, _ := testEngine(t, n)
+	cat := eng.Catalog()
+	svc := newTestService(t, eng, 200*time.Microsecond, "auto")
+
+	for _, tc := range []struct {
+		table, col string
+		project    []string
+	}{
+		{"data", "c0", []string{"c1", "c2"}},
+		{"data", "c1", []string{"c0"}},
+		{"aux", "c0", []string{"c1"}},
+		{"aux", "c1", nil},
+	} {
+		tab, err := cat.Table(tc.table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, _ := tab.Column(tc.col)
+		base := make(map[string][]column.Value, len(tc.project))
+		for _, p := range tc.project {
+			base[p], _ = tab.Column(p)
+		}
+		gen := workload.NewUniform(3, 0, column.Value(n), 0.01)
+		for q := 0; q < 30; q++ {
+			r := gen.Next()
+			reply, err := svc.SelectQuery(Query{Table: tc.table, Column: tc.col, R: r, Project: tc.project})
+			if err != nil {
+				t.Fatalf("%s.%s: %v", tc.table, tc.col, err)
+			}
+			if want := refCount(sel, r); reply.Count != want {
+				t.Fatalf("%s.%s %s: count %d, want %d", tc.table, tc.col, r, reply.Count, want)
+			}
+			for _, p := range tc.project {
+				got := reply.Columns[p]
+				if len(got) != len(reply.Rows) {
+					t.Fatalf("%s.%s: projection %q has %d values for %d rows", tc.table, tc.col, p, len(got), len(reply.Rows))
+				}
+				for i, row := range reply.Rows {
+					if !r.Contains(sel[row]) {
+						t.Fatalf("%s.%s: row %d does not satisfy %s", tc.table, tc.col, row, r)
+					}
+					if got[i] != base[p][row] {
+						t.Fatalf("%s.%s: projection %q misaligned at %d", tc.table, tc.col, p, i)
+					}
+				}
+			}
+		}
+	}
+
+	// Errors must name the problem, not 500 out of the engine.
+	if _, err := svc.SelectQuery(Query{Table: "nope", R: column.NewRange(0, 1)}); !errors.Is(err, engine.ErrUnknownTable) {
+		t.Fatalf("unknown table: %v", err)
+	}
+	if _, err := svc.SelectQuery(Query{Column: "nope", R: column.NewRange(0, 1)}); !errors.Is(err, engine.ErrUnknownColumn) {
+		t.Fatalf("unknown column: %v", err)
+	}
+	if _, err := svc.SelectQuery(Query{R: column.NewRange(0, 1), Path: "btree-of-lies"}); !errors.Is(err, engine.ErrUnknownPath) {
+		t.Fatalf("unknown path: %v", err)
+	}
 }
 
-func (s slowIndex) Count(r column.Range) int {
-	time.Sleep(s.delay)
-	return s.Interface.Count(r)
+// TestAutoPathServesAndPlans drives the default (auto) path and checks
+// the planner reaches a decision that is visible in stats while every
+// answer stays correct.
+func TestAutoPathServesAndPlans(t *testing.T) {
+	const n = 30_000
+	eng, vals := testEngine(t, n)
+	svc := newTestService(t, eng, 200*time.Microsecond, "")
+
+	gen := workload.NewUniform(11, 0, column.Value(n), 0.02)
+	for q := 0; q < 80; q++ {
+		r := gen.Next()
+		reply, err := svc.SelectQuery(Query{R: r, Project: []string{"c1"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refCount(vals, r); reply.Count != want {
+			t.Fatalf("query %s: count %d, want %d", r, reply.Count, want)
+		}
+	}
+	st := svc.Stats()
+	if st.DefaultPath != "auto" {
+		t.Fatalf("default path %q, want auto", st.DefaultPath)
+	}
+	if len(st.Planner) == 0 {
+		t.Fatal("auto traffic left no planner state")
+	}
+	plan := st.Planner[0]
+	if plan.Table != "data" || plan.Column != "c0" {
+		t.Fatalf("planner state for %s.%s, want data.c0", plan.Table, plan.Column)
+	}
+	if plan.Phase != "exploit" {
+		t.Fatalf("planner still %q after 80 queries", plan.Phase)
+	}
+	if len(plan.Paths) == 0 {
+		t.Fatal("planner reported no per-path observations")
+	}
 }
 
 // TestAdmissionLimit verifies queries beyond MaxInFlight are rejected
 // rather than queued without bound.
 func TestAdmissionLimit(t *testing.T) {
-	vals := testData(10_000)
-	built, err := BuildIndex("cracking", vals, BuildOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// A stalled executor: requests pile up behind the first slow batch
-	// while the limit is 2.
-	svc := NewService(Config{
-		Index:       slowIndex{Interface: built.Index, delay: 20 * time.Millisecond},
+	const n = 200_000
+	eng, _ := testEngine(t, n)
+	// Scans of a 200k column keep the executor busy for a few
+	// milliseconds while 64 concurrent clients race a limit of 2.
+	svc, err := NewService(Config{
+		Engine:      eng,
+		DefaultPath: "scan",
 		BatchWindow: 100 * time.Microsecond,
 		MaxInFlight: 2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 
-	const clients = 10
+	const clients = 64
 	var rejected atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < clients; g++ {
@@ -271,7 +379,7 @@ func TestAdmissionLimit(t *testing.T) {
 	}
 	wg.Wait()
 	if rejected.Load() == 0 {
-		t.Fatal("no request was rejected at MaxInFlight=2 with 10 concurrent clients")
+		t.Fatalf("no request was rejected at MaxInFlight=2 with %d concurrent clients", clients)
 	}
 	if got := svc.Stats().Rejected; got != uint64(rejected.Load()) {
 		t.Fatalf("stats.Rejected=%d, clients saw %d rejections", got, rejected.Load())
@@ -282,12 +390,11 @@ func TestAdmissionLimit(t *testing.T) {
 // Close is idempotent.
 func TestCloseRejectsNewQueries(t *testing.T) {
 	for _, window := range []time.Duration{0, time.Millisecond} {
-		vals := testData(1000)
-		built, err := BuildIndex("cracking", vals, BuildOptions{})
+		eng, _ := testEngine(t, 1000)
+		svc, err := NewService(Config{Engine: eng, BatchWindow: window})
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc := NewService(Config{Index: built.Index, BatchWindow: window})
 		if _, err := svc.Count(column.NewRange(1, 10)); err != nil {
 			t.Fatal(err)
 		}
@@ -304,125 +411,94 @@ func TestCloseRejectsNewQueries(t *testing.T) {
 }
 
 // TestSnapshotRestoreCycle is the kill/restart contract at the service
-// level: cracked state survives Close+SnapshotTo and a rebuild through
-// BuildIndex, and the restored service answers identically without
-// re-paying the cracking work.
+// level: the engine's adaptive state survives Close+SnapshotTo and a
+// rebuild through BuildEngine, and the restored service answers
+// identically without re-paying the cracking work.
 func TestSnapshotRestoreCycle(t *testing.T) {
 	const n = 50_000
-	vals := testData(n)
-	svc := newCrackingService(t, vals, 200*time.Microsecond)
+	eng, vals := testEngine(t, n)
+	svc := newTestService(t, eng, 200*time.Microsecond, "auto")
 
-	gen := workload.NewUniform(9, 0, n, 0.02)
+	gen := workload.NewUniform(9, 0, column.Value(n), 0.02)
 	queries := workload.Queries(gen, 200)
 	for _, r := range queries {
-		if _, err := svc.Count(r); err != nil {
+		if _, err := svc.SelectQuery(Query{R: r, Project: []string{"c1"}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := svc.SnapshotTo(&bytes.Buffer{}); !errors.Is(err, ErrNotClosed) {
+	if err := svc.SnapshotTo(&bytes.Buffer{}); !errors.Is(err, ErrNotClosed) {
 		t.Fatal("snapshotting a live service must fail")
 	}
-	before := svc.Stats().Index.Cracks
+	before := svc.Stats().Structures
 	svc.Close()
 
-	path := filepath.Join(t.TempDir(), "col.snapshot")
+	path := filepath.Join(t.TempDir(), "engine.snapshot")
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := svc.SnapshotTo(f)
-	if err != nil || !ok {
-		t.Fatalf("snapshot failed: ok=%v err=%v", ok, err)
+	if err := svc.SnapshotTo(f); err != nil {
+		t.Fatalf("snapshot failed: %v", err)
 	}
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	built, err := BuildIndex("cracking", vals, BuildOptions{SnapshotPath: path})
+	cat, err := BuildCatalog(testSpecs(n), 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildEngine(cat, EngineOptions{SnapshotPath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !built.Restored {
-		t.Fatal("index was not restored from the snapshot")
+		t.Fatal("engine was not restored from the snapshot")
 	}
-	restored := NewService(Config{Index: built.Index, Kind: built.Kind, BatchWindow: 200 * time.Microsecond, Cracker: built.Cracker})
+	restored, err := NewService(Config{Engine: built.Engine, DefaultTable: "data", DefaultPath: "auto", BatchWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer restored.Close()
 
-	st := restored.Stats()
-	if st.Index.Cracks != before {
-		t.Fatalf("restored index has %d pieces, want %d", st.Index.Cracks, before)
+	st := restored.Stats().Structures
+	if st.CrackerPieces != before.CrackerPieces || st.MapPieces != before.MapPieces {
+		t.Fatalf("restored structures %+v, want %+v", st, before)
 	}
-	// Replaying the converged workload must not crack further: the
-	// invested knowledge was restored, not re-learned.
-	for _, r := range queries {
-		got, err := restored.Count(r)
-		if err != nil {
-			t.Fatal(err)
+	// Replay the workload twice. The first replay may add a handful of
+	// cracks: queries that explored the non-chosen path during the
+	// original run now route to the restored planner's choice, whose
+	// structure has not seen their bounds yet. The second replay must
+	// add nothing — the restored knowledge converges instead of being
+	// re-learned.
+	replay := func() Stats {
+		for _, r := range queries {
+			reply, err := restored.SelectQuery(Query{R: r, Project: []string{"c1"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := refCount(vals, r); reply.Count != want {
+				t.Fatalf("restored service: query %s got %d want %d", r, reply.Count, want)
+			}
 		}
-		if want := refCount(vals, r); got != want {
-			t.Fatalf("restored service: query %s got %d want %d", r, got, want)
-		}
+		return restored.Stats()
 	}
-	if after := restored.Stats().Index.Cracks; after != before {
-		t.Fatalf("replaying a converged workload cracked further: %d -> %d pieces", before, after)
+	first := replay().Structures
+	second := replay().Structures
+	if second.CrackerPieces != first.CrackerPieces || second.MapPieces != first.MapPieces {
+		t.Fatalf("replay did not converge after restore: %+v -> %+v", first, second)
 	}
 }
 
-// TestSnapshotUnsupportedKind verifies kinds without persist support
-// report (false, nil) instead of failing.
-func TestSnapshotUnsupportedKind(t *testing.T) {
-	vals := testData(1000)
-	built, err := BuildIndex("cracking-parallel", vals, BuildOptions{Partitions: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	svc := NewService(Config{Index: built.Index, ConcurrencySafe: true, BatchWindow: time.Millisecond})
-	svc.Close()
-	ok, err := svc.SnapshotTo(&bytes.Buffer{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ok {
-		t.Fatal("cracking-parallel must report no snapshot support")
-	}
-}
-
-// TestBuildIndexKinds verifies every advertised kind constructs and
-// answers consistently, and unknown kinds fail clearly.
-func TestBuildIndexKinds(t *testing.T) {
-	vals := testData(5000)
-	r := column.NewRange(100, 600)
-	want := refCount(vals, r)
-	for _, kind := range Kinds() {
-		built, err := BuildIndex(kind, vals, BuildOptions{Partitions: 2})
-		if err != nil {
-			t.Fatalf("%s: %v", kind, err)
-		}
-		if built.Kind != kind {
-			t.Fatalf("built kind %q, want %q", built.Kind, kind)
-		}
-		if got := built.Index.Count(r); got != want {
-			t.Fatalf("%s: count %d, want %d", kind, got, want)
-		}
-	}
-	if _, err := BuildIndex("btree-of-lies", vals, BuildOptions{}); err == nil {
-		t.Fatal("unknown kind must fail")
-	}
-}
-
-// TestDirectModeConcurrencySafeIndex drives a partitioned index without
-// the scheduler: direct dispatch must not serialise it behind the
-// service latch, and answers stay correct under -race.
-func TestDirectModeConcurrencySafeIndex(t *testing.T) {
+// TestDirectModeServesConcurrentClients drives direct dispatch (no
+// scheduler) from many goroutines: the service latch must serialise the
+// engine and answers stay correct under -race.
+func TestDirectModeServesConcurrentClients(t *testing.T) {
 	const n = 20_000
-	vals := testData(n)
-	built, err := BuildIndex("cracking-parallel", vals, BuildOptions{Partitions: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	svc := NewService(Config{Index: built.Index, Kind: built.Kind, ConcurrencySafe: true})
-	defer svc.Close()
+	eng, vals := testEngine(t, n)
+	svc := newTestService(t, eng, 0, "cracking")
 	var wg sync.WaitGroup
+	errs := make(chan error, 8)
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -430,34 +506,44 @@ func TestDirectModeConcurrencySafeIndex(t *testing.T) {
 			gen := workload.NewUniform(seed, 0, n, 0.01)
 			for i := 0; i < 50; i++ {
 				r := gen.Next()
-				if _, err := svc.Count(r); err != nil {
-					t.Error(err)
+				got, err := svc.Count(r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != refCount(vals, r) {
+					errs <- errors.New("direct-mode count mismatch")
 					return
 				}
 			}
 		}(int64(g + 1))
 	}
 	wg.Wait()
-	if st := svc.Stats(); st.Index.Partitions != 4 && st.Index.Partitions != built.Index.(interface{ NumPartitions() int }).NumPartitions() {
-		t.Fatalf("stats partitions=%d", st.Index.Partitions)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Mode != "direct" || st.Queries != 8*50 {
+		t.Fatalf("unexpected direct-mode stats: %+v", st)
 	}
 }
 
-// TestBatchOrderLocality checks the executor's pivot-order execution is
-// observable: a batch executed through the core batch entry point does
-// not regress logical work versus one-at-a-time execution of the same
-// predicates.
+// TestBatchEntryPointMatchesSequential checks the pivot-order batch
+// execution primitive the scheduler's grouping relies on: a batch
+// executed through the core batch entry point does not regress logical
+// work versus one-at-a-time execution of the same predicates.
 func TestBatchEntryPointMatchesSequential(t *testing.T) {
 	const n = 30_000
+	vals := workload.DataUniform(1, n, n)
 	queries := workload.Queries(workload.NewUniform(3, 0, n, 0.02), 64)
 
-	seq := core.NewCrackerColumn(testData(n), core.DefaultOptions())
+	seq := core.NewCrackerColumn(vals, core.DefaultOptions())
 	seqCounts := make([]int, len(queries))
 	for i, r := range queries {
 		seqCounts[i] = seq.Count(r)
 	}
 
-	batched := core.NewCrackerColumn(testData(n), core.DefaultOptions())
+	batched := core.NewCrackerColumn(workload.DataUniform(1, n, n), core.DefaultOptions())
 	gotCounts := batched.CountBatch(queries)
 	for i := range queries {
 		if gotCounts[i] != seqCounts[i] {
@@ -469,25 +555,122 @@ func TestBatchEntryPointMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestStatsSeeThroughRenamedKind guards the capability probe: the
-// stochastic kind is a renamed cracker, and its piece count must still
-// reach /stats.
-func TestStatsSeeThroughRenamedKind(t *testing.T) {
-	vals := testData(5000)
-	built, err := BuildIndex("cracking-stochastic", vals, BuildOptions{})
+// TestParseTableSpecs exercises the spec grammar.
+func TestParseTableSpecs(t *testing.T) {
+	specs, err := ParseTableSpecs("orders:1000:4, events:500:2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := NewService(Config{Index: built.Index, Kind: built.Kind, BatchWindow: time.Millisecond, Cracker: built.Cracker})
-	defer svc.Close()
-	if _, err := svc.Count(column.NewRange(100, 900)); err != nil {
+	if len(specs) != 2 || specs[0] != (TableSpec{Name: "orders", Rows: 1000, Cols: 4}) ||
+		specs[1] != (TableSpec{Name: "events", Rows: 500, Cols: 2}) {
+		t.Fatalf("parsed %+v", specs)
+	}
+	for _, bad := range []string{"", "orders", "orders:0:2", "orders:10:0", "orders:x:2", "a:1:1,a:1:1"} {
+		if _, err := ParseTableSpecs(bad); err == nil {
+			t.Fatalf("spec %q must fail", bad)
+		}
+	}
+}
+
+// TestBuildCatalogDeterminism: a daemon restarted with the same flags
+// must host byte-identical data — the property snapshot restore
+// depends on.
+func TestBuildCatalogDeterminism(t *testing.T) {
+	specs := testSpecs(5000)
+	a, err := BuildCatalog(specs, 42, 5000)
+	if err != nil {
 		t.Fatal(err)
 	}
-	st := svc.Stats()
-	if st.Index.Cracks == 0 {
-		t.Fatal("renamed cracking kind must still report its pieces")
+	b, err := BuildCatalog(specs, 42, 5000)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if st.Index.Kind != "cracking-stochastic" {
-		t.Fatalf("kind %q", st.Index.Kind)
+	for _, spec := range specs {
+		ta, _ := a.Table(spec.Name)
+		tb, _ := b.Table(spec.Name)
+		for ci := 0; ci < spec.Cols; ci++ {
+			va, _ := ta.Column(ColumnName(ci))
+			vb, _ := tb.Column(ColumnName(ci))
+			for i := range va {
+				if va[i] != vb[i] {
+					t.Fatalf("%s.%s differs at row %d", spec.Name, ColumnName(ci), i)
+				}
+			}
+		}
+	}
+	// Different columns must not alias each other.
+	ta, _ := a.Table("data")
+	c0, _ := ta.Column("c0")
+	c1, _ := ta.Column("c1")
+	same := true
+	for i := range c0 {
+		if c0[i] != c1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("generated columns are identical")
+	}
+}
+
+// TestNewServiceValidatesConfig covers the constructor's error paths.
+func TestNewServiceValidatesConfig(t *testing.T) {
+	if _, err := NewService(Config{}); err == nil {
+		t.Fatal("nil engine must fail")
+	}
+	eng, _ := testEngine(t, 100)
+	if _, err := NewService(Config{Engine: eng, DefaultTable: "nope"}); err == nil {
+		t.Fatal("unknown default table must fail")
+	}
+	if _, err := NewService(Config{Engine: eng, DefaultColumn: "nope"}); err == nil {
+		t.Fatal("unknown default column must fail")
+	}
+	if _, err := NewService(Config{Engine: eng, DefaultPath: "btree"}); err == nil {
+		t.Fatal("unknown default path must fail")
+	}
+	svc, err := NewService(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Alphabetical default: "aux" before "data", first column c0, auto.
+	st := svc.Stats()
+	if st.DefaultTable != "aux" || st.DefaultColumn != "c0" || st.DefaultPath != "auto" {
+		t.Fatalf("unexpected defaults: %s.%s path=%s", st.DefaultTable, st.DefaultColumn, st.DefaultPath)
+	}
+}
+
+// TestCountRejectsProjection: both the library and HTTP surfaces must
+// refuse a count that names projection columns instead of silently
+// paying for a discarded projection.
+func TestCountRejectsProjection(t *testing.T) {
+	eng, _ := testEngine(t, 1000)
+	svc := newTestService(t, eng, time.Millisecond, "auto")
+	if _, err := svc.CountQuery(Query{R: column.NewRange(0, 10), Project: []string{"c1"}}); !errors.Is(err, ErrProjectWithCount) {
+		t.Fatalf("CountQuery with projection: %v", err)
+	}
+}
+
+// TestCountDoesNotMaterialise: a count-only stream through the service
+// must not charge recurring copy work once the structure has converged
+// on its predicate.
+func TestCountDoesNotMaterialise(t *testing.T) {
+	eng, vals := testEngine(t, 20_000)
+	svc := newTestService(t, eng, time.Millisecond, "cracking")
+	r := column.NewRange(100, 600)
+	if _, err := svc.Count(r); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Cost()
+	n, err := svc.Count(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refCount(vals, r); n != want {
+		t.Fatalf("count %d, want %d", n, want)
+	}
+	if delta := eng.Cost().Sub(before); delta.TuplesCopied != 0 || delta.RandomTouches != 0 {
+		t.Fatalf("converged count charged recurring work: %+v", delta)
 	}
 }

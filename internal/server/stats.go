@@ -1,40 +1,35 @@
 package server
 
 import (
+	"sort"
 	"time"
 
-	"adaptiveindex/internal/index"
-	"adaptiveindex/internal/partition"
+	"adaptiveindex/internal/engine"
 )
 
-// pairBytes is the logical footprint of one indexed tuple: an 8-byte
-// value plus a 4-byte row identifier.
-const pairBytes = 12
-
-// IndexStats describes the hosted index's current state.
-type IndexStats struct {
-	// Kind is the configured index kind; Name is what the index calls
-	// itself in reports.
-	Kind string `json:"kind"`
-	Name string `json:"name"`
-	// Len is the number of indexed tuples, Bytes their logical
-	// footprint (value + rowid pairs).
-	Len   int    `json:"len"`
-	Bytes uint64 `json:"bytes"`
-	// Partitions is the shard count of a partitioned index (1
-	// otherwise).
-	Partitions int `json:"partitions"`
-	// Cracks is the total number of cracked pieces across the index
-	// (0 for non-cracking kinds that do not expose pieces).
-	Cracks int `json:"cracks"`
-	// WorkTotal is the index's cumulative logical work (cost model
-	// scalar).
-	WorkTotal uint64 `json:"work_total"`
+// TableStats describes one catalog table.
+type TableStats struct {
+	Table   string   `json:"table"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
 }
 
 // Stats is the service's observable state, served by /stats.
 type Stats struct {
-	Index IndexStats `json:"index"`
+	// Tables lists the hosted catalog; Structures counts the adaptive
+	// structures (and cracked pieces) the workload has built so far;
+	// Planner is the per-column PathAuto state; WorkTotal is the
+	// engine's cumulative logical work.
+	Tables     []TableStats          `json:"tables"`
+	Structures engine.StructureStats `json:"structures"`
+	Planner    []engine.PlanStats    `json:"planner"`
+	WorkTotal  uint64                `json:"work_total"`
+
+	// DefaultTable, DefaultColumn and DefaultPath echo what queries get
+	// when they omit the fields.
+	DefaultTable  string `json:"default_table"`
+	DefaultColumn string `json:"default_column"`
+	DefaultPath   string `json:"default_path"`
 
 	// Mode is "batched" or "direct"; BatchWindowUs and MaxBatch echo
 	// the scheduler configuration.
@@ -47,9 +42,9 @@ type Stats struct {
 	Queries  uint64 `json:"queries"`
 	Rejected uint64 `json:"rejected"`
 	// Batches is the number of executed batches; SharedScans counts
-	// queries answered by an execution shared with an identical
-	// predicate in the same batch; MaxBatchSeen is the largest batch
-	// executed so far.
+	// queries answered by an execution shared with an identical query
+	// in the same batch; MaxBatchSeen is the largest batch executed so
+	// far.
 	Batches      uint64 `json:"batches"`
 	SharedScans  uint64 `json:"shared_scans"`
 	MaxBatchSeen int64  `json:"max_batch_seen"`
@@ -63,46 +58,34 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// piecer is the optional piece-count surface cracker-style indexes
-// expose.
-type piecer interface{ NumPieces() int }
-
-// indexStats introspects the hosted index. Callers must hold whatever
-// access the index requires (the executor goroutine in batched mode,
-// s.mu in direct mode over a non-concurrency-safe index).
-func (s *Service) indexStats() IndexStats {
-	ix := s.cfg.Index
-	st := IndexStats{
-		Kind:       s.cfg.Kind,
-		Name:       ix.Name(),
-		Len:        ix.Len(),
-		Bytes:      uint64(ix.Len()) * pairBytes,
-		Partitions: 1,
-		WorkTotal:  ix.Cost().Total(),
-	}
-	// Probe the innermost implementation: a Rename-style wrapper must
-	// not hide the piece or partition counters.
-	switch t := index.Unwrap(ix).(type) {
-	case *partition.Index:
-		st.Partitions = t.NumPartitions()
-		for _, p := range t.PartitionStats() {
-			st.Cracks += p.Pieces
-		}
-	case piecer:
-		st.Cracks = t.NumPieces()
-	}
-	return st
-}
-
-// statsLocked assembles a Stats snapshot; the index portion requires
-// the caller to have safe access to the index.
+// statsLocked assembles a Stats snapshot; the engine portion requires
+// the caller to have safe access to the engine (the executor goroutine
+// in batched mode, s.mu in direct mode).
 func (s *Service) statsLocked() Stats {
 	mode := "direct"
 	if s.batched {
 		mode = "batched"
 	}
+	eng := s.cfg.Engine
+	cat := eng.Catalog()
+	names := cat.Tables()
+	sort.Strings(names)
+	tables := make([]TableStats, 0, len(names))
+	for _, name := range names {
+		t, err := cat.Table(name)
+		if err != nil {
+			continue
+		}
+		tables = append(tables, TableStats{Table: name, Rows: t.NumRows(), Columns: t.Columns()})
+	}
 	return Stats{
-		Index:         s.indexStats(),
+		Tables:        tables,
+		Structures:    eng.Structures(),
+		Planner:       eng.PlanStats(),
+		WorkTotal:     eng.Cost().Total(),
+		DefaultTable:  s.cfg.DefaultTable,
+		DefaultColumn: s.cfg.DefaultColumn,
+		DefaultPath:   s.defaultPath.String(),
 		Mode:          mode,
 		BatchWindowUs: s.cfg.BatchWindow.Microseconds(),
 		MaxBatch:      s.cfg.MaxBatch,
@@ -118,14 +101,14 @@ func (s *Service) statsLocked() Stats {
 	}
 }
 
-// Stats returns an observable snapshot of the service and its index.
-// In batched mode the snapshot is taken by the executor between
-// batches, so the index portion is consistent; admission is bypassed so
-// stats stay available under overload.
+// Stats returns an observable snapshot of the service, its catalog,
+// structures and planner state. In batched mode the snapshot is taken
+// by the executor between batches, so the engine portion is consistent;
+// admission is bypassed so stats stay available under overload.
 func (s *Service) Stats() Stats {
 	select {
 	case <-s.closed:
-		// Closed and drained: the index is quiescent.
+		// Closed and drained: the engine is quiescent.
 		<-s.drained
 		return s.statsLocked()
 	default:
@@ -155,9 +138,7 @@ func (s *Service) Stats() Stats {
 		<-s.drained
 		return s.statsLocked()
 	}
-	if !s.cfg.ConcurrencySafe {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.statsLocked()
 }

@@ -322,27 +322,153 @@ func (ms *MapSet) SelectProjectMulti(r column.Range, attrs []string) (column.IDL
 	return rows, values, nil
 }
 
-// SelectRows answers a pure selection on the head attribute (no
-// projection) using whichever map is cheapest: an already materialised
-// map if one exists, otherwise the first projection attribute's map.
-func (ms *MapSet) SelectRows(r column.Range) (column.IDList, error) {
-	attr := ""
+// anyAttr picks the cheapest map to answer projection-less queries
+// with: an already materialised map if one exists, otherwise the first
+// projection attribute's map.
+func (ms *MapSet) anyAttr() (string, error) {
 	if len(ms.order) > 0 {
-		attr = ms.order[0]
-	} else {
-		for a := range ms.tails {
-			attr = a
-			break
-		}
+		return ms.order[0], nil
 	}
-	if attr == "" {
-		return nil, fmt.Errorf("%w: map set has no attributes", ErrUnknownAttribute)
+	for a := range ms.tails {
+		return a, nil
+	}
+	return "", fmt.Errorf("%w: map set has no attributes", ErrUnknownAttribute)
+}
+
+// SelectRows answers a pure selection on the head attribute (no
+// projection).
+func (ms *MapSet) SelectRows(r column.Range) (column.IDList, error) {
+	attr, err := ms.anyAttr()
+	if err != nil {
+		return nil, err
 	}
 	proj, err := ms.SelectProject(r, attr)
 	if err != nil {
 		return nil, err
 	}
 	return proj.Rows, nil
+}
+
+// CountRows answers a pure count on the head attribute without
+// materialising anything: after alignment and cracking, the qualifying
+// tuples of a map are one contiguous interval, so the count is a
+// position difference.
+func (ms *MapSet) CountRows(r column.Range) (int, error) {
+	attr, err := ms.anyAttr()
+	if err != nil {
+		return 0, err
+	}
+	m, err := ms.mapFor(attr)
+	if err != nil {
+		return 0, err
+	}
+	if r.Empty() {
+		return 0, nil
+	}
+	ms.align(m)
+	start, end := ms.positionsFor(m, r)
+	ms.recordHistory(m, r)
+	return end - start, nil
+}
+
+// NumPieces returns the total number of cracked pieces across every
+// materialised map of the set.
+func (ms *MapSet) NumPieces() int {
+	total := 0
+	for _, m := range ms.maps {
+		total += len(m.idx.Pieces(len(m.entries)))
+	}
+	return total
+}
+
+// MapDump is the portable state of one cracker map: its entries in
+// current physical order, the boundaries of its cracker index, and how
+// much of the set's crack history it has applied.
+type MapDump struct {
+	Attr         string
+	Heads, Tails []column.Value
+	Rows         []column.RowID
+	Boundaries   []crackeridx.Boundary
+	Aligned      int
+}
+
+// Dump is the portable state of a whole map set, sufficient to rebuild
+// it over the same base columns (see RestoreMapSet). It exists so the
+// knowledge a workload has cracked into the maps can be persisted.
+type Dump struct {
+	History []crackeridx.Bound
+	Maps    []MapDump
+}
+
+// Dump captures the map set's current state.
+func (ms *MapSet) Dump() Dump {
+	d := Dump{History: make([]crackeridx.Bound, 0, len(ms.history))}
+	for _, op := range ms.history {
+		d.History = append(d.History, op.bound)
+	}
+	for _, attr := range ms.order {
+		m := ms.maps[attr]
+		md := MapDump{
+			Attr:       attr,
+			Heads:      make([]column.Value, len(m.entries)),
+			Tails:      make([]column.Value, len(m.entries)),
+			Rows:       make([]column.RowID, len(m.entries)),
+			Boundaries: m.idx.Boundaries(),
+			Aligned:    m.aligned,
+		}
+		for i, e := range m.entries {
+			md.Heads[i], md.Tails[i], md.Rows[i] = e.Head, e.Tail, e.Row
+		}
+		d.Maps = append(d.Maps, md)
+	}
+	return d
+}
+
+// RestoreMapSet rebuilds a map set from a dump over the same base
+// columns the original was built on. The restored set is validated
+// against the base data before it is returned, so a dump that does not
+// belong to these columns is rejected instead of serving wrong answers.
+func RestoreMapSet(headAttr string, head []column.Value, tails map[string][]column.Value, opts Options, d Dump) (*MapSet, error) {
+	ms, err := NewMapSet(headAttr, head, tails, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range d.History {
+		ms.history = append(ms.history, crackOp{bound: b})
+	}
+	for _, md := range d.Maps {
+		if _, ok := ms.tails[md.Attr]; !ok {
+			return nil, fmt.Errorf("%w: dumped map %q", ErrUnknownAttribute, md.Attr)
+		}
+		if _, exists := ms.maps[md.Attr]; exists {
+			return nil, fmt.Errorf("sideways: dump repeats map %q", md.Attr)
+		}
+		if len(md.Heads) != len(head) || len(md.Tails) != len(head) || len(md.Rows) != len(head) {
+			return nil, fmt.Errorf("sideways: dumped map %q has %d/%d/%d entries, want %d",
+				md.Attr, len(md.Heads), len(md.Tails), len(md.Rows), len(head))
+		}
+		if md.Aligned < 0 || md.Aligned > len(ms.history) {
+			return nil, fmt.Errorf("sideways: dumped map %q applied %d history entries of %d",
+				md.Attr, md.Aligned, len(ms.history))
+		}
+		m := &crackerMap{attr: md.Attr, idx: crackeridx.New(), entries: make([]entry, len(head)), aligned: md.Aligned}
+		for i := range md.Heads {
+			m.entries[i] = entry{Head: md.Heads[i], Tail: md.Tails[i], Row: md.Rows[i]}
+		}
+		for _, b := range md.Boundaries {
+			if b.Pos < 0 || b.Pos > len(head) {
+				return nil, fmt.Errorf("sideways: dumped map %q boundary position %d outside [0,%d]",
+					md.Attr, b.Pos, len(head))
+			}
+			m.idx.Insert(b.Bound, b.Pos)
+		}
+		ms.maps[md.Attr] = m
+		ms.order = append(ms.order, md.Attr)
+	}
+	if err := ms.Validate(); err != nil {
+		return nil, fmt.Errorf("sideways: restored map set is invalid: %w", err)
+	}
+	return ms, nil
 }
 
 // Validate checks the invariants of every materialised map: the cracker

@@ -381,6 +381,85 @@ func (h *HotSet) Next() column.Range { return h.pool[h.zipf.Uint64()] }
 // from.
 func (h *HotSet) PoolSize() int { return len(h.pool) }
 
+// DriftingHotSet is a hot set whose pool periodically moves: every
+// shiftEvery draws the pool is regenerated inside a new random focus
+// window covering focusFrac of the domain. It models an interactive
+// exploration session over time — a dashboard's filters are re-issued
+// heavily (the hot set), and the user's focus drifts to a different
+// part of the data every so often (the shift). It is the workload
+// shape the access-path planner's drift handling is judged on.
+type DriftingHotSet struct {
+	rng         *rand.Rand
+	domainLow   column.Value
+	domainHigh  column.Value
+	selectivity float64
+	focusFrac   float64
+	poolSize    int
+	s           float64
+	shiftEvery  int
+	issued      int
+	hot         *HotSet
+}
+
+// NewDriftingHotSet creates the generator: poolSize distinct ranges of
+// the given selectivity inside a focus window covering focusFrac of
+// [domainLow, domainHigh), re-rolled every shiftEvery queries, drawn
+// with Zipf parameter s.
+func NewDriftingHotSet(seed int64, domainLow, domainHigh column.Value, selectivity, focusFrac float64, poolSize int, s float64, shiftEvery int) *DriftingHotSet {
+	if shiftEvery < 1 {
+		shiftEvery = 1
+	}
+	if focusFrac <= 0 || focusFrac > 1 {
+		focusFrac = 0.1
+	}
+	if poolSize < 2 {
+		poolSize = 2
+	}
+	d := &DriftingHotSet{
+		rng:         rand.New(rand.NewSource(seed)),
+		domainLow:   domainLow,
+		domainHigh:  domainHigh,
+		selectivity: selectivity,
+		focusFrac:   focusFrac,
+		poolSize:    poolSize,
+		s:           s,
+		shiftEvery:  shiftEvery,
+	}
+	d.shift()
+	return d
+}
+
+// shift rolls a new focus window and rebuilds the pool inside it.
+func (d *DriftingHotSet) shift() {
+	domain := d.domainHigh - d.domainLow
+	span := column.Value(float64(domain) * d.focusFrac)
+	if span < 2 {
+		span = 2
+	}
+	maxOffset := domain - span
+	if maxOffset < 1 {
+		maxOffset = 1
+	}
+	lo := d.domainLow + column.Value(d.rng.Int63n(int64(maxOffset)))
+	// The pool's selectivity is relative to the whole domain, so the
+	// query width matches the non-drifting shapes.
+	width := d.selectivity * float64(domain) / float64(span)
+	pool := Queries(NewUniform(d.rng.Int63(), lo, lo+span, width), d.poolSize)
+	d.hot = NewHotSetFrom(pool, d.rng.Int63(), d.s)
+}
+
+// Name identifies the workload shape.
+func (d *DriftingHotSet) Name() string { return "drifting-hotset" }
+
+// Next returns the next query predicate.
+func (d *DriftingHotSet) Next() column.Range {
+	if d.issued > 0 && d.issued%d.shiftEvery == 0 {
+		d.shift()
+	}
+	d.issued++
+	return d.hot.Next()
+}
+
 // Mixed interleaves several generators with the given weights.
 type Mixed struct {
 	rng     *rand.Rand
@@ -421,6 +500,151 @@ func (m *Mixed) Next() column.Range {
 		x -= w
 	}
 	return m.gens[len(m.gens)-1].Next()
+}
+
+// ---------------------------------------------------------------------------
+// Table-aware generators (select-project and multi-table sessions)
+// ---------------------------------------------------------------------------
+
+// TableQuery is one select or select-project request against a named
+// table: "SELECT Project FROM Table WHERE Column IN R". It is the
+// query shape the catalog-hosting service layer accepts.
+type TableQuery struct {
+	Table   string
+	Column  string
+	R       column.Range
+	Project []string
+}
+
+// TableGenerator produces an endless, deterministic stream of
+// table-level queries, as Generator does for bare range predicates.
+type TableGenerator interface {
+	// Name identifies the workload shape in reports.
+	Name() string
+	// NextQuery returns the next query.
+	NextQuery() TableQuery
+}
+
+// TableQueries drains n queries from the generator into a slice.
+func TableQueries(g TableGenerator, n int) []TableQuery {
+	out := make([]TableQuery, n)
+	for i := range out {
+		out[i] = g.NextQuery()
+	}
+	return out
+}
+
+// Target names the fixed part of a table-level query stream: the table,
+// the selection column, and the projected columns (empty for pure
+// selection).
+type Target struct {
+	Table   string
+	Column  string
+	Project []string
+}
+
+// FixedTarget binds a range generator to one target: every predicate
+// the inner generator produces becomes a select(-project) against that
+// table and column. This is the select-project session shape — one
+// user exploring one table's selection column, repeatedly asking for
+// the same projection set.
+type FixedTarget struct {
+	target Target
+	gen    Generator
+}
+
+// NewFixedTarget creates the select-project wrapper.
+func NewFixedTarget(target Target, g Generator) *FixedTarget {
+	return &FixedTarget{target: target, gen: g}
+}
+
+// Name identifies the workload shape.
+func (f *FixedTarget) Name() string {
+	if len(f.target.Project) > 0 {
+		return "selectproject(" + f.gen.Name() + ")"
+	}
+	return f.gen.Name()
+}
+
+// NextQuery returns the next query.
+func (f *FixedTarget) NextQuery() TableQuery {
+	return TableQuery{
+		Table:   f.target.Table,
+		Column:  f.target.Column,
+		R:       f.gen.Next(),
+		Project: f.target.Project,
+	}
+}
+
+// MultiTable cycles deterministically across several table-level
+// streams — a session whose exploration spans tables, the shape a
+// multi-table catalog exists to serve.
+type MultiTable struct {
+	gens []TableGenerator
+	next int
+}
+
+// NewMultiTable creates a round-robin interleaving of the given
+// streams.
+func NewMultiTable(gens ...TableGenerator) *MultiTable {
+	return &MultiTable{gens: gens}
+}
+
+// Name identifies the workload shape.
+func (m *MultiTable) Name() string { return "multitable" }
+
+// NextQuery returns the next query.
+func (m *MultiTable) NextQuery() TableQuery {
+	g := m.gens[m.next%len(m.gens)]
+	m.next++
+	return g.NextQuery()
+}
+
+// SelectProjectSessions returns one select-project stream per
+// concurrent session, all exploring the same target: the sessions share
+// one hot-set pool of predicates (concurrent users of the same
+// dashboard, each fetching the same projected columns), so their
+// queries overlap — the case shared-scan batching exists for.
+func SelectProjectSessions(seed int64, sessions int, target Target, domainLow, domainHigh column.Value, selectivity float64) []TableGenerator {
+	if sessions < 1 {
+		sessions = 1
+	}
+	pool := Queries(NewUniform(seed, domainLow, domainHigh, selectivity), 32)
+	gens := make([]TableGenerator, sessions)
+	for i := range gens {
+		gens[i] = NewFixedTarget(target, NewHotSetFrom(pool, seed+int64(i)+1, 1.3))
+	}
+	return gens
+}
+
+// MultiTableSessions returns one multi-table stream per concurrent
+// session: each session round-robins across the targets, replaying the
+// named shape on every target. Hot-set streams share one pool per
+// target across all sessions; other shapes get per-session seeds.
+func MultiTableSessions(shape string, seed int64, sessions int, targets []Target, domainLow, domainHigh column.Value, selectivity float64) ([]TableGenerator, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("workload: multi-table sessions need at least one target")
+	}
+	if sessions < 1 {
+		sessions = 1
+	}
+	out := make([]TableGenerator, sessions)
+	perTarget := make([][]Generator, len(targets))
+	for ti := range targets {
+		gens, err := SessionGenerators(shape, seed+int64(ti)*101, sessions, domainLow, domainHigh, selectivity)
+		if err != nil {
+			return nil, err
+		}
+		perTarget[ti] = gens
+	}
+	for s := 0; s < sessions; s++ {
+		streams := make([]TableGenerator, len(targets))
+		for ti, target := range targets {
+			streams[ti] = NewFixedTarget(target, perTarget[ti][s])
+		}
+		out[s] = NewMultiTable(streams...)
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -360,3 +360,113 @@ func TestSessionGeneratorsStaggerSequentialPhases(t *testing.T) {
 		t.Fatalf("sequential sessions must start at distinct phases, got %d distinct of 4", len(firsts))
 	}
 }
+
+func TestFixedTargetCarriesTargetThrough(t *testing.T) {
+	target := Target{Table: "orders", Column: "c0", Project: []string{"c1", "c2"}}
+	g := NewFixedTarget(target, NewUniform(3, 0, 1000, 0.05))
+	if g.Name() != "selectproject(uniform)" {
+		t.Fatalf("name %q", g.Name())
+	}
+	ref := NewUniform(3, 0, 1000, 0.05)
+	for i := 0; i < 50; i++ {
+		q := g.NextQuery()
+		if q.Table != "orders" || q.Column != "c0" || len(q.Project) != 2 {
+			t.Fatalf("query %d lost its target: %+v", i, q)
+		}
+		if q.R != ref.Next() {
+			t.Fatalf("query %d predicate differs from the wrapped generator", i)
+		}
+	}
+	bare := NewFixedTarget(Target{Table: "orders", Column: "c0"}, NewUniform(4, 0, 1000, 0.05))
+	if bare.Name() != "uniform" {
+		t.Fatalf("projection-less target name %q", bare.Name())
+	}
+}
+
+func TestMultiTableRoundRobins(t *testing.T) {
+	a := NewFixedTarget(Target{Table: "a", Column: "c0"}, NewUniform(1, 0, 100, 0.1))
+	b := NewFixedTarget(Target{Table: "b", Column: "c1"}, NewUniform(2, 0, 100, 0.1))
+	m := NewMultiTable(a, b)
+	for i := 0; i < 10; i++ {
+		q := m.NextQuery()
+		want := "a"
+		if i%2 == 1 {
+			want = "b"
+		}
+		if q.Table != want {
+			t.Fatalf("query %d hit table %q, want %q", i, q.Table, want)
+		}
+	}
+}
+
+func TestSelectProjectSessionsShareAPool(t *testing.T) {
+	target := Target{Table: "data", Column: "c0", Project: []string{"c1"}}
+	gens := SelectProjectSessions(7, 4, target, 0, 10000, 0.01)
+	if len(gens) != 4 {
+		t.Fatalf("got %d sessions", len(gens))
+	}
+	seen := make(map[column.Range]int)
+	for _, g := range gens {
+		for i := 0; i < 100; i++ {
+			q := g.NextQuery()
+			if q.Table != "data" || len(q.Project) != 1 {
+				t.Fatalf("query lost its target: %+v", q)
+			}
+			seen[q.R]++
+		}
+	}
+	// All sessions draw from one 32-range pool, so the distinct
+	// predicate count is bounded by it and overlap is guaranteed.
+	if len(seen) > 32 {
+		t.Fatalf("%d distinct predicates, want <= 32 (shared pool)", len(seen))
+	}
+	overlap := false
+	for _, n := range seen {
+		if n > 1 {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		t.Fatal("sessions never repeated a predicate; shared-scan batching has nothing to share")
+	}
+}
+
+func TestMultiTableSessions(t *testing.T) {
+	targets := []Target{
+		{Table: "orders", Column: "c0", Project: []string{"c1"}},
+		{Table: "events", Column: "c0"},
+	}
+	gens, err := MultiTableSessions("hotset", 5, 3, targets, 0, 10000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("got %d sessions", len(gens))
+	}
+	tables := make(map[string]int)
+	for _, g := range gens {
+		if g.Name() != "multitable" {
+			t.Fatalf("name %q", g.Name())
+		}
+		for i := 0; i < 40; i++ {
+			q := g.NextQuery()
+			tables[q.Table]++
+			if q.Table == "orders" && len(q.Project) != 1 {
+				t.Fatalf("orders query lost its projection: %+v", q)
+			}
+			if q.Table == "events" && len(q.Project) != 0 {
+				t.Fatalf("events query grew a projection: %+v", q)
+			}
+		}
+	}
+	if tables["orders"] != tables["events"] || tables["orders"] == 0 {
+		t.Fatalf("round robin uneven: %+v", tables)
+	}
+	if _, err := MultiTableSessions("hotset", 5, 3, nil, 0, 100, 0.1); err == nil {
+		t.Fatal("no targets must fail")
+	}
+	if _, err := MultiTableSessions("no-such-shape", 5, 3, targets, 0, 100, 0.1); err == nil {
+		t.Fatal("unknown shape must fail")
+	}
+}
