@@ -1,4 +1,4 @@
-// Command aibench runs the reproduction's experiment suite (E1..E15,
+// Command aibench runs the reproduction's experiment suite (E1..E16,
 // see DESIGN.md and EXPERIMENTS.md) and prints the comparison tables
 // and per-query curves each experiment produces.
 //
@@ -33,7 +33,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("aibench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment id (E1..E15) or 'all'")
+		exp         = fs.String("exp", "all", "experiment id (E1..E16) or 'all'")
 		list        = fs.Bool("list", false, "list available experiments and exit")
 		n           = fs.Int("n", 1_000_000, "number of tuples")
 		queries     = fs.Int("queries", 1000, "number of queries")

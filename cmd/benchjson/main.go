@@ -1,0 +1,239 @@
+// Command benchjson is the CI benchmark-regression gate. It runs a
+// pinned subset of the repository's performance surface and scores it
+// on the cost model's deterministic logical-work counters — values
+// touched, tuples copied, merge work — rather than wall time, so the
+// numbers are identical on every machine and a regression is a code
+// change, never a noisy runner. The result is a flat JSON metrics
+// file; given a committed baseline, the tool fails (exit 1) when any
+// tracked counter regresses by more than the threshold.
+//
+//	benchjson -out BENCH_PR5.json
+//	benchjson -out BENCH_PR5.json -baseline BENCH_BASELINE.json -threshold 0.15
+//
+// The tracked metrics cover the hot paths the experiments make claims
+// about: selection cracking, sideways cracking, the PathAuto planner
+// on a drifting select-project workload, and the write path under
+// every merge policy (E16's mixed read/write stream). The run
+// configuration is pinned inside the tool and recorded in the JSON;
+// comparing files with different configurations is an error, not a
+// pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/engine"
+	"adaptiveindex/internal/experiments"
+	"adaptiveindex/internal/workload"
+)
+
+// pinnedConfig is the benchmark scale. It is deliberately not a flag:
+// every emitted file is comparable with every other, and the gate can
+// never be dodged by running smaller.
+var pinnedConfig = experiments.Config{
+	N:           100_000,
+	Queries:     400,
+	Domain:      100_000,
+	Selectivity: 0.01,
+	Seed:        42,
+}
+
+// fileFormat guards against comparing files written by an
+// incompatible metric set.
+const fileFormat = 1
+
+// Report is the on-disk JSON shape.
+type Report struct {
+	Format  int                `json:"format"`
+	Config  experiments.Config `json:"config"`
+	Metrics map[string]uint64  `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the metrics JSON to this file")
+	baseline := fs.String("baseline", "", "compare against this baseline file and fail on regression")
+	threshold := fs.Float64("threshold", 0.15, "allowed relative regression per metric")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("-threshold must be >= 0")
+	}
+
+	report := Report{Format: fileFormat, Config: pinnedConfig, Metrics: collect(pinnedConfig)}
+
+	names := make([]string, 0, len(report.Metrics))
+	for name := range report.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(out, "%-40s %d\n", name, report.Metrics[name])
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	if *baseline == "" {
+		return nil
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		return err
+	}
+	return compare(out, base, report, *threshold)
+}
+
+// collect runs the pinned benchmark subset and extracts the tracked
+// counters. Everything here is seeded and scored on logical work, so
+// repeated runs emit byte-identical metrics.
+func collect(cfg experiments.Config) map[string]uint64 {
+	m := make(map[string]uint64)
+
+	// Static access paths on the uniform read-only workload.
+	queries := workload.Queries(
+		workload.NewUniform(cfg.Seed+1, 0, column.Value(cfg.Domain), cfg.Selectivity), cfg.Queries)
+	for _, path := range []engine.AccessPath{engine.PathScan, engine.PathCracking, engine.PathSideways} {
+		eng := benchEngine(cfg)
+		project := []string{"c1"}
+		if path == engine.PathScan {
+			project = nil // scan totals are dominated by the scan itself
+		}
+		for _, r := range queries {
+			if _, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: project, Path: path}); err != nil {
+				panic(err)
+			}
+		}
+		c := eng.Cost()
+		m[path.String()+"_total_work"] = c.Total()
+		m[path.String()+"_recurring"] = c.Recurring()
+	}
+
+	// The PathAuto planner on the drifting select-project workload
+	// (E15's shape): total work includes the explore probes, so a
+	// planner regression — extra re-explores, a worse choice — shows
+	// up directly.
+	shiftEvery := cfg.Queries / 10
+	if shiftEvery < 1 {
+		shiftEvery = 1
+	}
+	drift := workload.Queries(
+		workload.NewDriftingHotSet(cfg.Seed+15, 0, column.Value(cfg.Domain), cfg.Selectivity, 0.1, 16, 1.3, shiftEvery),
+		cfg.Queries)
+	eng := benchEngine(cfg)
+	for _, r := range drift {
+		if _, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathAuto}); err != nil {
+			panic(err)
+		}
+	}
+	m["planner_auto_total_work"] = eng.Cost().Total()
+
+	// The write path: E16's mixed read/write stream per merge policy.
+	outcomes, identical := experiments.RunE16(cfg)
+	if !identical {
+		panic("benchjson: merge policies disagreed on read results")
+	}
+	for _, o := range outcomes {
+		m["updates_"+o.Policy+"_total_work"] = o.Total
+		m["updates_"+o.Policy+"_recurring"] = o.Recurring
+	}
+	return m
+}
+
+// benchEngine builds the two-column single-table engine the read
+// benchmarks run against.
+func benchEngine(cfg experiments.Config) *engine.Engine {
+	tab := engine.NewTable("data")
+	for ci, seedOff := range []int64{0, 1} {
+		if err := tab.AddColumn(fmt.Sprintf("c%d", ci), workload.DataUniform(cfg.Seed+seedOff, cfg.N, cfg.Domain)); err != nil {
+			panic(err)
+		}
+	}
+	cat := engine.NewCatalog()
+	if err := cat.Register(tab); err != nil {
+		panic(err)
+	}
+	return engine.New(cat, core.DefaultOptions())
+}
+
+func load(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compare fails when any baseline metric regressed beyond the
+// threshold or disappeared; new metrics in the current run are
+// reported but never fail the gate (they get a baseline when it is
+// next refreshed).
+func compare(out io.Writer, base, cur Report, threshold float64) error {
+	if base.Format != cur.Format {
+		return fmt.Errorf("baseline format %d, current %d — refresh the baseline", base.Format, cur.Format)
+	}
+	if base.Config != cur.Config {
+		return fmt.Errorf("baseline config %+v does not match pinned config %+v — refresh the baseline", base.Config, cur.Config)
+	}
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		baseVal := base.Metrics[name]
+		curVal, ok := cur.Metrics[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: metric disappeared (baseline %d)", name, baseVal))
+			continue
+		}
+		ratio := float64(curVal) / float64(max(baseVal, 1))
+		switch {
+		case float64(curVal) > float64(baseVal)*(1+threshold):
+			regressions = append(regressions, fmt.Sprintf("%s: %d -> %d (%.1f%% > %.0f%% allowed)",
+				name, baseVal, curVal, (ratio-1)*100, threshold*100))
+		case curVal != baseVal:
+			fmt.Fprintf(out, "%s: %d -> %d (%.1f%%, within threshold)\n", name, baseVal, curVal, (ratio-1)*100)
+		}
+	}
+	for name := range cur.Metrics {
+		if _, ok := base.Metrics[name]; !ok {
+			fmt.Fprintf(out, "%s: new metric (%d), not gated\n", name, cur.Metrics[name])
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(out, "REGRESSION", r)
+		}
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", len(regressions), threshold*100)
+	}
+	fmt.Fprintln(out, "benchmark gate passed")
+	return nil
+}

@@ -6,15 +6,21 @@
 //	crackload -addr localhost:8080 -workload hotset -sessions 16 -queries 500
 //	crackload -workload selectproject -table data -column c0 -project c1,c2
 //	crackload -workload multitable -op select
+//	crackload -workload mixed -write-ratio 0.2
+//	crackload -workload updateheavy
 //
 // Sessions replay internal/workload generators over the wire: hot-set
 // and selectproject sessions share one pool of ranges (concurrent
 // users of the same dashboard), multitable sessions round-robin across
 // every table the server's /stats catalog lists, and the other shapes
-// get independent per-session streams. After the run, the tool fetches
-// /stats and prints the server-side view (catalog, cracked pieces,
-// planner decisions, batches, shared scans) next to the client-side
-// latencies.
+// get independent per-session streams. The mixed and updateheavy
+// shapes interleave writes (POST /update) with hot-set reads at
+// -write-ratio (0.1 and 0.5 by default): inserts of random rows and
+// deletes of the session's own earlier inserts — the evolving workload
+// the merge policies are compared under. After the run, the tool
+// fetches /stats and prints the server-side view (catalog, cracked
+// pieces, planner decisions, batches, shared scans, pending updates)
+// next to the client-side latencies.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -56,12 +63,23 @@ type config struct {
 	col         string
 	project     []string
 	path        string
+	writeRatio  float64
 }
 
 // shapeNames lists the workload shapes crackload accepts: every range
-// shape internal/workload names, plus the table-aware shapes.
+// shape internal/workload names, plus the table-aware shapes and the
+// mixed read/write shapes.
 func shapeNames() []string {
-	return append(workload.Names(), "selectproject", "multitable")
+	return append(workload.Names(), "selectproject", "multitable", "mixed", "updateheavy")
+}
+
+// defaultWriteRatio returns the write fraction a mixed shape uses when
+// -write-ratio is not given.
+func defaultWriteRatio(shape string) float64 {
+	if shape == "updateheavy" {
+		return 0.5
+	}
+	return 0.1
 }
 
 func parseFlags(args []string) (config, error) {
@@ -81,6 +99,9 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.col, "column", "", "selection column (default: the server's default column)")
 	fs.StringVar(&project, "project", "", "comma-separated projection columns (selectproject shape; forces -op select)")
 	fs.StringVar(&cfg.path, "path", "", "access path to request (default: the server's default path)")
+	// NaN is the unset sentinel: unlike a negative default it cannot be
+	// confused with an invalid user value, which must be rejected.
+	fs.Float64Var(&cfg.writeRatio, "write-ratio", math.NaN(), "write fraction of the mixed/updateheavy shapes (default 0.1 mixed, 0.5 updateheavy)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -104,6 +125,12 @@ func parseFlags(args []string) (config, error) {
 	if cfg.shape == "selectproject" && len(cfg.project) == 0 {
 		return cfg, fmt.Errorf("-workload selectproject needs -project")
 	}
+	if math.IsNaN(cfg.writeRatio) {
+		cfg.writeRatio = defaultWriteRatio(cfg.shape)
+	}
+	if cfg.writeRatio < 0 || cfg.writeRatio > 1 {
+		return cfg, fmt.Errorf("-write-ratio must be in [0, 1]")
+	}
 	if len(cfg.project) > 0 {
 		cfg.op = "select"
 	}
@@ -121,12 +148,36 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
-// sessionStreams builds one table-level generator per session.
-func sessionStreams(cfg config, client *http.Client) ([]workload.TableGenerator, error) {
+// sessionStreams builds one op-level generator per session. Pure-read
+// shapes are wrapped in workload.ReadOnlyOps; the mixed shapes
+// interleave writes at cfg.writeRatio.
+func sessionStreams(cfg config, client *http.Client) ([]workload.OpGenerator, error) {
 	target := workload.Target{Table: cfg.table, Column: cfg.col, Project: cfg.project}
 	switch cfg.shape {
+	case "mixed", "updateheavy":
+		// Writes need the target table's width; ask the server.
+		st, err := fetchStats(client, cfg.base)
+		if err != nil {
+			return nil, fmt.Errorf("%s needs the server catalog: %w", cfg.shape, err)
+		}
+		table := cfg.table
+		if table == "" {
+			table = st.DefaultTable
+		}
+		cols := 0
+		for _, tab := range st.Tables {
+			if tab.Table == table {
+				cols = len(tab.Columns)
+			}
+		}
+		if cols == 0 {
+			return nil, fmt.Errorf("server does not serve table %q", table)
+		}
+		target.Table = table
+		return workload.MixedSessions(cfg.shape, "hotset", cfg.seed, cfg.sessions, target,
+			cols, 0, column.Value(cfg.domain), cfg.selectivity, cfg.writeRatio, 0.5)
 	case "selectproject":
-		return workload.SelectProjectSessions(cfg.seed, cfg.sessions, target, 0, column.Value(cfg.domain), cfg.selectivity), nil
+		return readOnly(workload.SelectProjectSessions(cfg.seed, cfg.sessions, target, 0, column.Value(cfg.domain), cfg.selectivity)), nil
 	case "multitable":
 		// Enumerate the served catalog and hit every table.
 		st, err := fetchStats(client, cfg.base)
@@ -148,7 +199,11 @@ func sessionStreams(cfg config, client *http.Client) ([]workload.TableGenerator,
 			}
 			targets = append(targets, tgt)
 		}
-		return workload.MultiTableSessions("hotset", cfg.seed, cfg.sessions, targets, 0, column.Value(cfg.domain), cfg.selectivity)
+		streams, err := workload.MultiTableSessions("hotset", cfg.seed, cfg.sessions, targets, 0, column.Value(cfg.domain), cfg.selectivity)
+		if err != nil {
+			return nil, err
+		}
+		return readOnly(streams), nil
 	default:
 		gens, err := workload.SessionGenerators(cfg.shape, cfg.seed, cfg.sessions, 0, column.Value(cfg.domain), cfg.selectivity)
 		if err != nil {
@@ -158,8 +213,17 @@ func sessionStreams(cfg config, client *http.Client) ([]workload.TableGenerator,
 		for i, g := range gens {
 			out[i] = workload.NewFixedTarget(target, g)
 		}
-		return out, nil
+		return readOnly(out), nil
 	}
+}
+
+// readOnly wraps pure-read streams as op streams.
+func readOnly(gens []workload.TableGenerator) []workload.OpGenerator {
+	out := make([]workload.OpGenerator, len(gens))
+	for i, g := range gens {
+		out[i] = workload.ReadOnlyOps{G: g}
+	}
+	return out
 }
 
 func containsAll(have, want []string) bool {
@@ -187,9 +251,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	type sessionResult struct {
-		latencies []time.Duration
-		errs      int
-		firstErr  error
+		latencies      []time.Duration
+		writeLatencies []time.Duration
+		errs           int
+		firstErr       error
 	}
 	results := make([]sessionResult, cfg.sessions)
 
@@ -201,23 +266,64 @@ func run(args []string, out io.Writer) error {
 			defer wg.Done()
 			res := &results[id]
 			res.latencies = make([]time.Duration, 0, cfg.perSession)
-			for q := 0; q < cfg.perSession; q++ {
-				tq := gens[id].NextQuery()
-				body, err := json.Marshal(wireQuery(cfg, tq))
-				if err != nil {
-					res.errs++
-					continue
+			// own tracks the server-assigned identifiers of this
+			// session's inserts; deletes consume the oldest first.
+			var own []column.RowID
+			fail := func(err error) {
+				res.errs++
+				if res.firstErr == nil {
+					res.firstErr = err
 				}
-				t0 := time.Now()
-				err = postQuery(client, cfg.base, body)
-				lat := time.Since(t0)
-				if err != nil {
-					res.errs++
-					if res.firstErr == nil {
-						res.firstErr = err
+			}
+			for q := 0; q < cfg.perSession; q++ {
+				op := gens[id].NextOp()
+				switch op.Kind {
+				case workload.OpRead:
+					body, err := json.Marshal(wireQuery(cfg, op.Query))
+					if err != nil {
+						fail(err)
+						continue
 					}
-				} else {
-					res.latencies = append(res.latencies, lat)
+					t0 := time.Now()
+					err = postQuery(client, cfg.base, body)
+					lat := time.Since(t0)
+					if err != nil {
+						fail(err)
+					} else {
+						res.latencies = append(res.latencies, lat)
+					}
+				case workload.OpInsert, workload.OpDelete:
+					req := map[string]any{"table": op.Table}
+					if op.Kind == workload.OpInsert {
+						req["op"] = "insert"
+						req["rows"] = [][]column.Value{op.Values}
+					} else {
+						if len(own) == 0 {
+							// An earlier insert failed, leaving nothing
+							// to delete; skip rather than 404.
+							continue
+						}
+						req["op"] = "delete"
+						req["rows"] = []column.RowID{own[0]}
+					}
+					body, err := json.Marshal(req)
+					if err != nil {
+						fail(err)
+						continue
+					}
+					t0 := time.Now()
+					ur, err := postUpdate(client, cfg.base, body)
+					lat := time.Since(t0)
+					if err != nil {
+						fail(err)
+						continue
+					}
+					if op.Kind == workload.OpInsert {
+						own = append(own, ur.Inserted...)
+					} else {
+						own = own[1:]
+					}
+					res.writeLatencies = append(res.writeLatencies, lat)
 				}
 				if cfg.think > 0 {
 					time.Sleep(cfg.think)
@@ -228,18 +334,55 @@ func run(args []string, out io.Writer) error {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var all []time.Duration
+	var reads, writes []time.Duration
 	errs := 0
 	var firstErr error
 	for _, res := range results {
-		all = append(all, res.latencies...)
+		reads = append(reads, res.latencies...)
+		writes = append(writes, res.writeLatencies...)
 		errs += res.errs
 		if firstErr == nil {
 			firstErr = res.firstErr
 		}
 	}
+	if len(reads)+len(writes) == 0 {
+		return fmt.Errorf("no operation succeeded (first error: %v)", firstErr)
+	}
+
+	total := cfg.sessions * cfg.perSession
+	fmt.Fprintf(out, "crackload: workload=%s op=%s sessions=%d ops/session=%d total=%d (reads %d, writes %d)\n",
+		cfg.shape, cfg.op, cfg.sessions, cfg.perSession, total, len(reads), len(writes))
+	fmt.Fprintf(out, "wall %v  throughput %.1f ops/s  errors %d\n",
+		wall.Round(time.Millisecond), float64(len(reads)+len(writes))/wall.Seconds(), errs)
+	if errs > 0 && firstErr != nil {
+		fmt.Fprintf(out, "first error: %v\n", firstErr)
+	}
+	printLatencies(out, "read latency", reads)
+	printLatencies(out, "write latency", writes)
+
+	if st, err := fetchStats(client, cfg.base); err == nil {
+		fmt.Fprintf(out, "server: tables=%d pieces=%d mode=%s batches=%d shared-scans=%d rejected=%d p50=%dµs p99=%dµs\n",
+			len(st.Tables), st.Structures.Pieces, st.Mode, st.Batches, st.SharedScans,
+			st.Rejected, st.Latency.P50Us, st.Latency.P99Us)
+		if ws := st.WriteState; ws.Inserts+ws.Deletes > 0 {
+			fmt.Fprintf(out, "writes: applied %d+%d, merged %d+%d, pending %d+%d, invalidations %d\n",
+				ws.Inserts, ws.Deletes, ws.MergedInserts, ws.MergedDeletes,
+				ws.PendingInserts, ws.PendingDeletes, ws.Invalidations)
+		}
+		for _, plan := range st.Planner {
+			fmt.Fprintf(out, "planner: %s.%s phase=%s chosen=%s re-explores=%d\n",
+				plan.Table, plan.Column, plan.Phase, plan.Chosen, plan.ReExplores)
+		}
+	} else {
+		fmt.Fprintf(out, "server: stats unavailable: %v\n", err)
+	}
+	return nil
+}
+
+// printLatencies reports percentiles over one latency population.
+func printLatencies(out io.Writer, label string, all []time.Duration) {
 	if len(all) == 0 {
-		return fmt.Errorf("no query succeeded (first error: %v)", firstErr)
+		return
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) time.Duration {
@@ -249,31 +392,26 @@ func run(args []string, out io.Writer) error {
 		}
 		return all[i]
 	}
-
-	total := cfg.sessions * cfg.perSession
-	fmt.Fprintf(out, "crackload: workload=%s op=%s sessions=%d queries/session=%d total=%d\n",
-		cfg.shape, cfg.op, cfg.sessions, cfg.perSession, total)
-	fmt.Fprintf(out, "wall %v  throughput %.1f q/s  errors %d\n",
-		wall.Round(time.Millisecond), float64(len(all))/wall.Seconds(), errs)
-	if errs > 0 && firstErr != nil {
-		fmt.Fprintf(out, "first error: %v\n", firstErr)
-	}
-	fmt.Fprintf(out, "latency p50=%v p95=%v p99=%v max=%v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+	fmt.Fprintf(out, "%s p50=%v p95=%v p99=%v max=%v\n",
+		label, pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+}
 
-	if st, err := fetchStats(client, cfg.base); err == nil {
-		fmt.Fprintf(out, "server: tables=%d pieces=%d mode=%s batches=%d shared-scans=%d rejected=%d p50=%dµs p99=%dµs\n",
-			len(st.Tables), st.Structures.Pieces, st.Mode, st.Batches, st.SharedScans,
-			st.Rejected, st.Latency.P50Us, st.Latency.P99Us)
-		for _, plan := range st.Planner {
-			fmt.Fprintf(out, "planner: %s.%s phase=%s chosen=%s re-explores=%d\n",
-				plan.Table, plan.Column, plan.Phase, plan.Chosen, plan.ReExplores)
-		}
-	} else {
-		fmt.Fprintf(out, "server: stats unavailable: %v\n", err)
+// postUpdate posts one write request and decodes the reply.
+func postUpdate(client *http.Client, base string, body []byte) (server.UpdateResponse, error) {
+	var ur server.UpdateResponse
+	resp, err := client.Post(base+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ur, err
 	}
-	return nil
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		io.Copy(&msg, io.LimitReader(resp.Body, 256))
+		return ur, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ur)
+	return ur, err
 }
 
 // wireQuery converts one table-level query to the wire form.

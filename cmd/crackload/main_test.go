@@ -146,12 +146,60 @@ func TestWorkloadShapesOverTheWire(t *testing.T) {
 	}
 }
 
+// TestMixedWritesOverTheWire replays the mixed shape and verifies the
+// write traffic reaches the engine: rows are applied server side, the
+// report counts reads and writes separately, and a high write ratio
+// leaves the catalog visibly grown.
+func TestMixedWritesOverTheWire(t *testing.T) {
+	svc, ts := startBackend(t, 10_000)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "3",
+		"-queries", "40",
+		"-workload", "updateheavy",
+		"-domain", "10000",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"workload=updateheavy", "errors 0", "write latency p50=", "writes: applied"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	st := svc.Stats()
+	if st.Writes == 0 {
+		t.Fatal("no writes reached the server")
+	}
+	if st.Queries+st.Writes != 120 {
+		t.Fatalf("server saw %d queries + %d writes, want 120 ops", st.Queries, st.Writes)
+	}
+	if ws := st.WriteState; ws.Inserts == 0 || ws.Inserts <= ws.Deletes {
+		t.Fatalf("write state looks wrong: %+v", ws)
+	}
+	var data server.TableStats
+	for _, tab := range st.Tables {
+		if tab.Table == "data" {
+			data = tab
+		}
+	}
+	if data.Rows <= 10_000 {
+		t.Fatalf("inserts did not grow the table: %+v", data)
+	}
+	if data.LiveRows != 10_000+int(st.WriteState.Inserts-st.WriteState.Deletes) {
+		t.Fatalf("live rows %d inconsistent with %+v", data.LiveRows, st.WriteState)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{"-op", "truncate"},
 		{"-workload", "tsunami", "-addr", "localhost:1"},
 		{"-sessions", "0"},
 		{"-workload", "selectproject"}, // needs -project
+		{"-workload", "mixed", "-write-ratio", "1.5"},
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

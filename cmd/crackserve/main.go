@@ -12,13 +12,20 @@
 // column, a range and optional projection columns; the access path
 // defaults to -path ("auto": the engine's planner explores the paths
 // on real queries and exploits the cheapest, re-exploring on drift).
-// With -snapshot set, a graceful shutdown (SIGINT/SIGTERM) writes the
-// engine's adaptive state — cracked columns, sideways maps, planner
-// estimates — through internal/persist and the next boot restores it:
-// the physical design the workload paid for survives the restart
-// instead of being re-learned.
 //
-// Endpoints: POST /query, GET /stats, GET /healthz (see
+// The daemon also accepts writes (POST /update): inserts and deletes
+// are applied to the base tables immediately and reach the cracked
+// columns through the merge policy named by -merge — "gradual" and
+// "complete" buffer them and ripple-merge on the next query touching
+// the affected range, "immediate" applies them on arrival. With
+// -snapshot set, a graceful shutdown (SIGINT/SIGTERM) writes the
+// engine's adaptive state — cracked columns, sideways maps, planner
+// estimates, appended rows, tombstones and still-pending update
+// buffers — through internal/persist and the next boot restores it:
+// the physical design the workload paid for survives the restart
+// instead of being re-learned, and unmerged writes are not lost.
+//
+// Endpoints: POST /query, POST /update, GET /stats, GET /healthz (see
 // internal/server).
 package main
 
@@ -38,6 +45,7 @@ import (
 
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/updates"
 )
 
 func main() {
@@ -57,6 +65,7 @@ type config struct {
 	domain      int
 	seed        int64
 	path        string
+	merge       string
 	partitions  int
 	workers     int
 	batchWindow time.Duration
@@ -75,6 +84,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.domain, "domain", 0, "value domain of every generated column (default: the table's row count)")
 	fs.Int64Var(&cfg.seed, "seed", 42, "data generation seed")
 	fs.StringVar(&cfg.path, "path", "auto", "default access path ("+strings.Join(engine.PathNames(), ", ")+")")
+	fs.StringVar(&cfg.merge, "merge", "gradual", "write merge policy ("+strings.Join(updates.PolicyNames(), ", ")+"), with optional per-table overrides: gradual,orders=immediate")
 	fs.IntVar(&cfg.partitions, "partitions", 0, "partition count for the parallel path (default: one per CPU)")
 	fs.IntVar(&cfg.workers, "workers", 0, "worker bound for the parallel path (default: one per CPU)")
 	fs.DurationVar(&cfg.batchWindow, "batch-window", 500*time.Microsecond, "batch coalescing window (0 disables batching)")
@@ -117,11 +127,18 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		ln.Close()
 		return err
 	}
+	mergeDefault, mergeTables, err := server.ParseMergeSpec(cfg.merge)
+	if err != nil {
+		ln.Close()
+		return err
+	}
 	built, err := server.BuildEngine(cat, server.EngineOptions{
-		Partitions:   cfg.partitions,
-		Workers:      cfg.workers,
-		Seed:         cfg.seed,
-		SnapshotPath: cfg.snapshot,
+		Partitions:    cfg.partitions,
+		Workers:       cfg.workers,
+		Seed:          cfg.seed,
+		MergePolicy:   mergeDefault,
+		TablePolicies: mergeTables,
+		SnapshotPath:  cfg.snapshot,
 	})
 	if err != nil {
 		ln.Close()
@@ -150,7 +167,8 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 	}
 	var tables []string
 	for _, spec := range specs {
-		tables = append(tables, fmt.Sprintf("%s(%d rows, %d cols)", spec.Name, spec.Rows, spec.Cols))
+		tables = append(tables, fmt.Sprintf("%s(%d rows, %d cols, merge=%s)",
+			spec.Name, spec.Rows, spec.Cols, built.Engine.MergePolicyFor(spec.Name)))
 	}
 	fmt.Fprintf(out, "crackserve: %s on %s (%s)\n", svc, ln.Addr(), boot)
 	fmt.Fprintf(out, "crackserve: catalog %s\n", strings.Join(tables, ", "))
@@ -177,8 +195,9 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		}
 	}
 	st := svc.Stats()
-	fmt.Fprintf(out, "crackserve: served %d queries (%d batches, %d shared scans), p50=%dµs p99=%dµs\n",
-		st.Queries, st.Batches, st.SharedScans, st.Latency.P50Us, st.Latency.P99Us)
+	fmt.Fprintf(out, "crackserve: served %d queries, %d writes (%d batches, %d shared scans, %d pending updates), p50=%dµs p99=%dµs\n",
+		st.Queries, st.Writes, st.Batches, st.SharedScans,
+		st.WriteState.PendingInserts+st.WriteState.PendingDeletes, st.Latency.P50Us, st.Latency.P99Us)
 	return shutdownErr
 }
 

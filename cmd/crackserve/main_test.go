@@ -209,6 +209,115 @@ func TestKillRestartCycle(t *testing.T) {
 	}
 }
 
+func postUpdate(t *testing.T, url, body string) server.UpdateResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/update", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("%s: status %d: %s", body, resp.StatusCode, buf.String())
+	}
+	var ur server.UpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	return ur
+}
+
+// TestKillRestartRoundTripsPendingUpdates is the write-path restart
+// contract: updates buffered under the gradual merge policy — never
+// touched by a query, so still unmerged at shutdown — survive the
+// snapshot/restore cycle and merge correctly when a query finally
+// touches them on the rebooted daemon.
+func TestKillRestartRoundTripsPendingUpdates(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "engine.snapshot")
+	cfg := config{
+		tables:      "orders:20000:2",
+		seed:        5,
+		path:        "auto",
+		merge:       "gradual",
+		batchWindow: 200 * time.Microsecond,
+		batchMax:    64,
+		inFlight:    128,
+		snapshot:    snap,
+		drainWait:   5 * time.Second,
+	}
+	url, cancel, done, out := startServe(t, cfg)
+
+	// Crack the low half so the cracked columns exist, then write:
+	// sentinel inserts far above the 20000-value domain stay pending
+	// (no query touches that range before shutdown).
+	for i := 0; i < 20; i++ {
+		lo := (i * 700) % 9000
+		postJSON(t, url, fmt.Sprintf(`{"op":"count","table":"orders","column":"c0","low":%d,"high":%d}`, lo, lo+300))
+	}
+	ins := postUpdate(t, url, `{"op":"insert","table":"orders","rows":[[30001,1],[30002,2],[30003,3]]}`)
+	if len(ins.Inserted) != 3 {
+		t.Fatalf("insert reply: %+v", ins)
+	}
+	if ins.PendingInserts == 0 {
+		t.Fatalf("gradual policy must buffer inserts, got %+v", ins)
+	}
+	del := postUpdate(t, url, fmt.Sprintf(`{"ops":[{"op":"delete","table":"orders","rows":[0,1]},{"op":"insert","table":"orders","rows":[[30004,4]]}]}`))
+	if del.Deleted != 2 || len(del.Inserted) != 1 {
+		t.Fatalf("batched ops reply: %+v", del)
+	}
+	before := getStats(t, url)
+	if before.WriteState.PendingInserts != 4 {
+		t.Fatalf("want 4 pending inserts before shutdown, got %+v", before.WriteState)
+	}
+	if before.Writes != 2 {
+		t.Fatalf("want 2 write requests counted, got %d", before.Writes)
+	}
+	wantLive := before.Tables[0].LiveRows
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v\noutput:\n%s", err, out)
+	}
+
+	url2, cancel2, done2, out2 := startServe(t, cfg)
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	logDeadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out2.String(), "restored from") {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("reboot did not restore:\n%s", out2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	after := getStats(t, url2)
+	if after.WriteState.PendingInserts != 4 || after.WriteState.PendingDeletes != before.WriteState.PendingDeletes {
+		t.Fatalf("pending updates did not round-trip: %+v, want %+v", after.WriteState, before.WriteState)
+	}
+	if after.Tables[0].LiveRows != wantLive {
+		t.Fatalf("live rows after restart = %d, want %d", after.Tables[0].LiveRows, wantLive)
+	}
+
+	// A query touching the sentinel range must merge and return every
+	// pending insert; the deleted base rows stay gone.
+	qr := postJSON(t, url2, `{"op":"select","table":"orders","column":"c0","low":30000,"high":30100,"path":"cracking"}`)
+	if qr.Count != 4 {
+		t.Fatalf("sentinel query returned %d rows, want 4", qr.Count)
+	}
+	merged := getStats(t, url2)
+	if merged.WriteState.PendingInserts != 0 {
+		t.Fatalf("sentinel query left pending inserts: %+v", merged.WriteState)
+	}
+	if merged.WriteState.MergedInserts < 4 {
+		t.Fatalf("merged-insert counter = %d, want >= 4", merged.WriteState.MergedInserts)
+	}
+	if got := postJSON(t, url2, `{"op":"count","table":"orders","column":"c0","low":0,"high":40000,"path":"scan"}`); got.Count != wantLive {
+		t.Fatalf("full scan sees %d live rows, want %d", got.Count, wantLive)
+	}
+}
+
 // TestServeSelectProjectAndPaths smoke-tests the wire surface end to
 // end: select-project against a named table, explicit paths, and the
 // stats catalog.

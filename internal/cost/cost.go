@@ -41,6 +41,18 @@ type Counters struct {
 	// PageTouches counts logical page accesses under the adaptive
 	// merging I/O model (see internal/adaptivemerge).
 	PageTouches uint64
+	// MergeWork re-attributes reorganisation performed on behalf of
+	// buffered writes — ripple-merging pending inserts/deletes into a
+	// cracked column, or rebuilding a write-invalidated structure — into
+	// the recurring component. Under a read-only workload
+	// reorganisation is a one-time investment, but work triggered by
+	// writes is re-paid for as long as the writes keep coming, so the
+	// access-path planner must see it. The underlying touches, swaps
+	// and comparisons are already recorded in the other counters;
+	// MergeWork only tags how much of them the write path caused, so
+	// Total excludes it (no double counting) while Recurring includes
+	// it.
+	MergeWork uint64
 }
 
 // randomTouchWeight is the Total() weight of one random access relative
@@ -56,6 +68,7 @@ func (c *Counters) Add(other Counters) {
 	c.TuplesCopied += other.TuplesCopied
 	c.RandomTouches += other.RandomTouches
 	c.PageTouches += other.PageTouches
+	c.MergeWork += other.MergeWork
 }
 
 // Sub returns the component-wise difference c - other. It is used to
@@ -68,13 +81,15 @@ func (c Counters) Sub(other Counters) Counters {
 		TuplesCopied:  c.TuplesCopied - other.TuplesCopied,
 		RandomTouches: c.RandomTouches - other.RandomTouches,
 		PageTouches:   c.PageTouches - other.PageTouches,
+		MergeWork:     c.MergeWork - other.MergeWork,
 	}
 }
 
 // Total returns a single scalar summarising the work in c. Every unit
 // of sequential work counts once; random accesses count
-// randomTouchWeight times. The benches report the individual components
-// as well.
+// randomTouchWeight times. MergeWork is excluded: it re-attributes
+// work already counted in the other components. The benches report the
+// individual components as well.
 func (c Counters) Total() uint64 {
 	return c.ValuesTouched + c.Comparisons + c.Swaps + c.TuplesCopied +
 		randomTouchWeight*c.RandomTouches + c.PageTouches
@@ -87,8 +102,14 @@ func (c Counters) Total() uint64 {
 // every repetition of a query shape — it is the steady-state marginal
 // cost a planner should compare access paths on. A scan has no
 // reorganisation at all, so for scans Total is the recurring cost.
+//
+// MergeWork is part of the recurring component: reorganisation spent
+// merging buffered writes (or rebuilding a write-invalidated
+// structure) is re-paid for as long as the write stream continues, so
+// under a mixed read/write workload it behaves like materialisation,
+// not like a one-time investment.
 func (c Counters) Recurring() uint64 {
-	return c.TuplesCopied + randomTouchWeight*c.RandomTouches
+	return c.TuplesCopied + randomTouchWeight*c.RandomTouches + c.MergeWork
 }
 
 // IsZero reports whether no work has been recorded.
@@ -98,8 +119,8 @@ func (c Counters) IsZero() bool {
 
 // String renders the counters compactly for logs and CLI output.
 func (c Counters) String() string {
-	return fmt.Sprintf("touched=%d cmp=%d swap=%d copied=%d random=%d pages=%d",
-		c.ValuesTouched, c.Comparisons, c.Swaps, c.TuplesCopied, c.RandomTouches, c.PageTouches)
+	return fmt.Sprintf("touched=%d cmp=%d swap=%d copied=%d random=%d pages=%d merge=%d",
+		c.ValuesTouched, c.Comparisons, c.Swaps, c.TuplesCopied, c.RandomTouches, c.PageTouches, c.MergeWork)
 }
 
 // Recorder is implemented by every component that tracks logical work.

@@ -29,6 +29,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/partition"
 	"adaptiveindex/internal/sideways"
+	"adaptiveindex/internal/updates"
 )
 
 // Errors returned by the engine and catalog.
@@ -56,14 +58,37 @@ var (
 	// ErrUnknownPath is returned by ParsePath for an unrecognised
 	// access-path name.
 	ErrUnknownPath = errors.New("engine: unknown access path")
+	// ErrRowArity is returned when an inserted row does not provide
+	// exactly one value per table column.
+	ErrRowArity = errors.New("engine: row arity mismatch")
 )
 
-// Table is a named collection of equally long columns.
+// ErrRowNotFound is returned when a deleted row does not exist or was
+// already deleted. It is the updates-layer error, re-exported so
+// callers can match it without importing internal/updates.
+var ErrRowNotFound = updates.ErrRowNotFound
+
+// Table is a named collection of equally long columns. Tables are
+// append-only at the storage level: inserted rows extend every column
+// array (so row identifiers stay positional), and deleted rows are
+// tombstoned rather than compacted (so surviving identifiers never
+// move). Queries must filter tombstones; projections index the arrays
+// by identifier as before.
 type Table struct {
 	name  string
 	cols  map[string][]column.Value
 	order []string
 	nrows int
+
+	// baseRows is the number of rows the table held when it was
+	// registered — the part a deterministic catalog generator can
+	// rebuild. Rows at and beyond baseRows were appended through the
+	// write path and must be carried by snapshots.
+	baseRows    int
+	baseFrozen  bool
+	deadRows    map[column.RowID]bool
+	deadCount   int
+	writeEpochs uint64
 }
 
 // NewTable creates an empty table.
@@ -74,8 +99,98 @@ func NewTable(name string) *Table {
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
-// NumRows returns the number of tuples.
+// NumRows returns the number of row slots, live and tombstoned: the
+// length of every column array, and one past the largest row
+// identifier.
 func (t *Table) NumRows() int { return t.nrows }
+
+// LiveRows returns the number of live (not tombstoned) tuples.
+func (t *Table) LiveRows() int { return t.nrows - t.deadCount }
+
+// BaseRows returns the number of rows present before the first append.
+func (t *Table) BaseRows() int {
+	if !t.baseFrozen {
+		return t.nrows
+	}
+	return t.baseRows
+}
+
+// Written reports whether the table has seen any insert or delete.
+func (t *Table) Written() bool { return t.writeEpochs > 0 }
+
+// Live reports whether the row identifier names a live tuple.
+func (t *Table) Live(row column.RowID) bool {
+	return int(row) < t.nrows && !t.deadRows[row]
+}
+
+// AppendRow appends one tuple — one value per column, in column
+// creation order — and returns its row identifier.
+func (t *Table) AppendRow(vals []column.Value) (column.RowID, error) {
+	if len(vals) != len(t.order) {
+		return 0, fmt.Errorf("%w: row has %d values, table %q has %d columns",
+			ErrRowArity, len(vals), t.name, len(t.order))
+	}
+	if !t.baseFrozen {
+		t.baseRows = t.nrows
+		t.baseFrozen = true
+	}
+	row := column.RowID(t.nrows)
+	for i, name := range t.order {
+		t.cols[name] = append(t.cols[name], vals[i])
+	}
+	t.nrows++
+	t.writeEpochs++
+	return row, nil
+}
+
+// DeleteRow tombstones the tuple with the given row identifier. It
+// returns ErrRowNotFound when the row does not exist or was already
+// deleted.
+func (t *Table) DeleteRow(row column.RowID) error {
+	if !t.Live(row) {
+		return fmt.Errorf("%w: %q row %d", ErrRowNotFound, t.name, row)
+	}
+	if !t.baseFrozen {
+		t.baseRows = t.nrows
+		t.baseFrozen = true
+	}
+	if t.deadRows == nil {
+		t.deadRows = make(map[column.RowID]bool)
+	}
+	t.deadRows[row] = true
+	t.deadCount++
+	t.writeEpochs++
+	return nil
+}
+
+// DeletedRows returns the tombstoned row identifiers in ascending
+// order.
+func (t *Table) DeletedRows() []column.RowID {
+	out := make([]column.RowID, 0, len(t.deadRows))
+	for row := range t.deadRows {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// livePairs returns the (value, rowid) pairs of the column's live
+// tuples, in row order — the layout adaptive structures are (re)built
+// from on a written table.
+func (t *Table) livePairs(col string) (column.Pairs, error) {
+	vals, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make(column.Pairs, 0, t.LiveRows())
+	for i, v := range vals {
+		if t.deadCount > 0 && t.deadRows[column.RowID(i)] {
+			continue
+		}
+		pairs = append(pairs, column.Pair{Val: v, Row: column.RowID(i)})
+	}
+	return pairs, nil
+}
 
 // Columns returns the column names in creation order.
 func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
@@ -224,30 +339,52 @@ func (tc TableColumn) String() string { return tc.Table + "." + tc.Column }
 
 // Engine executes queries against a catalog, maintaining adaptive
 // index state (cracker columns and sideways map sets) per column as a
-// side effect of the queries it runs. It is not safe for concurrent
-// use.
+// side effect of the queries it runs. It also accepts writes: inserts
+// and deletes flow through InsertRow/DeleteRow, are applied to the
+// base table immediately (so every path reads its own writes), and
+// reach the cracked selection columns through the merge policies of
+// internal/updates — buffered and ripple-merged when a query actually
+// touches the affected range. It is not safe for concurrent use.
 type Engine struct {
 	cat        *Catalog
-	crackers   map[TableColumn]*core.CrackerColumn
+	crackers   map[TableColumn]*updates.Column
 	mapsets    map[TableColumn]*sideways.MapSet
 	parallels  map[TableColumn]*partition.Index
 	opts       core.Options
 	partitions int
 	workers    int
 	planner    *planner
-	c          cost.Counters
+
+	// defaultPolicy and tablePolicies decide when buffered writes are
+	// merged into each table's cracked columns (see SetMergePolicy).
+	defaultPolicy updates.MergePolicy
+	tablePolicies map[string]updates.MergePolicy
+
+	// staleSideways and staleParallel mark structures dropped by a
+	// write: their next rebuild is charged as merge work, because under
+	// a sustained write stream the rebuild is re-paid, not amortised.
+	staleSideways map[TableColumn]bool
+	staleParallel map[TableColumn]bool
+
+	writes WriteCounters
+	c      cost.Counters
 }
 
 // New creates an engine over the catalog using the given cracking
-// options for every adaptive structure it builds.
+// options for every adaptive structure it builds. Writes default to
+// MergeGradually; see SetMergePolicy.
 func New(cat *Catalog, opts core.Options) *Engine {
 	return &Engine{
-		cat:       cat,
-		crackers:  make(map[TableColumn]*core.CrackerColumn),
-		mapsets:   make(map[TableColumn]*sideways.MapSet),
-		parallels: make(map[TableColumn]*partition.Index),
-		opts:      opts,
-		planner:   newPlanner(DefaultPlannerOptions()),
+		cat:           cat,
+		crackers:      make(map[TableColumn]*updates.Column),
+		mapsets:       make(map[TableColumn]*sideways.MapSet),
+		parallels:     make(map[TableColumn]*partition.Index),
+		opts:          opts,
+		planner:       newPlanner(DefaultPlannerOptions()),
+		defaultPolicy: updates.MergeGradually,
+		tablePolicies: make(map[string]updates.MergePolicy),
+		staleSideways: make(map[TableColumn]bool),
+		staleParallel: make(map[TableColumn]bool),
 	}
 }
 
@@ -289,40 +426,50 @@ func (e *Engine) Cost() cost.Counters {
 
 func key(table, col string) TableColumn { return TableColumn{Table: table, Column: col} }
 
-// crackerFor returns (creating on demand) the cracker column for
-// table.col.
-func (e *Engine) crackerFor(t *Table, col string) (*core.CrackerColumn, error) {
+// crackerFor returns (creating on demand) the updatable cracker column
+// for table.col. A column created on a written table starts from the
+// live tuples; later writes reach existing columns through
+// InsertRow/DeleteRow.
+func (e *Engine) crackerFor(t *Table, col string) (*updates.Column, error) {
 	k := key(t.name, col)
-	if cc, ok := e.crackers[k]; ok {
-		return cc, nil
+	if uc, ok := e.crackers[k]; ok {
+		return uc, nil
 	}
-	vals, err := t.Column(col)
+	pairs, err := t.livePairs(col)
 	if err != nil {
 		return nil, err
 	}
-	cc := core.NewCrackerColumn(vals, e.opts)
-	e.crackers[k] = cc
-	return cc, nil
+	uc := updates.NewFromPairs(pairs, e.opts, e.MergePolicyFor(t.name), column.RowID(t.NumRows()))
+	e.crackers[k] = uc
+	return uc, nil
 }
 
 // parallelFor returns (creating on demand) the partitioned parallel
-// cracker for table.col.
+// cracker for table.col. A rebuild after write invalidation is charged
+// as merge work: the write stream, not the reader, caused it.
 func (e *Engine) parallelFor(t *Table, col string) (*partition.Index, error) {
 	k := key(t.name, col)
 	if px, ok := e.parallels[k]; ok {
 		return px, nil
 	}
-	vals, err := t.Column(col)
+	pairs, err := t.livePairs(col)
 	if err != nil {
 		return nil, err
 	}
-	px := partition.New(vals, partition.Options{Partitions: e.partitions, Workers: e.workers, Core: e.opts})
+	px := partition.NewFromPairs(pairs, partition.Options{Partitions: e.partitions, Workers: e.workers, Core: e.opts})
+	if e.staleParallel[k] {
+		delete(e.staleParallel, k)
+		built := px.Cost()
+		e.c.MergeWork += built.Total() - built.Recurring()
+	}
 	e.parallels[k] = px
 	return px, nil
 }
 
 // mapsetFor returns (creating on demand) the sideways map set with
-// table.col as its selection attribute.
+// table.col as its selection attribute. On a written table the set is
+// built over the live tuples with explicit row identifiers; a rebuild
+// after write invalidation is charged as merge work.
 func (e *Engine) mapsetFor(t *Table, col string) (*sideways.MapSet, error) {
 	k := key(t.name, col)
 	if ms, ok := e.mapsets[k]; ok {
@@ -332,16 +479,54 @@ func (e *Engine) mapsetFor(t *Table, col string) (*sideways.MapSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	tails := make(map[string][]column.Value, len(t.order)-1)
-	for _, other := range t.order {
-		if other == col {
-			continue
+	var ms *sideways.MapSet
+	if t.Written() {
+		headPairs, err := t.livePairs(col)
+		if err != nil {
+			return nil, err
 		}
-		tails[other], _ = t.Column(other)
+		liveHead := make([]column.Value, len(headPairs))
+		rows := make([]column.RowID, len(headPairs))
+		for i, p := range headPairs {
+			liveHead[i], rows[i] = p.Val, p.Row
+		}
+		tails := make(map[string][]column.Value, len(t.order)-1)
+		for _, other := range t.order {
+			if other == col {
+				continue
+			}
+			all, _ := t.Column(other)
+			tail := make([]column.Value, len(rows))
+			for i, row := range rows {
+				tail[i] = all[row]
+			}
+			tails[other] = tail
+		}
+		ms, err = sideways.NewMapSetRows(col, liveHead, tails, rows, sideways.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tails := make(map[string][]column.Value, len(t.order)-1)
+		for _, other := range t.order {
+			if other == col {
+				continue
+			}
+			tails[other], _ = t.Column(other)
+		}
+		ms, err = sideways.NewMapSet(col, head, tails, sideways.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
 	}
-	ms, err := sideways.NewMapSet(col, head, tails, sideways.DefaultOptions())
-	if err != nil {
-		return nil, err
+	if e.staleSideways[k] {
+		delete(e.staleSideways, k)
+		// Building the set itself is lazy (maps materialise per
+		// projection attribute), so the rebuild charge here is the
+		// live-tuple gather; the per-map rebuild cost lands in the
+		// set's own counters as its maps re-materialise and is pulled
+		// into merge work by the queries that pay it.
+		e.c.MergeWork += uint64(t.LiveRows())
 	}
 	e.mapsets[k] = ms
 	return ms, nil
@@ -356,11 +541,11 @@ func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath)
 	}
 	switch path {
 	case PathCracking:
-		cc, err := e.crackerFor(t, attr)
+		uc, err := e.crackerFor(t, attr)
 		if err != nil {
 			return nil, err
 		}
-		return cc.Select(r), nil
+		return uc.Select(r), nil
 	case PathSideways:
 		ms, err := e.mapsetFor(t, attr)
 		if err != nil {
@@ -381,6 +566,9 @@ func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath)
 		var out column.IDList
 		for i, v := range vals {
 			e.c.ValuesTouched++
+			if t.deadCount > 0 && t.deadRows[column.RowID(i)] {
+				continue
+			}
 			e.c.Comparisons++
 			if r.Contains(v) {
 				out = append(out, column.RowID(i))
@@ -404,11 +592,11 @@ func (e *Engine) CountRows(table, attr string, r column.Range, path AccessPath) 
 	}
 	switch path {
 	case PathCracking:
-		cc, err := e.crackerFor(t, attr)
+		uc, err := e.crackerFor(t, attr)
 		if err != nil {
 			return 0, err
 		}
-		return cc.Count(r), nil
+		return uc.Count(r), nil
 	case PathSideways:
 		ms, err := e.mapsetFor(t, attr)
 		if err != nil {
@@ -427,8 +615,11 @@ func (e *Engine) CountRows(table, attr string, r column.Range, path AccessPath) 
 			return 0, err
 		}
 		n := 0
-		for _, v := range vals {
+		for i, v := range vals {
 			e.c.ValuesTouched++
+			if t.deadCount > 0 && t.deadRows[column.RowID(i)] {
+				continue
+			}
 			e.c.Comparisons++
 			if r.Contains(v) {
 				n++
@@ -610,8 +801,8 @@ func (e *Engine) Structures() StructureStats {
 		MapSets:   len(e.mapsets),
 		Parallels: len(e.parallels),
 	}
-	for _, cc := range e.crackers {
-		s.CrackerPieces += cc.NumPieces()
+	for _, uc := range e.crackers {
+		s.CrackerPieces += uc.Cracker().NumPieces()
 	}
 	for _, ms := range e.mapsets {
 		s.MapPieces += ms.NumPieces()
@@ -647,18 +838,31 @@ func (e *Engine) JoinCount(table1, attr1, table2, attr2 string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Build on the side with fewer LIVE tuples: raw lengths count
+	// tombstoned slots, which neither side hashes or probes.
 	build, probe := v1, v2
-	if len(v2) < len(v1) {
+	buildT, probeT := t1, t2
+	if t2.LiveRows() < t1.LiveRows() {
 		build, probe = v2, v1
+		buildT, probeT = t2, t1
 	}
+	// Both sides filter tombstones: the arrays keep deleted values (row
+	// identifiers must stay stable), so a join over the raw columns
+	// would count dead tuples.
 	ht := make(map[column.Value]int, len(build))
-	for _, v := range build {
-		ht[v]++
+	for i, v := range build {
 		e.c.ValuesTouched++
+		if buildT.deadCount > 0 && buildT.deadRows[column.RowID(i)] {
+			continue
+		}
+		ht[v]++
 	}
 	matches := 0
-	for _, v := range probe {
+	for i, v := range probe {
 		e.c.ValuesTouched++
+		if probeT.deadCount > 0 && probeT.deadRows[column.RowID(i)] {
+			continue
+		}
 		e.c.Comparisons++
 		matches += ht[v]
 	}
@@ -667,8 +871,8 @@ func (e *Engine) JoinCount(table1, attr1, table2, attr2 string) (int, error) {
 
 // Validate checks every adaptive structure the engine has built.
 func (e *Engine) Validate() error {
-	for k, cc := range e.crackers {
-		if err := cc.Validate(); err != nil {
+	for k, uc := range e.crackers {
+		if err := uc.Validate(); err != nil {
 			return fmt.Errorf("cracker %s: %w", k, err)
 		}
 	}

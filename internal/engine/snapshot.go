@@ -3,17 +3,24 @@
 // An engine's value is the physical reorganisation its workload has
 // paid for: cracked selection columns, materialised and aligned
 // sideways maps, and the planner's learned per-path cost estimates.
-// Snapshot captures exactly that state — base table data is NOT
+// Snapshot captures exactly that state — BASE table data is NOT
 // included; it is the daemon's job to rebuild the same catalog
 // (deterministic generation, or reloading the same files) before
-// restoring. Restore validates every structure against the catalog it
-// is applied to, so a snapshot taken over different data is rejected
-// instead of serving wrong answers.
+// restoring. What a generator cannot rebuild is carried by the
+// snapshot: rows appended through the write path, tombstones, and the
+// per-column pending update buffers with their merge-policy name, so a
+// restart round-trips unmerged writes instead of losing them. Restore
+// validates every structure against the catalog it is applied to, so a
+// snapshot taken over different data is rejected instead of serving
+// wrong answers.
 //
 // Partitioned parallel crackers are deliberately not captured: their
 // state (quantile pivots plus per-partition crackers) is rebuilt in one
 // partitioning pass on first use, which costs about as much as
-// restoring it would.
+// restoring it would. Sideways map sets of written tables are not
+// captured either — every write invalidates them, so persisting one
+// would only save work when the daemon shut down after a quiet reading
+// spell; they rebuild lazily, like the parallel crackers.
 package engine
 
 import (
@@ -21,9 +28,10 @@ import (
 	"time"
 
 	"adaptiveindex/internal/column"
-	"adaptiveindex/internal/core"
-	"adaptiveindex/internal/crackeridx"
 	"adaptiveindex/internal/sideways"
+	"adaptiveindex/internal/updates"
+
+	"adaptiveindex/internal/crackeridx"
 )
 
 // BoundarySnap is one cracker-index boundary in portable form.
@@ -39,12 +47,32 @@ type BoundSnap struct {
 	Inclusive bool
 }
 
-// CrackerSnap is the state of one cracked selection column: the
-// (value, rowid) pairs in current physical order plus every boundary.
+// CrackerSnap is the state of one cracked selection column: the merged
+// (value, rowid) pairs in current physical order, every boundary, the
+// merge policy, and the pending update buffers that have not been
+// merged yet.
 type CrackerSnap struct {
 	Values     []column.Value
 	Rows       []column.RowID
 	Boundaries []BoundarySnap
+
+	Policy      string
+	PendInsVals []column.Value
+	PendInsRows []column.RowID
+	PendDelVals []column.Value
+	PendDelRows []column.RowID
+	MergedIns   uint64
+	MergedDel   uint64
+}
+
+// TableSnap is the write state of one table: the rows appended through
+// the write path (one value per column, keyed by column name, in
+// append order) and the tombstoned row identifiers. BaseRows pins the
+// snapshot to a catalog of the same generated size.
+type TableSnap struct {
+	BaseRows int
+	Appended map[string][]column.Value
+	Deleted  []column.RowID
 }
 
 // MapSnap is the state of one sideways cracker map.
@@ -90,23 +118,47 @@ type PlanSnap struct {
 // (gob- and json-friendly) so internal/persist can serialise it without
 // reaching into engine internals.
 type State struct {
+	Tables   map[string]TableSnap
 	Crackers map[TableColumn]CrackerSnap
 	MapSets  map[TableColumn]MapSetSnap
 	Plans    map[TableColumn]PlanSnap
+	Writes   WriteCounters
 }
 
 // Snapshot captures the engine's adaptive state.
 func (e *Engine) Snapshot() State {
 	st := State{
+		Tables:   make(map[string]TableSnap),
 		Crackers: make(map[TableColumn]CrackerSnap, len(e.crackers)),
 		MapSets:  make(map[TableColumn]MapSetSnap, len(e.mapsets)),
 		Plans:    make(map[TableColumn]PlanSnap, len(e.planner.states)),
+		Writes:   e.writes,
 	}
-	for tc, cc := range e.crackers {
+	for _, name := range e.cat.Tables() {
+		t, _ := e.cat.Table(name)
+		if !t.Written() {
+			continue
+		}
+		ts := TableSnap{
+			BaseRows: t.BaseRows(),
+			Appended: make(map[string][]column.Value, len(t.order)),
+			Deleted:  t.DeletedRows(),
+		}
+		for _, col := range t.order {
+			vals := t.cols[col]
+			ts.Appended[col] = append([]column.Value(nil), vals[t.BaseRows():]...)
+		}
+		st.Tables[name] = ts
+	}
+	for tc, uc := range e.crackers {
+		cc := uc.Cracker()
 		pairs := cc.Pairs()
 		cs := CrackerSnap{
-			Values: make([]column.Value, len(pairs)),
-			Rows:   make([]column.RowID, len(pairs)),
+			Values:    make([]column.Value, len(pairs)),
+			Rows:      make([]column.RowID, len(pairs)),
+			Policy:    uc.Policy().String(),
+			MergedIns: uc.MergedInserts(),
+			MergedDel: uc.MergedDeletions(),
 		}
 		for i, p := range pairs {
 			cs.Values[i], cs.Rows[i] = p.Val, p.Row
@@ -114,9 +166,23 @@ func (e *Engine) Snapshot() State {
 		for _, b := range cc.Index().Boundaries() {
 			cs.Boundaries = append(cs.Boundaries, BoundarySnap{Value: b.Value, Inclusive: b.Inclusive, Pos: b.Pos})
 		}
+		ins, del := uc.PendingPairs()
+		for _, p := range ins {
+			cs.PendInsVals = append(cs.PendInsVals, p.Val)
+			cs.PendInsRows = append(cs.PendInsRows, p.Row)
+		}
+		for _, p := range del {
+			cs.PendDelVals = append(cs.PendDelVals, p.Val)
+			cs.PendDelRows = append(cs.PendDelRows, p.Row)
+		}
 		st.Crackers[tc] = cs
 	}
 	for tc, ms := range e.mapsets {
+		if t, err := e.cat.Table(tc.Table); err == nil && t.Written() {
+			// A written table's map set holds live-filtered tuples;
+			// restore rebuilds it lazily instead (see package comment).
+			continue
+		}
 		d := ms.Dump()
 		mss := MapSetSnap{History: make([]BoundSnap, 0, len(d.History))}
 		for _, b := range d.History {
@@ -160,19 +226,31 @@ func (e *Engine) Snapshot() State {
 }
 
 // Restore applies a snapshot to a fresh engine whose catalog holds the
-// same data the snapshot was taken over. Every restored structure is
-// validated; on error the engine is left untouched.
+// same generated base data the snapshot was taken over. Table write
+// state (appended rows, tombstones) is re-applied first, then every
+// restored structure is validated against the resulting catalog. On
+// error the adaptive structures are left untouched, but table write
+// state may already be applied — callers treat a failed restore as
+// fatal and rebuild the catalog from scratch.
 func (e *Engine) Restore(st State) error {
-	crackers := make(map[TableColumn]*core.CrackerColumn, len(st.Crackers))
+	for name, ts := range st.Tables {
+		if err := e.restoreTable(name, ts); err != nil {
+			return err
+		}
+	}
+	crackers := make(map[TableColumn]*updates.Column, len(st.Crackers))
 	for tc, cs := range st.Crackers {
-		cc, err := e.restoreCracker(tc, cs)
+		uc, err := e.restoreCracker(tc, cs)
 		if err != nil {
 			return err
 		}
-		crackers[tc] = cc
+		crackers[tc] = uc
 	}
 	mapsets := make(map[TableColumn]*sideways.MapSet, len(st.MapSets))
 	for tc, mss := range st.MapSets {
+		if t, err := e.cat.Table(tc.Table); err == nil && t.Written() {
+			return fmt.Errorf("engine: snapshot map set %s: table has write state; map sets of written tables are not restorable", tc)
+		}
 		ms, err := e.restoreMapSet(tc, mss)
 		if err != nil {
 			return err
@@ -187,8 +265,8 @@ func (e *Engine) Restore(st State) error {
 		}
 		plans[tc] = ps
 	}
-	for tc, cc := range crackers {
-		e.crackers[tc] = cc
+	for tc, uc := range crackers {
+		e.crackers[tc] = uc
 	}
 	for tc, ms := range mapsets {
 		e.mapsets[tc] = ms
@@ -196,10 +274,55 @@ func (e *Engine) Restore(st State) error {
 	for tc, ps := range plans {
 		e.planner.states[tc] = ps
 	}
+	e.writes = st.Writes
 	return nil
 }
 
-func (e *Engine) restoreCracker(tc TableColumn, cs CrackerSnap) (*core.CrackerColumn, error) {
+// restoreTable re-applies a table's write history: appended rows in
+// append order, then tombstones.
+func (e *Engine) restoreTable(name string, ts TableSnap) error {
+	t, err := e.cat.Table(name)
+	if err != nil {
+		return fmt.Errorf("engine: snapshot table %q: %w", name, err)
+	}
+	if t.Written() {
+		return fmt.Errorf("engine: snapshot table %q: catalog table already has write state", name)
+	}
+	if t.NumRows() != ts.BaseRows {
+		return fmt.Errorf("engine: snapshot table %q has %d base rows, catalog has %d (snapshot taken over different data?)",
+			name, ts.BaseRows, t.NumRows())
+	}
+	appended := -1
+	for _, col := range t.order {
+		vals, ok := ts.Appended[col]
+		if !ok {
+			return fmt.Errorf("engine: snapshot table %q: no appended values for column %q", name, col)
+		}
+		if appended < 0 {
+			appended = len(vals)
+		} else if len(vals) != appended {
+			return fmt.Errorf("engine: snapshot table %q: column %q has %d appended values, want %d",
+				name, col, len(vals), appended)
+		}
+	}
+	row := make([]column.Value, len(t.order))
+	for i := 0; i < appended; i++ {
+		for ci, col := range t.order {
+			row[ci] = ts.Appended[col][i]
+		}
+		if _, err := t.AppendRow(row); err != nil {
+			return fmt.Errorf("engine: snapshot table %q: %w", name, err)
+		}
+	}
+	for _, dead := range ts.Deleted {
+		if err := t.DeleteRow(dead); err != nil {
+			return fmt.Errorf("engine: snapshot table %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) restoreCracker(tc TableColumn, cs CrackerSnap) (*updates.Column, error) {
 	t, err := e.cat.Table(tc.Table)
 	if err != nil {
 		return nil, fmt.Errorf("engine: snapshot cracker %s: %w", tc, err)
@@ -208,26 +331,43 @@ func (e *Engine) restoreCracker(tc TableColumn, cs CrackerSnap) (*core.CrackerCo
 	if err != nil {
 		return nil, fmt.Errorf("engine: snapshot cracker %s: %w", tc, err)
 	}
-	if len(cs.Values) != t.NumRows() || len(cs.Rows) != t.NumRows() {
-		return nil, fmt.Errorf("engine: snapshot cracker %s holds %d values, table has %d rows",
-			tc, len(cs.Values), t.NumRows())
+	if len(cs.Values) != len(cs.Rows) {
+		return nil, fmt.Errorf("engine: snapshot cracker %s holds %d values but %d rows", tc, len(cs.Values), len(cs.Rows))
+	}
+	// pin validates a snapshotted (value, rowid) pair against the base
+	// column: a cracker snapshot is internally consistent by
+	// construction, so the cracking invariants alone cannot detect a
+	// snapshot taken over different data.
+	pin := func(what string, row column.RowID, val column.Value) error {
+		if int(row) >= len(base) {
+			return fmt.Errorf("engine: snapshot cracker %s: %s row %d outside table", tc, what, row)
+		}
+		if base[row] != val {
+			return fmt.Errorf("engine: snapshot cracker %s: %s row %d holds %d, catalog has %d (snapshot taken over different data?)",
+				tc, what, row, val, base[row])
+		}
+		return nil
 	}
 	pairs := make(column.Pairs, len(cs.Values))
 	for i := range cs.Values {
-		// A cracker snapshot is internally consistent by construction, so
-		// the cracking invariants alone cannot detect a snapshot taken
-		// over different data; pin every pair to the base column.
-		row := cs.Rows[i]
-		if int(row) < 0 || int(row) >= len(base) {
-			return nil, fmt.Errorf("engine: snapshot cracker %s: row %d outside table", tc, row)
-		}
-		if base[row] != cs.Values[i] {
-			return nil, fmt.Errorf("engine: snapshot cracker %s: row %d holds %d, catalog has %d (snapshot taken over different data?)",
-				tc, row, cs.Values[i], base[row])
+		if err := pin("merged", cs.Rows[i], cs.Values[i]); err != nil {
+			return nil, err
 		}
 		pairs[i] = column.Pair{Val: cs.Values[i], Row: cs.Rows[i]}
 	}
-	cc := core.NewCrackerColumnFromPairs(pairs, e.opts)
+	// The snapshot's policy is the restored column's policy; an empty
+	// name (a hand-built State) falls back to the engine configuration.
+	// Daemon flags still win: server.BuildEngine re-applies them after
+	// the restore.
+	policy := e.MergePolicyFor(tc.Table)
+	if cs.Policy != "" {
+		var err error
+		if policy, err = updates.ParsePolicy(cs.Policy); err != nil {
+			return nil, fmt.Errorf("engine: snapshot cracker %s: %w", tc, err)
+		}
+	}
+	uc := updates.NewFromPairs(pairs, e.opts, policy, column.RowID(t.NumRows()))
+	cc := uc.Cracker()
 	for _, b := range cs.Boundaries {
 		if b.Pos < 0 || b.Pos > len(pairs) {
 			return nil, fmt.Errorf("engine: snapshot cracker %s: boundary position %d outside [0,%d]",
@@ -238,7 +378,40 @@ func (e *Engine) restoreCracker(tc TableColumn, cs CrackerSnap) (*core.CrackerCo
 	if err := cc.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: snapshot cracker %s violates cracking invariants: %w", tc, err)
 	}
-	return cc, nil
+	if len(cs.PendInsVals) != len(cs.PendInsRows) || len(cs.PendDelVals) != len(cs.PendDelRows) {
+		return nil, fmt.Errorf("engine: snapshot cracker %s: pending buffer lengths disagree", tc)
+	}
+	ins := make(column.Pairs, len(cs.PendInsVals))
+	for i := range cs.PendInsVals {
+		row, val := cs.PendInsRows[i], cs.PendInsVals[i]
+		if err := pin("pending-insert", row, val); err != nil {
+			return nil, err
+		}
+		if !t.Live(row) {
+			return nil, fmt.Errorf("engine: snapshot cracker %s: pending insert for dead row %d", tc, row)
+		}
+		ins[i] = column.Pair{Val: val, Row: row}
+	}
+	del := make(column.Pairs, len(cs.PendDelVals))
+	for i := range cs.PendDelVals {
+		row, val := cs.PendDelRows[i], cs.PendDelVals[i]
+		if err := pin("pending-delete", row, val); err != nil {
+			return nil, err
+		}
+		if t.Live(row) {
+			return nil, fmt.Errorf("engine: snapshot cracker %s: pending delete for live row %d", tc, row)
+		}
+		del[i] = column.Pair{Val: val, Row: row}
+	}
+	if err := uc.RestorePending(ins, del); err != nil {
+		return nil, fmt.Errorf("engine: snapshot cracker %s: %w", tc, err)
+	}
+	uc.RestoreMergedCounts(cs.MergedIns, cs.MergedDel)
+	if uc.Len() != t.LiveRows() {
+		return nil, fmt.Errorf("engine: snapshot cracker %s covers %d live rows, table has %d (snapshot taken over different data?)",
+			tc, uc.Len(), t.LiveRows())
+	}
+	return uc, nil
 }
 
 func (e *Engine) restoreMapSet(tc TableColumn, mss MapSetSnap) (*sideways.MapSet, error) {

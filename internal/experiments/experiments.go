@@ -1,5 +1,5 @@
 // Package experiments defines the reproduction's experiment suite
-// E1..E15 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
+// E1..E16 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
 // builds its data, workload and competing access paths from the other
 // internal packages, runs them through the bench harness, and returns a
 // structured result plus a formatted text report. The cmd/aibench CLI
@@ -111,6 +111,7 @@ func All() []Definition {
 		{"E13", "Partitioned parallel cracking: sharded vs global latch", E13Parallel},
 		{"E14", "Query service: throughput/latency vs batch window and sessions", E14Server},
 		{"E15", "Access-path planner vs static paths on a drifting workload", E15Planner},
+		{"E16", "Merge policies under a drifting mixed read/write workload", E16UpdatePolicies},
 	}
 }
 
@@ -845,4 +846,181 @@ func E15Planner(cfg Config) Result {
 			float64(auto)/float64(best), float64(auto)/float64(worst), best, worst)
 	}
 	return Result{ID: "E15", Title: "Access-path planner vs static paths", Summaries: rows, Text: b.String()}
+}
+
+// E16Outcome captures the comparable totals of one merge-policy run of
+// the mixed-workload experiment.
+type E16Outcome struct {
+	Policy string
+	// Total and Recurring are the engine's logical-work totals after
+	// the full op stream; Recurring includes the merge work the policy
+	// caused (cost.Counters.MergeWork), which is what separates the
+	// policies — materialisation is identical across them.
+	Total     uint64
+	Recurring uint64
+	MergeWork uint64
+	// MergedIns/MergedDel count updates that reached the cracked
+	// layout; PendingIns/PendingDel is the buffered depth left at the
+	// end — work the lazy policies never had to pay.
+	MergedIns, MergedDel    uint64
+	PendingIns, PendingDel  int
+	Reads, Inserts, Deletes int
+	Wall                    time.Duration
+}
+
+// RunE16 replays one deterministic interleaved read/write stream
+// against an engine per merge policy and reports per-policy outcomes
+// plus whether every policy returned identical rows for every read.
+func RunE16(cfg Config) ([]E16Outcome, bool) {
+	cfg = cfg.withDefaults()
+	shiftEvery := cfg.Queries / 10
+	if shiftEvery < 1 {
+		shiftEvery = 1
+	}
+	// One op stream, drained up front so every policy replays
+	// literally the same interleaving: drifting hot-set reads (the
+	// analyst's moving focus) mixed with inserts of random rows and
+	// deletes of the stream's own earlier inserts.
+	reads := workload.NewFixedTarget(
+		workload.Target{Table: "data", Column: "c0"},
+		workload.NewDriftingHotSet(cfg.Seed+16, 0, column.Value(cfg.Domain), cfg.Selectivity, 0.1, 16, 1.3, shiftEvery))
+	gen := workload.NewMixedOps("e16", cfg.Seed+17, reads, "data", 2, 0, column.Value(cfg.Domain), 0.25, 0.4)
+	ops := make([]workload.TableOp, cfg.Queries)
+	for i := range ops {
+		ops[i] = gen.NextOp()
+	}
+
+	policies := []updates.MergePolicy{updates.MergeGradually, updates.MergeCompletely, updates.MergeImmediately}
+	outcomes := make([]E16Outcome, 0, len(policies))
+	var signatures [][]uint64
+	identical := true
+	for _, policy := range policies {
+		tab := engine.NewTable("data")
+		for ci, seedOff := range []int64{0, 1} {
+			if err := tab.AddColumn(fmt.Sprintf("c%d", ci), workload.DataUniform(cfg.Seed+seedOff, cfg.N, cfg.Domain)); err != nil {
+				panic(err)
+			}
+		}
+		cat := engine.NewCatalog()
+		if err := cat.Register(tab); err != nil {
+			panic(err)
+		}
+		eng := engine.New(cat, core.DefaultOptions())
+		eng.SetMergePolicy(policy)
+
+		var own []column.RowID
+		var sig []uint64
+		out := E16Outcome{Policy: policy.String()}
+		start := time.Now()
+		for _, op := range ops {
+			switch op.Kind {
+			case workload.OpRead:
+				res, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: op.Query.R, Path: engine.PathCracking})
+				if err != nil {
+					panic(err)
+				}
+				sig = append(sig, rowSignature(res.Rows))
+				out.Reads++
+			case workload.OpInsert:
+				row, err := eng.InsertRow("data", op.Values)
+				if err != nil {
+					panic(err)
+				}
+				own = append(own, row)
+				out.Inserts++
+			case workload.OpDelete:
+				if err := eng.DeleteRow("data", own[0]); err != nil {
+					panic(err)
+				}
+				own = own[1:]
+				out.Deletes++
+			}
+		}
+		out.Wall = time.Since(start)
+		c := eng.Cost()
+		out.Total, out.Recurring, out.MergeWork = c.Total(), c.Recurring(), c.MergeWork
+		ws := eng.WriteStats()
+		out.MergedIns, out.MergedDel = ws.MergedInserts, ws.MergedDeletes
+		out.PendingIns, out.PendingDel = ws.PendingInserts, ws.PendingDeletes
+		outcomes = append(outcomes, out)
+		signatures = append(signatures, sig)
+	}
+	for _, sig := range signatures[1:] {
+		if len(sig) != len(signatures[0]) {
+			identical = false
+			break
+		}
+		for i := range sig {
+			if sig[i] != signatures[0][i] {
+				identical = false
+				break
+			}
+		}
+	}
+	return outcomes, identical
+}
+
+// rowSignature hashes a result's row identifiers order-independently
+// (FNV-1a over the sorted list), so policies that return the same rows
+// in different physical order still compare equal.
+func rowSignature(rows column.IDList) uint64 {
+	sorted := append(column.IDList(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, row := range sorted {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(row >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// E16UpdatePolicies pits the three merge policies of internal/updates
+// against each other on a drifting mixed read/write workload through
+// the engine's write path (experimentally the IDEBench argument:
+// interactive systems must be judged under evolving workloads, not
+// static read-only ones). Every policy must return identical rows for
+// every read — the policies move work in time, never change answers —
+// and the lazy policies must beat MergeImmediately on recurring cost:
+// a drifting focus means most buffered updates are never touched by a
+// query, so the ripple work the immediate policy pays up front is
+// simply never spent.
+func E16UpdatePolicies(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	outcomes, identical := RunE16(cfg)
+
+	var rows []bench.Summary
+	var b strings.Builder
+	fmt.Fprintf(&b, "E16: merge policies, drifting mixed read/write workload\n")
+	fmt.Fprintf(&b, "(%d ops: %d reads / %d inserts / %d deletes, selectivity %.3f)\n\n",
+		cfg.Queries, outcomes[0].Reads, outcomes[0].Inserts, outcomes[0].Deletes, cfg.Selectivity)
+	fmt.Fprintf(&b, "%-10s %14s %14s %12s %10s %10s %10s\n",
+		"policy", "total-work", "recurring", "merge-work", "merged", "pending", "wall")
+	for _, o := range outcomes {
+		rows = append(rows, bench.Summary{IndexName: o.Policy, TotalWork: o.Total, TotalWall: o.Wall})
+		fmt.Fprintf(&b, "%-10s %14d %14d %12d %10d %10d %10s\n",
+			o.Policy, o.Total, o.Recurring, o.MergeWork,
+			o.MergedIns+o.MergedDel, o.PendingIns+o.PendingDel, o.Wall.Round(time.Microsecond))
+	}
+	if identical {
+		b.WriteString("\nall policies returned identical rows for every read\n")
+	} else {
+		b.WriteString("\nERROR: policies disagreed on read results\n")
+	}
+	var grad, imm E16Outcome
+	for _, o := range outcomes {
+		switch o.Policy {
+		case updates.MergeGradually.String():
+			grad = o
+		case updates.MergeImmediately.String():
+			imm = o
+		}
+	}
+	if imm.Recurring > 0 {
+		fmt.Fprintf(&b, "gradual/immediate recurring = %.3fx (%d vs %d)\n",
+			float64(grad.Recurring)/float64(imm.Recurring), grad.Recurring, imm.Recurring)
+	}
+	return Result{ID: "E16", Title: "Merge policies under mixed workloads", Summaries: rows, Text: b.String()}
 }

@@ -44,8 +44,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(All()))
+	if len(All()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(All()))
 	}
 }
 
@@ -165,6 +165,49 @@ func TestE15PlannerTracksBest(t *testing.T) {
 	if auto*10 > best*13 {
 		t.Fatalf("planner must track within ~20%% of the best static path (allowing variance): auto %d, best %d (%.2fx)",
 			auto, best, float64(auto)/float64(best))
+	}
+}
+
+// TestE16 is the acceptance gate for the engine write path: on the
+// drifting mixed read/write workload, every merge policy must return
+// identical rows for every read (the policies move merge work in
+// time, never change answers), and MergeGradually must beat
+// MergeImmediately on total recurring cost — the drifting focus means
+// most buffered updates are never touched by a query, so the ripple
+// work the immediate policy pays on every write is largely wasted.
+func TestE16(t *testing.T) {
+	outcomes, identical := RunE16(Config{N: 100_000, Queries: 800, Domain: 100_000, Selectivity: 0.01, Seed: 7})
+	if !identical {
+		t.Fatal("merge policies disagreed on read results")
+	}
+	byPolicy := map[string]E16Outcome{}
+	for _, o := range outcomes {
+		byPolicy[o.Policy] = o
+	}
+	grad, ok := byPolicy["gradual"]
+	if !ok {
+		t.Fatalf("gradual outcome missing: %+v", outcomes)
+	}
+	imm, ok := byPolicy["immediate"]
+	if !ok {
+		t.Fatalf("immediate outcome missing: %+v", outcomes)
+	}
+	if grad.Inserts == 0 || grad.Deletes == 0 {
+		t.Fatalf("stream carried no writes: %+v", grad)
+	}
+	if grad.Recurring >= imm.Recurring {
+		t.Fatalf("gradual merging must beat immediate on recurring cost: %d vs %d", grad.Recurring, imm.Recurring)
+	}
+	// Laziness must be visible: the gradual run ends with updates still
+	// buffered, the immediate run never buffers.
+	if grad.PendingIns+grad.PendingDel == 0 {
+		t.Fatalf("gradual run left no pending updates: %+v", grad)
+	}
+	if imm.PendingIns+imm.PendingDel != 0 {
+		t.Fatalf("immediate run left pending updates: %+v", imm)
+	}
+	if imm.MergedIns != uint64(imm.Inserts) {
+		t.Fatalf("immediate run merged %d of %d inserts", imm.MergedIns, imm.Inserts)
 	}
 }
 

@@ -114,12 +114,20 @@ var _ index.Interface = (*Index)(nil)
 // Position i of the base column becomes the pair (vals[i], i), exactly
 // as in package core, so row identifiers are global across partitions.
 func New(vals []column.Value, opts Options) *Index {
-	n := len(vals)
+	return NewFromPairs(column.PairsFromValues(vals), opts)
+}
+
+// NewFromPairs builds a partitioned parallel cracker over an explicit
+// (value, rowid) layout. Unlike New, row identifiers need not be dense
+// or start at zero — the form an engine uses to rebuild the index over
+// the live rows of a table that has seen inserts and deletes.
+func NewFromPairs(pairs column.Pairs, opts Options) *Index {
+	n := len(pairs)
 	opts = opts.withDefaults(n)
 	ix := &Index{n: n, workers: opts.Workers}
 
-	pivots := quantilePivots(vals, opts.Partitions, &ix.build)
-	buckets := distribute(vals, pivots, &ix.build)
+	pivots := quantilePivotsPairs(pairs, opts.Partitions, &ix.build)
+	buckets := distribute(pairs, pivots, &ix.build)
 
 	ix.shards = make([]*shard, len(buckets))
 	for i, pairs := range buckets {
@@ -141,25 +149,25 @@ func boundAt(v column.Value) crackeridx.Bound {
 	return crackeridx.Bound{Value: v, Inclusive: false}
 }
 
-// quantilePivots derives up to p-1 distinct partition pivots from a
-// deterministic stride sample of the values, so partitions are
+// quantilePivotsPairs derives up to p-1 distinct partition pivots from
+// a deterministic stride sample of the pair values, so partitions are
 // approximately equally populated even under skew. Fewer pivots are
 // returned when the data has too few distinct values.
-func quantilePivots(vals []column.Value, p int, c *cost.Counters) []column.Value {
-	if p <= 1 || len(vals) == 0 {
+func quantilePivotsPairs(pairs column.Pairs, p int, c *cost.Counters) []column.Value {
+	if p <= 1 || len(pairs) == 0 {
 		return nil
 	}
 	sampleSize := 256 * p
-	if sampleSize > len(vals) {
-		sampleSize = len(vals)
+	if sampleSize > len(pairs) {
+		sampleSize = len(pairs)
 	}
-	stride := len(vals) / sampleSize
+	stride := len(pairs) / sampleSize
 	if stride < 1 {
 		stride = 1
 	}
 	sample := make([]column.Value, 0, sampleSize)
-	for i := 0; i < len(vals) && len(sample) < sampleSize; i += stride {
-		sample = append(sample, vals[i])
+	for i := 0; i < len(pairs) && len(sample) < sampleSize; i += stride {
+		sample = append(sample, pairs[i].Val)
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
 	c.ValuesTouched += uint64(len(sample))
@@ -179,19 +187,19 @@ func quantilePivots(vals []column.Value, p int, c *cost.Counters) []column.Value
 
 // distribute routes every (value, rowid) pair to its partition with a
 // binary search over the pivots, in one sequential pass.
-func distribute(vals []column.Value, pivots []column.Value, c *cost.Counters) []column.Pairs {
+func distribute(pairs column.Pairs, pivots []column.Value, c *cost.Counters) []column.Pairs {
 	buckets := make([]column.Pairs, len(pivots)+1)
 	if len(pivots) == 0 {
-		buckets[0] = column.PairsFromValues(vals)
-		c.ValuesTouched += uint64(len(vals))
-		c.TuplesCopied += uint64(len(vals))
+		buckets[0] = pairs
+		c.ValuesTouched += uint64(len(pairs))
+		c.TuplesCopied += uint64(len(pairs))
 		return buckets
 	}
-	for i, v := range vals {
+	for _, p := range pairs {
 		// First pivot > v; values equal to a pivot go right of it,
 		// matching the exclusive "values < pivot" partition bound.
-		b := sort.Search(len(pivots), func(j int) bool { return pivots[j] > v })
-		buckets[b] = append(buckets[b], column.Pair{Val: v, Row: column.RowID(i)})
+		b := sort.Search(len(pivots), func(j int) bool { return pivots[j] > p.Val })
+		buckets[b] = append(buckets[b], p)
 		c.Comparisons += uint64(1)
 		c.ValuesTouched++
 		c.TuplesCopied++

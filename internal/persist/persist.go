@@ -20,9 +20,12 @@
 // any gob decoding, so a snapshot written by an incompatible layout (or
 // a file that is not a snapshot at all) is rejected with a clear error
 // instead of whatever struct-shape-dependent failure gob would produce.
-// Format version 3 introduced the payload kind and the engine payload;
-// version 2 (single-column only) and version 1 (bare gob) files are
-// rejected — regenerate them via crackserve.
+// Format version 4 added the engine write state (appended rows,
+// tombstones, per-column pending update buffers and merge-policy
+// name), so a restart round-trips unmerged writes. Version 3
+// (read-only engine payload), version 2 (single-column only) and
+// version 1 (bare gob) files are rejected — regenerate them via
+// crackserve.
 package persist
 
 import (
@@ -68,10 +71,11 @@ const (
 )
 
 // formatVersion guards against reading snapshots written by an
-// incompatible layout. Version 3 introduced the payload kind and the
-// engine payload; version 2 files (single-column, no kind) and
-// version 1 files (bare gob, no header) predate it.
-const formatVersion = 3
+// incompatible layout. Version 4 added engine write state (pending
+// update buffers, appended rows, tombstones); version 3 (read-only
+// engine payload), version 2 (single-column, no kind) and version 1
+// (bare gob, no header) files predate it.
+const formatVersion = 4
 
 // magic identifies a snapshot file. It is checked — together with the
 // header version — before any gob decoding.
@@ -107,8 +111,8 @@ func decode(r io.Reader, wantKind string) (snapshot, error) {
 	if err != nil {
 		return snapshot{}, err
 	}
-	if version == 2 {
-		return snapshot{}, fmt.Errorf("persist: snapshot format version 2 is no longer readable (this build writes version %d); delete the file and regenerate it via crackserve", formatVersion)
+	if version == 2 || version == 3 {
+		return snapshot{}, fmt.Errorf("persist: snapshot format version %d is no longer readable (this build writes version %d); delete the file and regenerate it via crackserve", version, formatVersion)
 	}
 	if version != formatVersion {
 		return snapshot{}, fmt.Errorf("persist: unsupported snapshot format version %d (this build reads version %d)", version, formatVersion)

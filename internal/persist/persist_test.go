@@ -12,6 +12,7 @@ import (
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/engine"
+	"adaptiveindex/internal/updates"
 	"adaptiveindex/internal/workload"
 )
 
@@ -144,8 +145,28 @@ func TestLoadRejectsMismatchedFormatVersion(t *testing.T) {
 		t.Fatal("wrong format version must be rejected")
 	}
 	msg := err.Error()
-	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "version 3") {
+	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "version 4") {
 		t.Fatalf("version error must name both versions, got: %v", err)
+	}
+}
+
+func TestLoadRejectsV3WithRegenerateHint(t *testing.T) {
+	// Version-3 files (read-only engine payloads, no write state) are
+	// no longer readable; as with v2, the error must tell the operator
+	// what to do about it.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.BigEndian, uint32(3)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("old v3 gob payload")
+	err := RestoreEngine(bytes.NewReader(buf.Bytes()), engine.New(engine.NewCatalog(), core.DefaultOptions()))
+	if err == nil {
+		t.Fatal("v3 snapshot must be rejected")
+	}
+	if !strings.Contains(err.Error(), "version 3") || !strings.Contains(err.Error(), "regenerate") ||
+		!strings.Contains(err.Error(), "crackserve") {
+		t.Fatalf("v3 rejection must tell the operator to regenerate via crackserve, got: %v", err)
 	}
 }
 
@@ -360,6 +381,145 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	final := restored.Structures()
 	if final.CrackerPieces != mid.CrackerPieces || final.MapPieces != mid.MapPieces {
 		t.Fatalf("replay did not converge after restore: %+v -> %+v", mid, final)
+	}
+}
+
+// TestEngineSnapshotRoundTripsPendingWrites is the v4 contract: rows
+// appended and tombstoned through the write path, and pending
+// (unmerged) update buffers, all survive a save/restore cycle — the
+// restored engine answers identically and still holds the updates as
+// pending, merging them only when a query touches them.
+func TestEngineSnapshotRoundTripsPendingWrites(t *testing.T) {
+	const n = 10000
+	eng := engine.New(testCatalog(t, 1, n), core.DefaultOptions())
+	eng.SetMergePolicy(updates.MergeGradually)
+
+	// Crack a little, then write: the inserts land far outside the
+	// cracked ranges so they stay pending at snapshot time.
+	for _, r := range workload.Queries(workload.NewUniform(3, 0, n/2, 0.02), 40) {
+		if _, err := eng.Run(engine.Query{Table: "orders", Column: "c0", R: r, Path: engine.PathCracking}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A first insert batch is merged by a touching query before the
+	// snapshot, so the merged-update counters are non-zero and must
+	// round-trip too; the sentinel batch stays pending.
+	const merged = column.Value(n + 500)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.InsertRow("orders", []column.Value{merged, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(engine.Query{Table: "orders", Column: "c0", R: column.NewRange(merged, merged+1), Path: engine.PathCracking}); err != nil {
+		t.Fatal(err)
+	}
+	const sentinel = column.Value(n + 1000)
+	var inserted []column.RowID
+	for i := 0; i < 7; i++ {
+		row, err := eng.InsertRow("orders", []column.Value{sentinel, column.Value(i), column.Value(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, row)
+	}
+	for row := column.RowID(0); row < 5; row++ {
+		if err := eng.DeleteRow("orders", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := eng.WriteStats()
+	if ws.PendingInserts == 0 {
+		t.Fatalf("inserts were not buffered: %+v", ws)
+	}
+	if ws.MergedInserts != 3 {
+		t.Fatalf("first batch was not merged before the snapshot: %+v", ws)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	restored := engine.New(testCatalog(t, 1, n), core.DefaultOptions())
+	restored.SetMergePolicy(updates.MergeGradually)
+	if err := RestoreEngine(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rws := restored.WriteStats()
+	if rws.PendingInserts != ws.PendingInserts || rws.PendingDeletes != ws.PendingDeletes {
+		t.Fatalf("pending buffers did not round-trip: restored %+v, want %+v", rws, ws)
+	}
+	if rws.Inserts != ws.Inserts || rws.Deletes != ws.Deletes {
+		t.Fatalf("write counters did not round-trip: restored %+v, want %+v", rws, ws)
+	}
+	if rws.MergedInserts != ws.MergedInserts || rws.MergedDeletes != ws.MergedDeletes {
+		t.Fatalf("merged-update counters did not round-trip: restored %+v, want %+v", rws, ws)
+	}
+
+	// A query touching the sentinel range merges the pending inserts
+	// and returns the appended rows.
+	res, err := restored.Run(engine.Query{Table: "orders", Column: "c0", R: column.NewRange(sentinel, sentinel+1), Path: engine.PathCracking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(inserted) {
+		t.Fatalf("restored engine returned %d sentinel rows, want %d", len(res.Rows), len(inserted))
+	}
+	after := restored.WriteStats()
+	if after.MergedInserts != ws.MergedInserts+uint64(len(inserted)) {
+		t.Fatalf("sentinel query merged %d inserts, want %d more than %d", after.MergedInserts, len(inserted), ws.MergedInserts)
+	}
+	// The deleted base rows stay invisible on every path. The scanned
+	// range [0, n) holds only base rows: the merged and sentinel
+	// inserts all carry values above n.
+	const wantBase = n - 5
+	for _, path := range []engine.AccessPath{engine.PathScan, engine.PathCracking} {
+		res, err := restored.Run(engine.Query{Table: "orders", Column: "c0", R: column.NewRange(0, column.Value(n)), Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != wantBase {
+			t.Fatalf("%s: full-range count %d, want %d live base rows", path, res.Count, wantBase)
+		}
+	}
+}
+
+// TestRestoredColumnKeepsSnapshotPolicy: the per-cracker merge policy
+// rides in the snapshot and survives a restore into an engine left at
+// a different default. Complete-policy behaviour is observable: one
+// query touching any pending update drains the whole buffer.
+func TestRestoredColumnKeepsSnapshotPolicy(t *testing.T) {
+	const n = 5000
+	eng := engine.New(testCatalog(t, 1, n), core.DefaultOptions())
+	eng.SetMergePolicy(updates.MergeCompletely)
+	if _, err := eng.Run(engine.Query{Table: "orders", Column: "c0", R: column.NewRange(0, 100), Path: engine.PathCracking}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		// Two sentinel clusters far apart: under complete merging, one
+		// query touching either cluster merges both.
+		if _, err := eng.InsertRow("orders", []column.Value{column.Value(n + 1000 + i*2000), 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	restored := engine.New(testCatalog(t, 1, n), core.DefaultOptions()) // default: gradual
+	if err := RestoreEngine(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.WriteStats().PendingInserts != 4 {
+		t.Fatalf("pending buffers did not round-trip: %+v", restored.WriteStats())
+	}
+	if _, err := restored.Run(engine.Query{Table: "orders", Column: "c0", R: column.NewRange(column.Value(n+1000), column.Value(n+1001)), Path: engine.PathCracking}); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.WriteStats().PendingInserts; got != 0 {
+		t.Fatalf("restored column behaved gradually (pending=%d after a touching query), want the snapshot's complete policy", got)
 	}
 }
 

@@ -9,8 +9,45 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/persist"
+	"adaptiveindex/internal/updates"
 	"adaptiveindex/internal/workload"
 )
+
+// ParseMergeSpec parses a merge-policy flag: a bare policy name sets
+// the default for every table ("gradual"), and "table=policy" entries
+// override per table; entries are comma-separated, e.g.
+// "gradual,orders=immediate".
+func ParseMergeSpec(s string) (def updates.MergePolicy, perTable map[string]updates.MergePolicy, err error) {
+	def = updates.MergeGradually
+	perTable = make(map[string]updates.MergePolicy)
+	if strings.TrimSpace(s) == "" {
+		return def, perTable, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, policy, ok := strings.Cut(part, "="); ok {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return def, nil, fmt.Errorf("server: merge spec %q: empty table name", part)
+			}
+			p, err := updates.ParsePolicy(strings.TrimSpace(policy))
+			if err != nil {
+				return def, nil, fmt.Errorf("server: merge spec %q: %w", part, err)
+			}
+			perTable[name] = p
+			continue
+		}
+		p, err := updates.ParsePolicy(part)
+		if err != nil {
+			return def, nil, fmt.Errorf("server: merge spec %q: %w", part, err)
+		}
+		def = p
+	}
+	return def, perTable, nil
+}
 
 // TableSpec describes one table of a generated catalog.
 type TableSpec struct {
@@ -99,6 +136,13 @@ type EngineOptions struct {
 	// Planner tunes the PathAuto planner; the zero value means the
 	// engine defaults.
 	Planner engine.PlannerOptions
+	// MergePolicy is the default policy deciding when buffered writes
+	// merge into cracked columns (zero value: MergeGradually);
+	// TablePolicies overrides it per table. Policies are applied
+	// before a snapshot restore, so restored pending buffers drain
+	// under the configured policy.
+	MergePolicy   updates.MergePolicy
+	TablePolicies map[string]updates.MergePolicy
 	// SnapshotPath, when non-empty, restores the engine's adaptive
 	// state from the snapshot instead of starting cold. A missing file
 	// is not an error (cold start).
@@ -125,6 +169,21 @@ func BuildEngine(cat *engine.Catalog, opts EngineOptions) (BuiltEngine, error) {
 	eng.SetParallelPartitions(opts.Partitions)
 	eng.SetParallelWorkers(opts.Workers)
 	eng.SetPlannerOptions(opts.Planner)
+	// applyPolicies runs both before a restore (so columns rebuilt
+	// lazily use the configured policy) and after it (so the daemon's
+	// flags override the policy names a snapshot carries).
+	applyPolicies := func() error {
+		eng.SetMergePolicy(opts.MergePolicy)
+		for table, policy := range opts.TablePolicies {
+			if err := eng.SetTableMergePolicy(table, policy); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := applyPolicies(); err != nil {
+		return BuiltEngine{}, err
+	}
 	if opts.SnapshotPath == "" {
 		return BuiltEngine{Engine: eng}, nil
 	}
@@ -136,6 +195,9 @@ func BuildEngine(cat *engine.Catalog, opts EngineOptions) (BuiltEngine, error) {
 	}
 	if err := persist.RestoreEngineFile(opts.SnapshotPath, eng); err != nil {
 		return BuiltEngine{}, fmt.Errorf("server: restoring snapshot %s: %w", opts.SnapshotPath, err)
+	}
+	if err := applyPolicies(); err != nil {
+		return BuiltEngine{}, err
 	}
 	return BuiltEngine{Engine: eng, Restored: true}, nil
 }

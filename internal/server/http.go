@@ -82,19 +82,156 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// UpdateOp is the wire form of one mutation.
+//
+//	{"op":"insert","table":"orders","rows":[[7,8,9],[1,2,3]]}
+//	{"op":"delete","table":"orders","rows":[17,42]}
+//
+// For "insert", rows holds one array of values per inserted row (one
+// value per table column, in column order); a single-column table may
+// give bare numbers instead of one-element arrays. For "delete", rows
+// holds row identifiers. An omitted table falls back to the service
+// default.
+type UpdateOp struct {
+	// Op is "insert" or "delete".
+	Op    string          `json:"op"`
+	Table string          `json:"table,omitempty"`
+	Rows  json.RawMessage `json:"rows"`
+}
+
+// UpdateRequest is the wire form of one write request: a single
+// mutation, or a batch of them via ops (applied in order).
+//
+//	POST /update {"op":"insert","table":"orders","rows":[[7,8,9]]}
+//	POST /update {"ops":[{"op":"insert","rows":[[7,8,9]]},
+//	              {"op":"delete","rows":[3]}]}
+type UpdateRequest struct {
+	UpdateOp
+	Ops []UpdateOp `json:"ops,omitempty"`
+}
+
+// UpdateResponse is the wire form of a write result.
+type UpdateResponse struct {
+	// Inserted holds the row identifiers assigned to inserted rows, in
+	// submission order.
+	Inserted []column.RowID `json:"inserted,omitempty"`
+	// Deleted is the number of deleted rows.
+	Deleted int `json:"deleted"`
+	// PendingInserts and PendingDeletes echo the engine-wide buffered
+	// update depth after this request.
+	PendingInserts int `json:"pending_inserts"`
+	PendingDeletes int `json:"pending_deletes"`
+	// LatencyUs is the server-side latency of this request, queueing
+	// included.
+	LatencyUs int64 `json:"latency_us"`
+}
+
+// writeOps converts the wire form to resolved write ops. With "ops",
+// a top-level "table" is the default for every op that does not name
+// its own.
+func (u UpdateRequest) writeOps() ([]WriteOp, error) {
+	wire := u.Ops
+	if len(wire) == 0 {
+		wire = []UpdateOp{u.UpdateOp}
+	} else if u.Op != "" || len(u.Rows) > 0 {
+		return nil, fmt.Errorf("give either a single op or \"ops\", not both")
+	}
+	out := make([]WriteOp, 0, len(wire))
+	for _, op := range wire {
+		if op.Table == "" {
+			op.Table = u.Table
+		}
+		w := WriteOp{Table: op.Table}
+		switch op.Op {
+		case "insert":
+			rows, err := decodeInsertRows(op.Rows)
+			if err != nil {
+				return nil, err
+			}
+			w.Insert = rows
+		case "delete":
+			if err := json.Unmarshal(op.Rows, &w.Delete); err != nil {
+				return nil, fmt.Errorf("delete rows must be row identifiers: %v", err)
+			}
+		default:
+			return nil, fmt.Errorf("unknown op %q (want insert or delete)", op.Op)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// decodeInsertRows accepts rows as arrays of values (one per column)
+// or, for single-column tables, bare numbers.
+func decodeInsertRows(raw json.RawMessage) ([][]column.Value, error) {
+	var rows [][]column.Value
+	if err := json.Unmarshal(raw, &rows); err == nil {
+		return rows, nil
+	}
+	var flat []column.Value
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return nil, fmt.Errorf("insert rows must be arrays of column values (or bare values for a one-column table)")
+	}
+	rows = make([][]column.Value, len(flat))
+	for i, v := range flat {
+		rows[i] = []column.Value{v}
+	}
+	return rows, nil
+}
+
 // Handler returns the service's HTTP surface:
 //
 //	POST /query   answer one query (see QueryRequest)
+//	POST /update  apply inserts/deletes (see UpdateRequest)
 //	GET  /stats   observable service + catalog + planner state (see Stats)
 //	GET  /healthz liveness probe
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	return mux
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var u UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid update: %v", err)})
+		return
+	}
+	ops, err := u.writeOps()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	start := time.Now()
+	reply, err := s.Apply(ops)
+	if err != nil {
+		// Ops apply in order and the failed request's applied prefix
+		// stays applied (see Apply), so the error response must carry
+		// it — a client that loses the assigned row identifiers can
+		// never reconcile its bookkeeping with the server again.
+		writeJSON(w, statusFor(err), struct {
+			errorResponse
+			Inserted []column.RowID `json:"inserted,omitempty"`
+			Deleted  int            `json:"deleted"`
+		}{errorResponse{Error: err.Error()}, reply.Inserted, reply.Deleted})
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Inserted:       reply.Inserted,
+		Deleted:        reply.Deleted,
+		PendingInserts: reply.PendingInserts,
+		PendingDeletes: reply.PendingDeletes,
+		LatencyUs:      time.Since(start).Microseconds(),
+	})
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -141,8 +278,12 @@ func statusFor(err error) int {
 	case errors.Is(err, engine.ErrUnknownTable),
 		errors.Is(err, engine.ErrUnknownColumn),
 		errors.Is(err, engine.ErrUnknownPath),
-		errors.Is(err, ErrProjectWithCount):
+		errors.Is(err, engine.ErrRowArity),
+		errors.Is(err, ErrProjectWithCount),
+		errors.Is(err, ErrEmptyWrite):
 		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrRowNotFound):
+		return http.StatusNotFound
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:

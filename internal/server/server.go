@@ -122,6 +122,29 @@ type Reply struct {
 	Path engine.AccessPath
 }
 
+// WriteOp is one resolved mutation against the engine: rows to insert
+// (one value per table column each) or row identifiers to delete.
+// Exactly one of Insert and Delete is non-empty.
+type WriteOp struct {
+	Table  string
+	Insert [][]column.Value
+	Delete []column.RowID
+}
+
+// WriteReply is the answer to one write request.
+type WriteReply struct {
+	// Inserted holds the row identifiers assigned to inserted rows, in
+	// submission order across all ops of the request.
+	Inserted []column.RowID
+	// Deleted is the number of rows deleted.
+	Deleted int
+	// PendingInserts and PendingDeletes echo the engine-wide buffered
+	// update depth after the request, so writers can observe merge
+	// backpressure.
+	PendingInserts int
+	PendingDeletes int
+}
+
 // op selects what a request wants from the engine.
 type op uint8
 
@@ -129,12 +152,14 @@ const (
 	opCount op = iota
 	opSelect
 	opStats
+	opWrite
 )
 
 // request is one query in flight through the scheduler.
 type request struct {
 	op       op
 	q        engine.Query // fully resolved: defaults applied, path parsed
+	writes   []WriteOp    // opWrite only
 	enqueued time.Time
 	resp     chan result
 }
@@ -142,6 +167,7 @@ type request struct {
 // result is the executor's answer to one request.
 type result struct {
 	reply Reply
+	write WriteReply
 	err   error
 	stats *Stats
 }
@@ -164,6 +190,7 @@ type Service struct {
 
 	inFlight atomic.Int64
 	queries  atomic.Uint64
+	writes   atomic.Uint64
 	rejected atomic.Uint64
 	batches  atomic.Uint64
 	shared   atomic.Uint64
@@ -276,6 +303,95 @@ func (s *Service) CountQuery(q Query) (int, error) {
 // q.Project names columns.
 func (s *Service) SelectQuery(q Query) (Reply, error) {
 	return s.do(opSelect, q)
+}
+
+// ErrEmptyWrite is returned for write requests that carry no
+// mutation, or ops that mix inserts and deletes.
+var ErrEmptyWrite = errors.New("server: write op needs either rows to insert or rows to delete")
+
+// Apply applies a sequence of mutations through the same scheduler
+// queries use: in batched mode the executor goroutine applies them
+// between read batches (writes in a batch run before its reads, in
+// arrival order), in direct mode the service latch serialises them.
+// An empty table name falls back to the service default. Ops apply in
+// order; on error the already-applied prefix stays applied and the
+// error is returned.
+func (s *Service) Apply(ops []WriteOp) (WriteReply, error) {
+	if len(ops) == 0 {
+		return WriteReply{}, ErrEmptyWrite
+	}
+	for i := range ops {
+		if (len(ops[i].Insert) == 0) == (len(ops[i].Delete) == 0) {
+			return WriteReply{}, ErrEmptyWrite
+		}
+		if ops[i].Table == "" {
+			ops[i].Table = s.cfg.DefaultTable
+		}
+	}
+	if s.inFlight.Add(1) > int64(s.cfg.MaxInFlight) {
+		s.inFlight.Add(-1)
+		s.rejected.Add(1)
+		return WriteReply{}, ErrOverloaded
+	}
+	defer s.inFlight.Add(-1)
+
+	var res result
+	if s.batched {
+		req := &request{op: opWrite, writes: ops, enqueued: time.Now(), resp: make(chan result, 1)}
+		select {
+		case s.queue <- req:
+		case <-s.closed:
+			return WriteReply{}, ErrClosed
+		}
+		select {
+		case res = <-req.resp:
+		case <-s.drained:
+			select {
+			case res = <-req.resp:
+			default:
+				return WriteReply{}, ErrClosed
+			}
+		}
+	} else {
+		select {
+		case <-s.closed:
+			return WriteReply{}, ErrClosed
+		default:
+		}
+		s.mu.Lock()
+		res = s.executeWrite(ops)
+		s.mu.Unlock()
+	}
+	if res.err != nil {
+		return res.write, res.err
+	}
+	s.writes.Add(1)
+	return res.write, nil
+}
+
+// executeWrite applies one write request against the engine directly.
+func (s *Service) executeWrite(ops []WriteOp) result {
+	eng := s.cfg.Engine
+	var reply WriteReply
+	for _, op := range ops {
+		for _, vals := range op.Insert {
+			row, err := eng.InsertRow(op.Table, vals)
+			if err != nil {
+				return result{write: reply, err: err}
+			}
+			reply.Inserted = append(reply.Inserted, row)
+		}
+		for _, row := range op.Delete {
+			if err := eng.DeleteRow(op.Table, row); err != nil {
+				return result{write: reply, err: err}
+			}
+			reply.Deleted++
+		}
+	}
+	ws := eng.WriteStats()
+	reply.PendingInserts = ws.PendingInserts
+	reply.PendingDeletes = ws.PendingDeletes
+	return result{write: reply}
 }
 
 func (s *Service) do(o op, q Query) (Reply, error) {
@@ -467,15 +583,20 @@ func (s *Service) executeBatch(batch []*request) {
 	}
 
 	// Stats requests are answered from the executor so the snapshot is
-	// consistent with a quiescent engine.
+	// consistent with a quiescent engine. Write requests run before the
+	// batch's reads, in arrival order: a batch observes its own writes,
+	// and the reads never interleave with mutations mid-execution.
 	var queries []*request
 	for _, req := range batch {
-		if req.op == opStats {
+		switch req.op {
+		case opStats:
 			st := s.statsLocked()
 			req.resp <- result{stats: &st}
-			continue
+		case opWrite:
+			req.resp <- s.executeWrite(req.writes)
+		default:
+			queries = append(queries, req)
 		}
-		queries = append(queries, req)
 	}
 	if len(queries) == 0 {
 		return

@@ -7,11 +7,16 @@ import (
 	"adaptiveindex/internal/engine"
 )
 
-// TableStats describes one catalog table.
+// TableStats describes one catalog table. Rows counts row slots
+// (tombstones included — it is one past the largest row identifier);
+// LiveRows counts live tuples. MergePolicy names when buffered writes
+// merge into the table's cracked columns.
 type TableStats struct {
-	Table   string   `json:"table"`
-	Rows    int      `json:"rows"`
-	Columns []string `json:"columns"`
+	Table       string   `json:"table"`
+	Rows        int      `json:"rows"`
+	LiveRows    int      `json:"live_rows"`
+	Columns     []string `json:"columns"`
+	MergePolicy string   `json:"merge_policy"`
 }
 
 // Stats is the service's observable state, served by /stats.
@@ -25,6 +30,10 @@ type Stats struct {
 	Planner    []engine.PlanStats    `json:"planner"`
 	WorkTotal  uint64                `json:"work_total"`
 
+	// WriteState is the engine's write-path state: applied and merged
+	// update counts plus the current pending-buffer depth.
+	WriteState engine.WriteStats `json:"write_state"`
+
 	// DefaultTable, DefaultColumn and DefaultPath echo what queries get
 	// when they omit the fields.
 	DefaultTable  string `json:"default_table"`
@@ -37,9 +46,11 @@ type Stats struct {
 	BatchWindowUs int64  `json:"batch_window_us"`
 	MaxBatch      int    `json:"max_batch"`
 
-	// Queries is the number of answered queries; Rejected counts
-	// admissions refused at the in-flight limit.
+	// Queries is the number of answered queries; Writes the number of
+	// applied write requests; Rejected counts admissions refused at the
+	// in-flight limit.
 	Queries  uint64 `json:"queries"`
+	Writes   uint64 `json:"writes"`
 	Rejected uint64 `json:"rejected"`
 	// Batches is the number of executed batches; SharedScans counts
 	// queries answered by an execution shared with an identical query
@@ -76,13 +87,20 @@ func (s *Service) statsLocked() Stats {
 		if err != nil {
 			continue
 		}
-		tables = append(tables, TableStats{Table: name, Rows: t.NumRows(), Columns: t.Columns()})
+		tables = append(tables, TableStats{
+			Table:       name,
+			Rows:        t.NumRows(),
+			LiveRows:    t.LiveRows(),
+			Columns:     t.Columns(),
+			MergePolicy: eng.MergePolicyFor(name).String(),
+		})
 	}
 	return Stats{
 		Tables:        tables,
 		Structures:    eng.Structures(),
 		Planner:       eng.PlanStats(),
 		WorkTotal:     eng.Cost().Total(),
+		WriteState:    eng.WriteStats(),
 		DefaultTable:  s.cfg.DefaultTable,
 		DefaultColumn: s.cfg.DefaultColumn,
 		DefaultPath:   s.defaultPath.String(),
@@ -90,6 +108,7 @@ func (s *Service) statsLocked() Stats {
 		BatchWindowUs: s.cfg.BatchWindow.Microseconds(),
 		MaxBatch:      s.cfg.MaxBatch,
 		Queries:       s.queries.Load(),
+		Writes:        s.writes.Load(),
 		Rejected:      s.rejected.Load(),
 		Batches:       s.batches.Load(),
 		SharedScans:   s.shared.Load(),

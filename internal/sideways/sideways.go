@@ -84,11 +84,17 @@ type MapSet struct {
 	headAttr string
 	head     []column.Value
 	tails    map[string][]column.Value
-	maps     map[string]*crackerMap
-	order    []string // materialisation order, for inspection
-	history  []crackOp
-	opts     Options
-	c        cost.Counters
+	// rows holds the global row identifier of each position of head
+	// and the tails; nil means the identity mapping (position i is row
+	// i), the common case of a map set over a full base table. A map
+	// set rebuilt over the live rows of a table that has seen inserts
+	// and deletes carries the survivors' original identifiers here.
+	rows    []column.RowID
+	maps    map[string]*crackerMap
+	order   []string // materialisation order, for inspection
+	history []crackOp
+	opts    Options
+	c       cost.Counters
 }
 
 // crackOp is one entry of the crack history shared by all maps of the
@@ -115,6 +121,31 @@ func NewMapSet(headAttr string, head []column.Value, tails map[string][]column.V
 		maps:     make(map[string]*crackerMap),
 		opts:     opts,
 	}, nil
+}
+
+// NewMapSetRows creates a map set whose positions carry explicit
+// global row identifiers: position i of head (and of every tail) is
+// row rows[i]. This is the constructor for tables that have seen
+// writes — head and tails hold the live tuples only, and rows maps
+// them back to their stable identifiers.
+func NewMapSetRows(headAttr string, head []column.Value, tails map[string][]column.Value, rows []column.RowID, opts Options) (*MapSet, error) {
+	if len(rows) != len(head) {
+		return nil, fmt.Errorf("sideways: %d row identifiers for %d head values", len(rows), len(head))
+	}
+	ms, err := NewMapSet(headAttr, head, tails, opts)
+	if err != nil {
+		return nil, err
+	}
+	ms.rows = rows
+	return ms, nil
+}
+
+// rowAt returns the global row identifier of position i.
+func (ms *MapSet) rowAt(i int) column.RowID {
+	if ms.rows == nil {
+		return column.RowID(i)
+	}
+	return ms.rows[i]
 }
 
 // HeadAttribute returns the selection attribute the set cracks on.
@@ -150,7 +181,7 @@ func (ms *MapSet) mapFor(attr string) (*crackerMap, error) {
 	}
 	m := &crackerMap{attr: attr, idx: crackeridx.New(), entries: make([]entry, len(ms.head))}
 	for i := range ms.head {
-		m.entries[i] = entry{Head: ms.head[i], Tail: tail[i], Row: column.RowID(i)}
+		m.entries[i] = entry{Head: ms.head[i], Tail: tail[i], Row: ms.rowAt(i)}
 	}
 	ms.c.ValuesTouched += uint64(2 * len(ms.head))
 	ms.c.TuplesCopied += uint64(len(ms.head))
@@ -476,6 +507,22 @@ func RestoreMapSet(headAttr string, head []column.Value, tails map[string][]colu
 // head values, each map still holds exactly the base tuples, and the
 // head/tail pairing of every tuple is unchanged.
 func (ms *MapSet) Validate() error {
+	// posOf maps a global row identifier back to its position in the
+	// base arrays, which is the identity unless explicit rows are set.
+	posOf := func(row column.RowID) (int, bool) {
+		i := int(row)
+		return i, i < len(ms.head)
+	}
+	if ms.rows != nil {
+		byRow := make(map[column.RowID]int, len(ms.rows))
+		for i, row := range ms.rows {
+			byRow[row] = i
+		}
+		posOf = func(row column.RowID) (int, bool) {
+			i, ok := byRow[row]
+			return i, ok
+		}
+	}
 	for attr, m := range ms.maps {
 		if err := m.idx.Validate(len(m.entries)); err != nil {
 			return fmt.Errorf("map %q: %w", attr, err)
@@ -490,11 +537,15 @@ func (ms *MapSet) Validate() error {
 				return fmt.Errorf("map %q: duplicate row %d", attr, e.Row)
 			}
 			seen[e.Row] = true
-			if ms.head[e.Row] != e.Head {
-				return fmt.Errorf("map %q: row %d head %d, want %d", attr, e.Row, e.Head, ms.head[e.Row])
+			pos, ok := posOf(e.Row)
+			if !ok {
+				return fmt.Errorf("map %q: unknown row %d", attr, e.Row)
 			}
-			if tail[e.Row] != e.Tail {
-				return fmt.Errorf("map %q: row %d tail %d, want %d", attr, e.Row, e.Tail, tail[e.Row])
+			if ms.head[pos] != e.Head {
+				return fmt.Errorf("map %q: row %d head %d, want %d", attr, e.Row, e.Head, ms.head[pos])
+			}
+			if tail[pos] != e.Tail {
+				return fmt.Errorf("map %q: row %d tail %d, want %d", attr, e.Row, e.Tail, tail[pos])
 			}
 		}
 		for _, piece := range m.idx.Pieces(len(m.entries)) {

@@ -21,12 +21,19 @@ package updates
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/index"
 )
+
+// sortPairsByRow orders pairs by row identifier, for deterministic
+// snapshots of the (unordered) pending buffers.
+func sortPairsByRow(ps column.Pairs) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Row < ps[j].Row })
+}
 
 // MergePolicy selects when pending updates are merged into the cracker
 // column.
@@ -53,11 +60,36 @@ func (p MergePolicy) String() string {
 	}
 }
 
+// PolicyNames lists the merge-policy names ParsePolicy accepts, in
+// policy order, for flag help texts and error messages.
+func PolicyNames() []string { return []string{"gradual", "complete", "immediate"} }
+
+// ParsePolicy converts a merge-policy name (as produced by String) back
+// to the policy.
+func ParsePolicy(s string) (MergePolicy, error) {
+	switch s {
+	case "gradual":
+		return MergeGradually, nil
+	case "complete":
+		return MergeCompletely, nil
+	case "immediate":
+		return MergeImmediately, nil
+	default:
+		return MergeGradually, fmt.Errorf("%w %q (have gradual, complete, immediate)", ErrUnknownPolicy, s)
+	}
+}
+
 // Errors returned by update operations.
 var (
 	// ErrRowNotFound is returned when a deleted or updated row does not
 	// exist (or has already been deleted).
 	ErrRowNotFound = errors.New("updates: row not found")
+	// ErrRowExists is returned by InsertAt when the caller-assigned row
+	// identifier is already live.
+	ErrRowExists = errors.New("updates: row already exists")
+	// ErrUnknownPolicy is returned by ParsePolicy for an unrecognised
+	// merge-policy name.
+	ErrUnknownPolicy = errors.New("updates: unknown merge policy")
 )
 
 // Column is a cracker column that accepts insertions, deletions and
@@ -73,6 +105,9 @@ type Column struct {
 
 	pendingIns map[column.RowID]column.Value
 	pendingDel map[column.RowID]column.Value
+
+	mergedIns uint64
+	mergedDel uint64
 
 	nextRow column.RowID
 	c       cost.Counters
@@ -97,8 +132,107 @@ func New(vals []column.Value, opts core.Options, policy MergePolicy) *Column {
 	return u
 }
 
+// NewFromPairs creates an updatable cracker column over an existing
+// (value, rowid) layout. Unlike New, row identifiers need not be dense
+// or start at zero — the caller (typically an engine whose table has
+// already seen inserts and deletes) owns the identifier space. nextRow
+// seeds the identifier Insert would assign next; it must exceed every
+// row in pairs.
+func NewFromPairs(pairs column.Pairs, opts core.Options, policy MergePolicy, nextRow column.RowID) *Column {
+	u := &Column{
+		cc:         core.NewCrackerColumnFromPairs(pairs, opts),
+		policy:     policy,
+		values:     make(map[column.RowID]column.Value, len(pairs)),
+		pendingIns: make(map[column.RowID]column.Value),
+		pendingDel: make(map[column.RowID]column.Value),
+		nextRow:    nextRow,
+	}
+	for _, p := range pairs {
+		u.values[p.Row] = p.Val
+	}
+	return u
+}
+
 // Name identifies the access path to the benchmark harness.
 func (u *Column) Name() string { return "cracking+updates(" + u.policy.String() + ")" }
+
+// Policy returns the active merge policy.
+func (u *Column) Policy() MergePolicy { return u.policy }
+
+// SetPolicy switches the merge policy. Updates already buffered stay
+// buffered — the policy only decides when future work happens — so
+// switching to MergeImmediately drains the existing backlog lazily, on
+// the next queries that touch it.
+func (u *Column) SetPolicy(p MergePolicy) { u.policy = p }
+
+// Cracker exposes the underlying cracker column (the merged tuples and
+// their cracker index) for snapshotting. Callers must not mutate it.
+func (u *Column) Cracker() *core.CrackerColumn { return u.cc }
+
+// NextRow returns the row identifier Insert would assign next.
+func (u *Column) NextRow() column.RowID { return u.nextRow }
+
+// RestoreMergedCounts reinstates the merged-update counters captured
+// from a snapshotted column, so inserts = merged + pending stays
+// balanced across a restore. It is meant for snapshot restore, before
+// the column serves queries.
+func (u *Column) RestoreMergedCounts(ins, del uint64) {
+	u.mergedIns, u.mergedDel = ins, del
+}
+
+// MergedInserts returns how many insertions have been merged into the
+// cracker column (immediately applied ones included).
+func (u *Column) MergedInserts() uint64 { return u.mergedIns }
+
+// MergedDeletions returns how many deletions have been merged into the
+// cracker column (immediately applied ones included).
+func (u *Column) MergedDeletions() uint64 { return u.mergedDel }
+
+// PendingPairs returns the buffered insertions and deletions as
+// (value, rowid) pairs, sorted by row identifier so snapshots are
+// deterministic.
+func (u *Column) PendingPairs() (ins, del column.Pairs) {
+	ins = make(column.Pairs, 0, len(u.pendingIns))
+	for row, v := range u.pendingIns {
+		ins = append(ins, column.Pair{Val: v, Row: row})
+	}
+	del = make(column.Pairs, 0, len(u.pendingDel))
+	for row, v := range u.pendingDel {
+		del = append(del, column.Pair{Val: v, Row: row})
+	}
+	sortPairsByRow(ins)
+	sortPairsByRow(del)
+	return ins, del
+}
+
+// RestorePending reinstates buffered updates captured by PendingPairs,
+// validating the result: a pending insertion becomes a live row, a
+// pending deletion must refer to a row that is still merged in the
+// cracker column (and therefore not live). It is meant for snapshot
+// restore, before the column serves queries.
+func (u *Column) RestorePending(ins, del column.Pairs) error {
+	for _, p := range ins {
+		if _, live := u.values[p.Row]; live {
+			return fmt.Errorf("%w: pending insert for row %d", ErrRowExists, p.Row)
+		}
+		u.values[p.Row] = p.Val
+		u.pendingIns[p.Row] = p.Val
+		if p.Row >= u.nextRow {
+			u.nextRow = p.Row + 1
+		}
+	}
+	for _, p := range del {
+		if _, live := u.values[p.Row]; !live {
+			return fmt.Errorf("updates: pending delete for unknown row %d", p.Row)
+		}
+		if _, pendingInsert := u.pendingIns[p.Row]; pendingInsert {
+			return fmt.Errorf("updates: row %d both pending-inserted and pending-deleted", p.Row)
+		}
+		delete(u.values, p.Row)
+		u.pendingDel[p.Row] = p.Val
+	}
+	return u.Validate()
+}
 
 // Len returns the number of live tuples (base plus inserted minus
 // deleted).
@@ -123,14 +257,39 @@ func (u *Column) Cost() cost.Counters {
 func (u *Column) Insert(val column.Value) column.RowID {
 	row := u.nextRow
 	u.nextRow++
+	u.insert(row, val)
+	return row
+}
+
+// InsertAt adds a new tuple with a caller-assigned row identifier — the
+// form an engine uses when the same logical row spans several columns
+// and every column must agree on its identifier. It returns
+// ErrRowExists when the row is already live.
+func (u *Column) InsertAt(row column.RowID, val column.Value) error {
+	if _, live := u.values[row]; live {
+		return fmt.Errorf("%w: %d", ErrRowExists, row)
+	}
+	if row >= u.nextRow {
+		u.nextRow = row + 1
+	}
+	u.insert(row, val)
+	return nil
+}
+
+// insert records the new tuple, applying it now (MergeImmediately) or
+// buffering it. Immediate ripple work is charged as merge work: it is
+// reorganisation the write stream causes, re-paid on every write.
+func (u *Column) insert(row column.RowID, val column.Value) {
 	u.values[row] = val
 	if u.policy == MergeImmediately {
+		before := u.cc.Cost()
 		u.cc.RippleInsert(column.Pair{Val: val, Row: row})
-		return row
+		u.chargeMerge(u.cc.Cost().Sub(before))
+		u.mergedIns++
+		return
 	}
 	u.pendingIns[row] = val
 	u.c.TuplesCopied++
-	return row
 }
 
 // Delete removes the tuple with the given row identifier. It returns
@@ -148,14 +307,26 @@ func (u *Column) Delete(row column.RowID) error {
 		return nil
 	}
 	if u.policy == MergeImmediately {
+		before := u.cc.Cost()
 		if err := u.cc.RippleDelete(row, val); err != nil {
 			return err
 		}
+		u.chargeMerge(u.cc.Cost().Sub(before))
+		u.mergedDel++
 		return nil
 	}
 	u.pendingDel[row] = val
 	u.c.TuplesCopied++
 	return nil
+}
+
+// chargeMerge tags the non-recurring part of a cost delta as merge
+// work. The delta's components are already counted in the cracker's
+// own counters; MergeWork re-attributes the reorganisation share into
+// the recurring component without double-counting the materialisation
+// share (which Recurring counts anyway).
+func (u *Column) chargeMerge(delta cost.Counters) {
+	u.c.MergeWork += delta.Total() - delta.Recurring()
 }
 
 // Update changes the value of an existing tuple. Following the paper,
@@ -171,52 +342,69 @@ func (u *Column) Update(row column.RowID, newVal column.Value) (column.RowID, er
 
 // mergeQualifying applies the pending updates the query's predicate
 // touches (MergeGradually) or all of them if any qualifies
-// (MergeCompletely).
+// (MergeCompletely). Everything it spends — the qualification scans
+// over the buffers and the ripple moves — is charged as merge work,
+// so the query that pays for a merge is visibly more expensive in the
+// recurring component than the same query without pending updates.
 func (u *Column) mergeQualifying(r column.Range) {
 	if len(u.pendingIns) == 0 && len(u.pendingDel) == 0 {
 		return
 	}
-	mergeAll := false
-	if u.policy == MergeCompletely {
-		for _, v := range u.pendingIns {
-			u.c.Comparisons++
-			if r.Contains(v) {
-				mergeAll = true
-				break
-			}
-		}
-		if !mergeAll {
-			for _, v := range u.pendingDel {
-				u.c.Comparisons++
-				if r.Contains(v) {
-					mergeAll = true
-					break
-				}
-			}
-		}
-		if !mergeAll {
-			return
-		}
-	}
+	beforeCC := u.cc.Cost()
+	beforeCmp := u.c.Comparisons
+	defer func() {
+		delta := u.cc.Cost().Sub(beforeCC)
+		u.c.MergeWork += delta.Total() - delta.Recurring() + (u.c.Comparisons - beforeCmp)
+	}()
+	// One qualification pass over each buffer, one comparison per
+	// pending update — no early exit, so the charged count does not
+	// depend on map iteration order. Only the qualifying pairs are
+	// collected and sorted: a read over a large cold backlog (the
+	// gradual policy's steady state) pays the scan but no allocation
+	// or sort for updates it does not merge.
+	var ins, del column.Pairs
 	for row, v := range u.pendingIns {
 		u.c.Comparisons++
-		if mergeAll || r.Contains(v) {
-			u.cc.RippleInsert(column.Pair{Val: v, Row: row})
-			delete(u.pendingIns, row)
+		if r.Contains(v) {
+			ins = append(ins, column.Pair{Val: v, Row: row})
 		}
 	}
 	for row, v := range u.pendingDel {
 		u.c.Comparisons++
-		if mergeAll || r.Contains(v) {
-			// The tuple is guaranteed to be in the cracker column:
-			// pending deletions are only recorded for merged tuples.
-			if err := u.cc.RippleDelete(row, v); err != nil {
-				// Defensive: should be unreachable; surface loudly in
-				// tests via Validate rather than silently dropping.
-				panic(err)
-			}
-			delete(u.pendingDel, row)
+		if r.Contains(v) {
+			del = append(del, column.Pair{Val: v, Row: row})
 		}
+	}
+	if len(ins) == 0 && len(del) == 0 {
+		return
+	}
+	if u.policy == MergeCompletely {
+		// Any qualifying update drains the whole buffer.
+		ins, del = u.PendingPairs()
+	} else {
+		// Merge in ascending row order, not map order: a ripple's cost
+		// depends on the boundary state the previous ripples left
+		// behind, so iteration order would otherwise make the cost
+		// counters — the currency of every experiment and of the CI
+		// benchmark gate — non-deterministic across runs.
+		sortPairsByRow(ins)
+		sortPairsByRow(del)
+	}
+	for _, p := range ins {
+		u.cc.RippleInsert(p)
+		delete(u.pendingIns, p.Row)
+		u.mergedIns++
+	}
+	for _, p := range del {
+		// The tuple is guaranteed to be in the cracker column:
+		// pending deletions are only recorded for merged tuples.
+		if err := u.cc.RippleDelete(p.Row, p.Val); err != nil {
+			// Defensive: should be unreachable; surface loudly in
+			// tests via Validate rather than silently dropping.
+			panic(err)
+		}
+		delete(u.pendingDel, p.Row)
+		u.mergedDel++
 	}
 }
 

@@ -293,3 +293,184 @@ func TestGradualSmoothsSpikes(t *testing.T) {
 			gradualMax, completeMax)
 	}
 }
+
+func TestUnknownPolicyString(t *testing.T) {
+	if got := MergePolicy(42).String(); got != "MergePolicy(42)" {
+		t.Fatalf("unknown policy String() = %q", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Fatalf("ParsePolicy(%q) = %s", name, p)
+		}
+	}
+	if _, err := ParsePolicy("eventually"); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("unknown name: got %v, want ErrUnknownPolicy", err)
+	}
+	if _, err := ParsePolicy(""); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("empty name: got %v, want ErrUnknownPolicy", err)
+	}
+}
+
+// TestEmptyPendingMergeIsFree pins the fast path: a query against a
+// column with empty pending buffers must charge no merge work and no
+// qualification comparisons beyond the selection itself.
+func TestEmptyPendingMergeIsFree(t *testing.T) {
+	u := New([]column.Value{5, 1, 9, 3, 7}, core.DefaultOptions(), MergeGradually)
+	// Converge on the range so repeat queries are cheap and any merge
+	// overhead would stand out.
+	r := column.NewRange(2, 8)
+	u.Count(r)
+	before := u.Cost()
+	if before.MergeWork != 0 {
+		t.Fatalf("no writes happened, but merge work = %d", before.MergeWork)
+	}
+	u.Count(r)
+	delta := u.Cost().Sub(before)
+	if delta.MergeWork != 0 {
+		t.Fatalf("empty pending-buffer merge charged %d merge work", delta.MergeWork)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAt(t *testing.T) {
+	u := New([]column.Value{10, 20, 30}, core.DefaultOptions(), MergeGradually)
+	if err := u.InsertAt(7, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.InsertAt(7, 50); !errors.Is(err, ErrRowExists) {
+		t.Fatalf("duplicate InsertAt: got %v, want ErrRowExists", err)
+	}
+	if err := u.InsertAt(1, 60); !errors.Is(err, ErrRowExists) {
+		t.Fatalf("InsertAt over a base row: got %v, want ErrRowExists", err)
+	}
+	// Insert must continue after the explicit identifier.
+	if row := u.Insert(70); row != 8 {
+		t.Fatalf("Insert after InsertAt(7) assigned row %d, want 8", row)
+	}
+	got := u.Select(column.NewRange(40, 80))
+	if len(got) != 2 {
+		t.Fatalf("expected rows 7 and 8, got %v", got)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeCountersAndWork verifies the observability surface: merged
+// counters advance exactly when updates reach the cracked layout, and
+// merge work is charged to the query (or, for the immediate policy,
+// the write) that paid for it.
+func TestMergeCountersAndWork(t *testing.T) {
+	u := New(randomValues(rand.New(rand.NewSource(9)), 5000, 10000), core.DefaultOptions(), MergeGradually)
+	u.Count(column.NewRange(0, 10000)) // build some structure
+	for i := 0; i < 10; i++ {
+		u.Insert(column.Value(100 + i))
+	}
+	if u.MergedInserts() != 0 || u.PendingInsertions() != 10 {
+		t.Fatalf("gradual inserts must buffer: merged=%d pending=%d", u.MergedInserts(), u.PendingInsertions())
+	}
+	before := u.Cost()
+	u.Count(column.NewRange(100, 110))
+	delta := u.Cost().Sub(before)
+	if u.MergedInserts() != 10 {
+		t.Fatalf("touching query merged %d of 10", u.MergedInserts())
+	}
+	if delta.MergeWork == 0 {
+		t.Fatal("merge charged no merge work")
+	}
+	if delta.Recurring() < delta.MergeWork {
+		t.Fatalf("merge work must be part of recurring cost: %+v", delta)
+	}
+
+	imm := New(randomValues(rand.New(rand.NewSource(9)), 5000, 10000), core.DefaultOptions(), MergeImmediately)
+	imm.Count(column.NewRange(0, 10000))
+	before = imm.Cost()
+	imm.Insert(500)
+	if imm.Cost().Sub(before).MergeWork == 0 {
+		t.Fatal("immediate insert charged no merge work")
+	}
+	if imm.MergedInserts() != 1 || imm.PendingInsertions() != 0 {
+		t.Fatalf("immediate insert must merge at once: merged=%d pending=%d", imm.MergedInserts(), imm.PendingInsertions())
+	}
+}
+
+// TestPendingPairsRestoreRoundTrip drives the snapshot surface: pending
+// buffers captured from one column and reinstated on a rebuilt clone
+// leave an equivalent column.
+func TestPendingPairsRestoreRoundTrip(t *testing.T) {
+	vals := randomValues(rand.New(rand.NewSource(4)), 2000, 5000)
+	u := New(vals, core.DefaultOptions(), MergeGradually)
+	u.Count(column.NewRange(0, 2500))
+	for i := 0; i < 5; i++ {
+		u.Insert(column.Value(6000 + i))
+	}
+	if err := u.Delete(3); err != nil { // merged row -> pending delete
+		t.Fatal(err)
+	}
+	ins, del := u.PendingPairs()
+	if len(ins) != 5 || len(del) != 1 {
+		t.Fatalf("pending pairs: %d ins, %d del", len(ins), len(del))
+	}
+	for i := 1; i < len(ins); i++ {
+		if ins[i-1].Row >= ins[i].Row {
+			t.Fatal("pending pairs must be sorted by row")
+		}
+	}
+
+	clone := NewFromPairs(u.Cracker().Pairs(), core.DefaultOptions(), MergeGradually, 0)
+	if err := clone.RestorePending(ins, del); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Len() != u.Len() || clone.PendingInsertions() != 5 || clone.PendingDeletions() != 1 {
+		t.Fatalf("clone state: len=%d pending=%d/%d", clone.Len(), clone.PendingInsertions(), clone.PendingDeletions())
+	}
+	r := column.NewRange(5500, 7000)
+	if got, want := len(clone.Select(r)), len(u.Select(r)); got != want {
+		t.Fatalf("clone answers %d rows, original %d", got, want)
+	}
+	// NextRow must clear the restored pending inserts.
+	if clone.NextRow() != u.NextRow() {
+		t.Fatalf("clone NextRow=%d, original %d", clone.NextRow(), u.NextRow())
+	}
+
+	// Corrupt restores must be rejected.
+	bad := NewFromPairs(u.Cracker().Pairs(), core.DefaultOptions(), MergeGradually, 0)
+	if err := bad.RestorePending(column.Pairs{{Val: 1, Row: 0}}, nil); !errors.Is(err, ErrRowExists) {
+		t.Fatalf("pending insert over a merged row: got %v, want ErrRowExists", err)
+	}
+	bad2 := NewFromPairs(u.Cracker().Pairs(), core.DefaultOptions(), MergeGradually, 0)
+	if err := bad2.RestorePending(nil, column.Pairs{{Val: 1, Row: 60000}}); err == nil {
+		t.Fatal("pending delete for an unknown row must be rejected")
+	}
+}
+
+func TestSetPolicyDrainsBacklogLazily(t *testing.T) {
+	u := New(randomValues(rand.New(rand.NewSource(2)), 1000, 2000), core.DefaultOptions(), MergeGradually)
+	u.Count(column.NewRange(0, 2000))
+	u.Insert(2500)
+	u.SetPolicy(MergeImmediately)
+	if u.Policy() != MergeImmediately {
+		t.Fatalf("policy = %s", u.Policy())
+	}
+	if u.PendingInsertions() != 1 {
+		t.Fatal("switching policy must not eagerly merge")
+	}
+	if got := u.Count(column.NewRange(2400, 2600)); got != 1 {
+		t.Fatalf("backlog row invisible after policy switch: count=%d", got)
+	}
+	if u.PendingInsertions() != 0 {
+		t.Fatal("touching query must drain the backlog")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -648,6 +648,147 @@ func MultiTableSessions(shape string, seed int64, sessions int, targets []Target
 }
 
 // ---------------------------------------------------------------------------
+// Mixed read/write op streams
+// ---------------------------------------------------------------------------
+
+// OpKind discriminates the operations of a mixed read/write stream.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// OpRead is a query (TableOp.Query is set).
+	OpRead OpKind = iota
+	// OpInsert inserts one row (TableOp.Values holds one value per
+	// table column).
+	OpInsert
+	// OpDelete deletes one row the stream previously inserted. The
+	// generator does not know which identifier the engine assigned, so
+	// the op names no row: the driver deletes the oldest row of its own
+	// inserts. A generator only emits OpDelete while it has emitted
+	// more inserts than deletes, so the driver always has a victim.
+	OpDelete
+)
+
+// TableOp is one operation of a mixed read/write session stream.
+type TableOp struct {
+	Kind   OpKind
+	Query  TableQuery     // OpRead
+	Table  string         // OpInsert, OpDelete
+	Values []column.Value // OpInsert
+}
+
+// OpGenerator produces an endless, deterministic stream of read and
+// write operations, as TableGenerator does for pure reads.
+type OpGenerator interface {
+	// Name identifies the workload shape in reports.
+	Name() string
+	// NextOp returns the next operation.
+	NextOp() TableOp
+}
+
+// ReadOnlyOps adapts a TableGenerator to the OpGenerator interface.
+type ReadOnlyOps struct {
+	G TableGenerator
+}
+
+// Name identifies the workload shape.
+func (r ReadOnlyOps) Name() string { return r.G.Name() }
+
+// NextOp returns the next (always read) operation.
+func (r ReadOnlyOps) NextOp() TableOp { return TableOp{Kind: OpRead, Query: r.G.NextQuery()} }
+
+// MixedOps interleaves a read stream with writes at a configurable
+// ratio — the evolving-workload shape IDEBench argues interactive
+// systems must be evaluated under, and the stream the merge policies
+// of internal/updates are compared on. Writes are inserts of uniform
+// random rows and deletes of the stream's own earlier inserts.
+type MixedOps struct {
+	name       string
+	reads      TableGenerator
+	rng        *rand.Rand
+	table      string
+	cols       int
+	domainLow  column.Value
+	domainHigh column.Value
+	writeRatio float64
+	deleteFrac float64
+	liveOwn    int
+}
+
+// NewMixedOps wraps the read stream: each op is a write with
+// probability writeRatio; a write is a delete of an own earlier insert
+// with probability deleteFrac (when one is live), an insert of a
+// uniform random row over [domainLow, domainHigh) otherwise. cols is
+// the width of inserted rows.
+func NewMixedOps(name string, seed int64, reads TableGenerator, table string, cols int, domainLow, domainHigh column.Value, writeRatio, deleteFrac float64) *MixedOps {
+	if cols < 1 {
+		cols = 1
+	}
+	if writeRatio < 0 {
+		writeRatio = 0
+	}
+	if writeRatio > 1 {
+		writeRatio = 1
+	}
+	if deleteFrac < 0 || deleteFrac > 1 {
+		deleteFrac = 0.5
+	}
+	return &MixedOps{
+		name:       name,
+		reads:      reads,
+		rng:        rand.New(rand.NewSource(seed)),
+		table:      table,
+		cols:       cols,
+		domainLow:  domainLow,
+		domainHigh: domainHigh,
+		writeRatio: writeRatio,
+		deleteFrac: deleteFrac,
+	}
+}
+
+// Name identifies the workload shape.
+func (m *MixedOps) Name() string { return m.name }
+
+// NextOp returns the next operation.
+func (m *MixedOps) NextOp() TableOp {
+	if m.rng.Float64() < m.writeRatio {
+		if m.liveOwn > 0 && m.rng.Float64() < m.deleteFrac {
+			m.liveOwn--
+			return TableOp{Kind: OpDelete, Table: m.table}
+		}
+		span := int64(m.domainHigh - m.domainLow)
+		if span < 1 {
+			span = 1
+		}
+		vals := make([]column.Value, m.cols)
+		for i := range vals {
+			vals[i] = m.domainLow + column.Value(m.rng.Int63n(span))
+		}
+		m.liveOwn++
+		return TableOp{Kind: OpInsert, Table: m.table, Values: vals}
+	}
+	return TableOp{Kind: OpRead, Query: m.reads.NextQuery()}
+}
+
+// MixedSessions returns one mixed read/write stream per concurrent
+// session: the read side replays the named shape against the target
+// (hot-set sessions share one pool, as in SessionGenerators), and each
+// session writes independently at the given ratio. cols is the width
+// of inserted rows; name labels the resulting shape in reports.
+func MixedSessions(name, readShape string, seed int64, sessions int, target Target, cols int, domainLow, domainHigh column.Value, selectivity, writeRatio, deleteFrac float64) ([]OpGenerator, error) {
+	gens, err := SessionGenerators(readShape, seed, sessions, domainLow, domainHigh, selectivity)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OpGenerator, len(gens))
+	for i, g := range gens {
+		out[i] = NewMixedOps(name, seed+int64(i)*53+1, NewFixedTarget(target, g),
+			target.Table, cols, domainLow, domainHigh, writeRatio, deleteFrac)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
 // Named construction (flags and wire formats)
 // ---------------------------------------------------------------------------
 
