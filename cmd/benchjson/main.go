@@ -12,11 +12,16 @@
 //
 // The tracked metrics cover the hot paths the experiments make claims
 // about: selection cracking, sideways cracking, the PathAuto planner
-// on a drifting select-project workload, and the write path under
-// every merge policy (E16's mixed read/write stream). The run
-// configuration is pinned inside the tool and recorded in the JSON;
-// comparing files with different configurations is an error, not a
-// pass.
+// on a drifting select-project workload, the write path under every
+// merge policy (E16's mixed read/write stream), and the bytes the two
+// wire encodings put on the wire for identical select-project results
+// (E17). The run configuration is pinned inside the tool and recorded
+// in the JSON; comparing files with different configurations is an
+// error, not a pass.
+//
+// Each run also records wall-clock section timings under "timings_ms".
+// They are context for a human reading the file — machine-dependent by
+// nature, so the gate never compares them.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
@@ -49,11 +55,14 @@ var pinnedConfig = experiments.Config{
 // incompatible metric set.
 const fileFormat = 1
 
-// Report is the on-disk JSON shape.
+// Report is the on-disk JSON shape. Metrics are deterministic and
+// gated; Timings are wall-clock milliseconds per section, recorded for
+// context and never compared.
 type Report struct {
 	Format  int                `json:"format"`
 	Config  experiments.Config `json:"config"`
 	Metrics map[string]uint64  `json:"metrics"`
+	Timings map[string]float64 `json:"timings_ms,omitempty"`
 }
 
 func main() {
@@ -75,7 +84,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-threshold must be >= 0")
 	}
 
-	report := Report{Format: fileFormat, Config: pinnedConfig, Metrics: collect(pinnedConfig)}
+	metrics, timings := collect(pinnedConfig)
+	report := Report{Format: fileFormat, Config: pinnedConfig, Metrics: metrics, Timings: timings}
 
 	names := make([]string, 0, len(report.Metrics))
 	for name := range report.Metrics {
@@ -84,6 +94,14 @@ func run(args []string, out io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(out, "%-40s %d\n", name, report.Metrics[name])
+	}
+	tnames := make([]string, 0, len(report.Timings))
+	for name := range report.Timings {
+		tnames = append(tnames, name)
+	}
+	sort.Strings(tnames)
+	for _, name := range tnames {
+		fmt.Fprintf(out, "%-40s %.1f ms (wall, not gated)\n", name, report.Timings[name])
 	}
 
 	if *outPath != "" {
@@ -107,10 +125,18 @@ func run(args []string, out io.Writer) error {
 }
 
 // collect runs the pinned benchmark subset and extracts the tracked
-// counters. Everything here is seeded and scored on logical work, so
-// repeated runs emit byte-identical metrics.
-func collect(cfg experiments.Config) map[string]uint64 {
+// counters, plus per-section wall-clock timings. Every counter is
+// seeded and scored on logical work, so repeated runs emit
+// byte-identical metrics; the timings vary with the machine and are
+// returned separately so they never enter the gate.
+func collect(cfg experiments.Config) (map[string]uint64, map[string]float64) {
 	m := make(map[string]uint64)
+	timings := make(map[string]float64)
+	timed := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		timings[name] = float64(time.Since(t0).Microseconds()) / 1000
+	}
 
 	// Static access paths on the uniform read-only workload.
 	queries := workload.Queries(
@@ -121,11 +147,13 @@ func collect(cfg experiments.Config) map[string]uint64 {
 		if path == engine.PathScan {
 			project = nil // scan totals are dominated by the scan itself
 		}
-		for _, r := range queries {
-			if _, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: project, Path: path}); err != nil {
-				panic(err)
+		timed(path.String(), func() {
+			for _, r := range queries {
+				if _, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: project, Path: path}); err != nil {
+					panic(err)
+				}
 			}
-		}
+		})
 		c := eng.Cost()
 		m[path.String()+"_total_work"] = c.Total()
 		m[path.String()+"_recurring"] = c.Recurring()
@@ -143,15 +171,19 @@ func collect(cfg experiments.Config) map[string]uint64 {
 		workload.NewDriftingHotSet(cfg.Seed+15, 0, column.Value(cfg.Domain), cfg.Selectivity, 0.1, 16, 1.3, shiftEvery),
 		cfg.Queries)
 	eng := benchEngine(cfg)
-	for _, r := range drift {
-		if _, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathAuto}); err != nil {
-			panic(err)
+	timed("planner_auto", func() {
+		for _, r := range drift {
+			if _, err := eng.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathAuto}); err != nil {
+				panic(err)
+			}
 		}
-	}
+	})
 	m["planner_auto_total_work"] = eng.Cost().Total()
 
 	// The write path: E16's mixed read/write stream per merge policy.
-	outcomes, identical := experiments.RunE16(cfg)
+	var outcomes []experiments.E16Outcome
+	var identical bool
+	timed("updates", func() { outcomes, identical = experiments.RunE16(cfg) })
 	if !identical {
 		panic("benchjson: merge policies disagreed on read results")
 	}
@@ -159,7 +191,17 @@ func collect(cfg experiments.Config) map[string]uint64 {
 		m["updates_"+o.Policy+"_total_work"] = o.Total
 		m["updates_"+o.Policy+"_recurring"] = o.Recurring
 	}
-	return m
+
+	// Bytes on the wire: the deterministic half of E17 — identical
+	// select-project results encoded as JSON and as the binary columnar
+	// format. Gating both totals pins the size win: a codec change that
+	// bloats the binary encoding past the threshold fails CI.
+	timed("wire_encode", func() {
+		jsonBytes, binBytes := experiments.WireBytes(cfg)
+		m["wire_selectproject_json_bytes"] = jsonBytes
+		m["wire_selectproject_binary_bytes"] = binBytes
+	})
+	return m, timings
 }
 
 // benchEngine builds the two-column single-table engine the read

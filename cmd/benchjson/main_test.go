@@ -80,7 +80,8 @@ func TestCollectIsDeterministic(t *testing.T) {
 		t.Skip("two full collect passes")
 	}
 	cfg := experiments.Config{N: 20_000, Queries: 100, Domain: 20_000, Selectivity: 0.01, Seed: 7}
-	a, b := collect(cfg), collect(cfg)
+	a, ta := collect(cfg)
+	b, _ := collect(cfg)
 	if len(a) != len(b) {
 		t.Fatalf("metric sets differ: %d vs %d", len(a), len(b))
 	}
@@ -88,6 +89,21 @@ func TestCollectIsDeterministic(t *testing.T) {
 		if bv, ok := b[name]; !ok || av != bv {
 			t.Fatalf("metric %s not deterministic: %d vs %d", name, av, bv)
 		}
+	}
+	// Wall-clock timings ride along but live outside the gated metric
+	// set: nothing machine-dependent may share a namespace with the
+	// deterministic counters.
+	if len(ta) == 0 {
+		t.Fatal("no section timings recorded")
+	}
+	for name := range ta {
+		if _, clash := a[name]; clash {
+			t.Fatalf("timing %s clashes with a gated metric name", name)
+		}
+	}
+	if a["wire_selectproject_binary_bytes"] >= a["wire_selectproject_json_bytes"] {
+		t.Fatalf("binary bytes (%d) must stay below JSON bytes (%d)",
+			a["wire_selectproject_binary_bytes"], a["wire_selectproject_json_bytes"])
 	}
 }
 

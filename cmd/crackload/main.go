@@ -31,14 +31,17 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/httptrace"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/wire"
 	"adaptiveindex/internal/workload"
 )
 
@@ -64,6 +67,8 @@ type config struct {
 	project     []string
 	path        string
 	writeRatio  float64
+	proto       string
+	block       int
 }
 
 // shapeNames lists the workload shapes crackload accepts: every range
@@ -102,6 +107,8 @@ func parseFlags(args []string) (config, error) {
 	// NaN is the unset sentinel: unlike a negative default it cannot be
 	// confused with an invalid user value, which must be rejected.
 	fs.Float64Var(&cfg.writeRatio, "write-ratio", math.NaN(), "write fraction of the mixed/updateheavy shapes (default 0.1 mixed, 0.5 updateheavy)")
+	fs.StringVar(&cfg.proto, "proto", "json", "query response protocol: json or binary (the columnar wire format)")
+	fs.IntVar(&cfg.block, "block", 0, "streamed block size in rows for -proto binary (0: one block)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -137,6 +144,15 @@ func parseFlags(args []string) (config, error) {
 	if cfg.op != "count" && cfg.op != "select" {
 		return cfg, fmt.Errorf("unknown -op %q (want count or select)", cfg.op)
 	}
+	if cfg.proto != "json" && cfg.proto != "binary" {
+		return cfg, fmt.Errorf("unknown -proto %q (want json or binary)", cfg.proto)
+	}
+	if cfg.block < 0 {
+		return cfg, fmt.Errorf("-block must be non-negative")
+	}
+	if cfg.block > 0 && cfg.proto != "binary" {
+		return cfg, fmt.Errorf("-block needs -proto binary")
+	}
 	if cfg.sessions < 1 || cfg.perSession < 1 {
 		return cfg, fmt.Errorf("-sessions and -queries must be positive")
 	}
@@ -151,12 +167,12 @@ func parseFlags(args []string) (config, error) {
 // sessionStreams builds one op-level generator per session. Pure-read
 // shapes are wrapped in workload.ReadOnlyOps; the mixed shapes
 // interleave writes at cfg.writeRatio.
-func sessionStreams(cfg config, client *http.Client) ([]workload.OpGenerator, error) {
+func sessionStreams(cfg config, client *netClient) ([]workload.OpGenerator, error) {
 	target := workload.Target{Table: cfg.table, Column: cfg.col, Project: cfg.project}
 	switch cfg.shape {
 	case "mixed", "updateheavy":
 		// Writes need the target table's width; ask the server.
-		st, err := fetchStats(client, cfg.base)
+		st, err := client.fetchStats()
 		if err != nil {
 			return nil, fmt.Errorf("%s needs the server catalog: %w", cfg.shape, err)
 		}
@@ -180,7 +196,7 @@ func sessionStreams(cfg config, client *http.Client) ([]workload.OpGenerator, er
 		return readOnly(workload.SelectProjectSessions(cfg.seed, cfg.sessions, target, 0, column.Value(cfg.domain), cfg.selectivity)), nil
 	case "multitable":
 		// Enumerate the served catalog and hit every table.
-		st, err := fetchStats(client, cfg.base)
+		st, err := client.fetchStats()
 		if err != nil {
 			return nil, fmt.Errorf("multitable needs the server catalog: %w", err)
 		}
@@ -244,7 +260,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := newNetClient(cfg.base, cfg.proto, cfg.block, cfg.sessions)
 	gens, err := sessionStreams(cfg, client)
 	if err != nil {
 		return err
@@ -252,6 +268,7 @@ func run(args []string, out io.Writer) error {
 
 	type sessionResult struct {
 		latencies      []time.Duration
+		ttfbs          []time.Duration
 		writeLatencies []time.Duration
 		errs           int
 		firstErr       error
@@ -285,12 +302,13 @@ func run(args []string, out io.Writer) error {
 						continue
 					}
 					t0 := time.Now()
-					err = postQuery(client, cfg.base, body)
+					ttfb, _, err := client.postQuery(body)
 					lat := time.Since(t0)
 					if err != nil {
 						fail(err)
 					} else {
 						res.latencies = append(res.latencies, lat)
+						res.ttfbs = append(res.ttfbs, ttfb)
 					}
 				case workload.OpInsert, workload.OpDelete:
 					req := map[string]any{"table": op.Table}
@@ -312,7 +330,7 @@ func run(args []string, out io.Writer) error {
 						continue
 					}
 					t0 := time.Now()
-					ur, err := postUpdate(client, cfg.base, body)
+					ur, err := client.postUpdate(body)
 					lat := time.Since(t0)
 					if err != nil {
 						fail(err)
@@ -334,11 +352,12 @@ func run(args []string, out io.Writer) error {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var reads, writes []time.Duration
+	var reads, ttfbs, writes []time.Duration
 	errs := 0
 	var firstErr error
 	for _, res := range results {
 		reads = append(reads, res.latencies...)
+		ttfbs = append(ttfbs, res.ttfbs...)
 		writes = append(writes, res.writeLatencies...)
 		errs += res.errs
 		if firstErr == nil {
@@ -358,9 +377,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "first error: %v\n", firstErr)
 	}
 	printLatencies(out, "read latency", reads)
+	printLatencies(out, "read ttfb", ttfbs)
 	printLatencies(out, "write latency", writes)
+	if len(reads) > 0 {
+		fmt.Fprintf(out, "wire: proto=%s block=%d bytes/query=%.0f conn-reuse=%.1f%% (%d of %d requests)\n",
+			cfg.proto, cfg.block, float64(client.readBytes.Load())/float64(len(reads)),
+			100*client.reuseRate(), client.reused.Load(), client.conns.Load())
+	}
 
-	if st, err := fetchStats(client, cfg.base); err == nil {
+	if st, err := client.fetchStats(); err == nil {
 		fmt.Fprintf(out, "server: tables=%d pieces=%d mode=%s batches=%d shared-scans=%d rejected=%d p50=%dµs p99=%dµs\n",
 			len(st.Tables), st.Structures.Pieces, st.Mode, st.Batches, st.SharedScans,
 			st.Rejected, st.Latency.P50Us, st.Latency.P99Us)
@@ -397,10 +422,87 @@ func printLatencies(out io.Writer, label string, all []time.Duration) {
 		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
 }
 
+// netClient is the load generator's HTTP stack: one client over one
+// shared keep-alive transport for every session, with per-request
+// tracing so the run can report how often connections were actually
+// reused (the default MaxIdleConnsPerHost of 2 silently serialises
+// high session counts through fresh connections) and how many response
+// bytes crossed the wire per protocol.
+type netClient struct {
+	hc    *http.Client
+	base  string
+	proto string
+	block int
+
+	conns     atomic.Uint64 // connections obtained for requests
+	reused    atomic.Uint64 // ...of which were keep-alive reuses
+	readBytes atomic.Uint64 // response-body bytes of read queries
+}
+
+func newNetClient(base, proto string, block, sessions int) *netClient {
+	tr := &http.Transport{
+		// Every session keeps its connection alive between queries; the
+		// pool must be at least as deep as the session count or idle
+		// connections get closed under the client's feet.
+		MaxIdleConns:        2 * sessions,
+		MaxIdleConnsPerHost: 2 * sessions,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &netClient{
+		hc:    &http.Client{Transport: tr, Timeout: 30 * time.Second},
+		base:  base,
+		proto: proto,
+		block: block,
+	}
+}
+
+// do issues one traced request; ttfb, when non-nil, receives the time
+// from t0 to the first response byte.
+func (c *netClient) do(req *http.Request, t0 time.Time, ttfb *time.Duration) (*http.Response, error) {
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			c.conns.Add(1)
+			if info.Reused {
+				c.reused.Add(1)
+			}
+		},
+	}
+	if ttfb != nil {
+		trace.GotFirstResponseByte = func() { *ttfb = time.Since(t0) }
+	}
+	return c.hc.Do(req.WithContext(httptrace.WithClientTrace(req.Context(), trace)))
+}
+
+// reuseRate returns the fraction of requests answered over a reused
+// connection.
+func (c *netClient) reuseRate() float64 {
+	if n := c.conns.Load(); n > 0 {
+		return float64(c.reused.Load()) / float64(n)
+	}
+	return 0
+}
+
+// countingReader counts the bytes a decoder pulls through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
 // postUpdate posts one write request and decodes the reply.
-func postUpdate(client *http.Client, base string, body []byte) (server.UpdateResponse, error) {
+func (c *netClient) postUpdate(body []byte) (server.UpdateResponse, error) {
 	var ur server.UpdateResponse
-	resp, err := client.Post(base+"/update", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.base+"/update", bytes.NewReader(body))
+	if err != nil {
+		return ur, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req, time.Now(), nil)
 	if err != nil {
 		return ur, err
 	}
@@ -446,25 +548,48 @@ func wireQuery(cfg config, tq workload.TableQuery) server.QueryRequest {
 	return q
 }
 
-func postQuery(client *http.Client, base string, body []byte) error {
-	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+// postQuery issues one read query, fully consuming and decoding the
+// response on the configured protocol (a client that discards bodies
+// undersells the decode cost the protocol exists to remove). It
+// returns the time to the first response byte and the response size.
+func (c *netClient) postQuery(body []byte) (ttfb time.Duration, n int64, err error) {
+	req, err := http.NewRequest(http.MethodPost, c.base+"/query", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.proto == "binary" {
+		req.Header.Set("Accept", wire.AcceptValue(c.block))
+	}
+	resp, err := c.do(req, time.Now(), &ttfb)
+	if err != nil {
+		return ttfb, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var msg bytes.Buffer
 		io.Copy(&msg, io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
+		return ttfb, 0, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
 	}
-	// Drain so the connection is reused.
-	io.Copy(io.Discard, resp.Body)
-	return nil
+	cr := &countingReader{r: resp.Body}
+	if c.proto == "binary" && resp.Header.Get("Content-Type") == wire.ContentType {
+		_, err = wire.Decode(cr)
+	} else {
+		var qr server.QueryResponse
+		err = json.NewDecoder(cr).Decode(&qr)
+	}
+	if err != nil {
+		return ttfb, cr.n, fmt.Errorf("decoding %s response: %w", c.proto, err)
+	}
+	// Drain any trailing bytes so the connection is reused.
+	io.Copy(io.Discard, cr)
+	c.readBytes.Add(uint64(cr.n))
+	return ttfb, cr.n, nil
 }
 
-func fetchStats(client *http.Client, base string) (server.Stats, error) {
+func (c *netClient) fetchStats() (server.Stats, error) {
 	var st server.Stats
-	resp, err := client.Get(base + "/stats")
+	resp, err := c.hc.Get(c.base + "/stats")
 	if err != nil {
 		return st, err
 	}

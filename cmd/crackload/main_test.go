@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -193,6 +194,48 @@ func TestMixedWritesOverTheWire(t *testing.T) {
 	}
 }
 
+// TestBinaryProtocolOverTheWire replays the selectproject shape on the
+// binary columnar protocol, streamed in small blocks, and verifies the
+// run decodes every response, reports the wire metrics, and reuses its
+// keep-alive connections.
+func TestBinaryProtocolOverTheWire(t *testing.T) {
+	svc, ts := startBackend(t, 10_000)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "3",
+		"-queries", "40",
+		"-workload", "selectproject",
+		"-project", "c1,c2",
+		"-domain", "10000",
+		"-proto", "binary",
+		"-block", "64",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"errors 0", "read ttfb p50=", "wire: proto=binary block=64", "bytes/query=", "conn-reuse="} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	if st := svc.Stats(); st.Queries != 120 {
+		t.Fatalf("server answered %d queries, want 120", st.Queries)
+	}
+	// 3 sessions × 40 sequential queries over a shared keep-alive pool:
+	// nearly every request after the first per connection must be a
+	// reuse. Parse the reported percentage and require a healthy rate.
+	i := strings.Index(report, "conn-reuse=")
+	var rate float64
+	if _, err := fmt.Sscanf(report[i:], "conn-reuse=%f%%", &rate); err != nil {
+		t.Fatalf("cannot parse reuse rate: %v\n%s", err, report)
+	}
+	if rate < 80 {
+		t.Fatalf("connection reuse rate %.1f%%, want >= 80%% with a shared transport\n%s", rate, report)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{"-op", "truncate"},
@@ -200,6 +243,9 @@ func TestFlagValidation(t *testing.T) {
 		{"-sessions", "0"},
 		{"-workload", "selectproject"}, // needs -project
 		{"-workload", "mixed", "-write-ratio", "1.5"},
+		{"-proto", "carrier-pigeon"},
+		{"-block", "-1"},
+		{"-block", "128"}, // -block needs -proto binary
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

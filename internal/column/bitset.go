@@ -1,0 +1,119 @@
+package column
+
+import "math/bits"
+
+// Bitset is a bitset-backed selection vector: bit r is set when row r
+// qualifies. For large or merged results it replaces the slice-backed
+// IDList — membership updates are branch-free single-word operations,
+// unions are word-wide ORs instead of appends, and the representation
+// is dense enough (one bit per row slot) that a selective result over a
+// million-row table fits in a few cache lines per 512 rows.
+//
+// A Bitset loses the arrival order of its rows: iteration is always in
+// ascending row order. Callers that need result order aligned with
+// projected columns must keep the IDList form; the wire boundary
+// converts between the two only for row-only results.
+type Bitset struct {
+	words []uint64
+}
+
+// bitsetWords returns the number of 64-bit words needed for n row slots.
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+// NewBitset returns an empty bitset with capacity for row slots
+// [0, n). Adding larger rows grows it automatically.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, bitsetWords(n))}
+}
+
+// BitsetFromIDs builds a bitset holding exactly the given rows.
+func BitsetFromIDs(ids IDList) *Bitset {
+	maxRow := RowID(0)
+	for _, r := range ids {
+		if r > maxRow {
+			maxRow = r
+		}
+	}
+	b := NewBitset(int(maxRow) + 1)
+	for _, r := range ids {
+		b.Add(r)
+	}
+	return b
+}
+
+// grow extends the word array to cover row r.
+func (b *Bitset) grow(r RowID) {
+	need := bitsetWords(int(r) + 1)
+	if need <= len(b.words) {
+		return
+	}
+	words := make([]uint64, need)
+	copy(words, b.words)
+	b.words = words
+}
+
+// Add marks row r as qualifying.
+func (b *Bitset) Add(r RowID) {
+	if int(r)>>6 >= len(b.words) {
+		b.grow(r)
+	}
+	b.words[r>>6] |= 1 << (r & 63)
+}
+
+// Contains reports whether row r qualifies.
+func (b *Bitset) Contains(r RowID) bool {
+	w := int(r) >> 6
+	return w < len(b.words) && b.words[w]&(1<<(r&63)) != 0
+}
+
+// Count returns the number of qualifying rows (population count).
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Or merges other into b (set union), growing b as needed.
+func (b *Bitset) Or(other *Bitset) {
+	if len(other.words) > len(b.words) {
+		words := make([]uint64, len(other.words))
+		copy(words, b.words)
+		b.words = words
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// AddAll marks every row in ids as qualifying.
+func (b *Bitset) AddAll(ids IDList) {
+	for _, r := range ids {
+		b.Add(r)
+	}
+}
+
+// Words exposes the raw word array (bit r of word r/64 is row r). The
+// wire codec serialises it directly; trailing zero words are the
+// caller's concern.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// BitsetFromWords wraps a raw word array (as produced by Words) in a
+// Bitset. The slice is not copied.
+func BitsetFromWords(words []uint64) *Bitset { return &Bitset{words: words} }
+
+// IDs materialises the qualifying rows as an IDList, in ascending row
+// order. Iteration strips one set bit per step, so sparse results cost
+// one TrailingZeros per row, not one test per row slot.
+func (b *Bitset) IDs() IDList {
+	out := make(IDList, 0, b.Count())
+	for wi, w := range b.words {
+		base := RowID(wi * 64)
+		for w != 0 {
+			out = append(out, base+RowID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package column
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(100)
+	if b.Count() != 0 {
+		t.Fatalf("empty bitset count = %d", b.Count())
+	}
+	b.Add(0)
+	b.Add(63)
+	b.Add(64)
+	b.Add(99)
+	if got := b.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	for _, r := range []RowID{0, 63, 64, 99} {
+		if !b.Contains(r) {
+			t.Errorf("missing row %d", r)
+		}
+	}
+	if b.Contains(1) || b.Contains(65) || b.Contains(1000) {
+		t.Error("bitset contains rows never added")
+	}
+	want := IDList{0, 63, 64, 99}
+	if got := b.IDs(); !got.Equal(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+}
+
+func TestBitsetGrowsBeyondCapacity(t *testing.T) {
+	b := NewBitset(1)
+	b.Add(5000)
+	if !b.Contains(5000) || b.Count() != 1 {
+		t.Fatalf("grow lost row 5000: count=%d", b.Count())
+	}
+}
+
+func TestBitsetRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(2000)
+		ids := make(IDList, 0, n)
+		seen := map[RowID]bool{}
+		for i := 0; i < n; i++ {
+			r := RowID(rng.Intn(10_000))
+			if !seen[r] {
+				seen[r] = true
+				ids = append(ids, r)
+			}
+		}
+		b := BitsetFromIDs(ids)
+		if b.Count() != len(ids) {
+			t.Fatalf("count = %d, want %d", b.Count(), len(ids))
+		}
+		if got := b.IDs(); !got.Equal(ids) {
+			t.Fatalf("round trip lost rows: got %d want %d", len(got), len(ids))
+		}
+	}
+}
+
+func TestBitsetOrMatchesSliceMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]IDList, 4)
+	var all IDList
+	seen := map[RowID]bool{}
+	for i := range parts {
+		for j := 0; j < 500; j++ {
+			r := RowID(rng.Intn(5000))
+			if !seen[r] {
+				seen[r] = true
+				parts[i] = append(parts[i], r)
+				all = append(all, r)
+			}
+		}
+	}
+	merged := NewBitset(5000)
+	for _, p := range parts {
+		other := BitsetFromIDs(p)
+		merged.Or(other)
+	}
+	if got := merged.IDs(); !got.Equal(all) {
+		t.Fatalf("bitset union = %d rows, want %d", len(got), len(all))
+	}
+}
+
+// Benchmarks: bitset vs slice-backed merge of k partial ID lists — the
+// shape partitioned selects and the wire boundary see. The slice merge
+// is a single append pass (what index.MergeIDLists does); the bitset
+// merge pays AddAll per part plus one materialisation.
+func benchParts(k, perPart int) []IDList {
+	rng := rand.New(rand.NewSource(3))
+	parts := make([]IDList, k)
+	for i := range parts {
+		parts[i] = make(IDList, perPart)
+		for j := range parts[i] {
+			parts[i][j] = RowID(rng.Intn(k * perPart * 2))
+		}
+	}
+	return parts
+}
+
+func BenchmarkIDListMergeSlice(b *testing.B) {
+	parts := benchParts(8, 16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		out := make(IDList, 0, total)
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		_ = out
+	}
+}
+
+func BenchmarkIDListMergeBitset(b *testing.B) {
+	parts := benchParts(8, 16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs := NewBitset(8 * 16384 * 2)
+		for _, p := range parts {
+			bs.AddAll(p)
+		}
+		_ = bs.IDs()
+	}
+}

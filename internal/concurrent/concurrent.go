@@ -111,14 +111,14 @@ func (ix *Index) tryPositions(r column.Range) (int, int, bool) {
 	return start, end, true
 }
 
-// collect copies the row identifiers of the position interval. Must be
-// called with at least the shared latch held.
+// collect copies the row identifiers of the position interval with one
+// bulk copy. Must be called with at least the shared latch held.
 func (ix *Index) collect(start, end int) column.IDList {
-	pairs := ix.cc.Pairs()
-	out := make(column.IDList, 0, end-start)
-	for i := start; i < end; i++ {
-		out = append(out, pairs[i].Row)
+	if start == end {
+		return nil
 	}
+	out := make(column.IDList, end-start)
+	core.MaterializeRows(out, ix.cc.Pairs()[start:end])
 	ix.readTouched.Add(uint64(end - start))
 	ix.readCopied.Add(uint64(end - start))
 	return out

@@ -345,13 +345,16 @@ func (cc *CrackerColumn) SelectPositions(r column.Range) (start, end int) {
 
 // Select answers the range predicate r and returns the row identifiers
 // of the qualifying tuples. The copy of the identifiers into the result
-// is counted as TuplesCopied.
+// is counted as TuplesCopied. Materialisation is a bulk copy over the
+// contiguous qualifying region, not a per-pair append (see
+// MaterializeRows).
 func (cc *CrackerColumn) Select(r column.Range) column.IDList {
 	start, end := cc.SelectPositions(r)
-	out := make(column.IDList, 0, end-start)
-	for i := start; i < end; i++ {
-		out = append(out, cc.pairs[i].Row)
+	if start == end {
+		return nil
 	}
+	out := make(column.IDList, end-start)
+	MaterializeRows(out, cc.pairs[start:end])
 	cc.c.TuplesCopied += uint64(end - start)
 	return out
 }

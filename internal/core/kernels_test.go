@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/cost"
+)
+
+// naiveScanSelect is the reference branchy loop the kernels replace.
+func naiveScanSelect(vals []column.Value, r column.Range, c *cost.Counters) column.IDList {
+	var out column.IDList
+	for i, v := range vals {
+		c.ValuesTouched++
+		c.Comparisons++
+		if r.Contains(v) {
+			out = append(out, column.RowID(i))
+			c.TuplesCopied++
+		}
+	}
+	return out
+}
+
+func kernelRanges() []column.Range {
+	return []column.Range{
+		column.NewRange(10, 50),
+		column.ClosedRange(10, 50),
+		column.Range{Low: 10, HasLow: true, IncLow: false, High: 50, HasHigh: true, IncHigh: true},
+		column.AtLeast(90),
+		column.LessThan(5),
+		column.Point(42),
+		{},                         // unbounded
+		column.NewRange(50, 50),    // empty half-open
+		column.ClosedRange(60, 10), // inverted
+		column.Range{Low: math.MaxInt64, HasLow: true, IncLow: false, HasHigh: false},
+		column.Range{High: math.MinInt64, HasHigh: true, IncHigh: false, HasLow: false},
+	}
+}
+
+func TestScanKernelsMatchNaiveLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]column.Value, 10_000)
+	for i := range vals {
+		vals[i] = column.Value(rng.Intn(100))
+	}
+	vals[0], vals[1] = math.MinInt64, math.MaxInt64
+	for _, r := range kernelRanges() {
+		var cNaive, cKernel cost.Counters
+		want := naiveScanSelect(vals, r, &cNaive)
+		got := ScanSelect(vals, r, &cKernel)
+		if !got.Equal(want) {
+			t.Fatalf("range %s: kernel returned %d rows, naive %d", r, len(got), len(want))
+		}
+		// Order must be storage order, like the naive loop.
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range %s: row order diverges at %d: %d vs %d", r, i, got[i], want[i])
+			}
+		}
+		if cKernel != cNaive {
+			t.Fatalf("range %s: kernel counters %+v, naive %+v", r, cKernel, cNaive)
+		}
+		var cc cost.Counters
+		if n := ScanCount(vals, r, &cc); n != len(want) {
+			t.Fatalf("range %s: ScanCount = %d, want %d", r, n, len(want))
+		}
+	}
+}
+
+func TestClosedBoundsEdges(t *testing.T) {
+	if _, _, ok := ClosedBounds(column.Range{Low: math.MaxInt64, HasLow: true, IncLow: false}); ok {
+		t.Error("(MaxInt64, +inf) must be empty")
+	}
+	if _, _, ok := ClosedBounds(column.Range{High: math.MinInt64, HasHigh: true, IncHigh: false}); ok {
+		t.Error("(-inf, MinInt64) must be empty")
+	}
+	lo, hi, ok := ClosedBounds(column.Range{})
+	if !ok || lo != math.MinInt64 || hi != math.MaxInt64 {
+		t.Errorf("unbounded range = [%d, %d] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestMaterializeRowsMatchesAppend(t *testing.T) {
+	pairs := column.PairsFromValues([]column.Value{5, 3, 9, 1, 7})
+	dst := make(column.IDList, len(pairs))
+	MaterializeRows(dst, pairs)
+	for i, p := range pairs {
+		if dst[i] != p.Row {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], p.Row)
+		}
+	}
+}
+
+func TestGatherValues(t *testing.T) {
+	vals := []column.Value{10, 20, 30, 40}
+	rows := column.IDList{3, 0, 2}
+	dst := make([]column.Value, len(rows))
+	GatherValues(dst, vals, rows)
+	want := []column.Value{40, 10, 30}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}

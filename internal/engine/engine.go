@@ -563,10 +563,15 @@ func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath)
 		if err != nil {
 			return nil, err
 		}
+		if t.deadCount == 0 {
+			// Tombstone-free tables take the branchless kernel; it
+			// charges exactly the work the loop below would.
+			return core.ScanSelect(vals, r, &e.c), nil
+		}
 		var out column.IDList
 		for i, v := range vals {
 			e.c.ValuesTouched++
-			if t.deadCount > 0 && t.deadRows[column.RowID(i)] {
+			if t.deadRows[column.RowID(i)] {
 				continue
 			}
 			e.c.Comparisons++
@@ -614,10 +619,13 @@ func (e *Engine) CountRows(table, attr string, r column.Range, path AccessPath) 
 		if err != nil {
 			return 0, err
 		}
+		if t.deadCount == 0 {
+			return core.ScanCount(vals, r, &e.c), nil
+		}
 		n := 0
 		for i, v := range vals {
 			e.c.ValuesTouched++
-			if t.deadCount > 0 && t.deadRows[column.RowID(i)] {
+			if t.deadRows[column.RowID(i)] {
 				continue
 			}
 			e.c.Comparisons++
@@ -671,15 +679,13 @@ func (e *Engine) SelectProject(table, whereAttr string, r column.Range, projectA
 	for _, attr := range projectAttrs {
 		vals, _ := t.Column(attr)
 		out := make([]column.Value, len(rows))
-		for i, row := range rows {
-			out[i] = vals[row]
-			if randomOrder {
-				e.c.RandomTouches++
-			} else {
-				e.c.ValuesTouched++
-			}
-			e.c.TuplesCopied++
+		core.GatherValues(out, vals, rows)
+		if randomOrder {
+			e.c.RandomTouches += uint64(len(rows))
+		} else {
+			e.c.ValuesTouched += uint64(len(rows))
 		}
+		e.c.TuplesCopied += uint64(len(rows))
 		res.Columns[attr] = out
 	}
 	return res, nil

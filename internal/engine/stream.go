@@ -1,0 +1,38 @@
+package engine
+
+import "adaptiveindex/internal/column"
+
+// Blocks yields the result's rows and the projected columns named in
+// project, in fixed-size windows of blockRows rows. blockRows <= 0
+// yields the whole result as a single block. The slices passed to fn
+// are views into the result's backing arrays — no copying happens
+// here — so fn must not retain or mutate them past its return. An
+// empty result yields no blocks. Iteration stops at the first error
+// fn returns.
+func (r *Result) Blocks(project []string, blockRows int, fn func(rows column.IDList, cols [][]column.Value) error) error {
+	cols := make([][]column.Value, len(project))
+	for i, name := range project {
+		cols[i] = r.Columns[name]
+	}
+	n := len(r.Rows)
+	if n == 0 {
+		return nil
+	}
+	if blockRows <= 0 || blockRows > n {
+		blockRows = n
+	}
+	sub := make([][]column.Value, len(cols))
+	for start := 0; start < n; start += blockRows {
+		end := start + blockRows
+		if end > n {
+			end = n
+		}
+		for i, vec := range cols {
+			sub[i] = vec[start:end]
+		}
+		if err := fn(r.Rows[start:end], sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -44,8 +44,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(All()))
+	if len(All()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(All()))
 	}
 }
 
@@ -220,5 +220,23 @@ func TestE12ReportsPageTouches(t *testing.T) {
 	// touches; just assert all configurations produced rows.
 	if len(res.Summaries) < 4 {
 		t.Fatalf("expected at least 4 rows, got %d", len(res.Summaries))
+	}
+}
+
+// TestE17BinaryBytesDominateJSON pins the deterministic half of E17's
+// claim: for identical select-project results, the binary columnar
+// encoding must put strictly fewer bytes on the wire than JSON.
+func TestE17BinaryBytesDominateJSON(t *testing.T) {
+	jsonBytes, binBytes := WireBytes(tiny())
+	if jsonBytes == 0 || binBytes == 0 {
+		t.Fatalf("empty byte totals: json %d, binary %d", jsonBytes, binBytes)
+	}
+	if binBytes >= jsonBytes {
+		t.Fatalf("binary encoding (%d bytes) must beat JSON (%d bytes)", binBytes, jsonBytes)
+	}
+	// The totals are deterministic: a second run must reproduce them.
+	j2, b2 := WireBytes(tiny())
+	if j2 != jsonBytes || b2 != binBytes {
+		t.Fatalf("byte totals not deterministic: (%d,%d) then (%d,%d)", jsonBytes, binBytes, j2, b2)
 	}
 }

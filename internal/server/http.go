@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"time"
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/engine"
+	"adaptiveindex/internal/wire"
 )
 
 // QueryRequest is the wire form of one query.
@@ -191,24 +193,24 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	return mux
 }
 
 func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
 	var u UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid update: %v", err)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid update: %v", err)})
 		return
 	}
 	ops, err := u.writeOps()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	start := time.Now()
@@ -218,14 +220,14 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// stays applied (see Apply), so the error response must carry
 		// it — a client that loses the assigned row identifiers can
 		// never reconcile its bookkeeping with the server again.
-		writeJSON(w, statusFor(err), struct {
+		s.writeJSON(w, statusFor(err), struct {
 			errorResponse
 			Inserted []column.RowID `json:"inserted,omitempty"`
 			Deleted  int            `json:"deleted"`
 		}{errorResponse{Error: err.Error()}, reply.Inserted, reply.Deleted})
 		return
 	}
-	writeJSON(w, http.StatusOK, UpdateResponse{
+	s.writeJSON(w, http.StatusOK, UpdateResponse{
 		Inserted:       reply.Inserted,
 		Deleted:        reply.Deleted,
 		PendingInserts: reply.PendingInserts,
@@ -236,14 +238,15 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
 	var q QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid query: %v", err)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid query: %v", err)})
 		return
 	}
+	binary, blockRows := wire.Negotiate(r.Header.Get("Accept"))
 	start := time.Now()
 	var reply Reply
 	var err error
@@ -253,11 +256,17 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "select":
 		reply, err = s.SelectQuery(q.query())
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown op %q (want count or select)", q.Op)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown op %q (want count or select)", q.Op)})
 		return
 	}
 	if err != nil {
-		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		// Failures are always JSON, whatever the client negotiated:
+		// error bodies are for humans and logs, not column decoders.
+		s.writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		return
+	}
+	if binary {
+		s.writeBinary(w, q, reply, blockRows, start)
 		return
 	}
 	resp := QueryResponse{
@@ -267,7 +276,44 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Path:      reply.Path.String(),
 		LatencyUs: time.Since(start).Microseconds(),
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeBinary streams one successful query result in the binary
+// columnar format: a header frame, the rows and projected columns in
+// blocks of blockRows rows (one block when zero), and a footer. Each
+// frame is written — and, when the ResponseWriter supports it, flushed
+// — as a unit, so clients see complete frames as soon as the data
+// plane produces them instead of waiting for a fully materialised
+// body. Column vectors are sliced straight out of the engine result;
+// nothing is re-marshalled per value.
+func (s *Service) writeBinary(w http.ResponseWriter, q QueryRequest, reply Reply, blockRows int, start time.Time) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	enc := wire.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	h := wire.Header{Count: reply.Count, Path: reply.Path.String(), Columns: q.Project}
+	if err := enc.WriteHeader(h); err != nil {
+		s.encodeFailed("binary", err)
+		return
+	}
+	res := engine.Result{Count: reply.Count, Rows: reply.Rows, Columns: reply.Columns}
+	err := res.Blocks(q.Project, blockRows, func(rows column.IDList, cols [][]column.Value) error {
+		if err := enc.WriteBlock(rows, cols); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		s.encodeFailed("binary", err)
+		return
+	}
+	f := wire.Footer{TotalRows: uint64(len(reply.Rows)), LatencyUs: uint64(time.Since(start).Microseconds())}
+	if err := enc.WriteFooter(f); err != nil {
+		s.encodeFailed("binary", err)
+	}
 }
 
 // statusFor maps service errors to HTTP statuses: client mistakes
@@ -293,14 +339,26 @@ func statusFor(err error) int {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Stats())
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeFailed("json", err)
+	}
+}
+
+// encodeFailed records a response that could not be encoded or written
+// back to the client. The status line is usually gone by the time the
+// failure surfaces, so all that is left is to count it (encode_failures
+// in /stats) and log it — silently dropping the error would make a
+// flapping client or a marshalling bug invisible.
+func (s *Service) encodeFailed(proto string, err error) {
+	s.encodeFailures.Add(1)
+	log.Printf("server: %s response encode failed: %v", proto, err)
 }

@@ -195,8 +195,12 @@ type Service struct {
 	batches  atomic.Uint64
 	shared   atomic.Uint64
 	maxBatch atomic.Int64
-	hist     histogram
-	started  time.Time
+	// encodeFailures counts responses whose encode or write to the
+	// client failed (connection resets included) — a response the client
+	// never saw, on either the JSON or the binary path.
+	encodeFailures atomic.Uint64
+	hist           histogram
+	started        time.Time
 }
 
 // NewService creates and starts a service over the configured engine.

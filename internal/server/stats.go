@@ -59,6 +59,10 @@ type Stats struct {
 	Batches      uint64 `json:"batches"`
 	SharedScans  uint64 `json:"shared_scans"`
 	MaxBatchSeen int64  `json:"max_batch_seen"`
+	// EncodeFailures counts responses (JSON or binary) whose encode or
+	// write back to the client failed; those clients saw a truncated or
+	// empty body, not the result.
+	EncodeFailures uint64 `json:"encode_failures"`
 
 	// InFlight and MaxInFlight describe the admission state.
 	InFlight    int64 `json:"in_flight"`
@@ -96,27 +100,28 @@ func (s *Service) statsLocked() Stats {
 		})
 	}
 	return Stats{
-		Tables:        tables,
-		Structures:    eng.Structures(),
-		Planner:       eng.PlanStats(),
-		WorkTotal:     eng.Cost().Total(),
-		WriteState:    eng.WriteStats(),
-		DefaultTable:  s.cfg.DefaultTable,
-		DefaultColumn: s.cfg.DefaultColumn,
-		DefaultPath:   s.defaultPath.String(),
-		Mode:          mode,
-		BatchWindowUs: s.cfg.BatchWindow.Microseconds(),
-		MaxBatch:      s.cfg.MaxBatch,
-		Queries:       s.queries.Load(),
-		Writes:        s.writes.Load(),
-		Rejected:      s.rejected.Load(),
-		Batches:       s.batches.Load(),
-		SharedScans:   s.shared.Load(),
-		MaxBatchSeen:  s.maxBatch.Load(),
-		InFlight:      s.inFlight.Load(),
-		MaxInFlight:   s.cfg.MaxInFlight,
-		Latency:       s.hist.snapshot(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Tables:         tables,
+		Structures:     eng.Structures(),
+		Planner:        eng.PlanStats(),
+		WorkTotal:      eng.Cost().Total(),
+		WriteState:     eng.WriteStats(),
+		DefaultTable:   s.cfg.DefaultTable,
+		DefaultColumn:  s.cfg.DefaultColumn,
+		DefaultPath:    s.defaultPath.String(),
+		Mode:           mode,
+		BatchWindowUs:  s.cfg.BatchWindow.Microseconds(),
+		MaxBatch:       s.cfg.MaxBatch,
+		Queries:        s.queries.Load(),
+		Writes:         s.writes.Load(),
+		Rejected:       s.rejected.Load(),
+		Batches:        s.batches.Load(),
+		SharedScans:    s.shared.Load(),
+		MaxBatchSeen:   s.maxBatch.Load(),
+		EncodeFailures: s.encodeFailures.Load(),
+		InFlight:       s.inFlight.Load(),
+		MaxInFlight:    s.cfg.MaxInFlight,
+		Latency:        s.hist.snapshot(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
 	}
 }
 

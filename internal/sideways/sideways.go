@@ -302,9 +302,20 @@ type Projection struct {
 // SelectProject answers "SELECT attr FROM t WHERE headAttr in r" using
 // the cracker map M(head→attr): the map is materialised if necessary,
 // aligned with the set's crack history, cracked on r, and the
-// projected values are returned as one contiguous copy.
+// projected values are returned as one contiguous copy. Projecting the
+// head attribute itself needs no dedicated map — every map carries the
+// head value alongside its tail, so any map (an already materialised
+// one when possible) answers it.
 func (ms *MapSet) SelectProject(r column.Range, attr string) (Projection, error) {
-	m, err := ms.mapFor(attr)
+	mapAttr, head := attr, attr == ms.headAttr
+	if head {
+		a, err := ms.anyAttr()
+		if err != nil {
+			return Projection{}, err
+		}
+		mapAttr = a
+	}
+	m, err := ms.mapFor(mapAttr)
 	if err != nil {
 		return Projection{}, err
 	}
@@ -320,7 +331,11 @@ func (ms *MapSet) SelectProject(r column.Range, attr string) (Projection, error)
 	}
 	for i := start; i < end; i++ {
 		out.Rows = append(out.Rows, m.entries[i].Row)
-		out.Values = append(out.Values, m.entries[i].Tail)
+		if head {
+			out.Values = append(out.Values, m.entries[i].Head)
+		} else {
+			out.Values = append(out.Values, m.entries[i].Tail)
+		}
 	}
 	ms.c.TuplesCopied += uint64(end - start)
 	ms.c.ValuesTouched += uint64(end - start)

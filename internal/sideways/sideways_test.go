@@ -39,6 +39,8 @@ func (t *table) tails() map[string][]column.Value {
 func (t *table) oracle(r column.Range, attr string) (column.IDList, map[column.RowID]column.Value) {
 	var tail []column.Value
 	switch attr {
+	case "a":
+		tail = t.a
 	case "b":
 		tail = t.b
 	case "c":
@@ -104,6 +106,40 @@ func TestSelectProjectMatchesOracle(t *testing.T) {
 	}
 	if err := ms.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSelectProjectHeadAttribute projects the selection attribute
+// itself: no dedicated map exists for the head, so the set must answer
+// from the head values any map carries, interleaved with ordinary tail
+// projections that crack the maps between calls.
+func TestSelectProjectHeadAttribute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := makeTable(rng, 2000, 400)
+	ms := newSet(t, tab, DefaultOptions())
+	attrs := []string{"a", "b", "a", "c", "a", "d"}
+	for q := 0; q < 120; q++ {
+		lo := column.Value(rng.Intn(420) - 10)
+		r := column.NewRange(lo, lo+column.Value(rng.Intn(60)))
+		attr := attrs[q%len(attrs)]
+		proj, err := ms.SelectProject(r, attr)
+		if err != nil {
+			t.Fatalf("attr %s: %v", attr, err)
+		}
+		checkProjection(t, tab, r, attr, proj)
+	}
+	if err := ms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-projection including the head stays positionally aligned.
+	rows, values, err := ms.SelectProjectMulti(column.NewRange(50, 90), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if values["a"][i] != tab.a[row] || values["b"][i] != tab.b[row] {
+			t.Fatalf("row %d misaligned head/tail projection", row)
+		}
 	}
 }
 

@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adaptiveindex/internal/column"
+)
+
+func TestRoundTripWithProjections(t *testing.T) {
+	rows := column.IDList{5, 2, 9, 100000, 7}
+	cols := [][]column.Value{
+		{10, 20, 30, 40, 50},
+		{-1, -2, -3, -4, -5},
+	}
+	h := Header{Count: len(rows), Path: "sideways", Columns: []string{"c1", "c2"}}
+	for _, blockRows := range []int{0, 1, 2, 100} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, h, rows, cols, blockRows, 123); err != nil {
+			t.Fatalf("block=%d: encode: %v", blockRows, err)
+		}
+		res, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("block=%d: decode: %v", blockRows, err)
+		}
+		if res.Count != len(rows) || res.Path != "sideways" || res.LatencyUs != 123 {
+			t.Fatalf("block=%d: header mismatch: %+v", blockRows, res.Header)
+		}
+		for i := range rows {
+			if res.Rows[i] != rows[i] {
+				t.Fatalf("block=%d: rows[%d] = %d, want %d", blockRows, i, res.Rows[i], rows[i])
+			}
+		}
+		for ci, name := range h.Columns {
+			got := res.Columns[name]
+			for i := range cols[ci] {
+				if got[i] != cols[ci][i] {
+					t.Fatalf("block=%d: %s[%d] = %d, want %d", blockRows, name, i, got[i], cols[ci][i])
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripRowsOnlyUsesBitsetWhenDense(t *testing.T) {
+	// Dense rows over a small id space: bitset must win and round-trip
+	// as a set (order is not preserved by the bitset encoding).
+	rows := make(column.IDList, 0, 4096)
+	for i := 4095; i >= 0; i-- {
+		rows = append(rows, column.RowID(i))
+	}
+	var buf bytes.Buffer
+	h := Header{Count: len(rows), Path: "cracking"}
+	if err := Encode(&buf, h, rows, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= 4*len(rows) {
+		t.Fatalf("dense row-only result took %d bytes, raw would be %d — bitset not chosen", buf.Len(), 4*len(rows))
+	}
+	res, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows.Equal(rows) {
+		t.Fatalf("bitset round trip lost rows: got %d, want %d", len(res.Rows), len(rows))
+	}
+}
+
+func TestRoundTripSparseRowsStayRaw(t *testing.T) {
+	rows := column.IDList{1, 1_000_000, 500}
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{Count: 3, Path: "scan"}, rows, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse results keep the raw encoding, which preserves order.
+	for i := range rows {
+		if res.Rows[i] != rows[i] {
+			t.Fatalf("rows[%d] = %d, want %d", i, res.Rows[i], rows[i])
+		}
+	}
+}
+
+func TestRoundTripEmptyResult(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{Count: 0, Path: "auto", Columns: []string{"c1"}}, nil, [][]column.Value{nil}, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 || res.Count != 0 || res.LatencyUs != 7 {
+		t.Fatalf("empty result decoded as %+v", res)
+	}
+}
+
+func TestTruncationAlwaysErrors(t *testing.T) {
+	rows := column.IDList{1, 2, 3, 4, 5}
+	cols := [][]column.Value{{9, 8, 7, 6, 5}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{Count: 5, Path: "cracking", Columns: []string{"x"}}, rows, cols, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestCorruptionNeverPanics(t *testing.T) {
+	rows := column.IDList{10, 20, 30}
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{Count: 3, Path: "scan"}, rows, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		corrupt := append([]byte(nil), full...)
+		for flips := 0; flips <= rng.Intn(4); flips++ {
+			corrupt[rng.Intn(len(corrupt))] ^= byte(1 << rng.Intn(8))
+		}
+		res, err := Decode(bytes.NewReader(corrupt)) // must not panic
+		if err == nil && res.Count != 3 && len(res.Rows) != 3 {
+			t.Fatalf("corrupt stream decoded to inconsistent result %+v", res)
+		}
+	}
+}
+
+func TestFooterRowMismatchErrors(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.WriteHeader(Header{Count: 2, Path: "scan"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteBlock(column.IDList{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteFooter(Footer{TotalRows: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("footer mismatch error = %v, want ErrMalformed", err)
+	}
+}
+
+func TestUnsupportedVersionErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{Count: 0, Path: "scan"}, nil, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The version byte sits after the 4-byte length, 1-byte kind and
+	// 4-byte magic.
+	raw[9] = Version + 1
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("future version decoded without error")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		accept string
+		binary bool
+		block  int
+	}{
+		{"", false, 0},
+		{"application/json", false, 0},
+		{ContentType, true, 0},
+		{"application/json, " + ContentType, true, 0},
+		{ContentType + ";block=4096", true, 4096},
+		{ContentType + "; block=512", true, 512},
+		{ContentType + ";block=-5", true, 0},
+		{ContentType + ";block=junk", true, 0},
+		{"text/html", false, 0},
+	}
+	for _, tc := range cases {
+		gotBinary, gotBlock := Negotiate(tc.accept)
+		if gotBinary != tc.binary || gotBlock != tc.block {
+			t.Errorf("Negotiate(%q) = (%v, %d), want (%v, %d)", tc.accept, gotBinary, gotBlock, tc.binary, tc.block)
+		}
+	}
+	if got, _ := Negotiate(AcceptValue(0)); !got {
+		t.Error("AcceptValue(0) not accepted")
+	}
+	if got, block := Negotiate(AcceptValue(4096)); !got || block != 4096 {
+		t.Errorf("AcceptValue(4096) negotiated (%v, %d)", got, block)
+	}
+}
