@@ -1,4 +1,4 @@
-// Command aibench runs the reproduction's experiment suite (E1..E17,
+// Command aibench runs the reproduction's experiment suite (E1..E18,
 // see DESIGN.md and EXPERIMENTS.md) and prints the comparison tables
 // and per-query curves each experiment produces.
 //

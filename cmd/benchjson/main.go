@@ -37,6 +37,7 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/experiments"
+	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/workload"
 )
 
@@ -191,6 +192,36 @@ func collect(cfg experiments.Config) (map[string]uint64, map[string]float64) {
 		m["updates_"+o.Policy+"_total_work"] = o.Total
 		m["updates_"+o.Policy+"_recurring"] = o.Recurring
 	}
+
+	// Tracing must be free on the deterministic counters: replay the
+	// cracking stream with a span recorder and event log attached and
+	// gate the absolute difference in logical work against the bare
+	// stream. The committed baseline is 0 and compare() fails any
+	// positive value against a zero baseline, so a tracing hook that
+	// perturbs the engine's work by even one counter tick fails CI.
+	timed("trace_overhead", func() {
+		bare := benchEngine(cfg)
+		for _, r := range queries {
+			if _, err := bare.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathCracking}); err != nil {
+				panic(err)
+			}
+		}
+		traced := benchEngine(cfg)
+		traced.SetEventLog(trace.NewLog(256))
+		for _, r := range queries {
+			rec := trace.NewRecorder()
+			if _, err := traced.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathCracking, Trace: rec}); err != nil {
+				panic(err)
+			}
+			rec.Finish()
+		}
+		b, tr := bare.Cost().Total(), traced.Cost().Total()
+		diff := b - tr
+		if tr > b {
+			diff = tr - b
+		}
+		m["trace_overhead_work"] = diff
+	})
 
 	// Bytes on the wire: the deterministic half of E17 — identical
 	// select-project results encoded as JSON and as the binary columnar

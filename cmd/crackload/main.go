@@ -21,6 +21,14 @@
 // fetches /stats and prints the server-side view (catalog, cracked
 // pieces, planner decisions, batches, shared scans, pending updates)
 // next to the client-side latencies.
+//
+// With -trace-sample N every Nth read per session asks the server for
+// its phase span tree ("trace":true), and the run ends with a
+// per-phase breakdown of where the sampled queries' time went —
+// queue wait vs cracking vs materialisation vs wire encoding. With
+// -report-interval D the tool prints interim throughput/p99/bytes
+// lines while the run is still going, so long runs are observable
+// before the final summary.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/wire"
 	"adaptiveindex/internal/workload"
 )
@@ -69,6 +78,8 @@ type config struct {
 	writeRatio  float64
 	proto       string
 	block       int
+	traceSample int
+	reportEvery time.Duration
 }
 
 // shapeNames lists the workload shapes crackload accepts: every range
@@ -109,6 +120,8 @@ func parseFlags(args []string) (config, error) {
 	fs.Float64Var(&cfg.writeRatio, "write-ratio", math.NaN(), "write fraction of the mixed/updateheavy shapes (default 0.1 mixed, 0.5 updateheavy)")
 	fs.StringVar(&cfg.proto, "proto", "json", "query response protocol: json or binary (the columnar wire format)")
 	fs.IntVar(&cfg.block, "block", 0, "streamed block size in rows for -proto binary (0: one block)")
+	fs.IntVar(&cfg.traceSample, "trace-sample", 0, "request a phase span trace on every Nth read per session (0 disables)")
+	fs.DurationVar(&cfg.reportEvery, "report-interval", 0, "print interim throughput/latency lines at this interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -155,6 +168,12 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.sessions < 1 || cfg.perSession < 1 {
 		return cfg, fmt.Errorf("-sessions and -queries must be positive")
+	}
+	if cfg.traceSample < 0 {
+		return cfg, fmt.Errorf("-trace-sample must be non-negative")
+	}
+	if cfg.reportEvery < 0 {
+		return cfg, fmt.Errorf("-report-interval must be non-negative")
 	}
 	cfg.base = addr
 	if !strings.Contains(cfg.base, "://") {
@@ -274,9 +293,24 @@ func run(args []string, out io.Writer) error {
 		firstErr       error
 	}
 	results := make([]sessionResult, cfg.sessions)
+	var traces traceAgg
+	var rep *reporter
+	if cfg.reportEvery > 0 {
+		rep = &reporter{}
+	}
 
 	var wg sync.WaitGroup
 	start := time.Now()
+	reportDone := make(chan struct{})
+	reportExited := make(chan struct{})
+	if rep != nil {
+		go func() {
+			defer close(reportExited)
+			rep.loop(out, client, start, cfg.reportEvery, reportDone)
+		}()
+	} else {
+		close(reportExited)
+	}
 	for g := 0; g < cfg.sessions; g++ {
 		wg.Add(1)
 		go func(id int) {
@@ -296,20 +330,28 @@ func run(args []string, out io.Writer) error {
 				op := gens[id].NextOp()
 				switch op.Kind {
 				case workload.OpRead:
-					body, err := json.Marshal(wireQuery(cfg, op.Query))
+					wq := wireQuery(cfg, op.Query)
+					if cfg.traceSample > 0 && q%cfg.traceSample == 0 {
+						wq.Trace = true
+					}
+					body, err := json.Marshal(wq)
 					if err != nil {
 						fail(err)
 						continue
 					}
 					t0 := time.Now()
-					ttfb, _, err := client.postQuery(body)
+					ttfb, _, spanJSON, err := client.postQuery(body)
 					lat := time.Since(t0)
 					if err != nil {
 						fail(err)
 					} else {
 						res.latencies = append(res.latencies, lat)
 						res.ttfbs = append(res.ttfbs, ttfb)
+						if len(spanJSON) > 0 {
+							traces.add(spanJSON)
+						}
 					}
+					rep.observe(lat, err != nil)
 				case workload.OpInsert, workload.OpDelete:
 					req := map[string]any{"table": op.Table}
 					if op.Kind == workload.OpInsert {
@@ -332,6 +374,7 @@ func run(args []string, out io.Writer) error {
 					t0 := time.Now()
 					ur, err := client.postUpdate(body)
 					lat := time.Since(t0)
+					rep.observe(lat, err != nil)
 					if err != nil {
 						fail(err)
 						continue
@@ -350,6 +393,10 @@ func run(args []string, out io.Writer) error {
 		}(g)
 	}
 	wg.Wait()
+	close(reportDone)
+	// Join the reporter before the final report: both write to out, and
+	// an interim line mid-print must not interleave with (or race) it.
+	<-reportExited
 	wall := time.Since(start)
 
 	var reads, ttfbs, writes []time.Duration
@@ -379,6 +426,7 @@ func run(args []string, out io.Writer) error {
 	printLatencies(out, "read latency", reads)
 	printLatencies(out, "read ttfb", ttfbs)
 	printLatencies(out, "write latency", writes)
+	traces.report(out)
 	if len(reads) > 0 {
 		fmt.Fprintf(out, "wire: proto=%s block=%d bytes/query=%.0f conn-reuse=%.1f%% (%d of %d requests)\n",
 			cfg.proto, cfg.block, float64(client.readBytes.Load())/float64(len(reads)),
@@ -402,6 +450,126 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "server: stats unavailable: %v\n", err)
 	}
 	return nil
+}
+
+// traceAgg accumulates sampled span trees into a per-phase breakdown:
+// how many times each phase appeared and its total duration.
+type traceAgg struct {
+	mu      sync.Mutex
+	sampled int
+	phases  map[string]*phaseTotals
+}
+
+type phaseTotals struct {
+	n       int
+	totalUs int64
+}
+
+func (a *traceAgg) add(spanJSON []byte) {
+	var root trace.Span
+	if err := json.Unmarshal(spanJSON, &root); err != nil {
+		return // a malformed trace is a curiosity, not a run failure
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.phases == nil {
+		a.phases = make(map[string]*phaseTotals)
+	}
+	a.sampled++
+	var walk func(sp *trace.Span)
+	walk = func(sp *trace.Span) {
+		pt := a.phases[sp.Phase.String()]
+		if pt == nil {
+			pt = &phaseTotals{}
+			a.phases[sp.Phase.String()] = pt
+		}
+		pt.n++
+		pt.totalUs += sp.DurUs
+		for _, c := range sp.Spans {
+			walk(c)
+		}
+	}
+	walk(&root)
+}
+
+// report prints the phase breakdown in the recorder's phase order, so
+// the line reads as the life of a query: queue wait, batch assembly,
+// crack, merge flush, materialise, wire encode.
+func (a *traceAgg) report(out io.Writer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sampled == 0 {
+		return
+	}
+	var parts []string
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		pt := a.phases[p.String()]
+		if pt == nil || pt.n == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s mean=%dµs (n=%d)", p, pt.totalUs/int64(pt.n), pt.n))
+	}
+	fmt.Fprintf(out, "trace: %d sampled queries; %s\n", a.sampled, strings.Join(parts, ", "))
+}
+
+// reporter prints interim progress lines for long runs. A nil reporter
+// is inert, so sessions call observe unconditionally.
+type reporter struct {
+	mu   sync.Mutex
+	lats []time.Duration
+	ops  uint64
+	errs uint64
+}
+
+func (r *reporter) observe(lat time.Duration, failed bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ops++
+	if failed {
+		r.errs++
+	} else {
+		r.lats = append(r.lats, lat)
+	}
+	r.mu.Unlock()
+}
+
+// loop prints one line per interval with the interval's own ops rate
+// and percentiles (not cumulative ones, so convergence is visible as
+// the numbers drop run-over-run), until done closes.
+func (r *reporter) loop(out io.Writer, client *netClient, start time.Time, every time.Duration, done <-chan struct{}) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	var lastBytes uint64
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		lats := r.lats
+		ops, errs := r.ops, r.errs
+		r.lats, r.ops, r.errs = nil, 0, 0
+		r.mu.Unlock()
+		bytes := client.readBytes.Load()
+		d := bytes - lastBytes
+		lastBytes = bytes
+		var p50, p99 time.Duration
+		if len(lats) > 0 {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			p50 = lats[len(lats)/2]
+			i99 := int(0.99 * float64(len(lats)))
+			if i99 >= len(lats) {
+				i99 = len(lats) - 1
+			}
+			p99 = lats[i99]
+		}
+		fmt.Fprintf(out, "interim t=%v ops=%d (%.1f/s) errors=%d p50=%v p99=%v read-bytes=%d\n",
+			time.Since(start).Round(time.Second), ops, float64(ops)/every.Seconds(), errs,
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond), d)
+	}
 }
 
 // printLatencies reports percentiles over one latency population.
@@ -459,7 +627,7 @@ func newNetClient(base, proto string, block, sessions int) *netClient {
 // do issues one traced request; ttfb, when non-nil, receives the time
 // from t0 to the first response byte.
 func (c *netClient) do(req *http.Request, t0 time.Time, ttfb *time.Duration) (*http.Response, error) {
-	trace := &httptrace.ClientTrace{
+	ct := &httptrace.ClientTrace{
 		GotConn: func(info httptrace.GotConnInfo) {
 			c.conns.Add(1)
 			if info.Reused {
@@ -468,9 +636,9 @@ func (c *netClient) do(req *http.Request, t0 time.Time, ttfb *time.Duration) (*h
 		},
 	}
 	if ttfb != nil {
-		trace.GotFirstResponseByte = func() { *ttfb = time.Since(t0) }
+		ct.GotFirstResponseByte = func() { *ttfb = time.Since(t0) }
 	}
-	return c.hc.Do(req.WithContext(httptrace.WithClientTrace(req.Context(), trace)))
+	return c.hc.Do(req.WithContext(httptrace.WithClientTrace(req.Context(), ct)))
 }
 
 // reuseRate returns the fraction of requests answered over a reused
@@ -551,11 +719,12 @@ func wireQuery(cfg config, tq workload.TableQuery) server.QueryRequest {
 // postQuery issues one read query, fully consuming and decoding the
 // response on the configured protocol (a client that discards bodies
 // undersells the decode cost the protocol exists to remove). It
-// returns the time to the first response byte and the response size.
-func (c *netClient) postQuery(body []byte) (ttfb time.Duration, n int64, err error) {
+// returns the time to the first response byte, the response size, and
+// the phase span tree when the query asked for one.
+func (c *netClient) postQuery(body []byte) (ttfb time.Duration, n int64, spanJSON []byte, err error) {
 	req, err := http.NewRequest(http.MethodPost, c.base+"/query", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if c.proto == "binary" {
@@ -563,28 +732,33 @@ func (c *netClient) postQuery(body []byte) (ttfb time.Duration, n int64, err err
 	}
 	resp, err := c.do(req, time.Now(), &ttfb)
 	if err != nil {
-		return ttfb, 0, err
+		return ttfb, 0, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var msg bytes.Buffer
 		io.Copy(&msg, io.LimitReader(resp.Body, 256))
-		return ttfb, 0, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
+		return ttfb, 0, nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
 	}
 	cr := &countingReader{r: resp.Body}
 	if c.proto == "binary" && resp.Header.Get("Content-Type") == wire.ContentType {
-		_, err = wire.Decode(cr)
+		var res *wire.Result
+		res, err = wire.Decode(cr)
+		if err == nil {
+			spanJSON = res.Trace
+		}
 	} else {
 		var qr server.QueryResponse
 		err = json.NewDecoder(cr).Decode(&qr)
+		spanJSON = qr.Trace
 	}
 	if err != nil {
-		return ttfb, cr.n, fmt.Errorf("decoding %s response: %w", c.proto, err)
+		return ttfb, cr.n, nil, fmt.Errorf("decoding %s response: %w", c.proto, err)
 	}
 	// Drain any trailing bytes so the connection is reused.
 	io.Copy(io.Discard, cr)
 	c.readBytes.Add(uint64(cr.n))
-	return ttfb, cr.n, nil
+	return ttfb, cr.n, spanJSON, nil
 }
 
 func (c *netClient) fetchStats() (server.Stats, error) {

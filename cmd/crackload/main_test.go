@@ -261,3 +261,76 @@ func TestUnreachableServer(t *testing.T) {
 		t.Fatal("unreachable server must fail")
 	}
 }
+
+// TestTraceSampleAndInterimReports drives the new observability flags:
+// every Nth read asks the server for its span tree, the run ends with
+// a phase breakdown, and interim lines appear while it runs.
+func TestTraceSampleAndInterimReports(t *testing.T) {
+	svc, ts := startBackend(t, 20_000)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "4",
+		"-queries", "40",
+		"-workload", "hotset",
+		"-domain", "20000",
+		"-op", "select",
+		"-trace-sample", "4",
+		"-report-interval", "50ms",
+		"-think", "2ms", // stretch the run past a couple of report ticks
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "trace: ") {
+		t.Fatalf("no trace phase breakdown in report:\n%s", report)
+	}
+	// 40 queries per session at every 4th sampled = 10 per session.
+	if !strings.Contains(report, "trace: 40 sampled queries") {
+		t.Fatalf("wrong sample count in report:\n%s", report)
+	}
+	for _, phase := range []string{"queue_wait", "crack"} {
+		if !strings.Contains(report, phase) {
+			t.Fatalf("phase %s missing from breakdown:\n%s", phase, report)
+		}
+	}
+	if !strings.Contains(report, "interim t=") {
+		t.Fatalf("no interim report lines:\n%s", report)
+	}
+	if st := svc.Stats(); st.TracedQueries != 40 {
+		t.Fatalf("server saw %d traced queries, want 40", st.TracedQueries)
+	}
+}
+
+// TestTraceSampleBinaryProto checks the span tree also arrives over
+// the binary protocol's trace frame.
+func TestTraceSampleBinaryProto(t *testing.T) {
+	_, ts := startBackend(t, 20_000)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "2",
+		"-queries", "10",
+		"-workload", "hotset",
+		"-domain", "20000",
+		"-op", "select",
+		"-proto", "binary",
+		"-trace-sample", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "trace: 4 sampled queries") {
+		t.Fatalf("binary-proto trace frames not aggregated:\n%s", out.String())
+	}
+}
+
+func TestObservabilityFlagValidation(t *testing.T) {
+	if _, err := parseFlags([]string{"-trace-sample", "-1"}); err == nil {
+		t.Fatal("negative -trace-sample must fail")
+	}
+	if _, err := parseFlags([]string{"-report-interval", "-1s"}); err == nil {
+		t.Fatal("negative -report-interval must fail")
+	}
+}

@@ -25,8 +25,16 @@
 // the physical design the workload paid for survives the restart
 // instead of being re-learned, and unmerged writes are not lost.
 //
-// Endpoints: POST /query, POST /update, GET /stats, GET /healthz (see
-// internal/server).
+// Observability: GET /stats is the structured snapshot, GET /metrics
+// the Prometheus text exposition of the same counters, and GET
+// /debug/events the reorganisation event log (crack splits, merge
+// flushes, planner decisions) for cursor-based replay. Queries carrying
+// "trace":true (or an X-Crack-Trace header) get their per-phase span
+// tree back inline. -events sizes the event ring; -debug-addr starts a
+// second listener with net/http/pprof, kept off the public address.
+//
+// Endpoints: POST /query, POST /update, GET /stats, GET /metrics,
+// GET /debug/events, GET /healthz (see internal/server).
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +54,7 @@ import (
 
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/updates"
 )
 
@@ -73,6 +83,8 @@ type config struct {
 	inFlight    int
 	snapshot    string
 	drainWait   time.Duration
+	events      int
+	debugAddr   string
 }
 
 func parseFlags(args []string) (config, error) {
@@ -92,6 +104,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.inFlight, "inflight", 1024, "admission limit on in-flight queries")
 	fs.StringVar(&cfg.snapshot, "snapshot", "", "engine snapshot file, restored on boot and written on graceful shutdown")
 	fs.DurationVar(&cfg.drainWait, "drain-wait", 5*time.Second, "graceful shutdown drain timeout")
+	fs.IntVar(&cfg.events, "events", trace.DefaultLogSize, "reorganisation event ring capacity (served at /debug/events)")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "optional second listen address exposing net/http/pprof (kept off the public address)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -144,6 +158,14 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		ln.Close()
 		return err
 	}
+	// A restored snapshot's age tells operators how much adaptive
+	// convergence this process inherited rather than earned.
+	var snapTime time.Time
+	if built.Restored {
+		if fi, err := os.Stat(cfg.snapshot); err == nil {
+			snapTime = fi.ModTime()
+		}
+	}
 	svc, err := server.NewService(server.Config{
 		Engine:       built.Engine,
 		DefaultTable: specs[0].Name,
@@ -151,6 +173,8 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		BatchWindow:  cfg.batchWindow,
 		MaxBatch:     cfg.batchMax,
 		MaxInFlight:  cfg.inFlight,
+		EventLog:     trace.NewLog(cfg.events),
+		SnapshotTime: snapTime,
 	})
 	if err != nil {
 		ln.Close()
@@ -160,6 +184,27 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+
+	// The profiler gets its own listener so it can stay firewalled away
+	// from the query surface; it serves until the daemon exits.
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			svc.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: mux}
+		go debugSrv.Serve(dln)
+		fmt.Fprintf(out, "crackserve: pprof on %s\n", dln.Addr())
+	}
 
 	boot := "cold start"
 	if built.Restored {
@@ -186,6 +231,9 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 	shutdownErr := httpSrv.Shutdown(shutdownCtx)
 	if errors.Is(shutdownErr, context.DeadlineExceeded) {
 		httpSrv.Close()
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	svc.Close()
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/trace"
 )
 
 // syncBuffer is a Buffer safe to read while the serve goroutine is
@@ -383,5 +384,95 @@ func TestFlagParsing(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-n", "10", "-path", "no-such-path"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown path must fail")
+	}
+}
+
+// TestServeObservabilitySurface is the live-daemon contract for the
+// tracing PR: a booted crackserve answers traced queries with a span
+// tree, serves a lint-clean Prometheus exposition at /metrics, replays
+// its reorganisation log at /debug/events, and runs pprof on the
+// -debug-addr listener only.
+func TestServeObservabilitySurface(t *testing.T) {
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := dln.Addr().String()
+	dln.Close()
+	cfg := config{
+		tables:      "data:20000:3",
+		seed:        5,
+		path:        "auto",
+		batchWindow: 200 * time.Microsecond,
+		batchMax:    64,
+		inFlight:    128,
+		drainWait:   time.Second,
+		events:      256,
+		debugAddr:   debugAddr,
+	}
+	url, cancel, done, _ := startServe(t, cfg)
+	defer func() {
+		cancel()
+		<-done
+	}()
+	for i := 0; i < 12; i++ {
+		postJSON(t, url, fmt.Sprintf(`{"op":"select","low":%d,"high":%d}`, i*300, i*300+400))
+	}
+	qr := postJSON(t, url, `{"op":"select","low":100,"high":800,"trace":true}`)
+	if len(qr.Trace) == 0 {
+		t.Fatal("traced query returned no span tree")
+	}
+	var root trace.Span
+	if err := json.Unmarshal(qr.Trace, &root); err != nil {
+		t.Fatalf("span tree does not decode: %v", err)
+	}
+	if root.ChildDurUs() > root.DurUs {
+		t.Fatalf("phase durations %dus exceed the query total %dus", root.ChildDurUs(), root.DurUs)
+	}
+
+	// The exposition must be ingestible: promtool-style lint, zero errors.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := trace.LintProm(resp.Body)
+	resp.Body.Close()
+	if len(errs) != 0 {
+		t.Fatalf("/metrics lint errors: %v", errs)
+	}
+
+	// The event log replays the reorganisation the workload caused.
+	resp, err = http.Get(url + "/debug/events?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Events []trace.Event `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&page)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) == 0 {
+		t.Fatal("no reorganisation events after an auto-path workload")
+	}
+
+	// pprof lives on the debug listener, not the public one.
+	resp, err = http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(url + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof must not be served on the public address")
 	}
 }

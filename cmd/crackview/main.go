@@ -3,17 +3,33 @@
 // prints the resulting pieces (position ranges and the pivot bounds
 // that delimit them) together with the accumulated work counters.
 //
+// With -events it instead replays a live crackserve daemon's
+// reorganisation event log (/debug/events) — the same evolution, but
+// observed from a running service: structure builds, crack splits,
+// piece-count thresholds, merge flushes and planner decisions, in
+// sequence order. -follow keeps polling for new events; -since resumes
+// a replay from a cursor.
+//
 // Usage:
 //
 //	crackview -n 1000000 -queries 25 -selectivity 0.02
+//	crackview -events localhost:8080
+//	crackview -events localhost:8080 -follow -since 1200
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/workload"
 )
 
@@ -32,9 +48,19 @@ func run(args []string) error {
 		selectivity = fs.Float64("selectivity", 0.01, "query selectivity")
 		seed        = fs.Int64("seed", 1, "random seed")
 		stochastic  = fs.Int("stochastic", 0, "random-pivot piece-size threshold (0 = off)")
+		events      = fs.String("events", "", "replay a crackserve reorganisation event log from this address instead of cracking locally")
+		follow      = fs.Bool("follow", false, "with -events, keep polling for new events")
+		since       = fs.Uint64("since", 0, "with -events, resume the replay after this sequence number")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *events != "" {
+		base := *events
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		return replayEvents(strings.TrimRight(base, "/"), *since, *follow, os.Stdout)
 	}
 
 	vals := workload.DataUniform(*seed, *n, *n)
@@ -68,4 +94,69 @@ func run(args []string) error {
 	}
 	fmt.Println("invariants: ok")
 	return nil
+}
+
+// eventsPage mirrors the server's /debug/events response shape.
+type eventsPage struct {
+	Events  []trace.Event `json:"events"`
+	LastSeq uint64        `json:"last_seq"`
+	Dropped uint64        `json:"dropped"`
+}
+
+// replayEvents prints a daemon's reorganisation log in sequence order,
+// one event per line. Without follow it stops once the cursor catches
+// up with the log; with follow it keeps polling.
+func replayEvents(base string, since uint64, follow bool, out io.Writer) error {
+	cursor := since
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/debug/events?since=%d&max=256", base, cursor))
+		if err != nil {
+			return err
+		}
+		var page eventsPage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d from %s/debug/events", resp.StatusCode, base)
+		}
+		if page.Dropped > 0 {
+			fmt.Fprintf(out, "-- %d events evicted before the cursor caught up --\n", page.Dropped)
+		}
+		for _, ev := range page.Events {
+			fmt.Fprintln(out, formatEvent(ev))
+			cursor = ev.Seq
+		}
+		if len(page.Events) == 0 || cursor >= page.LastSeq {
+			if !follow {
+				return nil
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
+}
+
+// formatEvent renders one event on one line, numeric fields in sorted
+// order so a replay is byte-stable for the same log.
+func formatEvent(ev trace.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%-6d %s %-16s", ev.Seq,
+		time.UnixMicro(ev.UnixMicros).Format("15:04:05.000000"), ev.Kind)
+	if ev.Table != "" {
+		fmt.Fprintf(&b, " %s.%s", ev.Table, ev.Column)
+	}
+	if ev.Path != "" {
+		fmt.Fprintf(&b, " path=%s", ev.Path)
+	}
+	keys := make([]string, 0, len(ev.Fields))
+	for k := range ev.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%g", k, ev.Fields[k])
+	}
+	return b.String()
 }

@@ -38,6 +38,7 @@ import (
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/partition"
 	"adaptiveindex/internal/sideways"
+	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/updates"
 )
 
@@ -368,6 +369,13 @@ type Engine struct {
 
 	writes WriteCounters
 	c      cost.Counters
+
+	// rec is the span recorder of the query currently executing (nil
+	// when the query is untraced); events, when set, receives the
+	// structured reorganisation events. Neither ever mutates the cost
+	// counters.
+	rec    *trace.Recorder
+	events *trace.Log
 }
 
 // New creates an engine over the catalog using the given cracking
@@ -406,6 +414,44 @@ func (e *Engine) SetParallelWorkers(w int) { e.workers = w }
 // before the engine serves queries.
 func (e *Engine) SetPlannerOptions(opts PlannerOptions) {
 	e.planner = newPlanner(opts)
+	e.planner.events = e.events
+}
+
+// SetEventLog attaches the reorganisation event log. Structure builds,
+// crack splits, merge flushes and planner decisions are appended to it
+// as they happen; a nil log (the default) disables event emission
+// entirely.
+func (e *Engine) SetEventLog(l *trace.Log) {
+	e.events = l
+	e.planner.events = l
+}
+
+// emit appends a reorganisation event when a log is attached.
+func (e *Engine) emit(ev trace.Event) {
+	if e.events != nil {
+		e.events.Append(ev)
+	}
+}
+
+// beginSpan opens a phase span when the current query is traced,
+// returning the cost snapshot endSpan needs. The two-value contract
+// keeps every call site a one-liner with no recorder nil-checks.
+func (e *Engine) beginSpan(p trace.Phase) (cost.Counters, bool) {
+	if e.rec == nil {
+		return cost.Counters{}, false
+	}
+	before := e.Cost()
+	e.rec.Begin(p)
+	return before, true
+}
+
+// endSpan closes the span beginSpan opened, attaching the engine-wide
+// cost delta the phase caused.
+func (e *Engine) endSpan(before cost.Counters, ok bool) {
+	if !ok {
+		return
+	}
+	e.rec.End(trace.WorkOf(e.Cost().Sub(before)))
 }
 
 // Cost returns the cumulative logical work of the engine and every
@@ -441,6 +487,8 @@ func (e *Engine) crackerFor(t *Table, col string) (*updates.Column, error) {
 	}
 	uc := updates.NewFromPairs(pairs, e.opts, e.MergePolicyFor(t.name), column.RowID(t.NumRows()))
 	e.crackers[k] = uc
+	e.emit(trace.Event{Kind: "build", Table: t.name, Column: col, Path: PathCracking.String(),
+		Fields: map[string]float64{"rows": float64(len(pairs))}})
 	return uc, nil
 }
 
@@ -457,12 +505,16 @@ func (e *Engine) parallelFor(t *Table, col string) (*partition.Index, error) {
 		return nil, err
 	}
 	px := partition.NewFromPairs(pairs, partition.Options{Partitions: e.partitions, Workers: e.workers, Core: e.opts})
+	kind := "build"
 	if e.staleParallel[k] {
 		delete(e.staleParallel, k)
 		built := px.Cost()
 		e.c.MergeWork += built.Total() - built.Recurring()
+		kind = "rebuild"
 	}
 	e.parallels[k] = px
+	e.emit(trace.Event{Kind: kind, Table: t.name, Column: col, Path: PathParallel.String(),
+		Fields: map[string]float64{"rows": float64(len(pairs)), "partitions": float64(len(px.PartitionStats()))}})
 	return px, nil
 }
 
@@ -519,6 +571,7 @@ func (e *Engine) mapsetFor(t *Table, col string) (*sideways.MapSet, error) {
 			return nil, err
 		}
 	}
+	kind := "build"
 	if e.staleSideways[k] {
 		delete(e.staleSideways, k)
 		// Building the set itself is lazy (maps materialise per
@@ -527,8 +580,11 @@ func (e *Engine) mapsetFor(t *Table, col string) (*sideways.MapSet, error) {
 		// set's own counters as its maps re-materialise and is pulled
 		// into merge work by the queries that pay it.
 		e.c.MergeWork += uint64(t.LiveRows())
+		kind = "rebuild"
 	}
 	e.mapsets[k] = ms
+	e.emit(trace.Event{Kind: kind, Table: t.name, Column: col, Path: PathSideways.String(),
+		Fields: map[string]float64{"rows": float64(t.LiveRows())}})
 	return ms, nil
 }
 
@@ -544,6 +600,10 @@ func (e *Engine) SelectRows(table, attr string, r column.Range, path AccessPath)
 		uc, err := e.crackerFor(t, attr)
 		if err != nil {
 			return nil, err
+		}
+		if e.rec != nil {
+			uc.SetTracer(e.rec)
+			defer uc.SetTracer(nil)
 		}
 		return uc.Select(r), nil
 	case PathSideways:
@@ -600,6 +660,10 @@ func (e *Engine) CountRows(table, attr string, r column.Range, path AccessPath) 
 		uc, err := e.crackerFor(t, attr)
 		if err != nil {
 			return 0, err
+		}
+		if e.rec != nil {
+			uc.SetTracer(e.rec)
+			defer uc.SetTracer(nil)
 		}
 		return uc.Count(r), nil
 	case PathSideways:
@@ -658,13 +722,20 @@ func (e *Engine) SelectProject(table, whereAttr string, r column.Range, projectA
 		if err != nil {
 			return nil, err
 		}
+		// Sideways cracking fuses selection and projection into one
+		// operator, so the whole execution is one crack span: there is
+		// no separable materialise phase to time.
+		sb, sok := e.beginSpan(trace.PhaseCrack)
 		rows, values, err := ms.SelectProjectMulti(r, projectAttrs)
+		e.endSpan(sb, sok)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Rows: rows, Columns: values}, nil
 	}
+	sb, sok := e.beginSpan(trace.PhaseCrack)
 	rows, err := e.SelectRows(table, whereAttr, r, path)
+	e.endSpan(sb, sok)
 	if err != nil {
 		return nil, err
 	}
@@ -676,6 +747,8 @@ func (e *Engine) SelectProject(table, whereAttr string, r column.Range, projectA
 	// sequential.
 	randomOrder := path == PathCracking || path == PathParallel
 	res := &Result{Rows: rows, Columns: make(map[string][]column.Value, len(projectAttrs))}
+	mb, mok := e.beginSpan(trace.PhaseMaterialise)
+	defer e.endSpan(mb, mok)
 	for _, attr := range projectAttrs {
 		vals, _ := t.Column(attr)
 		out := make([]column.Value, len(rows))
@@ -704,6 +777,10 @@ type Query struct {
 	Project   []string
 	CountOnly bool
 	Path      AccessPath
+	// Trace, when non-nil, receives the query's phase spans (crack,
+	// nested merge_flush, materialise). It observes execution without
+	// altering it: no cost counter moves because of tracing.
+	Trace *trace.Recorder
 }
 
 // candidatesFor returns the adaptive access paths the planner races
@@ -755,22 +832,37 @@ func (e *Engine) Run(q Query) (*Result, error) {
 		routed = true
 	}
 
+	e.rec = q.Trace
+	defer func() { e.rec = nil }()
+	var piecesBefore int
+	var insBefore, delBefore uint64
+	if e.events != nil {
+		piecesBefore = e.piecesFor(tc, path)
+		insBefore, delBefore, _ = e.mergedFor(tc)
+	}
+
 	before := e.Cost()
 	start := time.Now()
 	var res *Result
 	switch {
 	case q.CountOnly:
+		sb, sok := e.beginSpan(trace.PhaseCrack)
 		var n int
 		n, err = e.CountRows(q.Table, q.Column, q.R, path)
+		e.endSpan(sb, sok)
 		res = &Result{Count: n}
 	case len(q.Project) > 0:
+		// SelectProject opens its own crack and materialise spans; the
+		// sideways path's fused operator is a single crack span.
 		res, err = e.SelectProject(q.Table, q.Column, q.R, q.Project, path)
 		if err == nil {
 			res.Count = len(res.Rows)
 		}
 	default:
+		sb, sok := e.beginSpan(trace.PhaseCrack)
 		var rows column.IDList
 		rows, err = e.SelectRows(q.Table, q.Column, q.R, path)
+		e.endSpan(sb, sok)
 		res = &Result{Count: len(rows), Rows: rows}
 	}
 	if err != nil {
@@ -779,7 +871,77 @@ func (e *Engine) Run(q Query) (*Result, error) {
 	delta := e.Cost().Sub(before)
 	e.planner.observe(tc, candidates, scanCost, path, routed, delta, time.Since(start))
 	res.Path = path
+	if e.events != nil {
+		e.emitReorgEvents(tc, path, piecesBefore, insBefore, delBefore)
+	}
 	return res, nil
+}
+
+// piecesFor returns the cracked-piece count of the adaptive structure
+// the path would use on tc, or 0 when it has not been built.
+func (e *Engine) piecesFor(tc TableColumn, path AccessPath) int {
+	switch path {
+	case PathCracking:
+		if uc, ok := e.crackers[tc]; ok {
+			return uc.Cracker().NumPieces()
+		}
+	case PathSideways:
+		if ms, ok := e.mapsets[tc]; ok {
+			return ms.NumPieces()
+		}
+	case PathParallel:
+		if px, ok := e.parallels[tc]; ok {
+			n := 0
+			for _, p := range px.PartitionStats() {
+				n += p.Pieces
+			}
+			return n
+		}
+	}
+	return 0
+}
+
+// mergedFor returns the cracker column's merged-update counters and
+// pending backlog for tc (zeroes when no cracker exists yet).
+func (e *Engine) mergedFor(tc TableColumn) (ins, del uint64, pending int) {
+	if uc, ok := e.crackers[tc]; ok {
+		return uc.MergedInserts(), uc.MergedDeletions(), uc.PendingInsertions() + uc.PendingDeletions()
+	}
+	return 0, 0, 0
+}
+
+// emitReorgEvents compares the structure's piece count and the cracker
+// column's merged-update counters across one query and emits the
+// corresponding crack, pieces_threshold and merge_flush events. It runs
+// only when an event log is attached.
+func (e *Engine) emitReorgEvents(tc TableColumn, path AccessPath, piecesBefore int, insBefore, delBefore uint64) {
+	piecesAfter := e.piecesFor(tc, path)
+	if piecesAfter > piecesBefore {
+		e.emit(trace.Event{Kind: "crack", Table: tc.Table, Column: tc.Column, Path: path.String(),
+			Fields: map[string]float64{
+				"pieces_before": float64(piecesBefore),
+				"pieces_after":  float64(piecesAfter),
+			}})
+		// Power-of-two milestones from 16 up: the piece count crossing
+		// one is the structure visibly converging.
+		for th := 16; th <= piecesAfter; th *= 2 {
+			if piecesBefore < th {
+				e.emit(trace.Event{Kind: "pieces_threshold", Table: tc.Table, Column: tc.Column, Path: path.String(),
+					Fields: map[string]float64{"threshold": float64(th), "pieces": float64(piecesAfter)}})
+			}
+		}
+	}
+	if path == PathCracking {
+		ins, del, pending := e.mergedFor(tc)
+		if ins > insBefore || del > delBefore {
+			e.emit(trace.Event{Kind: "merge_flush", Table: tc.Table, Column: tc.Column, Path: path.String(),
+				Fields: map[string]float64{
+					"merged_inserts":    float64(ins - insBefore),
+					"merged_deletions":  float64(del - delBefore),
+					"pending_remaining": float64(pending),
+				}})
+		}
+	}
 }
 
 // StructureStats summarises the adaptive structures the engine has

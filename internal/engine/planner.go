@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/trace"
 )
 
 // PlannerOptions tunes the PathAuto planner.
@@ -152,6 +153,9 @@ type planState struct {
 type planner struct {
 	opts   PlannerOptions
 	states map[TableColumn]*planState
+	// events, when set, receives the planner's explore/exploit/
+	// re-explore decisions (with per-path scores) as structured events.
+	events *trace.Log
 }
 
 func newPlanner(opts PlannerOptions) *planner {
@@ -168,6 +172,13 @@ func (p *planner) stateFor(tc TableColumn, candidates []AccessPath, scanCost flo
 			chosen:     PathScan,
 		}
 		p.states[tc] = st
+		if p.events != nil {
+			p.events.Append(trace.Event{Kind: "plan_explore", Table: tc.Table, Column: tc.Column,
+				Fields: map[string]float64{
+					"passes":     float64(p.opts.ExplorePasses),
+					"candidates": float64(len(candidates)),
+				}})
+		}
 	}
 	st.scanCost = scanCost
 	return st
@@ -212,8 +223,25 @@ func (p *planner) route(tc TableColumn, candidates []AccessPath, scanCost float6
 			return probe
 		}
 		st.decide()
+		p.emitDecision(tc, st)
 	}
 	return st.chosen
+}
+
+// emitDecision records a closed explore round: the chosen path and the
+// score of every path the decision weighed.
+func (p *planner) emitDecision(tc TableColumn, st *planState) {
+	if p.events == nil {
+		return
+	}
+	fields := map[string]float64{"baseline": st.baseline}
+	for _, c := range append([]AccessPath{PathScan}, st.candidates...) {
+		if s := st.score(c); !math.IsInf(s, 1) {
+			fields["score_"+c.String()] = s
+		}
+	}
+	p.events.Append(trace.Event{Kind: "plan_exploit", Table: tc.Table, Column: tc.Column,
+		Path: st.chosen.String(), Fields: fields})
 }
 
 // tieMargin is how decisively a candidate must beat the incumbent best
@@ -316,6 +344,15 @@ func (p *planner) observe(tc TableColumn, candidates []AccessPath, scanCost floa
 		}
 		if st.driftRun >= p.opts.DriftWindow {
 			st.reExplore(p.opts.ReExplorePasses)
+			if p.events != nil {
+				p.events.Append(trace.Event{Kind: "plan_reexplore", Table: tc.Table, Column: tc.Column,
+					Path: path.String(), Fields: map[string]float64{
+						"re_explores": float64(st.reExplores),
+						"passes":      float64(p.opts.ReExplorePasses),
+						"last_work":   w,
+						"baseline":    st.baseline,
+					}})
+			}
 		}
 	}
 }

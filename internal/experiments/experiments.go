@@ -1,5 +1,5 @@
 // Package experiments defines the reproduction's experiment suite
-// E1..E17 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
+// E1..E18 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
 // builds its data, workload and competing access paths from the other
 // internal packages, runs them through the bench harness, and returns a
 // structured result plus a formatted text report. The cmd/aibench CLI
@@ -113,6 +113,7 @@ func All() []Definition {
 		{"E15", "Access-path planner vs static paths on a drifting workload", E15Planner},
 		{"E16", "Merge policies under a drifting mixed read/write workload", E16UpdatePolicies},
 		{"E17", "Binary columnar wire format vs JSON responses", E17WireProtocol},
+		{"E18", "Tracing overhead: sampled spans vs off", E18TracingOverhead},
 	}
 }
 

@@ -44,8 +44,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(All()))
+	if len(All()) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(All()))
 	}
 }
 
@@ -238,5 +238,22 @@ func TestE17BinaryBytesDominateJSON(t *testing.T) {
 	j2, b2 := WireBytes(tiny())
 	if j2 != jsonBytes || b2 != binBytes {
 		t.Fatalf("byte totals not deterministic: (%d,%d) then (%d,%d)", jsonBytes, binBytes, j2, b2)
+	}
+}
+
+// TestE18TracingIsFreeOnCounters pins the deterministic half of E18's
+// claim: attaching a span recorder and event log to every query must
+// leave the engine's logical work counters exactly unchanged. The
+// wall-clock half (sampled tracing costs low single-digit percent) is
+// reported by E18TracingOverhead and machine-dependent, so it is not
+// asserted here; benchjson gates this invariant in CI as
+// trace_overhead_work = 0.
+func TestE18TracingIsFreeOnCounters(t *testing.T) {
+	bare, traced := E18WorkParity(tiny())
+	if bare == 0 {
+		t.Fatal("bare run produced no work")
+	}
+	if traced != bare {
+		t.Fatalf("tracing perturbed the counters: bare %d, traced %d", bare, traced)
 	}
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/engine"
+	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/wire"
 )
 
@@ -38,6 +40,9 @@ type QueryRequest struct {
 	// Path selects the access path ("scan", "cracking", "sideways",
 	// "parallel", "auto"); empty means the service default.
 	Path string `json:"path,omitempty"`
+	// Trace asks for the query's phase span tree in the response (the
+	// X-Crack-Trace header does the same without touching the body).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Range converts the wire form to the internal predicate.
@@ -77,6 +82,9 @@ type QueryResponse struct {
 	// LatencyUs is the server-side latency of this query, queueing
 	// included.
 	LatencyUs int64 `json:"latency_us"`
+	// Trace is the phase span tree for traced queries (see
+	// trace.Span); absent unless the request asked for it.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // errorResponse is the wire form of a failure.
@@ -183,26 +191,41 @@ func decodeInsertRows(raw json.RawMessage) ([][]column.Value, error) {
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /query   answer one query (see QueryRequest)
-//	POST /update  apply inserts/deletes (see UpdateRequest)
-//	GET  /stats   observable service + catalog + planner state (see Stats)
-//	GET  /healthz liveness probe
+//	POST /query         answer one query (see QueryRequest)
+//	POST /update        apply inserts/deletes (see UpdateRequest)
+//	GET  /stats         observable service + catalog + planner state (see Stats)
+//	GET  /metrics       Prometheus text exposition of the same counters
+//	GET  /debug/events  reorganisation event log (cursor: ?since=seq)
+//	GET  /healthz       liveness probe
+//
+// Every route answers the wrong method with 405 and an Allow header.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/update", s.handleUpdate)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/query", s.methodGate(http.MethodPost, s.handleQuery))
+	mux.Handle("/update", s.methodGate(http.MethodPost, s.handleUpdate))
+	mux.Handle("/stats", s.methodGate(http.MethodGet, s.handleStats))
+	mux.Handle("/metrics", s.methodGate(http.MethodGet, s.handleMetrics))
+	mux.Handle("/debug/events", s.methodGate(http.MethodGet, s.handleEvents))
+	mux.Handle("/healthz", s.methodGate(http.MethodGet, func(w http.ResponseWriter, _ *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
+	}))
 	return mux
 }
 
+// methodGate rejects every method but the given one with 405 and an
+// Allow header, per RFC 9110 §15.5.6.
+func (s *Service) methodGate(method string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: method + " required"})
+			return
+		}
+		h(w, r)
+	})
+}
+
 func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-		return
-	}
 	var u UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid update: %v", err)})
@@ -236,25 +259,40 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-		return
+// wantTrace reports whether the request asked for a phase span tree:
+// "trace":true in the body, or an X-Crack-Trace header (any value but
+// "0" and "false").
+func wantTrace(q QueryRequest, r *http.Request) bool {
+	if q.Trace {
+		return true
 	}
+	switch v := r.Header.Get("X-Crack-Trace"); v {
+	case "", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var q QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid query: %v", err)})
 		return
 	}
 	binary, blockRows := wire.Negotiate(r.Header.Get("Accept"))
+	var rec *trace.Recorder
+	if wantTrace(q, r) {
+		rec = trace.NewRecorder()
+	}
 	start := time.Now()
 	var reply Reply
 	var err error
 	switch q.Op {
 	case "", "count":
-		reply, err = s.do(opCount, q.query())
+		reply, err = s.do(opCount, q.query(), rec)
 	case "select":
-		reply, err = s.SelectQuery(q.query())
+		reply, err = s.do(opSelect, q.query(), rec)
 	default:
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown op %q (want count or select)", q.Op)})
 		return
@@ -266,7 +304,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if binary {
-		s.writeBinary(w, q, reply, blockRows, start)
+		s.writeBinary(w, q, reply, blockRows, start, rec)
 		return
 	}
 	resp := QueryResponse{
@@ -276,7 +314,37 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Path:      reply.Path.String(),
 		LatencyUs: time.Since(start).Microseconds(),
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	if rec == nil {
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// The payload encode happens inside the wire_encode span, so the
+	// span tree can only be serialised afterwards: marshal the response
+	// without the trace, then splice the tree in as the final field.
+	rec.Begin(trace.PhaseEncode)
+	body, err := json.Marshal(resp)
+	rec.End(trace.Work{})
+	if err != nil {
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	root := rec.Finish()
+	s.observePhases(root)
+	spanJSON, err := json.Marshal(root)
+	if err != nil {
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	spliced := make([]byte, 0, len(body)+len(spanJSON)+16)
+	spliced = append(spliced, body[:len(body)-1]...) // drop the closing brace
+	spliced = append(spliced, `,"trace":`...)
+	spliced = append(spliced, spanJSON...)
+	spliced = append(spliced, '}')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(spliced); err != nil {
+		s.encodeFailed("json", err)
+	}
 }
 
 // writeBinary streams one successful query result in the binary
@@ -287,10 +355,17 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 // plane produces them instead of waiting for a fully materialised
 // body. Column vectors are sliced straight out of the engine result;
 // nothing is re-marshalled per value.
-func (s *Service) writeBinary(w http.ResponseWriter, q QueryRequest, reply Reply, blockRows int, start time.Time) {
+//
+// For traced queries (rec non-nil) the header and block encoding is
+// timed as the wire_encode phase and the finished span tree rides in a
+// trace frame between the last block and the footer.
+func (s *Service) writeBinary(w http.ResponseWriter, q QueryRequest, reply Reply, blockRows int, start time.Time, rec *trace.Recorder) {
 	w.Header().Set("Content-Type", wire.ContentType)
 	enc := wire.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	if rec != nil {
+		rec.Begin(trace.PhaseEncode)
+	}
 	h := wire.Header{Count: reply.Count, Path: reply.Path.String(), Columns: q.Project}
 	if err := enc.WriteHeader(h); err != nil {
 		s.encodeFailed("binary", err)
@@ -309,6 +384,19 @@ func (s *Service) writeBinary(w http.ResponseWriter, q QueryRequest, reply Reply
 	if err != nil {
 		s.encodeFailed("binary", err)
 		return
+	}
+	if rec != nil {
+		rec.End(trace.Work{})
+		root := rec.Finish()
+		s.observePhases(root)
+		spanJSON, err := json.Marshal(root)
+		if err == nil {
+			err = enc.WriteTrace(spanJSON)
+		}
+		if err != nil {
+			s.encodeFailed("binary", err)
+			return
+		}
 	}
 	f := wire.Footer{TotalRows: uint64(len(reply.Rows)), LatencyUs: uint64(time.Since(start).Microseconds())}
 	if err := enc.WriteFooter(f); err != nil {
@@ -338,11 +426,49 @@ func statusFor(err error) int {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
-		return
-	}
 	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// eventsResponse is the wire form of one /debug/events poll. Clients
+// replay the log by polling with since=<last seen seq>; Dropped warns
+// when the ring evicted events the cursor never saw.
+type eventsResponse struct {
+	Events   []trace.Event `json:"events"`
+	LastSeq  uint64        `json:"last_seq"`
+	Dropped  uint64        `json:"dropped"`
+	Capacity int           `json:"capacity"`
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	var max int
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid since: %v", err)})
+			return
+		}
+		since = n
+	}
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid max: want a non-negative integer"})
+			return
+		}
+		max = n
+	}
+	events, dropped := s.events.Since(since, max)
+	if events == nil {
+		events = []trace.Event{} // "[]", not "null": the poll loop is cursor arithmetic
+	}
+	s.writeJSON(w, http.StatusOK, eventsResponse{
+		Events:   events,
+		LastSeq:  s.events.LastSeq(),
+		Dropped:  dropped,
+		Capacity: s.events.Capacity(),
+	})
 }
 
 func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"adaptiveindex/internal/trace"
+)
+
+// This file renders the service's counters and histograms in the
+// Prometheus text exposition format (version 0.0.4) at /metrics, with
+// no client library: the service's metrics are all atomics and
+// log-scale histograms, so the exposition is a straight read-and-print.
+//
+// Naming: everything is prefixed crack_; cumulative counters end in
+// _total; durations are seconds. The log-scale histogram buckets map
+// exactly: bucket i holds integer microsecond durations in
+// [2^(i-1), 2^i), whose largest member — the Prometheus inclusive
+// upper bound — is 2^i - 1 µs.
+
+// promContentType is the text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promBound is histogram bucket i's inclusive upper bound in seconds.
+func promBound(i int) float64 {
+	return float64(uint64(1)<<uint(i)-1) / 1e6
+}
+
+// promFloat renders a sample value the way Prometheus expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promMeta writes one family's HELP and TYPE lines.
+func promMeta(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promSample writes one sample line; labels is either empty or a
+// `key="value",` prefix for the le label.
+func promSample(b *strings.Builder, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(b, "%s %s\n", name, promFloat(v))
+	} else {
+		fmt.Fprintf(b, "%s{%s} %s\n", name, strings.TrimSuffix(labels, ","), promFloat(v))
+	}
+}
+
+// renderProm writes the full exposition document.
+func (s *Service) renderProm(b *strings.Builder) {
+	st := s.Stats()
+
+	counter := func(name, help string, v float64) {
+		promMeta(b, name, "counter", help)
+		promSample(b, name, "", v)
+	}
+	gauge := func(name, help string, v float64) {
+		promMeta(b, name, "gauge", help)
+		promSample(b, name, "", v)
+	}
+
+	counter("crack_queries_total", "Queries answered.", float64(st.Queries))
+	counter("crack_writes_total", "Write requests applied.", float64(st.Writes))
+	counter("crack_rejected_total", "Requests refused at the admission limit.", float64(st.Rejected))
+	counter("crack_batches_total", "Query batches executed by the scheduler.", float64(st.Batches))
+	counter("crack_shared_scans_total", "Queries answered by an execution shared within a batch.", float64(st.SharedScans))
+	counter("crack_encode_failures_total", "Responses whose encode or write to the client failed.", float64(st.EncodeFailures))
+	counter("crack_traced_queries_total", "Queries that requested span tracing.", float64(st.TracedQueries))
+	counter("crack_work_units_total", "Engine cumulative logical work (tuples touched).", float64(st.WorkTotal))
+	counter("crack_reorg_events_total", "Reorganisation events appended to the event log.", float64(st.EventLog.LastSeq))
+	counter("crack_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(st.Process.GCPauseTotalUs)/1e6)
+	counter("crack_gc_cycles_total", "Completed GC cycles.", float64(st.Process.NumGC))
+
+	gauge("crack_in_flight", "Requests currently admitted.", float64(st.InFlight))
+	gauge("crack_max_batch_seen", "Largest batch executed so far.", float64(st.MaxBatchSeen))
+	gauge("crack_pending_inserts", "Buffered inserts awaiting merge.", float64(st.WriteState.PendingInserts))
+	gauge("crack_pending_deletes", "Buffered deletes awaiting merge.", float64(st.WriteState.PendingDeletes))
+	gauge("crack_cracked_pieces", "Cracked pieces across all adaptive structures.", float64(st.Structures.Pieces))
+	gauge("crack_goroutines", "Live goroutines.", float64(st.Process.Goroutines))
+	gauge("crack_heap_alloc_bytes", "Bytes of live heap.", float64(st.Process.HeapAllocBytes))
+	gauge("crack_uptime_seconds", "Seconds since the service started.", st.UptimeSeconds)
+	if st.Process.SnapshotAgeSeconds > 0 {
+		gauge("crack_snapshot_age_seconds", "Age of the restored adaptive-state snapshot.", st.Process.SnapshotAgeSeconds)
+	}
+
+	promMeta(b, "crack_query_latency_seconds", "histogram", "Server-side query latency, queueing included.")
+	promHistSeries(b, "crack_query_latency_seconds", "", &s.hist)
+
+	promMeta(b, "crack_phase_latency_seconds", "histogram", "Per-phase latency of traced queries.")
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		h := &s.phases[p]
+		if h.count.Load() == 0 {
+			continue
+		}
+		promHistSeries(b, "crack_phase_latency_seconds", fmt.Sprintf("phase=%q,", p.String()), h)
+	}
+}
+
+// promHistSeries writes the sample lines of one histogram series.
+func promHistSeries(b *strings.Builder, name, labels string, h *histogram) {
+	var counts [histBuckets]uint64
+	last := 0
+	for i := 0; i < histBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			last = i
+		}
+	}
+	count := h.count.Load()
+	sum := h.sum.Load()
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labels, promFloat(promBound(i)), cum)
+	}
+	// count is read after the buckets; an in-flight observe may have
+	// bumped a bucket but not yet the count. Clamp so the +Inf bucket
+	// (which must equal _count) never dips below the cumulative series.
+	if count < cum {
+		count = cum
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, count)
+	bare := strings.TrimSuffix(labels, ",")
+	if bare != "" {
+		bare = "{" + bare + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, bare, promFloat(float64(sum)/1e6))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, bare, count)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.renderProm(&b)
+	w.Header().Set("Content-Type", promContentType)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		s.encodeFailed("metrics", err)
+	}
+}

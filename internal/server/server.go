@@ -49,6 +49,7 @@ import (
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/index"
 	"adaptiveindex/internal/persist"
+	"adaptiveindex/internal/trace"
 )
 
 // Errors returned by the service.
@@ -91,6 +92,14 @@ type Config struct {
 	// rejected with ErrOverloaded instead of queueing without bound
 	// (default 1024).
 	MaxInFlight int
+	// EventLog receives the engine's structured reorganisation events
+	// (crack splits, merge flushes, planner decisions), served at
+	// /debug/events. Nil gets a fresh ring of trace.DefaultLogSize.
+	EventLog *trace.Log
+	// SnapshotTime, when non-zero, is the modification time of the
+	// snapshot the engine was restored from; /stats and /metrics report
+	// its age so operators can tell how much convergence is inherited.
+	SnapshotTime time.Time
 }
 
 // Query is one service-level request: "SELECT Project FROM Table WHERE
@@ -161,7 +170,15 @@ type request struct {
 	q        engine.Query // fully resolved: defaults applied, path parsed
 	writes   []WriteOp    // opWrite only
 	enqueued time.Time
-	resp     chan result
+	// dequeued is when the executor pulled the request off the queue
+	// (the end of its queue-wait, the start of its batch-assembly wait).
+	dequeued time.Time
+	// rec is the request's span recorder (nil for untraced requests).
+	// Ownership crosses with the request: the submitting goroutine
+	// stops touching it at send and resumes at reply, so the channel
+	// handoffs are its synchronisation.
+	rec  *trace.Recorder
+	resp chan result
 }
 
 // result is the executor's answer to one request.
@@ -200,7 +217,12 @@ type Service struct {
 	// never saw, on either the JSON or the binary path.
 	encodeFailures atomic.Uint64
 	hist           histogram
-	started        time.Time
+	// phases aggregates traced queries' span durations per phase;
+	// traced counts how many queries asked for tracing.
+	phases  [trace.NumPhases]histogram
+	traced  atomic.Uint64
+	events  *trace.Log
+	started time.Time
 }
 
 // NewService creates and starts a service over the configured engine.
@@ -242,14 +264,19 @@ func NewService(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: default path: %w", err)
 	}
+	if cfg.EventLog == nil {
+		cfg.EventLog = trace.NewLog(trace.DefaultLogSize)
+	}
 	s := &Service{
 		cfg:         cfg,
 		defaultPath: defaultPath,
 		batched:     cfg.BatchWindow > 0,
 		closed:      make(chan struct{}),
 		drained:     make(chan struct{}),
+		events:      cfg.EventLog,
 		started:     time.Now(),
 	}
+	cfg.Engine.SetEventLog(s.events)
 	if s.batched {
 		// The queue buffers one admission limit's worth of requests so
 		// senders under the limit never block on the executor.
@@ -285,29 +312,41 @@ func (s *Service) resolve(q Query) (engine.Query, error) {
 // Count answers a range predicate on the default table and column,
 // batching it with concurrent queries when the scheduler is enabled.
 func (s *Service) Count(r column.Range) (int, error) {
-	reply, err := s.do(opCount, Query{R: r})
+	reply, err := s.do(opCount, Query{R: r}, nil)
 	return reply.Count, err
 }
 
 // Select answers a range predicate on the default table and column
 // with the qualifying row identifiers.
 func (s *Service) Select(r column.Range) (column.IDList, error) {
-	reply, err := s.do(opSelect, Query{R: r})
+	reply, err := s.do(opSelect, Query{R: r}, nil)
 	return reply.Rows, err
 }
 
 // CountQuery answers a full query without materialising rows to the
 // caller.
 func (s *Service) CountQuery(q Query) (int, error) {
-	reply, err := s.do(opCount, q)
+	reply, err := s.do(opCount, q, nil)
 	return reply.Count, err
 }
 
 // SelectQuery answers a full query, including projections when
 // q.Project names columns.
 func (s *Service) SelectQuery(q Query) (Reply, error) {
-	return s.do(opSelect, q)
+	return s.do(opSelect, q, nil)
 }
+
+// SelectQueryTraced answers a full query while recording its phase
+// spans into rec: queue wait, batch assembly, crack (with any nested
+// merge flush), and materialise. The caller owns rec again once the
+// reply returns; the wire-encode phase, if any, is the caller's to
+// record before Finish.
+func (s *Service) SelectQueryTraced(q Query, rec *trace.Recorder) (Reply, error) {
+	return s.do(opSelect, q, rec)
+}
+
+// Events returns the service's reorganisation event log.
+func (s *Service) Events() *trace.Log { return s.events }
 
 // ErrEmptyWrite is returned for write requests that carry no
 // mutation, or ops that mix inserts and deletes.
@@ -398,7 +437,7 @@ func (s *Service) executeWrite(ops []WriteOp) result {
 	return result{write: reply}
 }
 
-func (s *Service) do(o op, q Query) (Reply, error) {
+func (s *Service) do(o op, q Query, rec *trace.Recorder) (Reply, error) {
 	if o == opCount && len(q.Project) > 0 {
 		return Reply{}, ErrProjectWithCount
 	}
@@ -417,7 +456,7 @@ func (s *Service) do(o op, q Query) (Reply, error) {
 	start := time.Now()
 	var res result
 	if s.batched {
-		req := &request{op: o, q: eq, enqueued: start, resp: make(chan result, 1)}
+		req := &request{op: o, q: eq, enqueued: start, rec: rec, resp: make(chan result, 1)}
 		select {
 		case s.queue <- req:
 		case <-s.closed:
@@ -442,7 +481,13 @@ func (s *Service) do(o op, q Query) (Reply, error) {
 			return Reply{}, ErrClosed
 		default:
 		}
+		// In direct mode the service latch plays the queue's role: the
+		// wait for it is the query's queue-wait phase.
 		s.mu.Lock()
+		if rec != nil {
+			rec.Add(trace.PhaseQueueWait, time.Since(start), trace.Work{})
+			eq.Trace = rec
+		}
 		res = s.executeOne(o, eq)
 		s.mu.Unlock()
 	}
@@ -477,6 +522,7 @@ func (s *Service) runExecutor() {
 		var batch []*request
 		select {
 		case req := <-s.queue:
+			req.dequeued = time.Now()
 			batch = append(batch, req)
 		case <-s.closed:
 			s.drainAndExit()
@@ -506,6 +552,7 @@ func (s *Service) runExecutor() {
 			}
 			select {
 			case req := <-s.queue:
+				req.dequeued = time.Now()
 				batch = append(batch, req)
 			case <-timer.C:
 				break collect
@@ -525,6 +572,7 @@ func (s *Service) drainQueued(batch *[]*request) bool {
 	for len(*batch) < s.cfg.MaxBatch {
 		select {
 		case req := <-s.queue:
+			req.dequeued = time.Now()
 			*batch = append(*batch, req)
 			got = true
 		default:
@@ -540,6 +588,7 @@ func (s *Service) drainAndExit() {
 	for {
 		select {
 		case req := <-s.queue:
+			req.dequeued = time.Now()
 			s.executeBatch([]*request{req})
 		default:
 			return
@@ -575,6 +624,13 @@ type slot struct {
 	eq       engine.Query
 	wantRows bool
 	res      result
+	// rec is the first traced waiter's recorder: the shared execution
+	// records its engine phases there, and spans captures them (the
+	// children added between mark and the execution's end) so the other
+	// traced waiters of the slot can import copies.
+	rec   *trace.Recorder
+	mark  int
+	spans []*trace.Span
 }
 
 // executeBatch answers one batch: duplicate queries collapse onto a
@@ -628,8 +684,23 @@ func (s *Service) executeBatch(batch []*request) {
 		if req.op == opSelect {
 			sl.wantRows = true
 		}
+		if req.rec != nil && sl.rec == nil {
+			sl.rec = req.rec
+		}
 	}
 	s.shared.Add(uint64(len(queries) - len(order)))
+
+	// Back-fill the scheduler phases for traced queries: the time on the
+	// queue, then the wait while the rest of the batch assembled. The
+	// engine phases follow once the slot executes.
+	assembled := time.Now()
+	for _, req := range queries {
+		if req.rec == nil {
+			continue
+		}
+		req.rec.Add(trace.PhaseQueueWait, req.dequeued.Sub(req.enqueued), trace.Work{})
+		req.rec.Add(trace.PhaseBatchAssembly, assembled.Sub(req.dequeued), trace.Work{})
+	}
 
 	// Group the unique executions by (table, column) and run each group
 	// in recursive-median order so the batch subdivides the adaptive
@@ -656,7 +727,14 @@ func (s *Service) executeBatch(batch []*request) {
 			if sl.eq.CountOnly {
 				o = opCount
 			}
+			if sl.rec != nil {
+				sl.mark = sl.rec.ChildCount()
+				sl.eq.Trace = sl.rec
+			}
 			sl.res = s.executeOne(o, sl.eq)
+			if sl.rec != nil {
+				sl.spans = sl.rec.ChildrenSince(sl.mark)
+			}
 		}
 	}
 
@@ -666,8 +744,33 @@ func (s *Service) executeBatch(batch []*request) {
 		if res.err == nil && req.op == opCount {
 			res.reply = Reply{Count: res.reply.Count, Path: res.reply.Path}
 		}
+		// Traced waiters that shared another query's execution get copies
+		// of its engine spans: the work happened once, but each span tree
+		// should still explain where the query's latency went.
+		if req.rec != nil && req.rec != sl.rec {
+			req.rec.Import(sl.spans)
+		}
 		req.resp <- res
 	}
+}
+
+// observePhases folds one finished traced query's span tree into the
+// per-phase latency histograms behind /stats and /metrics.
+func (s *Service) observePhases(root *trace.Span) {
+	if root == nil {
+		return
+	}
+	s.traced.Add(1)
+	var walk func(sp *trace.Span)
+	walk = func(sp *trace.Span) {
+		if int(sp.Phase) < len(s.phases) {
+			s.phases[sp.Phase].observe(time.Duration(sp.DurUs) * time.Microsecond)
+		}
+		for _, c := range sp.Spans {
+			walk(c)
+		}
+	}
+	walk(root)
 }
 
 // Close stops accepting queries, waits for the scheduler to drain every

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"runtime"
 	"sort"
 	"time"
 
 	"adaptiveindex/internal/engine"
+	"adaptiveindex/internal/trace"
 )
 
 // TableStats describes one catalog table. Rows counts row slots
@@ -17,6 +19,34 @@ type TableStats struct {
 	LiveRows    int      `json:"live_rows"`
 	Columns     []string `json:"columns"`
 	MergePolicy string   `json:"merge_policy"`
+}
+
+// PhaseStats is the latency summary of one execution phase, aggregated
+// over traced queries.
+type PhaseStats struct {
+	Phase   string       `json:"phase"`
+	Latency LatencyStats `json:"latency"`
+}
+
+// ProcessStats is process-level health: scheduler pressure and memory
+// behaviour that no query counter exposes.
+type ProcessStats struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	GCPauseTotalUs uint64 `json:"gc_pause_total_us"`
+	NumGC          uint32 `json:"num_gc"`
+	// SnapshotAgeSeconds is how old the restored snapshot is (zero when
+	// the engine started cold) — a proxy for how much adaptive
+	// convergence was inherited rather than earned by this process.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
+}
+
+// EventLogStats describes the reorganisation event ring served at
+// /debug/events. LastSeq is also the total number of events ever
+// appended, so its rate is the reorganisation rate.
+type EventLogStats struct {
+	LastSeq  uint64 `json:"last_seq"`
+	Capacity int    `json:"capacity"`
 }
 
 // Stats is the service's observable state, served by /stats.
@@ -70,6 +100,15 @@ type Stats struct {
 
 	Latency LatencyStats `json:"latency"`
 
+	// TracedQueries counts queries that asked for span tracing; Phases
+	// aggregates their per-phase durations (phases never observed are
+	// omitted).
+	TracedQueries uint64       `json:"traced_queries"`
+	Phases        []PhaseStats `json:"phases,omitempty"`
+
+	Process  ProcessStats  `json:"process"`
+	EventLog EventLogStats `json:"event_log"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -99,6 +138,25 @@ func (s *Service) statsLocked() Stats {
 			MergePolicy: eng.MergePolicyFor(name).String(),
 		})
 	}
+	var phases []PhaseStats
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		ls := s.phases[p].snapshot()
+		if ls.Count == 0 {
+			continue
+		}
+		phases = append(phases, PhaseStats{Phase: p.String(), Latency: ls})
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	proc := ProcessStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		GCPauseTotalUs: ms.PauseTotalNs / 1000,
+		NumGC:          ms.NumGC,
+	}
+	if !s.cfg.SnapshotTime.IsZero() {
+		proc.SnapshotAgeSeconds = time.Since(s.cfg.SnapshotTime).Seconds()
+	}
 	return Stats{
 		Tables:         tables,
 		Structures:     eng.Structures(),
@@ -121,6 +179,10 @@ func (s *Service) statsLocked() Stats {
 		InFlight:       s.inFlight.Load(),
 		MaxInFlight:    s.cfg.MaxInFlight,
 		Latency:        s.hist.snapshot(),
+		TracedQueries:  s.traced.Load(),
+		Phases:         phases,
+		Process:        proc,
+		EventLog:       EventLogStats{LastSeq: s.events.LastSeq(), Capacity: s.events.Capacity()},
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 	}
 }

@@ -267,7 +267,7 @@ func TestEncodeFailuresAreCounted(t *testing.T) {
 	eng, _ := testEngine(t, 1000)
 	svc := newTestService(t, eng, 0, "auto")
 	svc.writeJSON(&failingWriter{header: make(http.Header)}, http.StatusOK, map[string]int{"x": 1})
-	svc.writeBinary(&failingWriter{header: make(http.Header)}, QueryRequest{}, Reply{Count: 1, Rows: column.IDList{1}}, 0, time.Now())
+	svc.writeBinary(&failingWriter{header: make(http.Header)}, QueryRequest{}, Reply{Count: 1, Rows: column.IDList{1}}, 0, time.Now(), nil)
 	if got := svc.Stats().EncodeFailures; got != 2 {
 		t.Fatalf("encode_failures = %d, want 2", got)
 	}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured reorganisation event: the moment the
+// "index builds itself" property became physically visible. Kinds in
+// use:
+//
+//	build            an adaptive structure was first built for a column
+//	rebuild          a write-invalidated structure was rebuilt
+//	crack            a query split cracked pieces (piece count grew)
+//	pieces_threshold the piece count crossed a power-of-two threshold
+//	merge_flush      pending buffered writes ripple-merged into a column
+//	plan_explore     the planner opened (or re-opened) path exploration
+//	plan_exploit     the planner chose a path, with per-path scores
+//	plan_reexplore   sustained drift re-opened exploration
+type Event struct {
+	// Seq is the log-assigned monotonically increasing sequence
+	// number; /debug/events cursors are expressed in it.
+	Seq uint64 `json:"seq"`
+	// UnixMicros is the wall-clock append time.
+	UnixMicros int64 `json:"unix_micros"`
+	// Kind names the event (see above).
+	Kind string `json:"kind"`
+	// Table, Column and Path locate the structure the event concerns.
+	Table  string `json:"table,omitempty"`
+	Column string `json:"column,omitempty"`
+	Path   string `json:"path,omitempty"`
+	// Fields carries the event's numeric payload (piece counts, merge
+	// sizes, planner scores).
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// Log is a bounded in-memory ring of events. Appends come from the
+// engine's executor; reads come from concurrent /debug/events
+// handlers, so the ring is guarded by a mutex — never on a query hot
+// path unless an event actually fired.
+type Log struct {
+	mu   sync.Mutex
+	buf  []Event
+	size int
+	next uint64 // next sequence number to assign (first is 1)
+}
+
+// DefaultLogSize is the ring capacity used when none is given.
+const DefaultLogSize = 1024
+
+// NewLog creates a ring holding the most recent capacity events
+// (DefaultLogSize when capacity <= 0).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultLogSize
+	}
+	return &Log{buf: make([]Event, 0, capacity), size: capacity, next: 1}
+}
+
+// Append stamps the event with the next sequence number and the
+// current time, stores it (evicting the oldest when full), and
+// returns the assigned sequence number.
+func (l *Log) Append(ev Event) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev.Seq = l.next
+	ev.UnixMicros = time.Now().UnixMicro()
+	l.next++
+	if len(l.buf) < l.size {
+		l.buf = append(l.buf, ev)
+	} else {
+		// Ring: slot for seq s is (s-1) % size.
+		l.buf[(ev.Seq-1)%uint64(l.size)] = ev
+	}
+	return ev.Seq
+}
+
+// LastSeq returns the sequence number of the newest event (0 when the
+// log is empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Capacity returns the ring size.
+func (l *Log) Capacity() int { return l.size }
+
+// Since returns up to max events with Seq > since, in sequence order,
+// plus the number of matching events that had already been evicted
+// from the ring (a non-zero dropped count tells a poller it fell
+// behind). max <= 0 means no limit.
+func (l *Log) Since(since uint64, max int) (events []Event, dropped uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	last := l.next - 1
+	if last == 0 || since >= last {
+		return nil, 0
+	}
+	oldest := uint64(1)
+	if last > uint64(l.size) {
+		oldest = last - uint64(l.size) + 1
+	}
+	first := since + 1
+	if first < oldest {
+		dropped = oldest - first
+		first = oldest
+	}
+	n := int(last - first + 1)
+	if max > 0 && n > max {
+		n = max
+	}
+	events = make([]Event, 0, n)
+	for seq := first; seq < first+uint64(n); seq++ {
+		events = append(events, l.buf[(seq-1)%uint64(l.size)])
+	}
+	return events, dropped
+}

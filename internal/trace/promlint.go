@@ -1,0 +1,324 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProm validates a Prometheus text-exposition document the way
+// `promtool check metrics` would, without the dependency: line syntax,
+// metric and label naming, TYPE/HELP placement, counter naming, and —
+// the part a hand-rolled renderer most easily gets wrong — histogram
+// consistency: cumulative bucket monotonicity over ascending `le`
+// bounds, a mandatory `+Inf` bucket, and agreement between the +Inf
+// bucket and `_count`. It returns every problem found (nil when the
+// document is clean).
+func LintProm(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := make(map[string]string)   // metric family -> declared type
+	helped := make(map[string]bool)    // family -> HELP seen
+	sampled := make(map[string]bool)   // family -> first sample seen
+	hists := make(map[string]*histDoc) // family -> histogram accumulation
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			family, kind, ok := parseMeta(line)
+			if !ok {
+				fail(n, "malformed comment line %q (want # HELP/# TYPE)", line)
+				continue
+			}
+			if kind == "" { // HELP
+				helped[family] = true
+				continue
+			}
+			if !validType(kind) {
+				fail(n, "metric %s: unknown type %q", family, kind)
+			}
+			if prev, dup := types[family]; dup && prev != kind {
+				fail(n, "metric %s: conflicting TYPE %q after %q", family, kind, prev)
+			}
+			if sampled[family] {
+				fail(n, "metric %s: TYPE after its first sample", family)
+			}
+			types[family] = kind
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		family := familyOf(name)
+		sampled[family] = true
+		if !metricName.MatchString(name) {
+			fail(n, "invalid metric name %q", name)
+		}
+		if t, ok := types[family]; ok {
+			if t == "counter" && !strings.HasSuffix(family, "_total") {
+				fail(n, "counter %s should end in _total", family)
+			}
+			if t == "histogram" {
+				h := hists[family]
+				if h == nil {
+					h = &histDoc{buckets: make(map[string][]bucket)}
+					hists[family] = h
+				}
+				h.observe(name, family, labels, value, n, fail)
+			}
+		} else {
+			fail(n, "sample %s before its TYPE line", name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+	for family := range types {
+		if !helped[family] {
+			errs = append(errs, fmt.Errorf("metric %s: TYPE without HELP", family))
+		}
+	}
+	for family, h := range hists {
+		h.check(family, &errs)
+	}
+	return errs
+}
+
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func validType(t string) bool {
+	switch t {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		return true
+	}
+	return false
+}
+
+// parseMeta parses "# HELP name text" and "# TYPE name type" lines;
+// kind is "" for HELP lines. Other comments are rejected (the
+// renderer never emits them, so one appearing is a bug).
+func parseMeta(line string) (family, kind string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", false
+	}
+	switch fields[1] {
+	case "HELP":
+		return fields[2], "", true
+	case "TYPE":
+		if len(fields) != 4 {
+			return "", "", false
+		}
+		return fields[2], fields[3], true
+	}
+	return "", "", false
+}
+
+// familyOf strips the histogram sample suffixes so `x_bucket`,
+// `x_sum` and `x_count` all belong to family `x` when `x` declared
+// itself a histogram; for plain metrics the name is the family.
+var histSuffixes = []string{"_bucket", "_sum", "_count"}
+
+func familyOf(name string) string {
+	for _, suf := range histSuffixes {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// parseSample splits `name{l1="v1",...} value` into its parts.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	labels = make(map[string]string)
+	if brace >= 0 {
+		name = rest[:brace]
+		close := strings.LastIndexByte(rest, '}')
+		if close < brace {
+			return "", nil, 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		body := rest[brace+1 : close]
+		rest = strings.TrimSpace(rest[close+1:])
+		for _, pair := range splitLabels(body) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			ln, lv := pair[:eq], pair[eq+1:]
+			if !labelName.MatchString(ln) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", ln)
+			}
+			unq, uerr := strconv.Unquote(lv)
+			if uerr != nil {
+				return "", nil, 0, fmt.Errorf("label %s value %s not quoted: %v", ln, lv, uerr)
+			}
+			labels[ln] = unq
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	// A timestamp may follow the value; the renderer never emits one,
+	// but tolerate it like promtool does.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if part := strings.TrimSpace(body[start:i]); part != "" {
+					out = append(out, part)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if part := strings.TrimSpace(body[start:]); part != "" {
+		out = append(out, part)
+	}
+	return out
+}
+
+// bucket is one histogram bucket sample.
+type bucket struct {
+	le    float64
+	count float64
+	line  int
+}
+
+// histDoc accumulates one histogram family's samples, keyed by the
+// non-le label set (one series per phase, for example).
+type histDoc struct {
+	buckets map[string][]bucket
+	counts  map[string]float64
+	sums    map[string]bool
+}
+
+// seriesKey canonicalises the non-le labels of a histogram sample.
+func seriesKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+func (h *histDoc) observe(name, family string, labels map[string]string, value float64, line int, fail func(int, string, ...any)) {
+	key := seriesKey(labels)
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le, ok := labels["le"]
+		if !ok {
+			fail(line, "histogram %s bucket without le label", family)
+			return
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			var err error
+			bound, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				fail(line, "histogram %s: bad le %q", family, le)
+				return
+			}
+		}
+		h.buckets[key] = append(h.buckets[key], bucket{le: bound, count: value, line: line})
+	case strings.HasSuffix(name, "_count"):
+		if h.counts == nil {
+			h.counts = make(map[string]float64)
+		}
+		h.counts[key] = value
+	case strings.HasSuffix(name, "_sum"):
+		if h.sums == nil {
+			h.sums = make(map[string]bool)
+		}
+		h.sums[key] = true
+	default:
+		fail(line, "histogram %s: bare sample %s (want _bucket/_sum/_count)", family, name)
+	}
+}
+
+// check validates each accumulated series: ascending le bounds,
+// non-decreasing cumulative counts, +Inf present and equal to _count.
+func (h *histDoc) check(family string, errs *[]error) {
+	for key, bs := range h.buckets {
+		where := family
+		if key != "" {
+			where = family + "{" + strings.TrimSuffix(key, ",") + "}"
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le == bs[i-1].le {
+				*errs = append(*errs, fmt.Errorf("histogram %s: duplicate le=%g", where, bs[i].le))
+			}
+			if bs[i].count < bs[i-1].count {
+				*errs = append(*errs, fmt.Errorf("histogram %s: bucket counts not monotonic at le=%g (%g after %g)",
+					where, bs[i].le, bs[i].count, bs[i-1].count))
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			*errs = append(*errs, fmt.Errorf("histogram %s: missing +Inf bucket", where))
+			continue
+		}
+		count, ok := h.counts[key]
+		if !ok {
+			*errs = append(*errs, fmt.Errorf("histogram %s: missing _count", where))
+		} else if count != last.count {
+			*errs = append(*errs, fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", where, last.count, count))
+		}
+		if !h.sums[key] {
+			*errs = append(*errs, fmt.Errorf("histogram %s: missing _sum", where))
+		}
+	}
+}

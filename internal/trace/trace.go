@@ -1,0 +1,307 @@
+// Package trace is the adaptive-work observability layer: per-query
+// phase spans, a bounded reorganisation event log, and a lint for the
+// Prometheus text exposition the service renders from them.
+//
+// Database cracking's defining property is that index structure
+// emerges as a side effect of queries — which means a query's latency
+// is not one number but a composition: time spent waiting in the
+// scheduler queue, time coalescing into a batch, time reorganising
+// (cracking) the column, time ripple-merging pending writes the
+// predicate touched, time materialising results, and time encoding
+// them onto the wire. A Recorder collects those phases as a span tree
+// for one query; a Log records the discrete reorganisation events
+// (crack splits, structure rebuilds, merge flushes, planner decisions)
+// so convergence can be watched live instead of inferred from
+// end-state piece counts.
+//
+// Tracing is strictly opt-in and must be free when off: every hook in
+// the engine and the update layer is gated on a nil Recorder, and no
+// part of this package ever mutates the deterministic cost counters —
+// spans carry cost *deltas* read from them, which is what lets a
+// span's crack/merge work be reconciled against /stats counter
+// movements.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"adaptiveindex/internal/cost"
+)
+
+// Phase names one timed section of a query's execution.
+type Phase uint8
+
+// The canonical phases, in the order a query passes through them.
+// PhaseQuery is the root span covering the whole request.
+const (
+	PhaseQuery Phase = iota
+	// PhaseQueueWait is the time between a request's admission and the
+	// executor dequeuing it (in direct mode: the service-latch wait).
+	PhaseQueueWait
+	// PhaseBatchAssembly is the time a dequeued request spends waiting
+	// for its batch's coalescing window to close.
+	PhaseBatchAssembly
+	// PhaseCrack is the selection execution: evaluating the predicate
+	// and, as a side effect, physically reorganising the adaptive
+	// structure (the crack). For sideways cracking's fused
+	// select-project operator it covers the fused execution.
+	PhaseCrack
+	// PhaseMergeFlush is the ripple-merge of pending buffered writes
+	// the query's predicate touched, nested inside PhaseCrack.
+	PhaseMergeFlush
+	// PhaseMaterialise is late tuple reconstruction: gathering the
+	// projected attribute values by qualifying row identifier.
+	PhaseMaterialise
+	// PhaseEncode is the wire encoding of the response body (JSON
+	// marshalling or binary block packing).
+	PhaseEncode
+	// NumPhases bounds arrays indexed by Phase.
+	NumPhases
+)
+
+// phaseNames maps phases to their wire names.
+var phaseNames = [NumPhases]string{
+	"query", "queue_wait", "batch_assembly", "crack", "merge_flush",
+	"materialise", "wire_encode",
+}
+
+// String returns the phase's wire name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// ParsePhase converts a wire name back to the phase.
+func ParsePhase(s string) (Phase, error) {
+	for p, name := range phaseNames {
+		if name == s {
+			return Phase(p), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown phase %q", s)
+}
+
+// MarshalJSON renders the phase as its wire name.
+func (p Phase) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON parses a wire name.
+func (p *Phase) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParsePhase(s)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// Work is the logical-work delta a span observed: the cost model's
+// scalar total, its recurring (materialisation) component, and the
+// share re-attributed to write-caused merging. Spans carry deltas, so
+// summing them over a query reconciles with the movement of the
+// engine's cumulative counters.
+type Work struct {
+	Total     uint64 `json:"work,omitempty"`
+	Recurring uint64 `json:"recurring,omitempty"`
+	MergeWork uint64 `json:"merge_work,omitempty"`
+}
+
+// WorkOf extracts the span-level view of a cost-counter delta.
+func WorkOf(c cost.Counters) Work {
+	return Work{Total: c.Total(), Recurring: c.Recurring(), MergeWork: c.MergeWork}
+}
+
+// Add accumulates other into w.
+func (w *Work) Add(other Work) {
+	w.Total += other.Total
+	w.Recurring += other.Recurring
+	w.MergeWork += other.MergeWork
+}
+
+// Span is one timed phase of a query, with optional nested phases.
+// StartUs is the offset from the root span's start, so a tree is
+// self-contained without absolute timestamps.
+type Span struct {
+	Phase   Phase   `json:"phase"`
+	StartUs int64   `json:"start_us"`
+	DurUs   int64   `json:"dur_us"`
+	Work    Work    `json:"-"`
+	Spans   []*Span `json:"spans,omitempty"`
+}
+
+// spanJSON is the wire form of a span: the Work fields are inlined so
+// the JSON stays flat and omits zeroes.
+type spanJSON struct {
+	Phase     Phase   `json:"phase"`
+	StartUs   int64   `json:"start_us"`
+	DurUs     int64   `json:"dur_us"`
+	Total     uint64  `json:"work,omitempty"`
+	Recurring uint64  `json:"recurring,omitempty"`
+	MergeWork uint64  `json:"merge_work,omitempty"`
+	Spans     []*Span `json:"spans,omitempty"`
+}
+
+// MarshalJSON inlines the work fields.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(spanJSON{
+		Phase: s.Phase, StartUs: s.StartUs, DurUs: s.DurUs,
+		Total: s.Work.Total, Recurring: s.Work.Recurring, MergeWork: s.Work.MergeWork,
+		Spans: s.Spans,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (s *Span) UnmarshalJSON(b []byte) error {
+	var sj spanJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return err
+	}
+	*s = Span{
+		Phase: sj.Phase, StartUs: sj.StartUs, DurUs: sj.DurUs,
+		Work:  Work{Total: sj.Total, Recurring: sj.Recurring, MergeWork: sj.MergeWork},
+		Spans: sj.Spans,
+	}
+	return nil
+}
+
+// Clone deep-copies the span tree, so a shared execution's spans can
+// be fanned out to several responses without aliasing.
+func (s *Span) Clone() *Span {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	if len(s.Spans) > 0 {
+		out.Spans = make([]*Span, len(s.Spans))
+		for i, child := range s.Spans {
+			out.Spans[i] = child.Clone()
+		}
+	}
+	return &out
+}
+
+// SumWork returns the accumulated work of the span's direct children
+// (each child already includes its own descendants' work in its
+// delta).
+func (s *Span) SumWork() Work {
+	var w Work
+	for _, child := range s.Spans {
+		w.Add(child.Work)
+	}
+	return w
+}
+
+// ChildDurUs returns the summed durations of the span's direct
+// children — by construction disjoint, so the sum never exceeds the
+// span's own duration beyond clock-resolution slack.
+func (s *Span) ChildDurUs() int64 {
+	var d int64
+	for _, child := range s.Spans {
+		d += child.DurUs
+	}
+	return d
+}
+
+// Recorder collects the span tree of one query. It is used by exactly
+// one goroutine at a time and handed off through channels (the HTTP
+// goroutine enqueues it, the executor records into it, the HTTP
+// goroutine renders it), which establishes the necessary
+// happens-before edges; it needs no internal locking.
+type Recorder struct {
+	start time.Time
+	root  *Span
+	stack []*Span
+}
+
+// NewRecorder starts a recorder whose root span begins now.
+func NewRecorder() *Recorder {
+	root := &Span{Phase: PhaseQuery}
+	return &Recorder{start: time.Now(), root: root, stack: []*Span{root}}
+}
+
+// cur returns the innermost open span.
+func (r *Recorder) cur() *Span { return r.stack[len(r.stack)-1] }
+
+// Begin opens a nested phase under the current span.
+func (r *Recorder) Begin(p Phase) {
+	s := &Span{Phase: p, StartUs: time.Since(r.start).Microseconds()}
+	cur := r.cur()
+	cur.Spans = append(cur.Spans, s)
+	r.stack = append(r.stack, s)
+}
+
+// End closes the innermost open phase, attaching the observed work
+// delta. Ending with only the root open is a no-op (defensive; it
+// means Begin/End were unbalanced).
+func (r *Recorder) End(w Work) {
+	if len(r.stack) <= 1 {
+		return
+	}
+	s := r.cur()
+	r.stack = r.stack[:len(r.stack)-1]
+	s.DurUs = time.Since(r.start).Microseconds() - s.StartUs
+	if s.DurUs < 0 {
+		s.DurUs = 0
+	}
+	s.Work = w
+}
+
+// Add records an already-elapsed phase of duration d ending now, as a
+// child of the current span. It is how the scheduler back-fills
+// queue-wait and batch-assembly time it measured before the recorder
+// crossed into the executor.
+func (r *Recorder) Add(p Phase, d time.Duration, w Work) {
+	end := time.Since(r.start).Microseconds()
+	s := &Span{Phase: p, StartUs: end - d.Microseconds(), DurUs: d.Microseconds(), Work: w}
+	if s.StartUs < 0 {
+		s.StartUs = 0
+	}
+	cur := r.cur()
+	cur.Spans = append(cur.Spans, s)
+}
+
+// ChildCount returns how many direct children the current span has —
+// a bookmark for ChildrenSince.
+func (r *Recorder) ChildCount() int { return len(r.cur().Spans) }
+
+// ChildrenSince returns the direct children appended after the
+// bookmark, i.e. the spans one shared execution produced.
+func (r *Recorder) ChildrenSince(n int) []*Span {
+	children := r.cur().Spans
+	if n < 0 || n > len(children) {
+		return nil
+	}
+	return children[n:]
+}
+
+// Import deep-copies completed spans from another recorder into the
+// current span: a query whose execution was coalesced with an
+// identical one inherits the shared execution's phases.
+func (r *Recorder) Import(spans []*Span) {
+	cur := r.cur()
+	for _, s := range spans {
+		cur.Spans = append(cur.Spans, s.Clone())
+	}
+}
+
+// Finish closes every open span and stamps the root's total duration.
+// It may be called again after appending late phases (the wire-encode
+// span lands after the response body is produced); each call extends
+// the root duration to now.
+func (r *Recorder) Finish() *Span {
+	for len(r.stack) > 1 {
+		r.End(Work{})
+	}
+	r.root.DurUs = time.Since(r.start).Microseconds()
+	return r.root
+}
+
+// Root returns the root span without finishing the recorder.
+func (r *Recorder) Root() *Span { return r.root }

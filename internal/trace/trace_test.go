@@ -1,0 +1,318 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptiveindex/internal/cost"
+)
+
+func TestPhaseRoundTrip(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		got, err := ParsePhase(p.String())
+		if err != nil {
+			t.Fatalf("ParsePhase(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParsePhase(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePhase("nope"); err == nil {
+		t.Fatal("ParsePhase accepted an unknown name")
+	}
+}
+
+func TestRecorderNesting(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(PhaseCrack)
+	r.Begin(PhaseMergeFlush)
+	r.End(Work{Total: 7, MergeWork: 7})
+	r.End(Work{Total: 100, Recurring: 10})
+	r.Begin(PhaseMaterialise)
+	r.End(Work{Recurring: 30})
+	root := r.Finish()
+
+	if root.Phase != PhaseQuery {
+		t.Fatalf("root phase = %v", root.Phase)
+	}
+	if len(root.Spans) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Spans))
+	}
+	crack := root.Spans[0]
+	if crack.Phase != PhaseCrack || len(crack.Spans) != 1 || crack.Spans[0].Phase != PhaseMergeFlush {
+		t.Fatalf("crack span misshapen: %+v", crack)
+	}
+	if crack.Work.Total != 100 || crack.Spans[0].Work.MergeWork != 7 {
+		t.Fatalf("work deltas lost: %+v / %+v", crack.Work, crack.Spans[0].Work)
+	}
+	if root.ChildDurUs() > root.DurUs {
+		t.Fatalf("children (%dus) exceed root (%dus)", root.ChildDurUs(), root.DurUs)
+	}
+}
+
+func TestRecorderEndAtRootIsNoop(t *testing.T) {
+	r := NewRecorder()
+	r.End(Work{Total: 1}) // unbalanced; must not panic or attach work
+	root := r.Finish()
+	if len(root.Spans) != 0 || root.Work.Total != 0 {
+		t.Fatalf("unbalanced End mutated the root: %+v", root)
+	}
+}
+
+func TestRecorderAddBackfill(t *testing.T) {
+	r := NewRecorder()
+	r.Add(PhaseQueueWait, 5*time.Millisecond, Work{})
+	root := r.Finish()
+	if len(root.Spans) != 1 {
+		t.Fatalf("children = %d, want 1", len(root.Spans))
+	}
+	qw := root.Spans[0]
+	if qw.Phase != PhaseQueueWait || qw.DurUs != 5000 {
+		t.Fatalf("back-filled span wrong: %+v", qw)
+	}
+	if qw.StartUs < 0 {
+		t.Fatalf("StartUs clamped incorrectly: %d", qw.StartUs)
+	}
+}
+
+func TestRecorderFinishClosesOpenSpans(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(PhaseCrack)
+	r.Begin(PhaseMergeFlush)
+	root := r.Finish() // both still open
+	if len(root.Spans) != 1 || len(root.Spans[0].Spans) != 1 {
+		t.Fatalf("open spans not closed: %+v", root)
+	}
+	// Finish again after a late phase: the root must extend.
+	first := root.DurUs
+	r.Begin(PhaseEncode)
+	time.Sleep(time.Millisecond)
+	r.End(Work{})
+	root = r.Finish()
+	if root.DurUs < first {
+		t.Fatalf("second Finish shrank the root: %d < %d", root.DurUs, first)
+	}
+	if len(root.Spans) != 2 || root.Spans[1].Phase != PhaseEncode {
+		t.Fatalf("late encode span missing: %+v", root.Spans)
+	}
+}
+
+func TestRecorderImportClones(t *testing.T) {
+	shared := NewRecorder()
+	n := shared.ChildCount()
+	shared.Begin(PhaseCrack)
+	shared.End(Work{Total: 42})
+	produced := shared.ChildrenSince(n)
+	if len(produced) != 1 {
+		t.Fatalf("ChildrenSince = %d spans, want 1", len(produced))
+	}
+
+	other := NewRecorder()
+	other.Import(produced)
+	produced[0].Work.Total = 999 // mutate the original
+	root := other.Finish()
+	if len(root.Spans) != 1 || root.Spans[0].Work.Total != 42 {
+		t.Fatalf("Import aliased instead of cloning: %+v", root.Spans)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := &Span{
+		Phase: PhaseQuery, DurUs: 120,
+		Spans: []*Span{
+			{Phase: PhaseCrack, StartUs: 10, DurUs: 50, Work: Work{Total: 100, Recurring: 20, MergeWork: 5},
+				Spans: []*Span{{Phase: PhaseMergeFlush, StartUs: 20, DurUs: 5, Work: Work{Total: 5, MergeWork: 5}}}},
+			{Phase: PhaseMaterialise, StartUs: 60, DurUs: 40, Work: Work{Recurring: 40}},
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The work fields are inlined, not nested under a "Work" key.
+	if strings.Contains(string(data), `"Work"`) {
+		t.Fatalf("Work not inlined: %s", data)
+	}
+	if !strings.Contains(string(data), `"phase":"merge_flush"`) {
+		t.Fatalf("phase names not used: %s", data)
+	}
+	var out Span
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Spans[0].Work.Total != 100 || out.Spans[0].Spans[0].Work.MergeWork != 5 {
+		t.Fatalf("round trip lost work: %+v", out)
+	}
+	if out.Spans[1].Work.Recurring != 40 {
+		t.Fatalf("round trip lost recurring: %+v", out.Spans[1])
+	}
+}
+
+func TestWorkOf(t *testing.T) {
+	c := cost.Counters{TuplesCopied: 10, RandomTouches: 2, MergeWork: 3, ValuesTouched: 100}
+	w := WorkOf(c)
+	if w.Total != c.Total() || w.Recurring != c.Recurring() || w.MergeWork != 3 {
+		t.Fatalf("WorkOf mismatch: %+v vs %+v", w, c)
+	}
+}
+
+func TestLogRingEviction(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: "crack", Fields: map[string]float64{"i": float64(i)}})
+	}
+	if l.LastSeq() != 10 {
+		t.Fatalf("LastSeq = %d, want 10", l.LastSeq())
+	}
+	events, dropped := l.Since(0, 0)
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if len(events) != 4 || events[0].Seq != 7 || events[3].Seq != 10 {
+		t.Fatalf("ring contents wrong: %+v", events)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("events out of sequence: %+v", events)
+		}
+	}
+}
+
+func TestLogSinceCursor(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Kind: "plan_exploit"})
+	}
+	// Two clients polling independently see the same sequence.
+	for _, start := range []uint64{0, 3} {
+		events, dropped := l.Since(start, 0)
+		if dropped != 0 {
+			t.Fatalf("unexpected drop from seq %d", start)
+		}
+		want := 6 - int(start)
+		if len(events) != want || events[0].Seq != start+1 {
+			t.Fatalf("Since(%d) = %d events starting %d", start, len(events), events[0].Seq)
+		}
+	}
+	// Caught-up cursor yields nothing.
+	if events, _ := l.Since(6, 0); events != nil {
+		t.Fatalf("caught-up cursor returned %+v", events)
+	}
+	// max limits the page size without advancing past it.
+	events, _ := l.Since(0, 2)
+	if len(events) != 2 || events[1].Seq != 2 {
+		t.Fatalf("paged read wrong: %+v", events)
+	}
+}
+
+func TestLogConcurrentAppendAndRead(t *testing.T) {
+	l := NewLog(64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			l.Append(Event{Kind: "crack"})
+		}
+	}()
+	var cursor uint64
+	for {
+		events, _ := l.Since(cursor, 0)
+		for _, ev := range events {
+			if ev.Seq <= cursor {
+				t.Errorf("sequence went backwards: %d after %d", ev.Seq, cursor)
+			}
+			cursor = ev.Seq
+		}
+		select {
+		case <-done:
+			// One final drain: the writer may have finished entirely
+			// between our last poll and this check.
+			events, _ := l.Since(cursor, 0)
+			for _, ev := range events {
+				if ev.Seq <= cursor {
+					t.Errorf("sequence went backwards: %d after %d", ev.Seq, cursor)
+				}
+				cursor = ev.Seq
+			}
+			if cursor == 0 {
+				t.Fatal("reader saw nothing")
+			}
+			return
+		default:
+		}
+	}
+}
+
+const cleanExposition = `# HELP crack_queries_total Queries served.
+# TYPE crack_queries_total counter
+crack_queries_total 42
+# HELP crack_phase_duration_us Per-phase latency.
+# TYPE crack_phase_duration_us histogram
+crack_phase_duration_us_bucket{phase="crack",le="1"} 1
+crack_phase_duration_us_bucket{phase="crack",le="2"} 3
+crack_phase_duration_us_bucket{phase="crack",le="+Inf"} 5
+crack_phase_duration_us_sum{phase="crack"} 123
+crack_phase_duration_us_count{phase="crack"} 5
+# HELP crack_uptime_seconds Uptime.
+# TYPE crack_uptime_seconds gauge
+crack_uptime_seconds 9.5
+`
+
+func TestLintPromClean(t *testing.T) {
+	if errs := LintProm(strings.NewReader(cleanExposition)); len(errs) != 0 {
+		t.Fatalf("clean document flagged: %v", errs)
+	}
+}
+
+func TestLintPromCatches(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"counter suffix", "# HELP x Q.\n# TYPE x counter\nx 1\n", "_total"},
+		{"sample before type", "orphan_metric 3\n", "before its TYPE"},
+		{"type without help", "# TYPE x_total counter\nx_total 1\n", "without HELP"},
+		{"non-monotonic buckets", `# HELP h H.
+# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`, "not monotonic"},
+		{"missing inf", `# HELP h H.
+# TYPE h histogram
+h_bucket{le="1"} 5
+h_sum 1
+h_count 5
+`, "+Inf"},
+		{"inf count mismatch", `# HELP h H.
+# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5
+`, "!= _count"},
+		{"bad value", "# HELP x_total Q.\n# TYPE x_total counter\nx_total banana\n", "bad value"},
+		{"bad label", "# HELP x_total Q.\n# TYPE x_total counter\nx_total{9bad=\"v\"} 1\n", "label"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := LintProm(strings.NewReader(tc.doc))
+			if len(errs) == 0 {
+				t.Fatalf("lint passed a bad document")
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("errors %v do not mention %q", errs, tc.want)
+			}
+		})
+	}
+}

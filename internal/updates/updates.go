@@ -27,6 +27,7 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/cost"
 	"adaptiveindex/internal/index"
+	"adaptiveindex/internal/trace"
 )
 
 // sortPairsByRow orders pairs by row identifier, for deterministic
@@ -111,6 +112,12 @@ type Column struct {
 
 	nextRow column.RowID
 	c       cost.Counters
+
+	// tracer, when set, receives a merge_flush span for each pending
+	// merge a query triggers. Only the column knows when the flush
+	// happens inside a selection, which is why the hook lives here; it
+	// never touches the cost counters, so tracing stays free when off.
+	tracer *trace.Recorder
 }
 
 var _ index.Interface = (*Column)(nil)
@@ -171,6 +178,11 @@ func (u *Column) Cracker() *core.CrackerColumn { return u.cc }
 
 // NextRow returns the row identifier Insert would assign next.
 func (u *Column) NextRow() column.RowID { return u.nextRow }
+
+// SetTracer attaches (or, with nil, detaches) the span recorder that
+// observes pending-merge flushes. The engine sets it for the duration
+// of a traced query.
+func (u *Column) SetTracer(r *trace.Recorder) { u.tracer = r }
 
 // RestoreMergedCounts reinstates the merged-update counters captured
 // from a snapshotted column, so inserts = merged + pending stays
@@ -349,6 +361,13 @@ func (u *Column) Update(row column.RowID, newVal column.Value) (column.RowID, er
 func (u *Column) mergeQualifying(r column.Range) {
 	if len(u.pendingIns) == 0 && len(u.pendingDel) == 0 {
 		return
+	}
+	if u.tracer != nil {
+		beforeAll := u.Cost()
+		u.tracer.Begin(trace.PhaseMergeFlush)
+		defer func() {
+			u.tracer.End(trace.WorkOf(u.Cost().Sub(beforeAll)))
+		}()
 	}
 	beforeCC := u.cc.Cost()
 	beforeCmp := u.c.Comparisons

@@ -27,6 +27,13 @@
 //	           result order, which projected vectors align on) and only
 //	           when it is the smaller encoding.
 //
+// Trace payload (kind 0x04, optional, between the blocks and the
+// footer): the query's phase-span tree as UTF-8 JSON (the same shape
+// the JSON protocol's "trace" field carries). Emitted only when the
+// request asked for tracing; decoders that do not care skip it.
+//
+//	json bytes
+//
 // Footer payload (kind 0x03):
 //
 //	u64le totalRows | u64le latencyUs
@@ -71,6 +78,7 @@ const (
 	kindHeader = 0x01
 	kindBlock  = 0x02
 	kindFooter = 0x03
+	kindTrace  = 0x04
 )
 
 // Row encodings inside a block.
@@ -305,6 +313,20 @@ func (e *Encoder) writeOneBlock(rows column.IDList, cols [][]column.Value) error
 	return e.frame(b)
 }
 
+// WriteTrace emits the optional trace frame carrying the query's
+// phase-span tree as JSON. It must come after the blocks and before
+// the footer.
+func (e *Encoder) WriteTrace(spanJSON []byte) error {
+	if len(spanJSON) >= maxFrame {
+		return fmt.Errorf("wire: trace body %d bytes exceeds the frame limit", len(spanJSON))
+	}
+	b := e.buf[:0]
+	b = append(b, kindTrace)
+	b = append(b, spanJSON...)
+	e.buf = b
+	return e.frame(b)
+}
+
 // WriteFooter closes the stream.
 func (e *Encoder) WriteFooter(f Footer) error {
 	b := e.buf[:0]
@@ -320,6 +342,7 @@ type Decoder struct {
 	r      *bufio.Reader
 	header *Header
 	footer *Footer
+	trace  []byte
 	rows   uint64
 	buf    []byte
 }
@@ -487,6 +510,7 @@ func (d *Decoder) Next() (Block, bool, error) {
 	if d.footer != nil {
 		return Block{}, false, nil
 	}
+next:
 	body, err := d.nextFrame()
 	if err != nil {
 		return Block{}, false, err
@@ -497,6 +521,11 @@ func (d *Decoder) Next() (Block, bool, error) {
 		return Block{}, false, err
 	}
 	switch kind {
+	case kindTrace:
+		// Optional span tree: stash a copy (the scratch buffer is reused
+		// by the next frame) and keep reading.
+		d.trace = append([]byte(nil), c.b[c.off:]...)
+		goto next
 	case kindBlock:
 		blk, err := d.readBlock(c)
 		if err != nil {
@@ -617,12 +646,20 @@ func (d *Decoder) Footer() (Footer, error) {
 	return *d.footer, nil
 }
 
+// Trace returns the raw JSON of the optional trace frame, or nil when
+// the stream carried none. Valid once Next has passed the frame (always
+// by the time the footer is reached).
+func (d *Decoder) Trace() []byte { return d.trace }
+
 // Result is a fully-decoded response.
 type Result struct {
 	Header
 	Rows      column.IDList
 	Columns   map[string][]column.Value
 	LatencyUs uint64
+	// Trace is the raw JSON span tree of the optional trace frame (nil
+	// when the response was not traced).
+	Trace []byte
 }
 
 // Decode reads and validates one complete result stream.
@@ -656,6 +693,7 @@ func Decode(r io.Reader) (*Result, error) {
 		return nil, err
 	}
 	res.LatencyUs = f.LatencyUs
+	res.Trace = d.Trace()
 	if len(h.Columns) == 0 {
 		res.Columns = nil
 	}
