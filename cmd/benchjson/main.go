@@ -13,11 +13,14 @@
 // The tracked metrics cover the hot paths the experiments make claims
 // about: selection cracking, sideways cracking, the PathAuto planner
 // on a drifting select-project workload, the write path under every
-// merge policy (E16's mixed read/write stream), and the bytes the two
+// merge policy (E16's mixed read/write stream), the bytes the two
 // wire encodings put on the wire for identical select-project results
-// (E17). The run configuration is pinned inside the tool and recorded
-// in the JSON; comparing files with different configurations is an
-// error, not a pass.
+// (E17), and the scatter-gather shard cluster's summed work at 1, 2
+// and 4 shards (per-shard counters are deterministic, so their sum is
+// too — and the one-shard total is asserted equal to the bare
+// engine's). The run configuration is pinned inside the tool and
+// recorded in the JSON; comparing files with different configurations
+// is an error, not a pass.
 //
 // Each run also records wall-clock section timings under "timings_ms".
 // They are context for a human reading the file — machine-dependent by
@@ -37,6 +40,7 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/experiments"
+	"adaptiveindex/internal/shard"
 	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/workload"
 )
@@ -232,12 +236,39 @@ func collect(cfg experiments.Config) (map[string]uint64, map[string]float64) {
 		m["wire_selectproject_json_bytes"] = jsonBytes
 		m["wire_selectproject_binary_bytes"] = binBytes
 	})
+
+	// Scatter-gather sharding: the same cracking stream through a
+	// row-striped cluster at 1, 2 and 4 shards. Per-shard counters are
+	// deterministic and their sum is scheduling-independent, so the
+	// totals gate cleanly; the wall timings show the concurrency but
+	// never enter the gate. A one-shard cluster must be the identity —
+	// its total matching the bare cracking engine's is asserted here,
+	// not merely gated.
+	for _, shards := range []int{1, 2, 4} {
+		cl, err := shard.New(benchCatalog(cfg), shards, core.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		name := fmt.Sprintf("sharded_%d", shards)
+		timed(name, func() {
+			for _, r := range queries {
+				if _, err := cl.Run(engine.Query{Table: "data", Column: "c0", R: r, Project: []string{"c1"}, Path: engine.PathCracking}); err != nil {
+					panic(err)
+				}
+			}
+		})
+		m[name+"_total_work"] = cl.Cost().Total()
+	}
+	if m["sharded_1_total_work"] != m["cracking_total_work"] {
+		panic(fmt.Sprintf("benchjson: one-shard cluster work %d diverges from the bare engine's %d",
+			m["sharded_1_total_work"], m["cracking_total_work"]))
+	}
 	return m, timings
 }
 
-// benchEngine builds the two-column single-table engine the read
-// benchmarks run against.
-func benchEngine(cfg experiments.Config) *engine.Engine {
+// benchCatalog builds the same two-column catalog as benchEngine, for
+// hosts that stripe it themselves.
+func benchCatalog(cfg experiments.Config) *engine.Catalog {
 	tab := engine.NewTable("data")
 	for ci, seedOff := range []int64{0, 1} {
 		if err := tab.AddColumn(fmt.Sprintf("c%d", ci), workload.DataUniform(cfg.Seed+seedOff, cfg.N, cfg.Domain)); err != nil {
@@ -248,7 +279,13 @@ func benchEngine(cfg experiments.Config) *engine.Engine {
 	if err := cat.Register(tab); err != nil {
 		panic(err)
 	}
-	return engine.New(cat, core.DefaultOptions())
+	return cat
+}
+
+// benchEngine builds the two-column single-table engine the read
+// benchmarks run against.
+func benchEngine(cfg experiments.Config) *engine.Engine {
+	return engine.New(benchCatalog(cfg), core.DefaultOptions())
 }
 
 func load(path string) (Report, error) {

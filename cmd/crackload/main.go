@@ -446,6 +446,14 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "planner: %s.%s phase=%s chosen=%s re-explores=%d\n",
 				plan.Table, plan.Column, plan.Phase, plan.Chosen, plan.ReExplores)
 		}
+		if len(st.ShardStats) > 0 {
+			parts := make([]string, 0, len(st.ShardStats))
+			for _, ss := range st.ShardStats {
+				parts = append(parts, fmt.Sprintf("%d: work=%d merge=%d live=%d",
+					ss.Shard, ss.WorkTotal, ss.MergeWork, ss.LiveRows))
+			}
+			fmt.Fprintf(out, "shards: %d [%s]\n", st.Shards, strings.Join(parts, "; "))
+		}
 	} else {
 		fmt.Fprintf(out, "server: stats unavailable: %v\n", err)
 	}

@@ -334,3 +334,49 @@ func TestObservabilityFlagValidation(t *testing.T) {
 		t.Fatal("negative -report-interval must fail")
 	}
 }
+
+// TestShardReportAgainstShardedServer: when the server fronts a shard
+// cluster, the final report carries the per-shard breakdown its /stats
+// exposes.
+func TestShardReportAgainstShardedServer(t *testing.T) {
+	cat, err := server.BuildCatalog([]server.TableSpec{
+		{Name: "data", Rows: 12_000, Cols: 3},
+	}, 1, 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := server.BuildExec(cat, server.EngineOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := server.NewService(server.Config{
+		Exec:         built.Exec,
+		DefaultTable: "data",
+		BatchWindow:  200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	var out bytes.Buffer
+	if err := run([]string{
+		"-addr", ts.URL,
+		"-sessions", "2",
+		"-queries", "20",
+		"-workload", "hotset",
+		"-domain", "12000",
+		"-op", "select",
+	}, &out); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"shards: 3 [0: work=", "1: work=", "2: work="} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}

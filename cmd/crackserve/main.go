@@ -5,6 +5,17 @@
 //
 //	crackserve -addr :8080 -tables orders:1000000:4,events:200000:2 -snapshot /tmp/engine.snap
 //	crackserve -n 1000000 -path cracking -batch-window 500us
+//	crackserve -n 1000000 -shards 4
+//
+// With -shards N (default: one per CPU) the catalog is row-striped
+// across N independent engine shards behind a scatter-gather front
+// (internal/shard): every query fans out to all shards concurrently
+// and the per-shard answers are merged, so each shard cracks and
+// materialises ~1/N of the data. -shards 1 behaves exactly like the
+// unsharded engine. The wire protocols, /stats (which gains per-shard
+// breakdowns), /metrics and snapshots all work unchanged, except that
+// a sharded daemon writes per-shard snapshot segments, restorable only
+// at the same -shards count.
 //
 // The hosted catalog is generated deterministically from -tables and
 // -seed (columns c0..c{k-1} per table), so a daemon restarted with the
@@ -48,6 +59,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -76,6 +88,7 @@ type config struct {
 	seed        int64
 	path        string
 	merge       string
+	shards      int
 	partitions  int
 	workers     int
 	batchWindow time.Duration
@@ -97,6 +110,7 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&cfg.seed, "seed", 42, "data generation seed")
 	fs.StringVar(&cfg.path, "path", "auto", "default access path ("+strings.Join(engine.PathNames(), ", ")+")")
 	fs.StringVar(&cfg.merge, "merge", "gradual", "write merge policy ("+strings.Join(updates.PolicyNames(), ", ")+"), with optional per-table overrides: gradual,orders=immediate")
+	fs.IntVar(&cfg.shards, "shards", 0, "engine shards behind the scatter-gather front (default: one per CPU; 1 disables sharding)")
 	fs.IntVar(&cfg.partitions, "partitions", 0, "partition count for the parallel path (default: one per CPU)")
 	fs.IntVar(&cfg.workers, "workers", 0, "worker bound for the parallel path (default: one per CPU)")
 	fs.DurationVar(&cfg.batchWindow, "batch-window", 500*time.Microsecond, "batch coalescing window (0 disables batching)")
@@ -146,7 +160,12 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		ln.Close()
 		return err
 	}
-	built, err := server.BuildEngine(cat, server.EngineOptions{
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	built, err := server.BuildExec(cat, server.EngineOptions{
+		Shards:        shards,
 		Partitions:    cfg.partitions,
 		Workers:       cfg.workers,
 		Seed:          cfg.seed,
@@ -167,7 +186,7 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		}
 	}
 	svc, err := server.NewService(server.Config{
-		Engine:       built.Engine,
+		Exec:         built.Exec,
 		DefaultTable: specs[0].Name,
 		DefaultPath:  cfg.path,
 		BatchWindow:  cfg.batchWindow,
@@ -210,10 +229,14 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 	if built.Restored {
 		boot = fmt.Sprintf("restored from %s", cfg.snapshot)
 	}
+	policies := make(map[string]string)
+	for _, ti := range built.Exec.Tables() {
+		policies[ti.Name] = ti.MergePolicy
+	}
 	var tables []string
 	for _, spec := range specs {
 		tables = append(tables, fmt.Sprintf("%s(%d rows, %d cols, merge=%s)",
-			spec.Name, spec.Rows, spec.Cols, built.Engine.MergePolicyFor(spec.Name)))
+			spec.Name, spec.Rows, spec.Cols, policies[spec.Name]))
 	}
 	fmt.Fprintf(out, "crackserve: %s on %s (%s)\n", svc, ln.Addr(), boot)
 	fmt.Fprintf(out, "crackserve: catalog %s\n", strings.Join(tables, ", "))

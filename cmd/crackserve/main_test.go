@@ -112,6 +112,7 @@ func TestKillRestartCycle(t *testing.T) {
 	cfg := config{
 		tables:      "orders:50000:3,events:20000:2",
 		seed:        7,
+		shards:      1,
 		path:        "auto",
 		batchWindow: 200 * time.Microsecond,
 		batchMax:    64,
@@ -239,6 +240,7 @@ func TestKillRestartRoundTripsPendingUpdates(t *testing.T) {
 	cfg := config{
 		tables:      "orders:20000:2",
 		seed:        5,
+		shards:      1,
 		path:        "auto",
 		merge:       "gradual",
 		batchWindow: 200 * time.Microsecond,
@@ -326,6 +328,7 @@ func TestServeSelectProjectAndPaths(t *testing.T) {
 	cfg := config{
 		tables:      "data:20000:3",
 		seed:        3,
+		shards:      1,
 		path:        "auto",
 		partitions:  4,
 		batchWindow: 200 * time.Microsecond,
@@ -402,6 +405,7 @@ func TestServeObservabilitySurface(t *testing.T) {
 	cfg := config{
 		tables:      "data:20000:3",
 		seed:        5,
+		shards:      1,
 		path:        "auto",
 		batchWindow: 200 * time.Microsecond,
 		batchMax:    64,
@@ -474,5 +478,152 @@ func TestServeObservabilitySurface(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Fatal("pprof must not be served on the public address")
+	}
+}
+
+// TestShardedKillRestartRoundTrip is the sharded daemon's restart
+// contract over real HTTP: a -shards 3 daemon answers exactly like the
+// striped cluster it hosts, a graceful shutdown writes per-shard
+// snapshot segments — pending updates included — and a reboot at the
+// same shard count restores all of it. A reboot at a different shard
+// count must refuse the snapshot and say which -shards to use.
+func TestShardedKillRestartRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "cluster.snapshot")
+	cfg := config{
+		tables:      "orders:30000:3,events:10000:2",
+		seed:        9,
+		shards:      3,
+		path:        "auto",
+		merge:       "gradual",
+		batchWindow: 200 * time.Microsecond,
+		batchMax:    64,
+		inFlight:    128,
+		snapshot:    snap,
+		drainWait:   5 * time.Second,
+	}
+	url, cancel, done, out := startServe(t, cfg)
+
+	st := getStats(t, url)
+	if st.Shards != 3 || len(st.ShardStats) != 3 {
+		t.Fatalf("sharded daemon reports shards=%d with %d shard stats, want 3", st.Shards, len(st.ShardStats))
+	}
+
+	// Crack both tables, then leave sentinel writes pending: inserts far
+	// above the value domain plus tombstones on rows 0..2, which stripe
+	// onto the three different shards.
+	bodies := make([]string, 0, 60)
+	for i := 0; i < 40; i++ {
+		lo := (i * 650) % 28000
+		bodies = append(bodies, fmt.Sprintf(
+			`{"op":"select","table":"orders","column":"c0","low":%d,"high":%d,"project":["c1"]}`, lo, lo+400))
+	}
+	for i := 0; i < 20; i++ {
+		lo := (i * 450) % 9000
+		bodies = append(bodies, fmt.Sprintf(
+			`{"op":"count","table":"events","column":"c1","low":%d,"high":%d}`, lo, lo+250))
+	}
+	// First pass cracks the columns (writes only buffer against cracked
+	// columns); the writes then stay pending until merged.
+	for _, body := range bodies {
+		postJSON(t, url, body)
+	}
+	ins := postUpdate(t, url, `{"op":"insert","table":"orders","rows":[[90001,1,1],[90002,2,2],[90003,3,3],[90004,4,4]]}`)
+	if len(ins.Inserted) != 4 || ins.PendingInserts == 0 {
+		t.Fatalf("insert reply: %+v", ins)
+	}
+	if del := postUpdate(t, url, `{"op":"delete","table":"orders","rows":[0,1,2]}`); del.Deleted != 3 {
+		t.Fatalf("delete reply: %+v", del)
+	}
+	// The query stream may merge the tombstones where it touches their
+	// ranges; the sentinel inserts sit far above every queried range and
+	// must still be pending at shutdown.
+	counts := make(map[string]int)
+	for _, body := range bodies {
+		counts[body] = postJSON(t, url, body).Count
+	}
+	before := getStats(t, url)
+	if before.WriteState.PendingInserts != 4 {
+		t.Fatalf("want 4 pending inserts before shutdown, got %+v", before.WriteState)
+	}
+	pending := 0
+	for _, ss := range before.ShardStats {
+		pending += ss.PendingInserts + ss.PendingDeletes
+	}
+	if pending != before.WriteState.PendingInserts+before.WriteState.PendingDeletes {
+		t.Fatalf("per-shard pending (%d) does not sum to the cluster's (%+v)", pending, before.WriteState)
+	}
+	wantLive := before.Tables[0].LiveRows
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out.String(), "snapshot written") {
+		t.Fatalf("missing snapshot log line:\n%s", out)
+	}
+
+	// Reboot at the same shard count: everything restores. No deferred
+	// shutdown — the test ends this daemon explicitly below (a second
+	// receive from done2 would deadlock).
+	url2, cancel2, done2, out2 := startServe(t, cfg)
+	logDeadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out2.String(), "restored from") {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("reboot did not restore:\n%s", out2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	after := getStats(t, url2)
+	if after.Shards != 3 {
+		t.Fatalf("rebooted daemon reports %d shards, want 3", after.Shards)
+	}
+	// Cracked columns round-trip exactly. Map sets of the written orders
+	// table are deliberately not persisted (see engine snapshot docs), so
+	// only the unwritten events table's survive — one set per shard.
+	if after.Structures.CrackerPieces != before.Structures.CrackerPieces ||
+		after.Structures.Crackers != before.Structures.Crackers {
+		t.Fatalf("restored structures %+v, want crackers of %+v", after.Structures, before.Structures)
+	}
+	if after.Structures.MapSets == 0 {
+		t.Fatalf("no map sets survived the restart: %+v", after.Structures)
+	}
+	if after.WriteState.PendingInserts != 4 || after.WriteState.PendingDeletes != before.WriteState.PendingDeletes {
+		t.Fatalf("pending updates did not round-trip: %+v, want %+v", after.WriteState, before.WriteState)
+	}
+	if after.Tables[0].LiveRows != wantLive {
+		t.Fatalf("live rows after restart = %d, want %d", after.Tables[0].LiveRows, wantLive)
+	}
+	for body, want := range counts {
+		if got := postJSON(t, url2, body).Count; got != want {
+			t.Fatalf("after restart, %s returned %d, want %d", body, got, want)
+		}
+	}
+	// A query into the sentinel range merges the restored pending
+	// inserts on their owning shards.
+	if qr := postJSON(t, url2, `{"op":"select","table":"orders","column":"c0","low":90000,"high":90100,"path":"cracking"}`); qr.Count != 4 {
+		t.Fatalf("sentinel query returned %d rows, want 4", qr.Count)
+	}
+	if merged := getStats(t, url2); merged.WriteState.PendingInserts != 0 {
+		t.Fatalf("sentinel query left pending inserts: %+v", merged.WriteState)
+	}
+
+	// Shut down again (rewrites the snapshot), then try the wrong shard
+	// count: the boot must fail fast, telling the operator which count
+	// the snapshot was written at.
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second shutdown returned %v\noutput:\n%s", err, out2)
+	}
+	wrong := cfg
+	wrong.shards = 2
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+	defer stop()
+	bootErr := serve(ctx, wrong, ln, &bytes.Buffer{})
+	if bootErr == nil || !strings.Contains(bootErr.Error(), "-shards 3") {
+		t.Fatalf("booting a 3-shard snapshot with -shards 2 must fail naming -shards 3, got: %v", bootErr)
 	}
 }

@@ -1,0 +1,56 @@
+package engine
+
+import "sort"
+
+// TableInfo is the observable summary of one catalog table: the row
+// slots it holds (tombstones included — Rows is one past the largest
+// row identifier), its live tuple count, its column names in schema
+// order, and the name of the merge policy its buffered writes drain
+// under. It is the schema surface the service layer reads, so hosts
+// that are not a single *Engine — a shard cluster fronting several —
+// can describe their catalog without exposing *Table handles whose
+// row counts would only cover one stripe.
+type TableInfo struct {
+	Name        string   `json:"name"`
+	Rows        int      `json:"rows"`
+	LiveRows    int      `json:"live_rows"`
+	Columns     []string `json:"columns"`
+	MergePolicy string   `json:"merge_policy"`
+}
+
+// Tables summarises every catalog table, sorted by name.
+func (e *Engine) Tables() []TableInfo {
+	names := e.cat.Tables()
+	sort.Strings(names)
+	infos := make([]TableInfo, 0, len(names))
+	for _, name := range names {
+		t, err := e.cat.Table(name)
+		if err != nil {
+			continue
+		}
+		infos = append(infos, TableInfo{
+			Name:        name,
+			Rows:        t.NumRows(),
+			LiveRows:    t.LiveRows(),
+			Columns:     t.Columns(),
+			MergePolicy: e.MergePolicyFor(name).String(),
+		})
+	}
+	return infos
+}
+
+// ShardStat is one engine shard's share of a cluster's state: the row
+// slots and live tuples of its stripe, its cumulative logical work and
+// the slice of it caused by write merging, and its buffered update
+// depth. A cluster of row-striped shards sends every query to every
+// shard, so a skewed WorkTotal or LiveRows column is the signal that
+// the stripes — or the write stream — are unbalanced.
+type ShardStat struct {
+	Shard          int    `json:"shard"`
+	Rows           int    `json:"rows"`
+	LiveRows       int    `json:"live_rows"`
+	WorkTotal      uint64 `json:"work_total"`
+	MergeWork      uint64 `json:"merge_work"`
+	PendingInserts int    `json:"pending_inserts"`
+	PendingDeletes int    `json:"pending_deletes"`
+}

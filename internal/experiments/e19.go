@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"adaptiveindex/internal/bench"
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/engine"
+	"adaptiveindex/internal/shard"
+	"adaptiveindex/internal/workload"
+)
+
+// E19Outcome is one (workload shape, shard count) cell of the shard
+// scaling sweep.
+type E19Outcome struct {
+	Shape  string
+	Shards int
+	// Ops is the number of replayed operations (reads plus writes).
+	Ops  int
+	Wall time.Duration
+	P50  time.Duration
+	P99  time.Duration
+	// Work is the cluster's summed logical work after the replay —
+	// deterministic per cell, so the sweep's efficiency story (total
+	// tuples touched barely moves while wall time drops) is checkable.
+	Work uint64
+}
+
+// Throughput is the cell's operations per second.
+func (o E19Outcome) Throughput() float64 {
+	if o.Wall <= 0 {
+		return 0
+	}
+	return float64(o.Ops) / o.Wall.Seconds()
+}
+
+// e19Catalog builds the two-table catalog the scaling sweep stripes:
+// orders (3 columns) and events (2 columns), both uniform.
+func e19Catalog(cfg Config) *engine.Catalog {
+	cat := engine.NewCatalog()
+	for ti, spec := range []struct {
+		name string
+		rows int
+		cols int
+	}{{"orders", cfg.N, 3}, {"events", cfg.N/2 + 1, 2}} {
+		t := engine.NewTable(spec.name)
+		for ci := 0; ci < spec.cols; ci++ {
+			vals := workload.DataUniform(cfg.Seed+int64(ti*10+ci), spec.rows, cfg.Domain)
+			if err := t.AddColumn(fmt.Sprintf("c%d", ci), vals); err != nil {
+				panic(err)
+			}
+		}
+		if err := cat.Register(t); err != nil {
+			panic(err)
+		}
+	}
+	return cat
+}
+
+// e19Streams drains the per-session op streams for one workload shape.
+// Generation happens up front so it never sits inside a timed replay.
+func e19Streams(cfg Config, shape string, sessions, perSession int) [][]workload.TableOp {
+	hi := column.Value(cfg.Domain)
+	streams := make([][]workload.TableOp, sessions)
+	switch shape {
+	case "multitable":
+		targets := []workload.Target{
+			{Table: "orders", Column: "c0", Project: []string{"c1"}},
+			{Table: "events", Column: "c0"},
+		}
+		gens, err := workload.MultiTableSessions("hotset", cfg.Seed+19, sessions, targets, 0, hi, cfg.Selectivity)
+		if err != nil {
+			panic(err)
+		}
+		for s, g := range gens {
+			ops := make([]workload.TableOp, perSession)
+			for i := range ops {
+				ops[i] = workload.TableOp{Kind: workload.OpRead, Query: g.NextQuery()}
+			}
+			streams[s] = ops
+		}
+	case "mixed":
+		target := workload.Target{Table: "orders", Column: "c0", Project: []string{"c1"}}
+		gens, err := workload.MixedSessions("mixed", "hotset", cfg.Seed+23, sessions, target, 3, 0, hi, cfg.Selectivity, 0.1, 0.3)
+		if err != nil {
+			panic(err)
+		}
+		for s, g := range gens {
+			ops := make([]workload.TableOp, perSession)
+			for i := range ops {
+				ops[i] = g.NextOp()
+			}
+			streams[s] = ops
+		}
+	default:
+		panic("e19: unknown shape " + shape)
+	}
+	return streams
+}
+
+// e19Replay runs one cell: a fresh cluster at the given shard count
+// replays the interleaved session streams through the cluster's single
+// caller — exactly how the service's executor drives it — and reports
+// wall time and per-op latency. Reads fan out to every shard
+// concurrently; writes route to the owning shard; deletes tombstone
+// the replayer's own earlier inserts, oldest first, as the mixed
+// generator specifies.
+func e19Replay(cfg Config, shape string, shards int, streams [][]workload.TableOp) E19Outcome {
+	cl, err := shard.New(e19Catalog(cfg), shards, core.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	type fifo struct{ rows []column.RowID }
+	owned := make([]fifo, len(streams))
+	var lats []time.Duration
+	ops := 0
+	start := time.Now()
+	for i := 0; ; i++ {
+		ran := false
+		for s := range streams {
+			if i >= len(streams[s]) {
+				continue
+			}
+			ran = true
+			op := streams[s][i]
+			t0 := time.Now()
+			switch op.Kind {
+			case workload.OpRead:
+				q := engine.Query{
+					Table:   op.Query.Table,
+					Column:  op.Query.Column,
+					R:       op.Query.R,
+					Project: op.Query.Project,
+					Path:    engine.PathCracking,
+				}
+				if _, err := cl.Run(q); err != nil {
+					panic(err)
+				}
+			case workload.OpInsert:
+				row, err := cl.InsertRow(op.Table, op.Values)
+				if err != nil {
+					panic(err)
+				}
+				owned[s].rows = append(owned[s].rows, row)
+			case workload.OpDelete:
+				if len(owned[s].rows) == 0 {
+					continue
+				}
+				row := owned[s].rows[0]
+				owned[s].rows = owned[s].rows[1:]
+				if err := cl.DeleteRow(op.Table, row); err != nil {
+					panic(err)
+				}
+			}
+			lats = append(lats, time.Since(t0))
+			ops++
+		}
+		if !ran {
+			break
+		}
+	}
+	wall := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return E19Outcome{
+		Shape:  shape,
+		Shards: shards,
+		Ops:    ops,
+		Wall:   wall,
+		P50:    pct(0.50),
+		P99:    pct(0.99),
+		Work:   cl.Cost().Total(),
+	}
+}
+
+// RunE19 sweeps shard counts 1, 2, 4 and 8 over the multitable
+// (read-only, two tables) and mixed (reads plus 10% writes) session
+// workloads, replaying identical streams per shape so the cells differ
+// only in sharding.
+func RunE19(cfg Config) []E19Outcome {
+	cfg = cfg.withDefaults()
+	const sessions = 8
+	perSession := cfg.Queries / sessions
+	if perSession < 1 {
+		perSession = 1
+	}
+	var out []E19Outcome
+	for _, shape := range []string{"multitable", "mixed"} {
+		streams := e19Streams(cfg, shape, sessions, perSession)
+		for _, shards := range []int{1, 2, 4, 8} {
+			out = append(out, e19Replay(cfg, shape, shards, streams))
+		}
+	}
+	return out
+}
+
+// E19ShardScaling evaluates the shard-per-core scatter-gather engine:
+// the same session streams replayed through row-striped clusters of 1,
+// 2, 4 and 8 shards. Every read fans out to all shards and each shard
+// cracks a 1/N stripe concurrently, so on a multi-core host wall time
+// and tail latency drop with the shard count while the summed logical
+// work stays nearly flat — the speedup is parallelism, not less work.
+// On a single-core host the fan-out has nothing to run on and the
+// sweep degenerates to goroutine overhead; the wall columns are
+// machine-dependent by nature (the deterministic work column is what
+// benchjson gates).
+func E19ShardScaling(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	outcomes := RunE19(cfg)
+
+	var rows []bench.Summary
+	var b strings.Builder
+	fmt.Fprintf(&b, "E19: shard-per-core scatter-gather scaling (8 sessions, selectivity %.3f)\n", cfg.Selectivity)
+	fmt.Fprintf(&b, "%-20s %8s %10s %12s %10s %10s %14s\n",
+		"configuration", "ops", "wall", "ops/s", "p50", "p99", "summed work")
+	base := make(map[string]E19Outcome)
+	for _, o := range outcomes {
+		name := fmt.Sprintf("%s/shards=%d", o.Shape, o.Shards)
+		fmt.Fprintf(&b, "%-20s %8d %10s %12.0f %10s %10s %14d\n",
+			name, o.Ops, o.Wall.Round(time.Microsecond), o.Throughput(),
+			o.P50.Round(time.Microsecond), o.P99.Round(time.Microsecond), o.Work)
+		if o.Shards == 1 {
+			base[o.Shape] = o
+		} else if b1, ok := base[o.Shape]; ok && o.Wall > 0 {
+			// Speedup lines keep the report honest about the host.
+			fmt.Fprintf(&b, "%-20s speedup %.2fx vs 1 shard\n", "", b1.Wall.Seconds()/o.Wall.Seconds())
+		}
+		rows = append(rows, bench.Summary{IndexName: name, TotalWork: o.Work, TotalWall: o.Wall})
+	}
+	b.WriteString("reads fan out to every shard (row stripes cannot be pruned); writes route to\nthe owning shard. Wall columns are machine-dependent; work is deterministic.\n")
+	return Result{ID: "E19", Title: "Shard-per-core scatter-gather scaling", Summaries: rows, Text: b.String()}
+}

@@ -114,6 +114,7 @@ func All() []Definition {
 		{"E16", "Merge policies under a drifting mixed read/write workload", E16UpdatePolicies},
 		{"E17", "Binary columnar wire format vs JSON responses", E17WireProtocol},
 		{"E18", "Tracing overhead: sampled spans vs off", E18TracingOverhead},
+		{"E19", "Scatter-gather shard scaling: throughput vs shard count", E19ShardScaling},
 	}
 }
 

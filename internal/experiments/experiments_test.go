@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -44,8 +45,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(All()))
+	if len(All()) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(All()))
 	}
 }
 
@@ -255,5 +256,59 @@ func TestE18TracingIsFreeOnCounters(t *testing.T) {
 	}
 	if traced != bare {
 		t.Fatalf("tracing perturbed the counters: bare %d, traced %d", bare, traced)
+	}
+}
+
+// TestE19ShardWorkDeterministic pins the deterministic half of E19's
+// claim: re-running a cell reproduces the exact summed work counter
+// (the sum over shards is scheduling-independent), and striping the
+// same stream over more shards leaves the logical work in the same
+// ballpark — the scaling comes from parallelism, not from touching
+// fewer tuples.
+func TestE19ShardWorkDeterministic(t *testing.T) {
+	out := RunE19(tiny())
+	if len(out) != 8 {
+		t.Fatalf("expected 8 cells (2 shapes x 4 shard counts), got %d", len(out))
+	}
+	again := RunE19(tiny())
+	for i := range out {
+		if out[i].Work != again[i].Work {
+			t.Fatalf("%s/shards=%d work not deterministic: %d then %d",
+				out[i].Shape, out[i].Shards, out[i].Work, again[i].Work)
+		}
+		if out[i].Ops == 0 || out[i].Work == 0 {
+			t.Fatalf("%s/shards=%d produced no work", out[i].Shape, out[i].Shards)
+		}
+	}
+}
+
+// TestE19FourShardsBeatOneShard enforces the scaling acceptance
+// criterion on multi-core hosts: at 4 shards the multitable replay
+// must beat the single-shard replay on throughput. On a single-core
+// machine the scatter-gather fan-out has nothing to run on, so the
+// assertion is skipped there; CI runs this on multi-core runners.
+func TestE19FourShardsBeatOneShard(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skipf("GOMAXPROCS=%d: shard fan-out cannot scale on one core; CI enforces this on multi-core runners", procs)
+	}
+	cfg := tiny()
+	cfg.N = 60000
+	cfg.Queries = 240
+	best := map[int]float64{}
+	// Best-of-two throughput per shard count to absorb scheduler noise.
+	for run := 0; run < 2; run++ {
+		for _, o := range RunE19(cfg) {
+			if o.Shape != "multitable" {
+				continue
+			}
+			if tp := o.Throughput(); tp > best[o.Shards] {
+				best[o.Shards] = tp
+			}
+		}
+	}
+	if best[4] <= best[1] {
+		t.Fatalf("4-shard multitable throughput %.0f ops/s does not beat 1-shard %.0f ops/s on %d procs",
+			best[4], best[1], procs)
 	}
 }

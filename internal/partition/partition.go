@@ -52,9 +52,12 @@ type Options struct {
 }
 
 // DefaultOptions returns the canonical configuration: one partition and
-// one worker per CPU, crack-in-three inside the partitions.
+// one worker per CPU (resolved eagerly from runtime.GOMAXPROCS, so the
+// returned Options spell out the counts a zero value would get), with
+// crack-in-three inside the partitions.
 func DefaultOptions() Options {
-	return Options{Core: core.DefaultOptions()}
+	procs := runtime.GOMAXPROCS(0)
+	return Options{Partitions: procs, Workers: procs, Core: core.DefaultOptions()}
 }
 
 func (o Options) withDefaults(n int) Options {

@@ -5,7 +5,7 @@
 // indexes, sideways maps, planner estimates) survives a restart instead
 // of being re-learned from scratch.
 //
-// Two payload kinds share one container format:
+// Three payload kinds share one container format:
 //
 //   - cracker: a single cracked column — its (value, rowid) pairs in
 //     current physical order plus every cracker-index boundary
@@ -13,19 +13,20 @@
 //   - engine: a whole execution engine's adaptive state — every cracked
 //     selection column, every sideways map set, and the PathAuto
 //     planner's learned per-path costs (SaveEngine/RestoreEngine, what
-//     crackserve writes on graceful shutdown).
+//     a single-engine crackserve writes on graceful shutdown).
+//   - cluster: a shard-per-core cluster's state — one engine state per
+//     shard, in shard order, each covering that shard's row stripe
+//     (SaveCluster/RestoreCluster, what a sharded crackserve writes).
 //
 // The container is encoding/gob behind a fixed-layout header: an 8-byte
 // magic string and a big-endian uint32 format version, checked before
 // any gob decoding, so a snapshot written by an incompatible layout (or
 // a file that is not a snapshot at all) is rejected with a clear error
 // instead of whatever struct-shape-dependent failure gob would produce.
-// Format version 4 added the engine write state (appended rows,
-// tombstones, per-column pending update buffers and merge-policy
-// name), so a restart round-trips unmerged writes. Version 3
-// (read-only engine payload), version 2 (single-column only) and
-// version 1 (bare gob) files are rejected — regenerate them via
-// crackserve.
+// Format version 5 added cluster payloads (per-shard engine segments).
+// Version 4 (single-engine write state), version 3 (read-only engine
+// payload), version 2 (single-column only) and version 1 (bare gob)
+// files are rejected — regenerate them via crackserve.
 package persist
 
 import (
@@ -49,6 +50,15 @@ type snapshot struct {
 	Kind          string
 	Cracker       *crackerPayload
 	Engine        *engine.State
+	Cluster       *clusterPayload
+}
+
+// clusterPayload is the shard-cluster payload: one engine state per
+// shard, in shard order. Shards is recorded redundantly so a truncated
+// or hand-edited States slice is detectable.
+type clusterPayload struct {
+	Shards int
+	States []engine.State
 }
 
 // crackerPayload is the single-column payload.
@@ -68,14 +78,15 @@ type boundary struct {
 const (
 	kindCracker = "cracker"
 	kindEngine  = "engine"
+	kindCluster = "cluster"
 )
 
 // formatVersion guards against reading snapshots written by an
-// incompatible layout. Version 4 added engine write state (pending
-// update buffers, appended rows, tombstones); version 3 (read-only
-// engine payload), version 2 (single-column, no kind) and version 1
-// (bare gob, no header) files predate it.
-const formatVersion = 4
+// incompatible layout. Version 5 added cluster payloads (per-shard
+// engine segments); version 4 (single-engine write state), version 3
+// (read-only engine payload), version 2 (single-column, no kind) and
+// version 1 (bare gob, no header) files predate it.
+const formatVersion = 5
 
 // magic identifies a snapshot file. It is checked — together with the
 // header version — before any gob decoding.
@@ -111,7 +122,7 @@ func decode(r io.Reader, wantKind string) (snapshot, error) {
 	if err != nil {
 		return snapshot{}, err
 	}
-	if version == 2 || version == 3 {
+	if version >= 2 && version < formatVersion {
 		return snapshot{}, fmt.Errorf("persist: snapshot format version %d is no longer readable (this build writes version %d); delete the file and regenerate it via crackserve", version, formatVersion)
 	}
 	if version != formatVersion {
@@ -215,6 +226,59 @@ func RestoreEngine(r io.Reader, e *engine.Engine) error {
 		return fmt.Errorf("persist: corrupt snapshot: engine payload missing")
 	}
 	return e.Restore(*snap.Engine)
+}
+
+// SaveCluster writes a shard cluster's adaptive state — one engine
+// state per shard, in shard order — to w. Base table data is not
+// included; RestoreCluster expects a cluster striped over the same
+// catalog data with the same shard count.
+func SaveCluster(w io.Writer, states []engine.State) error {
+	if len(states) == 0 {
+		return fmt.Errorf("persist: cluster snapshot needs at least one shard state")
+	}
+	if err := writeHeader(w); err != nil {
+		return fmt.Errorf("persist: writing header: %w", err)
+	}
+	payload := &clusterPayload{Shards: len(states), States: states}
+	snap := snapshot{FormatVersion: formatVersion, Kind: kindCluster, Cluster: payload}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return nil
+}
+
+// RestoreCluster reads a cluster snapshot from r and returns the
+// per-shard engine states in shard order. The caller applies each
+// state to the matching shard of a freshly striped cluster.
+func RestoreCluster(r io.Reader) ([]engine.State, error) {
+	snap, err := decode(r, kindCluster)
+	if err != nil {
+		return nil, err
+	}
+	payload := snap.Cluster
+	if payload == nil {
+		return nil, fmt.Errorf("persist: corrupt snapshot: cluster payload missing")
+	}
+	if payload.Shards != len(payload.States) || payload.Shards == 0 {
+		return nil, fmt.Errorf("persist: corrupt snapshot: cluster claims %d shards but holds %d states", payload.Shards, len(payload.States))
+	}
+	return payload.States, nil
+}
+
+// SaveClusterFile writes a cluster snapshot to the named file,
+// creating or truncating it.
+func SaveClusterFile(path string, states []engine.State) error {
+	return saveToFile(path, func(w io.Writer) error { return SaveCluster(w, states) })
+}
+
+// RestoreClusterFile reads a cluster snapshot from the named file.
+func RestoreClusterFile(path string) ([]engine.State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return RestoreCluster(f)
 }
 
 // SaveFile writes a cracker snapshot to the named file, creating or

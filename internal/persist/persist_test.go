@@ -145,8 +145,28 @@ func TestLoadRejectsMismatchedFormatVersion(t *testing.T) {
 		t.Fatal("wrong format version must be rejected")
 	}
 	msg := err.Error()
-	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "version 4") {
+	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "version 5") {
 		t.Fatalf("version error must name both versions, got: %v", err)
+	}
+}
+
+func TestLoadRejectsV4WithRegenerateHint(t *testing.T) {
+	// Version-4 files (single-engine snapshots predating cluster
+	// payloads) are no longer readable; as with v2/v3, the error must
+	// tell the operator what to do about it.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.BigEndian, uint32(4)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("old v4 gob payload")
+	err := RestoreEngine(bytes.NewReader(buf.Bytes()), engine.New(engine.NewCatalog(), core.DefaultOptions()))
+	if err == nil {
+		t.Fatal("v4 snapshot must be rejected")
+	}
+	if !strings.Contains(err.Error(), "version 4") || !strings.Contains(err.Error(), "regenerate") ||
+		!strings.Contains(err.Error(), "crackserve") {
+		t.Fatalf("v4 rejection must tell the operator to regenerate via crackserve, got: %v", err)
 	}
 }
 
@@ -567,5 +587,67 @@ func TestEngineSnapshotFileRoundTrip(t *testing.T) {
 	}
 	if err := RestoreEngineFile(filepath.Join(t.TempDir(), "missing"), restored); err == nil {
 		t.Fatal("restoring a missing file must fail")
+	}
+}
+
+// TestClusterSnapshotRoundTrip is the v5 contract: a cluster snapshot
+// carries one engine state per shard, in shard order, and each state
+// restores into a fresh engine over the matching stripe.
+func TestClusterSnapshotRoundTrip(t *testing.T) {
+	const n = 4000
+	// Two independent engines over different data stand in for two
+	// shards; the cluster container does not care how the stripes were
+	// cut, only that states round-trip in order.
+	engines := make([]*engine.Engine, 2)
+	var states []engine.State
+	for s := range engines {
+		engines[s] = engine.New(testCatalog(t, int64(10+s), n), core.DefaultOptions())
+		for _, r := range workload.Queries(workload.NewUniform(int64(20+s), 0, n, 0.02), 30) {
+			if _, err := engines[s].Run(engine.Query{Table: "orders", Column: "c0", R: r, Path: engine.PathCracking}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		states = append(states, engines[s].Snapshot())
+	}
+
+	path := filepath.Join(t.TempDir(), "cluster.snapshot")
+	if err := SaveClusterFile(path, states); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreClusterFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(states) {
+		t.Fatalf("restored %d shard states, want %d", len(restored), len(states))
+	}
+	for s := range restored {
+		fresh := engine.New(testCatalog(t, int64(10+s), n), core.DefaultOptions())
+		if err := fresh.Restore(restored[s]); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		got, want := fresh.Structures(), engines[s].Structures()
+		if got.CrackerPieces != want.CrackerPieces {
+			t.Fatalf("shard %d restored %d cracker pieces, want %d", s, got.CrackerPieces, want.CrackerPieces)
+		}
+	}
+
+	// The cluster kind is not interchangeable with the engine kind.
+	if err := RestoreEngineFile(path, engine.New(testCatalog(t, 10, n), core.DefaultOptions())); err == nil ||
+		!strings.Contains(err.Error(), `"cluster"`) {
+		t.Fatalf("engine restore from a cluster snapshot must name the kind mismatch, got: %v", err)
+	}
+
+	// An empty cluster is not a snapshot.
+	if err := SaveCluster(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("saving an empty cluster must fail")
+	}
+
+	// A payload whose shard count contradicts its states is corrupt.
+	lying := snapshot{FormatVersion: formatVersion, Kind: kindCluster,
+		Cluster: &clusterPayload{Shards: 3, States: restored}}
+	if _, err := RestoreCluster(encodeSnapshot(t, lying)); err == nil ||
+		!strings.Contains(err.Error(), "3 shards") {
+		t.Fatalf("shard-count mismatch must be rejected, got: %v", err)
 	}
 }

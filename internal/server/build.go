@@ -9,6 +9,7 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/persist"
+	"adaptiveindex/internal/shard"
 	"adaptiveindex/internal/updates"
 	"adaptiveindex/internal/workload"
 )
@@ -122,8 +123,13 @@ func BuildCatalog(specs []TableSpec, seed int64, domain int) (*engine.Catalog, e
 	return cat, nil
 }
 
-// EngineOptions tunes BuildEngine.
+// EngineOptions tunes BuildEngine and BuildExec.
 type EngineOptions struct {
+	// Shards is the number of engine shards hosting the catalog
+	// (BuildExec only; values below 2 build a single engine). Each
+	// shard owns a row stripe of every table and answers every query;
+	// see internal/shard.
+	Shards int
 	// Partitions and Workers configure PathParallel structures
 	// (defaults: one per available CPU).
 	Partitions int
@@ -200,4 +206,77 @@ func BuildEngine(cat *engine.Catalog, opts EngineOptions) (BuiltEngine, error) {
 		return BuiltEngine{}, err
 	}
 	return BuiltEngine{Engine: eng, Restored: true}, nil
+}
+
+// BuiltExec couples a constructed executor with the restore outcome.
+// Exactly one of Engine and Cluster is non-nil, depending on the
+// configured shard count.
+type BuiltExec struct {
+	Exec    Exec
+	Engine  *engine.Engine
+	Cluster *shard.Cluster
+	// Restored reports whether adaptive state was rebuilt from a
+	// snapshot.
+	Restored bool
+}
+
+// BuildExec constructs the hosted executor over the catalog: a single
+// engine when opts.Shards < 2 (identical to BuildEngine), a row-striped
+// shard cluster otherwise. Snapshot restore follows the shard count —
+// an engine snapshot for a single engine, a per-shard cluster snapshot
+// whose shard count must match for a cluster.
+func BuildExec(cat *engine.Catalog, opts EngineOptions) (BuiltExec, error) {
+	if opts.Shards < 2 {
+		built, err := BuildEngine(cat, opts)
+		if err != nil {
+			return BuiltExec{}, err
+		}
+		return BuiltExec{Exec: singleExec{eng: built.Engine}, Engine: built.Engine, Restored: built.Restored}, nil
+	}
+	coreOpts := core.Options{
+		CrackInThree:         true,
+		Seed:                 opts.Seed,
+		RandomPivotThreshold: opts.RandomPivotThreshold,
+	}
+	cl, err := shard.New(cat, opts.Shards, coreOpts)
+	if err != nil {
+		return BuiltExec{}, err
+	}
+	cl.SetParallelPartitions(opts.Partitions)
+	cl.SetParallelWorkers(opts.Workers)
+	cl.SetPlannerOptions(opts.Planner)
+	applyPolicies := func() error {
+		cl.SetMergePolicy(opts.MergePolicy)
+		for table, policy := range opts.TablePolicies {
+			if err := cl.SetTableMergePolicy(table, policy); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := applyPolicies(); err != nil {
+		return BuiltExec{}, err
+	}
+	built := BuiltExec{Exec: cl, Cluster: cl}
+	if opts.SnapshotPath == "" {
+		return built, nil
+	}
+	if _, err := os.Stat(opts.SnapshotPath); err != nil {
+		if os.IsNotExist(err) {
+			return built, nil
+		}
+		return BuiltExec{}, fmt.Errorf("server: snapshot %s: %w", opts.SnapshotPath, err)
+	}
+	states, err := persist.RestoreClusterFile(opts.SnapshotPath)
+	if err != nil {
+		return BuiltExec{}, fmt.Errorf("server: restoring snapshot %s: %w", opts.SnapshotPath, err)
+	}
+	if err := cl.Restore(states); err != nil {
+		return BuiltExec{}, fmt.Errorf("server: restoring snapshot %s: %w", opts.SnapshotPath, err)
+	}
+	if err := applyPolicies(); err != nil {
+		return BuiltExec{}, err
+	}
+	built.Restored = true
+	return built, nil
 }

@@ -82,8 +82,20 @@ func (s *Service) renderProm(b *strings.Builder) {
 	gauge("crack_goroutines", "Live goroutines.", float64(st.Process.Goroutines))
 	gauge("crack_heap_alloc_bytes", "Bytes of live heap.", float64(st.Process.HeapAllocBytes))
 	gauge("crack_uptime_seconds", "Seconds since the service started.", st.UptimeSeconds)
+	gauge("crack_shards", "Engine shards answering each query.", float64(st.Shards))
 	if st.Process.SnapshotAgeSeconds > 0 {
 		gauge("crack_snapshot_age_seconds", "Age of the restored adaptive-state snapshot.", st.Process.SnapshotAgeSeconds)
+	}
+
+	if len(st.ShardStats) > 0 {
+		promMeta(b, "crack_shard_work_units_total", "counter", "Per-shard cumulative logical work (tuples touched).")
+		for _, ss := range st.ShardStats {
+			promSample(b, "crack_shard_work_units_total", fmt.Sprintf("shard=%q,", strconv.Itoa(ss.Shard)), float64(ss.WorkTotal))
+		}
+		promMeta(b, "crack_shard_live_rows", "gauge", "Live tuples in each shard's row stripe.")
+		for _, ss := range st.ShardStats {
+			promSample(b, "crack_shard_live_rows", fmt.Sprintf("shard=%q,", strconv.Itoa(ss.Shard)), float64(ss.LiveRows))
+		}
 	}
 
 	promMeta(b, "crack_query_latency_seconds", "histogram", "Server-side query latency, queueing included.")

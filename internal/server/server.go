@@ -39,7 +39,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,7 +47,6 @@ import (
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/index"
-	"adaptiveindex/internal/persist"
 	"adaptiveindex/internal/trace"
 )
 
@@ -70,8 +68,13 @@ var (
 // Config configures a Service.
 type Config struct {
 	// Engine is the hosted execution engine; its catalog defines the
-	// tables queries may name. Required.
+	// tables queries may name. Required unless Exec is set.
 	Engine *engine.Engine
+	// Exec, when non-nil, is hosted instead of Engine: any executor
+	// satisfying the Exec surface, e.g. a shard-per-core cluster
+	// (internal/shard.Cluster). The scheduler serialises access to it
+	// exactly as it does for a bare engine.
+	Exec Exec
 	// DefaultTable and DefaultColumn answer queries that do not name a
 	// table or selection column. They default to the catalog's first
 	// table (alphabetically) and its first column.
@@ -193,6 +196,7 @@ type result struct {
 // safe for concurrent use.
 type Service struct {
 	cfg         Config
+	exec        Exec
 	defaultPath engine.AccessPath
 	batched     bool
 
@@ -228,8 +232,12 @@ type Service struct {
 // NewService creates and starts a service over the configured engine.
 // Callers must Close it to stop the scheduler goroutine.
 func NewService(cfg Config) (*Service, error) {
-	if cfg.Engine == nil {
-		return nil, errors.New("server: Config.Engine is required")
+	exec := cfg.Exec
+	if exec == nil {
+		if cfg.Engine == nil {
+			return nil, errors.New("server: Config.Engine or Config.Exec is required")
+		}
+		exec = singleExec{eng: cfg.Engine}
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
@@ -237,28 +245,38 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 1024
 	}
-	cat := cfg.Engine.Catalog()
-	if cfg.DefaultTable == "" {
-		tables := cat.Tables()
-		if len(tables) == 0 {
-			return nil, errors.New("server: catalog has no tables")
-		}
-		sort.Strings(tables)
-		cfg.DefaultTable = tables[0]
+	tables := exec.Tables()
+	if len(tables) == 0 {
+		return nil, errors.New("server: catalog has no tables")
 	}
-	t, err := cat.Table(cfg.DefaultTable)
-	if err != nil {
-		return nil, fmt.Errorf("server: default table: %w", err)
+	if cfg.DefaultTable == "" {
+		cfg.DefaultTable = tables[0].Name
+	}
+	var defTable *engine.TableInfo
+	for i := range tables {
+		if tables[i].Name == cfg.DefaultTable {
+			defTable = &tables[i]
+			break
+		}
+	}
+	if defTable == nil {
+		return nil, fmt.Errorf("server: default table: %w: %q", engine.ErrUnknownTable, cfg.DefaultTable)
 	}
 	if cfg.DefaultColumn == "" {
-		cols := t.Columns()
-		if len(cols) == 0 {
+		if len(defTable.Columns) == 0 {
 			return nil, fmt.Errorf("server: default table %q has no columns", cfg.DefaultTable)
 		}
-		cfg.DefaultColumn = cols[0]
+		cfg.DefaultColumn = defTable.Columns[0]
 	}
-	if _, err := t.Column(cfg.DefaultColumn); err != nil {
-		return nil, fmt.Errorf("server: default column: %w", err)
+	colOK := false
+	for _, col := range defTable.Columns {
+		if col == cfg.DefaultColumn {
+			colOK = true
+			break
+		}
+	}
+	if !colOK {
+		return nil, fmt.Errorf("server: default column: %w: %q", engine.ErrUnknownColumn, cfg.DefaultColumn)
 	}
 	defaultPath, err := engine.ParsePath(cfg.DefaultPath)
 	if err != nil {
@@ -269,6 +287,7 @@ func NewService(cfg Config) (*Service, error) {
 	}
 	s := &Service{
 		cfg:         cfg,
+		exec:        exec,
 		defaultPath: defaultPath,
 		batched:     cfg.BatchWindow > 0,
 		closed:      make(chan struct{}),
@@ -276,7 +295,7 @@ func NewService(cfg Config) (*Service, error) {
 		events:      cfg.EventLog,
 		started:     time.Now(),
 	}
-	cfg.Engine.SetEventLog(s.events)
+	exec.SetEventLog(s.events)
 	if s.batched {
 		// The queue buffers one admission limit's worth of requests so
 		// senders under the limit never block on the executor.
@@ -412,26 +431,26 @@ func (s *Service) Apply(ops []WriteOp) (WriteReply, error) {
 	return res.write, nil
 }
 
-// executeWrite applies one write request against the engine directly.
+// executeWrite applies one write request against the executor
+// directly.
 func (s *Service) executeWrite(ops []WriteOp) result {
-	eng := s.cfg.Engine
 	var reply WriteReply
 	for _, op := range ops {
 		for _, vals := range op.Insert {
-			row, err := eng.InsertRow(op.Table, vals)
+			row, err := s.exec.InsertRow(op.Table, vals)
 			if err != nil {
 				return result{write: reply, err: err}
 			}
 			reply.Inserted = append(reply.Inserted, row)
 		}
 		for _, row := range op.Delete {
-			if err := eng.DeleteRow(op.Table, row); err != nil {
+			if err := s.exec.DeleteRow(op.Table, row); err != nil {
 				return result{write: reply, err: err}
 			}
 			reply.Deleted++
 		}
 	}
-	ws := eng.WriteStats()
+	ws := s.exec.WriteStats()
 	reply.PendingInserts = ws.PendingInserts
 	reply.PendingDeletes = ws.PendingDeletes
 	return result{write: reply}
@@ -499,10 +518,10 @@ func (s *Service) do(o op, q Query, rec *trace.Recorder) (Reply, error) {
 	return res.reply, nil
 }
 
-// executeOne answers a single request against the engine directly.
+// executeOne answers a single request against the executor directly.
 // Count-only queries (eq.CountOnly) materialise nothing.
 func (s *Service) executeOne(o op, eq engine.Query) result {
-	res, err := s.cfg.Engine.Run(eq)
+	res, err := s.exec.Run(eq)
 	if err != nil {
 		return result{err: err}
 	}
@@ -780,10 +799,10 @@ func (s *Service) Close() {
 	<-s.drained
 }
 
-// SnapshotTo writes the hosted engine's adaptive state (cracked
-// columns, sideways maps, planner estimates) through internal/persist.
-// The service must be closed first, so the snapshot sees a quiescent
-// engine.
+// SnapshotTo writes the hosted executor's adaptive state (cracked
+// columns, sideways maps, planner estimates; one segment per shard for
+// a cluster) through internal/persist. The service must be closed
+// first, so the snapshot sees a quiescent executor.
 func (s *Service) SnapshotTo(w io.Writer) error {
 	select {
 	case <-s.closed:
@@ -791,7 +810,7 @@ func (s *Service) SnapshotTo(w io.Writer) error {
 		return ErrNotClosed
 	}
 	<-s.drained
-	return persist.SaveEngine(w, s.cfg.Engine)
+	return s.exec.SnapshotTo(w)
 }
 
 // String renders the service configuration for logs.
@@ -800,8 +819,14 @@ func (s *Service) String() string {
 	if s.batched {
 		mode = fmt.Sprintf("batched(window=%s,max=%d)", s.cfg.BatchWindow, s.cfg.MaxBatch)
 	}
-	tables := s.cfg.Engine.Catalog().Tables()
-	sort.Strings(tables)
-	return fmt.Sprintf("server{tables=%s default=%s.%s path=%s %s inflight<=%d}",
+	var tables []string
+	for _, ti := range s.exec.Tables() {
+		tables = append(tables, ti.Name)
+	}
+	desc := fmt.Sprintf("server{tables=%s default=%s.%s path=%s %s inflight<=%d}",
 		strings.Join(tables, ","), s.cfg.DefaultTable, s.cfg.DefaultColumn, s.defaultPath, mode, s.cfg.MaxInFlight)
+	if n := s.exec.Shards(); n > 1 {
+		desc = desc[:len(desc)-1] + fmt.Sprintf(" shards=%d}", n)
+	}
+	return desc
 }

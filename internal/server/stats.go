@@ -2,7 +2,6 @@ package server
 
 import (
 	"runtime"
-	"sort"
 	"time"
 
 	"adaptiveindex/internal/engine"
@@ -106,36 +105,35 @@ type Stats struct {
 	TracedQueries uint64       `json:"traced_queries"`
 	Phases        []PhaseStats `json:"phases,omitempty"`
 
+	// Shards is the number of engine shards answering each query (1 for
+	// a single-engine service); ShardStats breaks the adaptive state
+	// down per shard when the service fronts a cluster.
+	Shards     int                `json:"shards"`
+	ShardStats []engine.ShardStat `json:"shard_stats,omitempty"`
+
 	Process  ProcessStats  `json:"process"`
 	EventLog EventLogStats `json:"event_log"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// statsLocked assembles a Stats snapshot; the engine portion requires
-// the caller to have safe access to the engine (the executor goroutine
-// in batched mode, s.mu in direct mode).
+// statsLocked assembles a Stats snapshot; the executor portion requires
+// the caller to have safe access to the executor (the executor
+// goroutine in batched mode, s.mu in direct mode).
 func (s *Service) statsLocked() Stats {
 	mode := "direct"
 	if s.batched {
 		mode = "batched"
 	}
-	eng := s.cfg.Engine
-	cat := eng.Catalog()
-	names := cat.Tables()
-	sort.Strings(names)
-	tables := make([]TableStats, 0, len(names))
-	for _, name := range names {
-		t, err := cat.Table(name)
-		if err != nil {
-			continue
-		}
+	infos := s.exec.Tables()
+	tables := make([]TableStats, 0, len(infos))
+	for _, ti := range infos {
 		tables = append(tables, TableStats{
-			Table:       name,
-			Rows:        t.NumRows(),
-			LiveRows:    t.LiveRows(),
-			Columns:     t.Columns(),
-			MergePolicy: eng.MergePolicyFor(name).String(),
+			Table:       ti.Name,
+			Rows:        ti.Rows,
+			LiveRows:    ti.LiveRows,
+			Columns:     ti.Columns,
+			MergePolicy: ti.MergePolicy,
 		})
 	}
 	var phases []PhaseStats
@@ -159,10 +157,10 @@ func (s *Service) statsLocked() Stats {
 	}
 	return Stats{
 		Tables:         tables,
-		Structures:     eng.Structures(),
-		Planner:        eng.PlanStats(),
-		WorkTotal:      eng.Cost().Total(),
-		WriteState:     eng.WriteStats(),
+		Structures:     s.exec.Structures(),
+		Planner:        s.exec.PlanStats(),
+		WorkTotal:      s.exec.Cost().Total(),
+		WriteState:     s.exec.WriteStats(),
 		DefaultTable:   s.cfg.DefaultTable,
 		DefaultColumn:  s.cfg.DefaultColumn,
 		DefaultPath:    s.defaultPath.String(),
@@ -181,6 +179,8 @@ func (s *Service) statsLocked() Stats {
 		Latency:        s.hist.snapshot(),
 		TracedQueries:  s.traced.Load(),
 		Phases:         phases,
+		Shards:         s.exec.Shards(),
+		ShardStats:     s.exec.ShardStats(),
 		Process:        proc,
 		EventLog:       EventLogStats{LastSeq: s.events.LastSeq(), Capacity: s.events.Capacity()},
 		UptimeSeconds:  time.Since(s.started).Seconds(),

@@ -43,6 +43,12 @@ const (
 	// PhaseBatchAssembly is the time a dequeued request spends waiting
 	// for its batch's coalescing window to close.
 	PhaseBatchAssembly
+	// PhaseShardGather is the scatter-gather of one query across the
+	// engine shards of a cluster: the fan-out, the slowest shard's
+	// execution, and the merge of per-shard ID-lists and projections
+	// back into one result. Each shard's own engine phases (crack,
+	// materialise) nest inside it.
+	PhaseShardGather
 	// PhaseCrack is the selection execution: evaluating the predicate
 	// and, as a side effect, physically reorganising the adaptive
 	// structure (the crack). For sideways cracking's fused
@@ -63,8 +69,8 @@ const (
 
 // phaseNames maps phases to their wire names.
 var phaseNames = [NumPhases]string{
-	"query", "queue_wait", "batch_assembly", "crack", "merge_flush",
-	"materialise", "wire_encode",
+	"query", "queue_wait", "batch_assembly", "shard_gather", "crack",
+	"merge_flush", "materialise", "wire_encode",
 }
 
 // String returns the phase's wire name.
