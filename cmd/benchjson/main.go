@@ -18,9 +18,11 @@
 // (E17), and the scatter-gather shard cluster's summed work at 1, 2
 // and 4 shards (per-shard counters are deterministic, so their sum is
 // too — and the one-shard total is asserted equal to the bare
-// engine's). The run configuration is pinned inside the tool and
-// recorded in the JSON; comparing files with different configurations
-// is an error, not a pass.
+// engine's), and the epoch read path at readers=1, asserted
+// byte-identical to the bare cracking engine (the contract under which
+// the epoch machinery stays disengaged). The run configuration is
+// pinned inside the tool and recorded in the JSON; comparing files
+// with different configurations is an error, not a pass.
 //
 // Each run also records wall-clock section timings under "timings_ms".
 // They are context for a human reading the file — machine-dependent by
@@ -40,6 +42,7 @@ import (
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/experiments"
+	"adaptiveindex/internal/server"
 	"adaptiveindex/internal/shard"
 	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/workload"
@@ -263,7 +266,56 @@ func collect(cfg experiments.Config) (map[string]uint64, map[string]float64) {
 		panic(fmt.Sprintf("benchjson: one-shard cluster work %d diverges from the bare engine's %d",
 			m["sharded_1_total_work"], m["cracking_total_work"]))
 	}
+
+	// Epoch-pinned reads: the same cracking stream through the service
+	// at Readers=1 must leave the deterministic counters byte-identical
+	// to the bare engine's — readers<=1 is the contract under which the
+	// epoch machinery stays fully disengaged. The equality is asserted
+	// here, not merely gated. A Readers=4 replay then records the epoch
+	// pool's wall time and the reorganiser's final lag as timings only:
+	// both depend on core count and scheduling, so they never gate.
+	timed("epoch_readers_1", func() {
+		m["epoch_read_total_work"] = epochReplay(cfg, 1, queries, timings)
+	})
+	if m["epoch_read_total_work"] != m["cracking_total_work"] {
+		panic(fmt.Sprintf("benchjson: readers=1 service work %d diverges from the bare engine's %d",
+			m["epoch_read_total_work"], m["cracking_total_work"]))
+	}
+	timed("epoch_readers_4", func() {
+		epochReplay(cfg, 4, queries, timings)
+	})
 	return m, timings
+}
+
+// epochReplay drives the pinned cracking stream through a direct-mode
+// service at the given read concurrency and returns the engine's
+// deterministic work total. Above one reader it also records the
+// reorganiser's final lag under "epoch_reorg_lag" in the timings map.
+func epochReplay(cfg experiments.Config, readers int, queries []column.Range, timings map[string]float64) uint64 {
+	svc, err := server.NewService(server.Config{
+		Engine:       benchEngine(cfg),
+		DefaultTable: "data",
+		DefaultPath:  "cracking",
+		Readers:      readers,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range queries {
+		reply, err := svc.SelectQuery(server.Query{R: r, Project: []string{"c1"}})
+		if err != nil {
+			panic(err)
+		}
+		if reply.Done != nil {
+			reply.Done()
+		}
+	}
+	svc.Close()
+	st := svc.Stats()
+	if readers > 1 && st.Reorg != nil {
+		timings["epoch_reorg_lag"] = float64(st.Reorg.LagUs) / 1000
+	}
+	return st.WorkTotal
 }
 
 // benchCatalog builds the same two-column catalog as benchEngine, for

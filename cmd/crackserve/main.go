@@ -17,6 +17,14 @@
 // a sharded daemon writes per-shard snapshot segments, restorable only
 // at the same -shards count.
 //
+// With -readers N (N > 1) reads on the auto/cracking path are answered
+// by up to N concurrent workers against epoch-pinned immutable
+// snapshots, never blocking on the executor; the cracking those reads
+// defer is applied by a background reorganiser that publishes fresh
+// epochs. Writes stay serialised. /stats reports the readers setting
+// and the reorganiser's backlog and lag; /metrics exports them as
+// crack_readers, crack_reorg_backlog and crack_reorg_lag_seconds.
+//
 // The hosted catalog is generated deterministically from -tables and
 // -seed (columns c0..c{k-1} per table), so a daemon restarted with the
 // same flags serves the same data. Queries name a table, a selection
@@ -94,6 +102,7 @@ type config struct {
 	batchWindow time.Duration
 	batchMax    int
 	inFlight    int
+	readers     int
 	snapshot    string
 	drainWait   time.Duration
 	events      int
@@ -116,6 +125,7 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.batchWindow, "batch-window", 500*time.Microsecond, "batch coalescing window (0 disables batching)")
 	fs.IntVar(&cfg.batchMax, "batch-max", 64, "max queries per batch")
 	fs.IntVar(&cfg.inFlight, "inflight", 1024, "admission limit on in-flight queries")
+	fs.IntVar(&cfg.readers, "readers", 1, "concurrent epoch-pinned read workers (<=1: every query on the serialised executor)")
 	fs.StringVar(&cfg.snapshot, "snapshot", "", "engine snapshot file, restored on boot and written on graceful shutdown")
 	fs.DurationVar(&cfg.drainWait, "drain-wait", 5*time.Second, "graceful shutdown drain timeout")
 	fs.IntVar(&cfg.events, "events", trace.DefaultLogSize, "reorganisation event ring capacity (served at /debug/events)")
@@ -192,6 +202,7 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		BatchWindow:  cfg.batchWindow,
 		MaxBatch:     cfg.batchMax,
 		MaxInFlight:  cfg.inFlight,
+		Readers:      cfg.readers,
 		EventLog:     trace.NewLog(cfg.events),
 		SnapshotTime: snapTime,
 	})

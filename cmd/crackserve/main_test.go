@@ -390,11 +390,12 @@ func TestFlagParsing(t *testing.T) {
 	}
 }
 
-// TestServeObservabilitySurface is the live-daemon contract for the
-// tracing PR: a booted crackserve answers traced queries with a span
-// tree, serves a lint-clean Prometheus exposition at /metrics, replays
-// its reorganisation log at /debug/events, and runs pprof on the
-// -debug-addr listener only.
+// TestServeObservabilitySurface is the live-daemon observability
+// contract: a booted crackserve answers traced queries with a span
+// tree, serves a lint-clean Prometheus exposition at /metrics —
+// epoch-read and reorganiser families included, since the daemon runs
+// with -readers 4 — replays its reorganisation log at /debug/events,
+// and runs pprof on the -debug-addr listener only.
 func TestServeObservabilitySurface(t *testing.T) {
 	dln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -410,6 +411,7 @@ func TestServeObservabilitySurface(t *testing.T) {
 		batchWindow: 200 * time.Microsecond,
 		batchMax:    64,
 		inFlight:    128,
+		readers:     4,
 		drainWait:   time.Second,
 		events:      256,
 		debugAddr:   debugAddr,
@@ -434,32 +436,60 @@ func TestServeObservabilitySurface(t *testing.T) {
 		t.Fatalf("phase durations %dus exceed the query total %dus", root.ChildDurUs(), root.DurUs)
 	}
 
-	// The exposition must be ingestible: promtool-style lint, zero errors.
+	// The exposition must be ingestible: promtool-style lint, zero errors
+	// — with the epoch-read machinery on, that covers the reorganiser
+	// families too.
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	errs := trace.LintProm(resp.Body)
+	var metricsBuf bytes.Buffer
+	metricsBuf.ReadFrom(resp.Body)
 	resp.Body.Close()
+	exposition := metricsBuf.String()
+	errs := trace.LintProm(strings.NewReader(exposition))
 	if len(errs) != 0 {
 		t.Fatalf("/metrics lint errors: %v", errs)
 	}
-
-	// The event log replays the reorganisation the workload caused.
-	resp, err = http.Get(url + "/debug/events?since=0")
-	if err != nil {
-		t.Fatal(err)
+	for _, family := range []string{
+		"crack_readers 4",
+		"crack_reorg_backlog",
+		"crack_epochs_retired_total",
+		"crack_epochs_published_total",
+		"crack_reorg_applied_total",
+		"crack_reorg_lag_seconds",
+		"crack_epoch_reads_total",
+	} {
+		if !strings.Contains(exposition, family) {
+			t.Fatalf("/metrics is missing %q with -readers 4", family)
+		}
 	}
+
+	// The event log replays the reorganisation the workload caused. The
+	// cracking happens on the background reorganiser now, so poll until
+	// it has caught up with the readers' intents.
 	var page struct {
 		Events []trace.Event `json:"events"`
 	}
-	err = json.NewDecoder(resp.Body).Decode(&page)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(page.Events) == 0 {
-		t.Fatal("no reorganisation events after an auto-path workload")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get(url + "/debug/events?since=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		page.Events = nil
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Events) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no reorganisation events after an auto-path workload")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	// pprof lives on the debug listener, not the public one.

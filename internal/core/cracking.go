@@ -65,6 +65,15 @@ type CrackerColumn struct {
 	opts  Options
 	rng   *rand.Rand
 	c     cost.Counters
+
+	// version counts physical reorganisations (cracks and ripples)
+	// since construction. dirtyLo/dirtyHi bound the position range
+	// whose contents may have moved since the last Snapshot call;
+	// dirtyHi <= dirtyLo means clean. Together they let Snapshot
+	// reuse the previous epoch's copied pieces for untouched spans.
+	version uint64
+	dirtyLo int
+	dirtyHi int
 }
 
 var _ index.Interface = (*CrackerColumn)(nil)
@@ -124,8 +133,34 @@ func (cc *CrackerColumn) Pairs() column.Pairs { return cc.pairs }
 // crackInTwo partitions pairs[lo:hi) so that all values on the left
 // side of bound b precede all others, and returns the split position.
 func (cc *CrackerColumn) crackInTwo(lo, hi int, b crackeridx.Bound) int {
+	cc.markDirty(lo, hi)
 	return CrackInTwo(cc.pairs, lo, hi, b, &cc.c)
 }
+
+// markDirty records that positions [lo, hi) may be physically
+// reorganised, widening the pending dirty range and bumping the
+// column's reorganisation version. Snapshot consumes and resets it.
+func (cc *CrackerColumn) markDirty(lo, hi int) {
+	cc.version++
+	if hi <= lo {
+		return
+	}
+	if cc.dirtyHi <= cc.dirtyLo {
+		cc.dirtyLo, cc.dirtyHi = lo, hi
+		return
+	}
+	if lo < cc.dirtyLo {
+		cc.dirtyLo = lo
+	}
+	if hi > cc.dirtyHi {
+		cc.dirtyHi = hi
+	}
+}
+
+// Version returns the column's reorganisation version: it increases on
+// every crack and every ripple insert/delete, and is stable otherwise.
+// Epoch publication uses it as a cheap change fingerprint.
+func (cc *CrackerColumn) Version() uint64 { return cc.version }
 
 // CrackInTwo partitions pairs[lo:hi) in place so that every value on
 // the left side of bound b precedes every other value, returning the
@@ -211,6 +246,7 @@ func UpperBound(r column.Range) crackeridx.Bound { return upperBoundOf(r) }
 // of bHigh. It returns the two split positions (p1, p2) such that the
 // middle region is [p1, p2). bLow must not order after bHigh.
 func (cc *CrackerColumn) crackInThree(lo, hi int, bLow, bHigh crackeridx.Bound) (int, int) {
+	cc.markDirty(lo, hi)
 	return CrackInThree(cc.pairs, lo, hi, bLow, bHigh, &cc.c)
 }
 

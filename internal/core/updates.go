@@ -82,6 +82,9 @@ func (cc *CrackerColumn) RippleInsert(p column.Pair) {
 	cc.pairs[hole] = p
 	cc.c.TuplesCopied++
 	cc.c.ValuesTouched++
+	// Every position from the insertion point to the (grown) end may
+	// have changed: the hole rippled through each subsequent piece.
+	cc.markDirty(hole, len(cc.pairs))
 	// Only the boundaries the new value lies to the left of move one
 	// slot up; boundaries that merely share the insertion position but
 	// order before the value's piece must stay put.
@@ -168,5 +171,7 @@ func (cc *CrackerColumn) RippleDelete(row column.RowID, val column.Value) error 
 	// Every boundary at or after the end of the emptied slot's piece
 	// moves one slot down.
 	cc.index.ShiftPositions(end, -1)
+	// Positions from the deleted slot to the (pre-shrink) end rippled.
+	cc.markDirty(pos, n)
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"adaptiveindex/internal/column"
@@ -376,6 +377,18 @@ type Engine struct {
 	// counters.
 	rec    *trace.Recorder
 	events *trace.Log
+
+	// Epoch machinery (see epoch.go). epoch is the atomically
+	// published immutable view readers pin; epochSeq is owned by the
+	// publishing goroutine; the remaining tallies are written by
+	// concurrent readers and so stay atomic.
+	epoch          atomic.Pointer[Epoch]
+	epochSeq       uint64
+	epochPublished atomic.Uint64
+	epochRetired   atomic.Uint64
+	intentsApplied atomic.Uint64
+	epochReads     atomic.Uint64
+	epochReadWork  atomic.Uint64
 }
 
 // New creates an engine over the catalog using the given cracking

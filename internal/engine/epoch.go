@@ -1,0 +1,426 @@
+// Epoch-pinned snapshot reads.
+//
+// The engine proper is single-caller: any read may crack, so one
+// goroutine must own it. Epochs decouple reads from that constraint.
+// The owning goroutine (the service's reorganiser/executor) calls
+// PublishEpoch between reorganisations to capture an immutable view —
+// a copy-on-crack piece catalog per cracked column (core.ColSnapshot),
+// row-sorted pending-update buffers, and length-frozen base-array
+// views per table — published atomically behind an atomic.Pointer.
+// Any number of reader goroutines then Pin the current epoch and
+// Select/Count/project against it without locks; reads that cross an
+// uncracked piece boundary (or see pending updates) report a crack
+// intent, which the caller hands back to the owner as deferred
+// reorganisation (ApplyIntent). Old epochs are retired when their pin
+// count returns to zero.
+//
+// Determinism: publication charges nothing to the cost counters, and
+// reader work is accumulated in separate atomic tallies — the engine's
+// deterministic counter stream is exactly what it would be if the same
+// reorganisations ran through Run directly.
+
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/core"
+	"adaptiveindex/internal/cost"
+	"adaptiveindex/internal/trace"
+)
+
+// epochColumn is one cracked column's immutable epoch view: the piece
+// catalog of the merged tuples plus the pending buffers a reader must
+// patch in (inserts appended, deletions filtered via delSet).
+type epochColumn struct {
+	snap    *core.ColSnapshot
+	pendIns column.Pairs
+	pendDel column.Pairs
+	delSet  map[column.RowID]bool
+	// ccVer/bufVer fingerprint the live column state this view was
+	// taken from; publication reuses the view while they are unchanged.
+	ccVer  uint64
+	bufVer uint64
+}
+
+// epochTable is one table's immutable epoch view: length-frozen slice
+// headers of the base column arrays (appends beyond nrows never touch
+// indexes below it, and a reallocating append leaves the old array
+// behind — both safe to read concurrently), plus a copied tombstone
+// set.
+type epochTable struct {
+	nrows     int
+	cols      map[string][]column.Value
+	dead      map[column.RowID]bool
+	deadCount int
+	fp        uint64 // Table.writeEpochs at capture
+}
+
+// Epoch is one published immutable view of the whole engine. Readers
+// pin it (incrementing pins), run any number of queries against it,
+// and release it; the publisher holds one reference until the next
+// epoch replaces it. When the pin count of a superseded epoch reaches
+// zero it is retired (counted once; memory is the garbage collector's
+// problem).
+type Epoch struct {
+	// Seq is the publication sequence number, strictly increasing.
+	Seq    uint64
+	cols   map[TableColumn]*epochColumn
+	tables map[string]*epochTable
+
+	pins    atomic.Int64
+	retired atomic.Bool
+}
+
+// release drops one pin. A superseded epoch whose pins reach zero is
+// retired exactly once (the CAS guards against a racing reader that
+// pinned a stale pointer and resurrected the count; such a reader
+// still sees a consistent immutable view, just a slightly old one).
+func (ep *Epoch) release(e *Engine) {
+	if ep.pins.Add(-1) == 0 && e.epoch.Load() != ep && ep.retired.CompareAndSwap(false, true) {
+		e.epochRetired.Add(1)
+	}
+}
+
+// Intent is one deferred reorganisation request: a reader observed
+// that answering R against table.column crossed an uncracked piece
+// boundary or unmerged pending updates. Applying it runs the crack
+// (and whatever merge flush the policy owes) on the engine owner's
+// goroutine.
+type Intent struct {
+	Table  string
+	Column string
+	R      column.Range
+}
+
+// EpochInfo describes one epoch read: the epoch it pinned, whether the
+// read wants a reorganisation pass, and the release the caller must
+// invoke exactly once when it has finished consuming the result
+// (including streaming it — the result's projections are fresh copies,
+// but holding the pin until the last byte keeps the contract simple
+// and future-proofs zero-copy responses).
+type EpochInfo struct {
+	Seq        uint64
+	NeedsReorg bool
+	Release    func()
+}
+
+// EpochStats is a point-in-time summary of the epoch machinery.
+type EpochStats struct {
+	// Seq is the current epoch's sequence number (0 before the first
+	// publication).
+	Seq uint64 `json:"seq"`
+	// Published and Retired count epoch lifecycle transitions.
+	Published uint64 `json:"published"`
+	Retired   uint64 `json:"retired"`
+	// IntentsApplied counts reorganiser-applied crack intents.
+	IntentsApplied uint64 `json:"intents_applied"`
+	// Reads counts epoch-pinned reads; ReadWork is their summed
+	// logical work (kept apart from the engine's deterministic
+	// counters).
+	Reads    uint64 `json:"reads"`
+	ReadWork uint64 `json:"read_work"`
+	// Pins is the current epoch's live pin count, publisher reference
+	// included.
+	Pins int64 `json:"pins"`
+}
+
+// epochChanged reports whether any engine state visible to readers
+// moved since the given epoch was captured.
+func (e *Engine) epochChanged(cur *Epoch) bool {
+	if len(e.crackers) != len(cur.cols) || len(e.cat.tables) != len(cur.tables) {
+		return true
+	}
+	for k, uc := range e.crackers {
+		old, ok := cur.cols[k]
+		if !ok {
+			return true
+		}
+		ccVer, bufVer := uc.Versions()
+		if old.ccVer != ccVer || old.bufVer != bufVer {
+			return true
+		}
+	}
+	for name, t := range e.cat.tables {
+		old, ok := cur.tables[name]
+		if !ok || old.fp != t.writeEpochs || len(old.cols) != len(t.cols) {
+			return true
+		}
+	}
+	return false
+}
+
+// PublishEpoch captures the engine's current state as the next epoch
+// and makes it the one readers pin. It must be called from the
+// goroutine that owns the engine (the same single-caller discipline as
+// Run). When nothing changed since the current epoch it returns that
+// epoch untouched — no sequence bump, no copying. Publication never
+// charges the deterministic cost counters.
+func (e *Engine) PublishEpoch() *Epoch {
+	cur := e.epoch.Load()
+	if cur != nil && !e.epochChanged(cur) {
+		return cur
+	}
+	e.epochSeq++
+	next := &Epoch{
+		Seq:    e.epochSeq,
+		cols:   make(map[TableColumn]*epochColumn, len(e.crackers)),
+		tables: make(map[string]*epochTable, len(e.cat.tables)),
+	}
+	next.pins.Store(1) // the publisher's reference
+	for k, uc := range e.crackers {
+		ccVer, bufVer := uc.Versions()
+		var old *epochColumn
+		if cur != nil {
+			old = cur.cols[k]
+		}
+		if old != nil && old.ccVer == ccVer && old.bufVer == bufVer {
+			next.cols[k] = old
+			continue
+		}
+		var prev *core.ColSnapshot
+		if old != nil {
+			prev = old.snap
+		}
+		snap, pendIns, pendDel := uc.Snapshot(prev)
+		ec := &epochColumn{snap: snap, pendIns: pendIns, pendDel: pendDel, ccVer: ccVer, bufVer: bufVer}
+		if len(pendDel) > 0 {
+			ec.delSet = make(map[column.RowID]bool, len(pendDel))
+			for _, p := range pendDel {
+				ec.delSet[p.Row] = true
+			}
+		}
+		next.cols[k] = ec
+	}
+	for name, t := range e.cat.tables {
+		var old *epochTable
+		if cur != nil {
+			old = cur.tables[name]
+		}
+		if old != nil && old.fp == t.writeEpochs && len(old.cols) == len(t.cols) {
+			next.tables[name] = old
+			continue
+		}
+		et := &epochTable{
+			nrows:     t.nrows,
+			cols:      make(map[string][]column.Value, len(t.cols)),
+			deadCount: t.deadCount,
+			fp:        t.writeEpochs,
+		}
+		for cn, vals := range t.cols {
+			et.cols[cn] = vals[:t.nrows:t.nrows]
+		}
+		if t.deadCount > 0 {
+			et.dead = make(map[column.RowID]bool, len(t.deadRows))
+			for row := range t.deadRows {
+				et.dead[row] = true
+			}
+		}
+		next.tables[name] = et
+	}
+	e.epoch.Store(next)
+	e.epochPublished.Add(1)
+	if cur != nil {
+		cur.release(e)
+	}
+	return next
+}
+
+// pinCurrent pins and returns the current epoch (nil before the first
+// PublishEpoch). Safe from any goroutine.
+func (e *Engine) pinCurrent() *Epoch {
+	ep := e.epoch.Load()
+	if ep == nil {
+		return nil
+	}
+	ep.pins.Add(1)
+	return ep
+}
+
+// EpochRead answers one read-only query against the current epoch
+// without touching the live engine: any number of goroutines may call
+// it concurrently with each other and with the owning goroutine's
+// reorganisation (writes, ApplyIntent, PublishEpoch). The query's work
+// is recorded in the epoch read tallies, never in the deterministic
+// counters. On success the caller must invoke info.Release exactly
+// once after it has finished with the result.
+func (e *Engine) EpochRead(q Query) (*Result, EpochInfo, error) {
+	if q.CountOnly && len(q.Project) > 0 {
+		return nil, EpochInfo{}, fmt.Errorf("engine: a count-only query cannot project (%v)", q.Project)
+	}
+	ep := e.pinCurrent()
+	if ep == nil {
+		return nil, EpochInfo{}, fmt.Errorf("engine: no epoch published")
+	}
+	release := func() { ep.release(e) }
+	et, ok := ep.tables[q.Table]
+	if !ok {
+		release()
+		return nil, EpochInfo{}, fmt.Errorf("%w: %q", ErrUnknownTable, q.Table)
+	}
+	if _, ok := et.cols[q.Column]; !ok {
+		release()
+		return nil, EpochInfo{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, q.Column)
+	}
+	for _, attr := range q.Project {
+		if _, ok := et.cols[attr]; !ok {
+			release()
+			return nil, EpochInfo{}, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, q.Table, attr)
+		}
+	}
+
+	var c cost.Counters
+	if q.Trace != nil {
+		q.Trace.Begin(trace.PhaseEpochPin)
+	}
+	res, needsReorg := e.epochAnswer(ep, et, q, &c)
+	if q.Trace != nil {
+		q.Trace.End(trace.WorkOf(c))
+	}
+	e.epochReads.Add(1)
+	e.epochReadWork.Add(c.Total())
+	return res, EpochInfo{Seq: ep.Seq, NeedsReorg: needsReorg, Release: release}, nil
+}
+
+// epochAnswer computes the query result against the pinned epoch,
+// charging work to the reader-local counters.
+func (e *Engine) epochAnswer(ep *Epoch, et *epochTable, q Query, c *cost.Counters) (*Result, bool) {
+	needsReorg := false
+	res := &Result{Path: PathCracking}
+	ec := ep.cols[key(q.Table, q.Column)]
+	switch {
+	case ec == nil:
+		// No cracked snapshot for this column yet: answer from the
+		// table view and ask the reorganiser to build the cracker.
+		res.Path = PathScan
+		needsReorg = true
+		vals := et.cols[q.Column]
+		if q.CountOnly {
+			n := 0
+			for i, v := range vals {
+				c.ValuesTouched++
+				if et.deadCount > 0 && et.dead[column.RowID(i)] {
+					continue
+				}
+				c.Comparisons++
+				if q.R.Contains(v) {
+					n++
+				}
+			}
+			res.Count = n
+		} else {
+			var rows column.IDList
+			for i, v := range vals {
+				c.ValuesTouched++
+				if et.deadCount > 0 && et.dead[column.RowID(i)] {
+					continue
+				}
+				c.Comparisons++
+				if q.R.Contains(v) {
+					rows = append(rows, column.RowID(i))
+					c.TuplesCopied++
+				}
+			}
+			res.Rows = rows
+			res.Count = len(rows)
+		}
+	case q.CountOnly:
+		n, boundary := ec.snap.Count(q.R, c)
+		needsReorg = boundary
+		for _, p := range ec.pendDel {
+			c.Comparisons++
+			if q.R.Contains(p.Val) {
+				n--
+			}
+		}
+		for _, p := range ec.pendIns {
+			c.Comparisons++
+			if q.R.Contains(p.Val) {
+				n++
+			}
+		}
+		if len(ec.pendIns)+len(ec.pendDel) > 0 {
+			needsReorg = true
+		}
+		res.Count = n
+	default:
+		rows, boundary := ec.snap.Select(q.R, c)
+		needsReorg = boundary
+		if len(ec.delSet) > 0 {
+			kept := rows[:0]
+			for _, row := range rows {
+				if !ec.delSet[row] {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		}
+		for _, p := range ec.pendIns {
+			c.Comparisons++
+			if q.R.Contains(p.Val) {
+				rows = append(rows, p.Row)
+				c.TuplesCopied++
+			}
+		}
+		if len(ec.pendIns)+len(ec.pendDel) > 0 {
+			needsReorg = true
+		}
+		res.Rows = rows
+		res.Count = len(rows)
+	}
+	if len(q.Project) > 0 && !q.CountOnly {
+		res.Columns = make(map[string][]column.Value, len(q.Project))
+		for _, attr := range q.Project {
+			vals := et.cols[attr]
+			out := make([]column.Value, len(res.Rows))
+			core.GatherValues(out, vals, res.Rows)
+			if res.Path == PathCracking {
+				c.RandomTouches += uint64(len(res.Rows))
+			} else {
+				c.ValuesTouched += uint64(len(res.Rows))
+			}
+			c.TuplesCopied += uint64(len(res.Rows))
+			res.Columns[attr] = out
+		}
+	}
+	return res, needsReorg
+}
+
+// ApplyIntent runs one deferred crack on the owning goroutine: the
+// intent's predicate executes as a count-only cracking query (creating
+// the cracker column on first touch, cracking the boundary pieces, and
+// flushing whatever pending updates the merge policy owes), and the
+// non-recurring share of the work it caused is re-attributed to
+// MergeWork — reorganisation moved off the query path is priced like
+// merge work, which the planner's recurring component already models.
+func (e *Engine) ApplyIntent(in Intent) error {
+	before := e.Cost()
+	if _, err := e.Run(Query{Table: in.Table, Column: in.Column, R: in.R, CountOnly: true, Path: PathCracking}); err != nil {
+		return err
+	}
+	delta := e.Cost().Sub(before)
+	if t, r := delta.Total(), delta.Recurring(); t > r {
+		e.c.MergeWork += t - r
+	}
+	e.intentsApplied.Add(1)
+	return nil
+}
+
+// EpochStats reports the epoch machinery's counters. Safe from any
+// goroutine.
+func (e *Engine) EpochStats() EpochStats {
+	st := EpochStats{
+		Published:      e.epochPublished.Load(),
+		Retired:        e.epochRetired.Load(),
+		IntentsApplied: e.intentsApplied.Load(),
+		Reads:          e.epochReads.Load(),
+		ReadWork:       e.epochReadWork.Load(),
+	}
+	if ep := e.epoch.Load(); ep != nil {
+		st.Seq = ep.Seq
+		st.Pins = ep.pins.Load()
+	}
+	return st
+}

@@ -6,7 +6,11 @@ import "adaptiveindex/internal/column"
 // project, in fixed-size windows of blockRows rows. blockRows <= 0
 // yields the whole result as a single block. The slices passed to fn
 // are views into the result's backing arrays — no copying happens
-// here — so fn must not retain or mutate them past its return. An
+// here — so fn must not retain or mutate them past its return. A
+// caller streaming an epoch-pinned result must hold its epoch pin
+// (EpochInfo.Release) until iteration completes, even though epoch
+// reads materialise rows and projections into fresh arrays: the pin
+// is the contract that keeps future zero-copy results safe too. An
 // empty result yields no blocks. Iteration stops at the first error
 // fn returns.
 func (r *Result) Blocks(project []string, blockRows int, fn func(rows column.IDList, cols [][]column.Value) error) error {

@@ -115,6 +115,7 @@ func All() []Definition {
 		{"E17", "Binary columnar wire format vs JSON responses", E17WireProtocol},
 		{"E18", "Tracing overhead: sampled spans vs off", E18TracingOverhead},
 		{"E19", "Scatter-gather shard scaling: throughput vs shard count", E19ShardScaling},
+		{"E20", "Epoch-pinned reader scaling: throughput vs read concurrency", E20ReaderScaling},
 	}
 }
 

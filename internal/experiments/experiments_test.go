@@ -45,8 +45,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(All()))
+	if len(All()) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(All()))
 	}
 }
 
@@ -310,5 +310,69 @@ func TestE19FourShardsBeatOneShard(t *testing.T) {
 	if best[4] <= best[1] {
 		t.Fatalf("4-shard multitable throughput %.0f ops/s does not beat 1-shard %.0f ops/s on %d procs",
 			best[4], best[1], procs)
+	}
+}
+
+// TestE20ReadersScaleThroughput enforces the epoch-read scaling
+// acceptance criterion on multi-core hosts: at 4 readers the hot-set
+// select-project replay must deliver at least twice the single-reader
+// (serialised executor) throughput on one shard. On fewer than 4 procs
+// the reader pool cannot scale, so the assertion is skipped there; CI
+// runs this on multi-core runners.
+func TestE20ReadersScaleThroughput(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		t.Skipf("GOMAXPROCS=%d: the epoch reader pool cannot scale below 4 procs; CI enforces this on multi-core runners", procs)
+	}
+	cfg := tiny()
+	cfg.N = 60000
+	// A long stream, so steady-state reads dominate the one-off
+	// convergence phase (which the serialised baseline finishes faster:
+	// it cracks inline, the epoch pool waits on the reorganiser).
+	cfg.Queries = 2000
+	best := map[int]float64{}
+	// Best-of-two throughput per reader count to absorb scheduler noise.
+	for run := 0; run < 2; run++ {
+		for _, o := range RunE20(cfg) {
+			if tp := o.Throughput(); tp > best[o.Readers] {
+				best[o.Readers] = tp
+			}
+		}
+	}
+	if best[4] < 2*best[1] {
+		t.Fatalf("4-reader throughput %.0f q/s is under 2x the 1-reader %.0f q/s on %d procs",
+			best[4], best[1], procs)
+	}
+}
+
+// TestE20EpochMachineryEngages pins the sweep's structure: the
+// readers=1 cell must never touch the epoch path (its counter stream is
+// the byte-identical baseline benchjson gates) and every cell above it
+// must answer all queries as epoch reads with the background
+// reorganiser doing the cracking.
+func TestE20EpochMachineryEngages(t *testing.T) {
+	out := RunE20(tiny())
+	if len(out) != 4 {
+		t.Fatalf("expected 4 cells, got %d", len(out))
+	}
+	for _, o := range out {
+		if o.Ops == 0 {
+			t.Fatalf("readers=%d replayed nothing", o.Readers)
+		}
+		if o.Readers == 1 {
+			if o.EpochReads != 0 || o.EpochReadWork != 0 {
+				t.Fatalf("readers=1 must stay on the serialised executor, saw %d epoch reads", o.EpochReads)
+			}
+			if o.EngineWork == 0 {
+				t.Fatal("readers=1 produced no engine work")
+			}
+			continue
+		}
+		if o.EpochReads != uint64(o.Ops) {
+			t.Fatalf("readers=%d: %d of %d queries were epoch reads", o.Readers, o.EpochReads, o.Ops)
+		}
+		if o.IntentsApplied == 0 {
+			t.Fatalf("readers=%d: the background reorganiser never cracked", o.Readers)
+		}
 	}
 }

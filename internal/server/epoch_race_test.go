@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptiveindex/internal/column"
+)
+
+// TestEpochReadersRaceWithWrites is the service-level concurrency
+// contract for Readers > 1, meant to run under -race: N client
+// goroutines hammer the epoch read pool with counts and projected
+// selects while a writer streams inserts and deletes through the
+// serialised write path and the background reorganiser cracks off the
+// query path. The writer only ever touches values outside the queried
+// band, so every answer stays checkable against the initial brute-force
+// reference even while the write stream runs.
+func TestEpochReadersRaceWithWrites(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"batched", 200 * time.Microsecond},
+		{"direct", 0},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			const (
+				n       = 50_000
+				clients = 8
+				queries = 300
+			)
+			eng, vals := testEngine(t, n)
+			svc, err := NewService(Config{
+				Engine:       eng,
+				DefaultTable: "data",
+				DefaultPath:  "auto",
+				BatchWindow:  mode.window,
+				Readers:      4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Queried ranges live in [0, n/4); the writer inserts values
+			// in [n/2, n) and deletes only its own rows, so reference
+			// counts computed up front stay exact for the whole run.
+			stop := make(chan struct{})
+			var writerWG sync.WaitGroup
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				rng := rand.New(rand.NewSource(99))
+				var mine []column.RowID
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v := column.Value(n/2 + rng.Intn(n/2))
+					rep, err := svc.Apply([]WriteOp{{Table: "data", Insert: [][]column.Value{{v, v, v}}}})
+					if err == nil {
+						mine = append(mine, rep.Inserted...)
+					}
+					if len(mine) > 8 {
+						row := mine[0]
+						mine = mine[1:]
+						svc.Apply([]WriteOp{{Table: "data", Delete: []column.RowID{row}}})
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < queries; i++ {
+						lo := column.Value(rng.Intn(n / 4))
+						r := column.NewRange(lo, lo+column.Value(1+rng.Intn(400)))
+						want := refCount(vals, r)
+						if i%2 == 0 {
+							got, err := svc.CountQuery(Query{R: r})
+							if err != nil {
+								errs <- err
+								return
+							}
+							if got != want {
+								errs <- fmt.Errorf("client %d: count(%s) = %d, want %d", g, r, got, want)
+								return
+							}
+						} else {
+							reply, err := svc.SelectQuery(Query{R: r, Project: []string{"c1"}})
+							if err != nil {
+								errs <- err
+								return
+							}
+							if reply.Count != want || len(reply.Rows) != want || len(reply.Columns["c1"]) != want {
+								if reply.Done != nil {
+									reply.Done()
+								}
+								errs <- fmt.Errorf("client %d: select(%s) = %d rows, want %d", g, r, reply.Count, want)
+								return
+							}
+							if reply.Done != nil {
+								reply.Done()
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(stop)
+			writerWG.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+
+			st := svc.Stats()
+			if st.Readers != 4 || st.Reorg == nil {
+				t.Fatalf("stats must report the epoch machinery: readers=%d reorg=%v", st.Readers, st.Reorg)
+			}
+			if st.Reorg.Epoch.Reads == 0 {
+				t.Fatal("no epoch reads recorded; the pool never engaged")
+			}
+			svc.Close()
+			st = svc.Stats()
+			if st.Reorg.Epoch.Published == 0 {
+				t.Fatalf("no epochs published: %+v", st.Reorg)
+			}
+			if st.Reorg.Epoch.IntentsApplied == 0 {
+				t.Fatal("the reorganiser never applied a crack intent")
+			}
+		})
+	}
+}

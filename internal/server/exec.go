@@ -42,6 +42,20 @@ type Exec interface {
 	// SnapshotTo persists the executor's adaptive state through
 	// internal/persist. Only called on a quiescent executor.
 	SnapshotTo(w io.Writer) error
+	// PublishEpoch captures the executor's state as the next immutable
+	// epoch and returns its sequence number. Owner-goroutine only,
+	// like every mutating call.
+	PublishEpoch() uint64
+	// EpochRead answers one read-only query against the current epoch
+	// without touching live state; safe from any goroutine, concurrent
+	// with the owner's writes and reorganisation. The caller must
+	// invoke the returned info's Release exactly once.
+	EpochRead(q engine.Query) (*engine.Result, engine.EpochInfo, error)
+	// ApplyIntent applies one deferred crack intent (owner-goroutine
+	// only); EpochStats reports the epoch machinery's counters (safe
+	// from any goroutine).
+	ApplyIntent(in engine.Intent) error
+	EpochStats() engine.EpochStats
 }
 
 // singleExec adapts a bare engine to the Exec surface.
@@ -69,3 +83,12 @@ func (x singleExec) Shards() int                       { return 1 }
 func (x singleExec) ShardStats() []engine.ShardStat    { return nil }
 
 func (x singleExec) SnapshotTo(w io.Writer) error { return persist.SaveEngine(w, x.eng) }
+
+func (x singleExec) PublishEpoch() uint64 { return x.eng.PublishEpoch().Seq }
+
+func (x singleExec) EpochRead(q engine.Query) (*engine.Result, engine.EpochInfo, error) {
+	return x.eng.EpochRead(q)
+}
+
+func (x singleExec) ApplyIntent(in engine.Intent) error { return x.eng.ApplyIntent(in) }
+func (x singleExec) EpochStats() engine.EpochStats      { return x.eng.EpochStats() }

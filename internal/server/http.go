@@ -303,6 +303,11 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
 		return
 	}
+	if reply.Done != nil {
+		// Epoch-pinned replies stay pinned until the response — every
+		// streamed frame included — has been handed to the client.
+		defer reply.Done()
+	}
 	if binary {
 		s.writeBinary(w, q, reply, blockRows, start, rec)
 		return

@@ -83,8 +83,20 @@ func (s *Service) renderProm(b *strings.Builder) {
 	gauge("crack_heap_alloc_bytes", "Bytes of live heap.", float64(st.Process.HeapAllocBytes))
 	gauge("crack_uptime_seconds", "Seconds since the service started.", st.UptimeSeconds)
 	gauge("crack_shards", "Engine shards answering each query.", float64(st.Shards))
+	gauge("crack_readers", "Epoch read concurrency (0 or 1: serialised executor).", float64(st.Readers))
 	if st.Process.SnapshotAgeSeconds > 0 {
 		gauge("crack_snapshot_age_seconds", "Age of the restored adaptive-state snapshot.", st.Process.SnapshotAgeSeconds)
+	}
+	if st.Reorg != nil {
+		counter("crack_epochs_published_total", "Epochs published for pinned reads.", float64(st.Reorg.Epoch.Published))
+		counter("crack_epochs_retired_total", "Superseded epochs whose pin count returned to zero.", float64(st.Reorg.Epoch.Retired))
+		counter("crack_epoch_reads_total", "Queries answered against a pinned epoch.", float64(st.Reorg.Epoch.Reads))
+		counter("crack_epoch_read_work_units_total", "Logical work done by epoch-pinned reads (kept apart from crack_work_units_total).", float64(st.Reorg.Epoch.ReadWork))
+		counter("crack_reorg_applied_total", "Crack intents applied by the background reorganiser.", float64(st.Reorg.Epoch.IntentsApplied))
+		counter("crack_reorg_dropped_total", "Crack intents dropped because the intent queue was full.", float64(st.Reorg.IntentsDropped))
+		gauge("crack_reorg_backlog", "Crack intents queued for the background reorganiser.", float64(st.Reorg.Backlog))
+		gauge("crack_reorg_lag_seconds", "Queue delay of the most recently applied crack intent.", float64(st.Reorg.LagUs)/1e6)
+		gauge("crack_epoch_pins", "Live pin count of the current epoch, publisher included.", float64(st.Reorg.Epoch.Pins))
 	}
 
 	if len(st.ShardStats) > 0 {

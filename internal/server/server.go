@@ -28,6 +28,15 @@
 // concurrent sessions without any latch at all. In direct mode
 // (BatchWindow <= 0) a service latch serialises access instead.
 //
+// With Config.Readers > 1 the single-executor constraint relaxes for
+// reads: auto/cracking-path queries are answered by up to Readers
+// concurrent goroutines against epoch-pinned immutable snapshots
+// (engine.EpochRead), never blocking on the executor, while all
+// reorganisation — crack splits, pending-update merges — moves to a
+// background reorganiser that consumes the readers' crack intents and
+// publishes fresh epochs. Writes and explicit-path queries stay
+// serialised exactly as before.
+//
 // The service also provides per-query latency histograms (p50/p95/p99),
 // an in-flight admission limit, an observable stats snapshot (catalog,
 // structures, planner state, scheduler counters), and snapshot/restore
@@ -95,6 +104,17 @@ type Config struct {
 	// rejected with ErrOverloaded instead of queueing without bound
 	// (default 1024).
 	MaxInFlight int
+	// Readers, when greater than one, relaxes the single-executor
+	// constraint for reads: up to Readers auto/cracking-path queries run
+	// concurrently against the current published epoch (immutable
+	// piece-catalog snapshots, engine.EpochRead) and never block on the
+	// executor. Reads that want reorganisation emit crack intents that a
+	// background reorganiser applies off the query path, publishing the
+	// next epoch. Writes, explicit-path queries and stats stay on the
+	// serialised executor. Values <= 1 keep every query on the
+	// pre-existing serialised path, byte-identical on the deterministic
+	// cost counters.
+	Readers int
 	// EventLog receives the engine's structured reorganisation events
 	// (crack splits, merge flushes, planner decisions), served at
 	// /debug/events. Nil gets a fresh ring of trace.DefaultLogSize.
@@ -132,6 +152,12 @@ type Reply struct {
 	// Path is the access path that executed the query (the planner's
 	// choice, for auto).
 	Path engine.AccessPath
+	// Done, when non-nil, releases the resources pinned by the reply —
+	// for epoch-pinned reads, the epoch the rows were answered from.
+	// Callers that stream the reply (the binary wire path) must call it
+	// after the last frame is flushed; everyone else calls it as soon as
+	// the reply is consumed. Nil for replies that pin nothing.
+	Done func()
 }
 
 // WriteOp is one resolved mutation against the engine: rows to insert
@@ -192,6 +218,13 @@ type result struct {
 	stats *Stats
 }
 
+// intentReq is one queued crack intent plus its enqueue time, so the
+// reorganiser can report its lag (how stale the backlog is).
+type intentReq struct {
+	in       engine.Intent
+	enqueued time.Time
+}
+
 // Service hosts an engine behind concurrent sessions. All methods are
 // safe for concurrent use.
 type Service struct {
@@ -208,6 +241,20 @@ type Service struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	drained   chan struct{}
+
+	// Epoch read machinery (nil/zero unless cfg.Readers > 1).
+	// readerSem admits up to Readers concurrent epoch reads; intents
+	// queues the cracks those reads deferred; reorgDone signals the
+	// direct-mode reorganiser goroutine has exited.
+	readers        int
+	readerSem      chan struct{}
+	intents        chan intentReq
+	reorgDone      chan struct{}
+	intentsQueued  atomic.Uint64
+	intentsDropped atomic.Uint64
+	// reorgLagUs is the queue delay of the most recently applied intent,
+	// in microseconds — the reorganiser-lag gauge behind /metrics.
+	reorgLagUs atomic.Uint64
 
 	inFlight atomic.Int64
 	queries  atomic.Uint64
@@ -296,6 +343,14 @@ func NewService(cfg Config) (*Service, error) {
 		started:     time.Now(),
 	}
 	exec.SetEventLog(s.events)
+	if cfg.Readers > 1 {
+		s.readers = cfg.Readers
+		s.readerSem = make(chan struct{}, cfg.Readers)
+		s.intents = make(chan intentReq, cfg.MaxInFlight)
+		// Publish the first epoch before any goroutine starts, so epoch
+		// reads never observe an engine without one.
+		exec.PublishEpoch()
+	}
 	if s.batched {
 		// The queue buffers one admission limit's worth of requests so
 		// senders under the limit never block on the executor.
@@ -303,6 +358,12 @@ func NewService(cfg Config) (*Service, error) {
 		go s.runExecutor()
 	} else {
 		close(s.drained)
+		if s.readers > 1 {
+			// No executor goroutine to piggyback on: a dedicated
+			// reorganiser drains the intent queue under the latch.
+			s.reorgDone = make(chan struct{})
+			go s.runReorganiser()
+		}
 	}
 	return s, nil
 }
@@ -339,6 +400,10 @@ func (s *Service) Count(r column.Range) (int, error) {
 // with the qualifying row identifiers.
 func (s *Service) Select(r column.Range) (column.IDList, error) {
 	reply, err := s.do(opSelect, Query{R: r}, nil)
+	if reply.Done != nil {
+		// The row list is a fresh copy; nothing keeps the epoch pinned.
+		reply.Done()
+	}
 	return reply.Rows, err
 }
 
@@ -350,7 +415,8 @@ func (s *Service) CountQuery(q Query) (int, error) {
 }
 
 // SelectQuery answers a full query, including projections when
-// q.Project names columns.
+// q.Project names columns. If the reply carries a Done release (epoch
+// reads do), the caller must invoke it once the reply is consumed.
 func (s *Service) SelectQuery(q Query) (Reply, error) {
 	return s.do(opSelect, q, nil)
 }
@@ -422,6 +488,9 @@ func (s *Service) Apply(ops []WriteOp) (WriteReply, error) {
 		}
 		s.mu.Lock()
 		res = s.executeWrite(ops)
+		if s.readers > 1 {
+			s.exec.PublishEpoch()
+		}
 		s.mu.Unlock()
 	}
 	if res.err != nil {
@@ -474,7 +543,21 @@ func (s *Service) do(o op, q Query, rec *trace.Recorder) (Reply, error) {
 
 	start := time.Now()
 	var res result
-	if s.batched {
+	if s.epochEligible(eq) {
+		// Epoch-pinned read: acquire one of the Readers slots (the wait,
+		// if any, is the query's queue-wait phase) and answer against the
+		// current epoch without ever touching the executor.
+		select {
+		case s.readerSem <- struct{}{}:
+		case <-s.closed:
+			return Reply{}, ErrClosed
+		}
+		if rec != nil {
+			rec.Add(trace.PhaseQueueWait, time.Since(start), trace.Work{})
+		}
+		res = s.executeEpochRead(o, eq, rec)
+		<-s.readerSem
+	} else if s.batched {
 		req := &request{op: o, q: eq, enqueued: start, rec: rec, resp: make(chan result, 1)}
 		select {
 		case s.queue <- req:
@@ -508,6 +591,11 @@ func (s *Service) do(o op, q Query, rec *trace.Recorder) (Reply, error) {
 			eq.Trace = rec
 		}
 		res = s.executeOne(o, eq)
+		if s.readers > 1 {
+			// The query may have cracked; make the result visible to
+			// concurrent epoch readers (a no-op when nothing changed).
+			s.exec.PublishEpoch()
+		}
 		s.mu.Unlock()
 	}
 	if res.err != nil {
@@ -533,6 +621,98 @@ func (s *Service) executeOne(o op, eq engine.Query) result {
 	return result{reply: reply}
 }
 
+// epochEligible reports whether a resolved query is served by the epoch
+// read pool: reads on the auto or cracking path, when epoch reads are
+// enabled. Explicit scan/sideways/parallel paths keep their serialised
+// executor semantics (they exist to exercise specific structures).
+func (s *Service) epochEligible(eq engine.Query) bool {
+	return s.readers > 1 && (eq.Path == engine.PathAuto || eq.Path == engine.PathCracking)
+}
+
+// executeEpochRead answers one read against the current epoch. It runs
+// on the caller's goroutine, concurrently with other epoch reads and
+// with the executor's writes and reorganisation. A read that wants
+// reorganisation enqueues a crack intent for the background reorganiser
+// (dropped, and counted, if the queue is full — readers never block on
+// reorganisation). Select replies keep the epoch pinned until the
+// caller invokes Reply.Done.
+func (s *Service) executeEpochRead(o op, eq engine.Query, rec *trace.Recorder) result {
+	if rec != nil {
+		eq.Trace = rec
+	}
+	res, info, err := s.exec.EpochRead(eq)
+	if err != nil {
+		return result{err: err}
+	}
+	if info.NeedsReorg {
+		select {
+		case s.intents <- intentReq{in: engine.Intent{Table: eq.Table, Column: eq.Column, R: eq.R}, enqueued: time.Now()}:
+			s.intentsQueued.Add(1)
+		default:
+			s.intentsDropped.Add(1)
+		}
+	}
+	reply := Reply{Count: res.Count, Path: res.Path}
+	if o == opSelect {
+		reply.Rows = res.Rows
+		reply.Columns = res.Columns
+		reply.Done = info.Release
+	} else if info.Release != nil {
+		// Counts materialise nothing that could alias the epoch.
+		info.Release()
+	}
+	return result{reply: reply}
+}
+
+// applyIntents applies one dequeued intent plus everything immediately
+// behind it, then publishes the next epoch. It must run wherever the
+// executor is owned: on the executor goroutine in batched mode, under
+// the service latch in direct mode.
+func (s *Service) applyIntents(first intentReq) {
+	in := first
+	for {
+		s.reorgLagUs.Store(uint64(time.Since(in.enqueued) / time.Microsecond))
+		start := time.Now()
+		// An intent comes from a read that validated its table and column
+		// against a published epoch, so application cannot fail on a
+		// static catalog; an error here would only repeat on retry.
+		_ = s.exec.ApplyIntent(in.in)
+		s.phases[trace.PhaseReorgApply].observe(time.Since(start))
+		select {
+		case in = <-s.intents:
+		default:
+			s.exec.PublishEpoch()
+			return
+		}
+	}
+}
+
+// runReorganiser is the direct-mode background reorganiser: it drains
+// the intent queue under the service latch until the service closes,
+// then applies whatever is still queued so idle columns converge.
+func (s *Service) runReorganiser() {
+	defer close(s.reorgDone)
+	for {
+		select {
+		case in := <-s.intents:
+			s.mu.Lock()
+			s.applyIntents(in)
+			s.mu.Unlock()
+		case <-s.closed:
+			for {
+				select {
+				case in := <-s.intents:
+					s.mu.Lock()
+					s.applyIntents(in)
+					s.mu.Unlock()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
 // runExecutor is the scheduler loop: it owns the engine exclusively,
 // coalesces queued requests into batches and executes them.
 func (s *Service) runExecutor() {
@@ -543,6 +723,12 @@ func (s *Service) runExecutor() {
 		case req := <-s.queue:
 			req.dequeued = time.Now()
 			batch = append(batch, req)
+		case in := <-s.intents:
+			// No queries waiting: spend the idle time on deferred
+			// reorganisation. (s.intents is nil unless epoch reads are
+			// enabled, and a nil channel never fires.)
+			s.applyIntents(in)
+			continue
 		case <-s.closed:
 			s.drainAndExit()
 			return
@@ -581,6 +767,11 @@ func (s *Service) runExecutor() {
 		}
 		timer.Stop()
 		s.executeBatch(batch)
+		if s.readers > 1 {
+			// The batch may have cracked or written; publish so epoch
+			// readers see it (a no-op when nothing changed).
+			s.exec.PublishEpoch()
+		}
 	}
 }
 
@@ -601,14 +792,18 @@ func (s *Service) drainQueued(batch *[]*request) bool {
 	return got
 }
 
-// drainAndExit answers everything still queued at close time, so no
-// admitted request is left waiting.
+// drainAndExit answers everything still queued at close time — no
+// admitted request is left waiting — and applies the remaining crack
+// intents, so a column the readers deferred reorganisation on still
+// converges before the service quiesces.
 func (s *Service) drainAndExit() {
 	for {
 		select {
 		case req := <-s.queue:
 			req.dequeued = time.Now()
 			s.executeBatch([]*request{req})
+		case in := <-s.intents:
+			s.applyIntents(in)
 		default:
 			return
 		}
@@ -793,10 +988,14 @@ func (s *Service) observePhases(root *trace.Span) {
 }
 
 // Close stops accepting queries, waits for the scheduler to drain every
-// admitted request, and quiesces the engine. It is idempotent.
+// admitted request (and the reorganiser to apply the remaining crack
+// intents), and quiesces the engine. It is idempotent.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() { close(s.closed) })
 	<-s.drained
+	if s.reorgDone != nil {
+		<-s.reorgDone
+	}
 }
 
 // SnapshotTo writes the hosted executor's adaptive state (cracked
@@ -827,6 +1026,9 @@ func (s *Service) String() string {
 		strings.Join(tables, ","), s.cfg.DefaultTable, s.cfg.DefaultColumn, s.defaultPath, mode, s.cfg.MaxInFlight)
 	if n := s.exec.Shards(); n > 1 {
 		desc = desc[:len(desc)-1] + fmt.Sprintf(" shards=%d}", n)
+	}
+	if s.readers > 1 {
+		desc = desc[:len(desc)-1] + fmt.Sprintf(" readers=%d}", s.readers)
 	}
 	return desc
 }

@@ -111,10 +111,34 @@ type Stats struct {
 	Shards     int                `json:"shards"`
 	ShardStats []engine.ShardStat `json:"shard_stats,omitempty"`
 
+	// Readers is the epoch read concurrency (0 or 1: every query on the
+	// serialised executor); Reorg describes the epoch read machinery
+	// when Readers > 1.
+	Readers int         `json:"readers"`
+	Reorg   *ReorgStats `json:"reorg,omitempty"`
+
 	Process  ProcessStats  `json:"process"`
 	EventLog EventLogStats `json:"event_log"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ReorgStats describes the epoch read machinery behind Readers > 1:
+// the epoch lifecycle counters, the crack-intent queue, and the
+// reorganiser's lag behind the readers.
+type ReorgStats struct {
+	// Epoch is the executor's epoch lifecycle state (publications,
+	// retirements, applied intents, epoch reads and their summed work).
+	Epoch engine.EpochStats `json:"epoch"`
+	// Backlog is the current depth of the crack-intent queue;
+	// IntentsQueued and IntentsDropped count enqueues and queue-full
+	// drops over the service's lifetime.
+	Backlog        int    `json:"backlog"`
+	IntentsQueued  uint64 `json:"intents_queued"`
+	IntentsDropped uint64 `json:"intents_dropped"`
+	// LagUs is the queue delay of the most recently applied intent, in
+	// microseconds — how far the reorganiser runs behind the readers.
+	LagUs uint64 `json:"lag_us"`
 }
 
 // statsLocked assembles a Stats snapshot; the executor portion requires
@@ -155,6 +179,16 @@ func (s *Service) statsLocked() Stats {
 	if !s.cfg.SnapshotTime.IsZero() {
 		proc.SnapshotAgeSeconds = time.Since(s.cfg.SnapshotTime).Seconds()
 	}
+	var reorg *ReorgStats
+	if s.readers > 1 {
+		reorg = &ReorgStats{
+			Epoch:          s.exec.EpochStats(),
+			Backlog:        len(s.intents),
+			IntentsQueued:  s.intentsQueued.Load(),
+			IntentsDropped: s.intentsDropped.Load(),
+			LagUs:          s.reorgLagUs.Load(),
+		}
+	}
 	return Stats{
 		Tables:         tables,
 		Structures:     s.exec.Structures(),
@@ -181,6 +215,8 @@ func (s *Service) statsLocked() Stats {
 		Phases:         phases,
 		Shards:         s.exec.Shards(),
 		ShardStats:     s.exec.ShardStats(),
+		Readers:        s.readers,
+		Reorg:          reorg,
 		Process:        proc,
 		EventLog:       EventLogStats{LastSeq: s.events.LastSeq(), Capacity: s.events.Capacity()},
 		UptimeSeconds:  time.Since(s.started).Seconds(),

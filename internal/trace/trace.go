@@ -63,6 +63,14 @@ const (
 	// PhaseEncode is the wire encoding of the response body (JSON
 	// marshalling or binary block packing).
 	PhaseEncode
+	// PhaseEpochPin is an epoch-mode read: pinning the current epoch,
+	// running the query against its immutable piece catalog, and
+	// patching pending writes in — no reorganisation happens inside it.
+	PhaseEpochPin
+	// PhaseReorgApply is one background-reorganiser step: applying a
+	// queued crack intent (the deferred crack plus any merge flush it
+	// pulls in) and publishing the next epoch.
+	PhaseReorgApply
 	// NumPhases bounds arrays indexed by Phase.
 	NumPhases
 )
@@ -70,7 +78,7 @@ const (
 // phaseNames maps phases to their wire names.
 var phaseNames = [NumPhases]string{
 	"query", "queue_wait", "batch_assembly", "shard_gather", "crack",
-	"merge_flush", "materialise", "wire_encode",
+	"merge_flush", "materialise", "wire_encode", "epoch_pin", "reorg_apply",
 }
 
 // String returns the phase's wire name.

@@ -110,6 +110,12 @@ type Column struct {
 	mergedIns uint64
 	mergedDel uint64
 
+	// bufVersion counts mutations of the pending buffers. Together
+	// with the cracker's reorganisation version it fingerprints the
+	// column for epoch publication: an unchanged fingerprint means the
+	// previous epoch's view is still exact.
+	bufVersion uint64
+
 	nextRow column.RowID
 	c       cost.Counters
 
@@ -243,7 +249,27 @@ func (u *Column) RestorePending(ins, del column.Pairs) error {
 		delete(u.values, p.Row)
 		u.pendingDel[p.Row] = p.Val
 	}
+	u.bufVersion++
 	return u.Validate()
+}
+
+// Versions returns the column's change fingerprint: the cracker's
+// reorganisation version and the pending-buffer mutation version. An
+// unchanged pair means neither the physical layout nor the buffered
+// updates moved since the fingerprint was taken.
+func (u *Column) Versions() (cracker, buffers uint64) {
+	return u.cc.Version(), u.bufVersion
+}
+
+// Snapshot captures the column's epoch view: an immutable piece
+// catalog of the merged tuples (sharing untouched pieces with prev,
+// see core.CrackerColumn.Snapshot) plus row-sorted copies of the
+// pending buffers, so a reader can patch unmerged updates into
+// snapshot results without touching the live column.
+func (u *Column) Snapshot(prev *core.ColSnapshot) (snap *core.ColSnapshot, pendIns, pendDel column.Pairs) {
+	snap = u.cc.Snapshot(prev)
+	pendIns, pendDel = u.PendingPairs()
+	return snap, pendIns, pendDel
 }
 
 // Len returns the number of live tuples (base plus inserted minus
@@ -301,6 +327,7 @@ func (u *Column) insert(row column.RowID, val column.Value) {
 		return
 	}
 	u.pendingIns[row] = val
+	u.bufVersion++
 	u.c.TuplesCopied++
 }
 
@@ -316,6 +343,7 @@ func (u *Column) Delete(row column.RowID) error {
 	// simply disappears.
 	if _, pending := u.pendingIns[row]; pending {
 		delete(u.pendingIns, row)
+		u.bufVersion++
 		return nil
 	}
 	if u.policy == MergeImmediately {
@@ -328,6 +356,7 @@ func (u *Column) Delete(row column.RowID) error {
 		return nil
 	}
 	u.pendingDel[row] = val
+	u.bufVersion++
 	u.c.TuplesCopied++
 	return nil
 }
@@ -409,6 +438,7 @@ func (u *Column) mergeQualifying(r column.Range) {
 		sortPairsByRow(ins)
 		sortPairsByRow(del)
 	}
+	u.bufVersion++
 	for _, p := range ins {
 		u.cc.RippleInsert(p)
 		delete(u.pendingIns, p.Row)
