@@ -18,9 +18,11 @@
 // (E17), and the scatter-gather shard cluster's summed work at 1, 2
 // and 4 shards (per-shard counters are deterministic, so their sum is
 // too — and the one-shard total is asserted equal to the bare
-// engine's), and the epoch read path at readers=1, asserted
+// engine's), the epoch read path at readers=1, asserted
 // byte-identical to the bare cracking engine (the contract under which
-// the epoch machinery stays disengaged). The run configuration is
+// the epoch machinery stays disengaged), and the crackrouter front over
+// a single backend, also asserted byte-identical to the bare engine
+// (the N=1 routing identity). The run configuration is
 // pinned inside the tool and recorded in the JSON; comparing files
 // with different configurations is an error, not a pass.
 //
@@ -30,18 +32,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"time"
 
+	"adaptiveindex/internal/api"
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/core"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/experiments"
+	"adaptiveindex/internal/router"
 	"adaptiveindex/internal/server"
 	"adaptiveindex/internal/shard"
 	"adaptiveindex/internal/trace"
@@ -284,7 +290,75 @@ func collect(cfg experiments.Config) (map[string]uint64, map[string]float64) {
 	timed("epoch_readers_4", func() {
 		epochReplay(cfg, 4, queries, timings)
 	})
+
+	// Multi-node routing: the same cracking stream through crackrouter
+	// over a single in-process backend. A one-node router is the
+	// identity — global ids, merge and counters untouched — so its work
+	// total must be byte-identical to the bare cracking engine's. The
+	// equality is asserted here, not merely gated: any routing-layer
+	// change that perturbs what the backend executes fails CI.
+	timed("routed_1", func() {
+		m["routed_1_total_work"] = routedReplay(cfg, queries)
+	})
+	if m["routed_1_total_work"] != m["cracking_total_work"] {
+		panic(fmt.Sprintf("benchjson: one-node router work %d diverges from the bare engine's %d",
+			m["routed_1_total_work"], m["cracking_total_work"]))
+	}
 	return m, timings
+}
+
+// routedReplay drives the pinned cracking stream through a Router over
+// one in-process backend service and returns the cluster's summed work
+// total as the router's merged /stats reports it.
+func routedReplay(cfg experiments.Config, queries []column.Range) uint64 {
+	svc, err := server.NewService(server.Config{
+		Engine:       benchEngine(cfg),
+		DefaultTable: "data",
+		DefaultPath:  "cracking",
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+	backend := httptest.NewServer(svc.Handler())
+	defer backend.Close()
+	rt, err := router.New(router.Config{Nodes: []string{backend.URL}})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	client := api.NewClient(front.URL, api.ClientOptions{})
+	ctx := context.Background()
+	for _, r := range queries {
+		q := api.QueryRequest{Op: "select", Table: "data", Column: "c0", Project: []string{"c1"}}
+		if r.HasLow {
+			lo := r.Low
+			q.Low = &lo
+			if !r.IncLow {
+				f := false
+				q.IncLow = &f
+			}
+		}
+		if r.HasHigh {
+			hi := r.High
+			q.High = &hi
+			if r.IncHigh {
+				tr := true
+				q.IncHigh = &tr
+			}
+		}
+		if _, err := client.Query(ctx, q); err != nil {
+			panic(err)
+		}
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		panic(err)
+	}
+	return st.WorkTotal
 }
 
 // epochReplay drives the pinned cracking stream through a direct-mode

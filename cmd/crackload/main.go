@@ -32,25 +32,21 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
-	"net/http"
-	"net/http/httptrace"
 	"os"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"adaptiveindex/internal/api"
 	"adaptiveindex/internal/column"
-	"adaptiveindex/internal/server"
 	"adaptiveindex/internal/trace"
-	"adaptiveindex/internal/wire"
 	"adaptiveindex/internal/workload"
 )
 
@@ -186,12 +182,12 @@ func parseFlags(args []string) (config, error) {
 // sessionStreams builds one op-level generator per session. Pure-read
 // shapes are wrapped in workload.ReadOnlyOps; the mixed shapes
 // interleave writes at cfg.writeRatio.
-func sessionStreams(cfg config, client *netClient) ([]workload.OpGenerator, error) {
+func sessionStreams(cfg config, client *api.Client) ([]workload.OpGenerator, error) {
 	target := workload.Target{Table: cfg.table, Column: cfg.col, Project: cfg.project}
 	switch cfg.shape {
 	case "mixed", "updateheavy":
 		// Writes need the target table's width; ask the server.
-		st, err := client.fetchStats()
+		st, err := client.Stats(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("%s needs the server catalog: %w", cfg.shape, err)
 		}
@@ -215,7 +211,7 @@ func sessionStreams(cfg config, client *netClient) ([]workload.OpGenerator, erro
 		return readOnly(workload.SelectProjectSessions(cfg.seed, cfg.sessions, target, 0, column.Value(cfg.domain), cfg.selectivity)), nil
 	case "multitable":
 		// Enumerate the served catalog and hit every table.
-		st, err := client.fetchStats()
+		st, err := client.Stats(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("multitable needs the server catalog: %w", err)
 		}
@@ -279,7 +275,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	client := newNetClient(cfg.base, cfg.proto, cfg.block, cfg.sessions)
+	client := api.NewClient(cfg.base, api.ClientOptions{
+		Proto: cfg.proto, Block: cfg.block, Sessions: cfg.sessions,
+	})
 	gens, err := sessionStreams(cfg, client)
 	if err != nil {
 		return err
@@ -334,45 +332,38 @@ func run(args []string, out io.Writer) error {
 					if cfg.traceSample > 0 && q%cfg.traceSample == 0 {
 						wq.Trace = true
 					}
-					body, err := json.Marshal(wq)
-					if err != nil {
-						fail(err)
-						continue
-					}
 					t0 := time.Now()
-					ttfb, _, spanJSON, err := client.postQuery(body)
+					qr, err := client.Query(context.Background(), wq)
 					lat := time.Since(t0)
 					if err != nil {
 						fail(err)
 					} else {
 						res.latencies = append(res.latencies, lat)
-						res.ttfbs = append(res.ttfbs, ttfb)
-						if len(spanJSON) > 0 {
-							traces.add(spanJSON)
+						res.ttfbs = append(res.ttfbs, qr.TTFB)
+						if len(qr.Trace) > 0 {
+							traces.add(qr.Trace)
 						}
 					}
 					rep.observe(lat, err != nil)
 				case workload.OpInsert, workload.OpDelete:
-					req := map[string]any{"table": op.Table}
+					var u api.UpdateRequest
+					var uerr error
 					if op.Kind == workload.OpInsert {
-						req["op"] = "insert"
-						req["rows"] = [][]column.Value{op.Values}
+						u, uerr = api.InsertOp(op.Table, [][]column.Value{op.Values})
 					} else {
 						if len(own) == 0 {
 							// An earlier insert failed, leaving nothing
 							// to delete; skip rather than 404.
 							continue
 						}
-						req["op"] = "delete"
-						req["rows"] = []column.RowID{own[0]}
+						u, uerr = api.DeleteOp(op.Table, []column.RowID{own[0]})
 					}
-					body, err := json.Marshal(req)
-					if err != nil {
-						fail(err)
+					if uerr != nil {
+						fail(uerr)
 						continue
 					}
 					t0 := time.Now()
-					ur, err := client.postUpdate(body)
+					ur, err := client.Update(context.Background(), u)
 					lat := time.Since(t0)
 					rep.observe(lat, err != nil)
 					if err != nil {
@@ -429,11 +420,11 @@ func run(args []string, out io.Writer) error {
 	traces.report(out)
 	if len(reads) > 0 {
 		fmt.Fprintf(out, "wire: proto=%s block=%d bytes/query=%.0f conn-reuse=%.1f%% (%d of %d requests)\n",
-			cfg.proto, cfg.block, float64(client.readBytes.Load())/float64(len(reads)),
-			100*client.reuseRate(), client.reused.Load(), client.conns.Load())
+			cfg.proto, cfg.block, float64(client.ReadBytes())/float64(len(reads)),
+			100*client.ReuseRate(), client.Reused(), client.Conns())
 	}
 
-	if st, err := client.fetchStats(); err == nil {
+	if st, err := client.Stats(context.Background()); err == nil {
 		fmt.Fprintf(out, "server: tables=%d pieces=%d mode=%s batches=%d shared-scans=%d rejected=%d p50=%dµs p99=%dµs\n",
 			len(st.Tables), st.Structures.Pieces, st.Mode, st.Batches, st.SharedScans,
 			st.Rejected, st.Latency.P50Us, st.Latency.P99Us)
@@ -546,7 +537,7 @@ func (r *reporter) observe(lat time.Duration, failed bool) {
 // loop prints one line per interval with the interval's own ops rate
 // and percentiles (not cumulative ones, so convergence is visible as
 // the numbers drop run-over-run), until done closes.
-func (r *reporter) loop(out io.Writer, client *netClient, start time.Time, every time.Duration, done <-chan struct{}) {
+func (r *reporter) loop(out io.Writer, client *api.Client, start time.Time, every time.Duration, done <-chan struct{}) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	var lastBytes uint64
@@ -561,7 +552,7 @@ func (r *reporter) loop(out io.Writer, client *netClient, start time.Time, every
 		ops, errs := r.ops, r.errs
 		r.lats, r.ops, r.errs = nil, 0, 0
 		r.mu.Unlock()
-		bytes := client.readBytes.Load()
+		bytes := client.ReadBytes()
 		d := bytes - lastBytes
 		lastBytes = bytes
 		var p50, p99 time.Duration
@@ -598,103 +589,9 @@ func printLatencies(out io.Writer, label string, all []time.Duration) {
 		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
 }
 
-// netClient is the load generator's HTTP stack: one client over one
-// shared keep-alive transport for every session, with per-request
-// tracing so the run can report how often connections were actually
-// reused (the default MaxIdleConnsPerHost of 2 silently serialises
-// high session counts through fresh connections) and how many response
-// bytes crossed the wire per protocol.
-type netClient struct {
-	hc    *http.Client
-	base  string
-	proto string
-	block int
-
-	conns     atomic.Uint64 // connections obtained for requests
-	reused    atomic.Uint64 // ...of which were keep-alive reuses
-	readBytes atomic.Uint64 // response-body bytes of read queries
-}
-
-func newNetClient(base, proto string, block, sessions int) *netClient {
-	tr := &http.Transport{
-		// Every session keeps its connection alive between queries; the
-		// pool must be at least as deep as the session count or idle
-		// connections get closed under the client's feet.
-		MaxIdleConns:        2 * sessions,
-		MaxIdleConnsPerHost: 2 * sessions,
-		IdleConnTimeout:     90 * time.Second,
-	}
-	return &netClient{
-		hc:    &http.Client{Transport: tr, Timeout: 30 * time.Second},
-		base:  base,
-		proto: proto,
-		block: block,
-	}
-}
-
-// do issues one traced request; ttfb, when non-nil, receives the time
-// from t0 to the first response byte.
-func (c *netClient) do(req *http.Request, t0 time.Time, ttfb *time.Duration) (*http.Response, error) {
-	ct := &httptrace.ClientTrace{
-		GotConn: func(info httptrace.GotConnInfo) {
-			c.conns.Add(1)
-			if info.Reused {
-				c.reused.Add(1)
-			}
-		},
-	}
-	if ttfb != nil {
-		ct.GotFirstResponseByte = func() { *ttfb = time.Since(t0) }
-	}
-	return c.hc.Do(req.WithContext(httptrace.WithClientTrace(req.Context(), ct)))
-}
-
-// reuseRate returns the fraction of requests answered over a reused
-// connection.
-func (c *netClient) reuseRate() float64 {
-	if n := c.conns.Load(); n > 0 {
-		return float64(c.reused.Load()) / float64(n)
-	}
-	return 0
-}
-
-// countingReader counts the bytes a decoder pulls through it.
-type countingReader struct {
-	r io.Reader
-	n int64
-}
-
-func (cr *countingReader) Read(p []byte) (int, error) {
-	n, err := cr.r.Read(p)
-	cr.n += int64(n)
-	return n, err
-}
-
-// postUpdate posts one write request and decodes the reply.
-func (c *netClient) postUpdate(body []byte) (server.UpdateResponse, error) {
-	var ur server.UpdateResponse
-	req, err := http.NewRequest(http.MethodPost, c.base+"/update", bytes.NewReader(body))
-	if err != nil {
-		return ur, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.do(req, time.Now(), nil)
-	if err != nil {
-		return ur, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var msg bytes.Buffer
-		io.Copy(&msg, io.LimitReader(resp.Body, 256))
-		return ur, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
-	}
-	err = json.NewDecoder(resp.Body).Decode(&ur)
-	return ur, err
-}
-
 // wireQuery converts one table-level query to the wire form.
-func wireQuery(cfg config, tq workload.TableQuery) server.QueryRequest {
-	q := server.QueryRequest{
+func wireQuery(cfg config, tq workload.TableQuery) api.QueryRequest {
+	q := api.QueryRequest{
 		Op:      cfg.op,
 		Table:   tq.Table,
 		Column:  tq.Column,
@@ -722,63 +619,4 @@ func wireQuery(cfg config, tq workload.TableQuery) server.QueryRequest {
 		}
 	}
 	return q
-}
-
-// postQuery issues one read query, fully consuming and decoding the
-// response on the configured protocol (a client that discards bodies
-// undersells the decode cost the protocol exists to remove). It
-// returns the time to the first response byte, the response size, and
-// the phase span tree when the query asked for one.
-func (c *netClient) postQuery(body []byte) (ttfb time.Duration, n int64, spanJSON []byte, err error) {
-	req, err := http.NewRequest(http.MethodPost, c.base+"/query", bytes.NewReader(body))
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if c.proto == "binary" {
-		req.Header.Set("Accept", wire.AcceptValue(c.block))
-	}
-	resp, err := c.do(req, time.Now(), &ttfb)
-	if err != nil {
-		return ttfb, 0, nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var msg bytes.Buffer
-		io.Copy(&msg, io.LimitReader(resp.Body, 256))
-		return ttfb, 0, nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
-	}
-	cr := &countingReader{r: resp.Body}
-	if c.proto == "binary" && resp.Header.Get("Content-Type") == wire.ContentType {
-		var res *wire.Result
-		res, err = wire.Decode(cr)
-		if err == nil {
-			spanJSON = res.Trace
-		}
-	} else {
-		var qr server.QueryResponse
-		err = json.NewDecoder(cr).Decode(&qr)
-		spanJSON = qr.Trace
-	}
-	if err != nil {
-		return ttfb, cr.n, nil, fmt.Errorf("decoding %s response: %w", c.proto, err)
-	}
-	// Drain any trailing bytes so the connection is reused.
-	io.Copy(io.Discard, cr)
-	c.readBytes.Add(uint64(cr.n))
-	return ttfb, cr.n, spanJSON, nil
-}
-
-func (c *netClient) fetchStats() (server.Stats, error) {
-	var st server.Stats
-	resp, err := c.hc.Get(c.base + "/stats")
-	if err != nil {
-		return st, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return st, fmt.Errorf("status %d", resp.StatusCode)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	return st, err
 }

@@ -1,0 +1,155 @@
+// Command crackrouter is the multi-node front: a thin, stateless
+// router that fans queries and updates out to N crackserve backend
+// nodes, each serving one row stripe of the same generated catalog
+// (crackserve -stripe s/N), and merges the per-node answers into one.
+//
+//	crackserve -addr :8081 -n 1000000 -stripe 0/2 -snapshot /tmp/n0.snap &
+//	crackserve -addr :8082 -n 1000000 -stripe 1/2 -snapshot /tmp/n1.snap &
+//	crackrouter -addr :8080 -nodes localhost:8081,localhost:8082
+//
+// The router speaks the same HTTP surface as a single crackserve node
+// — POST /query and /update in JSON or the binary columnar protocol,
+// GET /stats, /metrics, /healthz — so crackload and every other client
+// work unchanged against a cluster. The striping contract is
+// internal/shard's lifted over the wire: global row g lives on node
+// g mod N, every read fans to all nodes, appends land on the owning
+// node in global order, and -nodes with a single backend is
+// byte-identical to that backend on every deterministic cost counter.
+//
+// Nodes are health-probed continuously and walk an up → degraded →
+// down state machine. Reads retry idempotently with exponential
+// backoff; losing a stripe owner mid-read fails the request fast with
+// 503 and a per-node breakdown, while reads spanning nodes already
+// marked down are answered partially (JSON, with "partial":true and
+// the missing stripes listed). Writes to a down stripe owner are
+// refused with 503 naming the node. A restarted backend (restored from
+// its per-stripe snapshot) is re-admitted once its health probe passes
+// and its catalog fingerprint matches the rows the router knows it
+// owns.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adaptiveindex/internal/router"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crackrouter:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr     string
+	nodes    string
+	proto    string
+	block    int
+	sessions int
+	timeout  time.Duration
+	retries  int
+	backoff  time.Duration
+	probe    time.Duration
+	downN    int
+	bootWait time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("crackrouter", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.nodes, "nodes", "", "comma-separated backend addresses in stripe order (node s owns global rows g with g%N==s)")
+	fs.StringVar(&cfg.proto, "proto", "json", "router→backend query protocol: json or binary")
+	fs.IntVar(&cfg.block, "block", 0, "binary protocol block size in rows (0: one block)")
+	fs.IntVar(&cfg.sessions, "sessions", 64, "keep-alive connection pool size per backend")
+	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-backend request timeout")
+	fs.IntVar(&cfg.retries, "retries", 2, "idempotent read retries per backend request")
+	fs.DurationVar(&cfg.backoff, "backoff", 25*time.Millisecond, "initial retry backoff, doubled per retry")
+	fs.DurationVar(&cfg.probe, "probe-interval", 250*time.Millisecond, "health probe cadence")
+	fs.IntVar(&cfg.downN, "down-after", 2, "consecutive failures that take a degraded node down")
+	fs.DurationVar(&cfg.bootWait, "boot-wait", 15*time.Second, "how long to wait for the backends to come up at boot")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if strings.TrimSpace(cfg.nodes) == "" {
+		return cfg, fmt.Errorf("-nodes is required (comma-separated crackserve addresses)")
+	}
+	return cfg, nil
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	var nodes []string
+	for _, a := range strings.Split(cfg.nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			nodes = append(nodes, a)
+		}
+	}
+	rcfg := router.Config{
+		Nodes: nodes, Proto: cfg.proto, Block: cfg.block,
+		Sessions: cfg.sessions, Timeout: cfg.timeout,
+		Retries: cfg.retries, RetryBackoff: cfg.backoff,
+		ProbeInterval: cfg.probe, DownAfter: cfg.downN,
+	}
+	// Backends restoring a snapshot answer /healthz not-ready for a
+	// while; keep trying until the whole cluster is up or the boot
+	// budget runs out, so start order doesn't matter.
+	var rt *router.Router
+	deadline := time.Now().Add(cfg.bootWait)
+	for {
+		rt, err = router.New(rcfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(out, "crackrouter: %d nodes (%s) on %s, proto=%s\n",
+		rt.Nodes(), strings.Join(nodes, ", "), ln.Addr(), cfg.proto)
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		return err
+	}
+	fmt.Fprintln(out, "crackrouter: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		httpSrv.Close()
+	}
+	return shutdownErr
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptiveindex/internal/api"
+	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/shard"
+	"adaptiveindex/internal/trace"
+)
+
+func TestFlagValidation(t *testing.T) {
+	if _, err := parseFlags(nil); err == nil || !strings.Contains(err.Error(), "-nodes") {
+		t.Fatalf("missing -nodes accepted: %v", err)
+	}
+	cfg, err := parseFlags([]string{"-nodes", "a:1, b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.nodes != "a:1, b:2" || cfg.proto != "json" {
+		t.Fatalf("cfg %+v", cfg)
+	}
+}
+
+// syncBuffer is a Buffer safe to read while run() is still logging.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func stripeBackend(t *testing.T, s, n int) *httptest.Server {
+	t.Helper()
+	specs, err := server.ParseTableSpecs("data:6000:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := server.BuildCatalog(specs, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat, err = shard.Stripe(cat, s, n); err != nil {
+		t.Fatal(err)
+	}
+	built, err := server.BuildExec(cat, server.EngineOptions{Shards: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := server.NewService(server.Config{
+		Exec: built.Exec, DefaultPath: "auto", EventLog: trace.NewLog(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestEndToEnd boots the router binary's run() over two striped
+// backends and queries through it.
+func TestEndToEnd(t *testing.T) {
+	b0 := stripeBackend(t, 0, 2)
+	b1 := stripeBackend(t, 1, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-nodes", b0.URL + "," + b1.URL,
+			"-probe-interval", "20ms",
+		}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("router never reported its address; output:\n%s", out.String())
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	c := api.NewClient(addr, api.ClientOptions{})
+	lo, hi := int64(100), int64(2000)
+	res, err := c.Query(ctx, api.QueryRequest{Op: "count", Low: &lo, High: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 {
+		t.Fatal("count 0 through the router")
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "router" || len(st.Nodes) != 2 {
+		t.Fatalf("stats mode=%q nodes=%d", st.Mode, len(st.Nodes))
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v\noutput:\n%s", err, out.String())
+	}
+}

@@ -17,6 +17,15 @@
 // a sharded daemon writes per-shard snapshot segments, restorable only
 // at the same -shards count.
 //
+// With -stripe s/N the daemon serves only stripe s of the generated
+// catalog (rows g with g % N == s, renumbered densely) — the building
+// block of a multi-node deployment behind crackrouter, which owns the
+// global row ids and fans every query across the N stripes. The
+// listener answers from the first moment; until the engine is built or
+// restored every request gets 503 and /healthz reports
+// {"ok":true,"ready":false}, so orchestrators can tell "booting" from
+// "dead".
+//
 // With -readers N (N > 1) reads on the auto/cracking path are answered
 // by up to N concurrent workers against epoch-pinned immutable
 // snapshots, never blocking on the executor; the cracking those reads
@@ -58,6 +67,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,11 +79,14 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"adaptiveindex/internal/api"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/shard"
 	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/updates"
 )
@@ -103,6 +116,9 @@ type config struct {
 	batchMax    int
 	inFlight    int
 	readers     int
+	stripe      string
+	stripeIdx   int
+	stripeOf    int
 	snapshot    string
 	drainWait   time.Duration
 	events      int
@@ -126,6 +142,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.batchMax, "batch-max", 64, "max queries per batch")
 	fs.IntVar(&cfg.inFlight, "inflight", 1024, "admission limit on in-flight queries")
 	fs.IntVar(&cfg.readers, "readers", 1, "concurrent epoch-pinned read workers (<=1: every query on the serialised executor)")
+	fs.StringVar(&cfg.stripe, "stripe", "", "serve stripe s/N of the generated catalog (e.g. 0/2), for multi-node deployments behind crackrouter")
 	fs.StringVar(&cfg.snapshot, "snapshot", "", "engine snapshot file, restored on boot and written on graceful shutdown")
 	fs.DurationVar(&cfg.drainWait, "drain-wait", 5*time.Second, "graceful shutdown drain timeout")
 	fs.IntVar(&cfg.events, "events", trace.DefaultLogSize, "reorganisation event ring capacity (served at /debug/events)")
@@ -135,6 +152,16 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.tables == "" {
 		cfg.tables = fmt.Sprintf("data:%d:3", cfg.n)
+	}
+	if cfg.stripe != "" {
+		if _, err := fmt.Sscanf(cfg.stripe, "%d/%d", &cfg.stripeIdx, &cfg.stripeOf); err != nil {
+			return cfg, fmt.Errorf("bad -stripe %q: want s/N (e.g. 0/2)", cfg.stripe)
+		}
+		if cfg.stripeOf < 1 || cfg.stripeIdx < 0 || cfg.stripeIdx >= cfg.stripeOf {
+			return cfg, fmt.Errorf("bad -stripe %q: want 0 <= s < N", cfg.stripe)
+		}
+	} else {
+		cfg.stripeOf = 1
 	}
 	return cfg, nil
 }
@@ -151,24 +178,62 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return serve(ctx, cfg, ln, out)
 }
 
+// bootGate answers every request 503 until the engine is built or
+// restored: /healthz reports {"ok":true,"ready":false} so orchestrators
+// (and crackrouter's health probe) can tell "booting" from "dead"
+// without racing the snapshot restore, everything else gets an error
+// envelope.
+func bootGate() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if r.URL.Path == "/healthz" {
+			json.NewEncoder(w).Encode(api.Health{OK: true, Ready: false})
+			return
+		}
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "booting: engine not ready"})
+	})
+}
+
 // serve hosts the service on the listener until ctx is cancelled, then
 // shuts down gracefully: the HTTP server drains, the scheduler
-// quiesces, and the engine state is snapshotted.
+// quiesces, and the engine state is snapshotted. The listener answers
+// from the first moment — a boot-gate handler holds the fort (503,
+// /healthz not-ready) while the engine builds or restores, then the
+// real service handler is swapped in atomically.
 func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) error {
+	var handler atomic.Pointer[http.Handler]
+	gate := bootGate()
+	handler.Store(&gate)
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fail := func(err error) error {
+		httpSrv.Close()
+		return err
+	}
+
 	specs, err := server.ParseTableSpecs(cfg.tables)
 	if err != nil {
-		ln.Close()
-		return err
+		return fail(err)
 	}
 	cat, err := server.BuildCatalog(specs, cfg.seed, cfg.domain)
 	if err != nil {
-		ln.Close()
-		return err
+		return fail(err)
+	}
+	if cfg.stripeOf > 1 {
+		// The node keeps rows g with g % N == s, renumbered densely —
+		// the same striping contract shard.Cluster applies in-process,
+		// lifted across nodes. crackrouter owns the global ids.
+		if cat, err = shard.Stripe(cat, cfg.stripeIdx, cfg.stripeOf); err != nil {
+			return fail(err)
+		}
 	}
 	mergeDefault, mergeTables, err := server.ParseMergeSpec(cfg.merge)
 	if err != nil {
-		ln.Close()
-		return err
+		return fail(err)
 	}
 	shards := cfg.shards
 	if shards <= 0 {
@@ -184,8 +249,7 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		SnapshotPath:  cfg.snapshot,
 	})
 	if err != nil {
-		ln.Close()
-		return err
+		return fail(err)
 	}
 	// A restored snapshot's age tells operators how much adaptive
 	// convergence this process inherited rather than earned.
@@ -207,13 +271,10 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 		SnapshotTime: snapTime,
 	})
 	if err != nil {
-		ln.Close()
-		return err
+		return fail(err)
 	}
-
-	httpSrv := &http.Server{Handler: svc.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
+	ready := svc.Handler()
+	handler.Store(&ready)
 
 	// The profiler gets its own listener so it can stay firewalled away
 	// from the query surface; it serves until the daemon exits.
@@ -239,6 +300,9 @@ func serve(ctx context.Context, cfg config, ln net.Listener, out io.Writer) erro
 	boot := "cold start"
 	if built.Restored {
 		boot = fmt.Sprintf("restored from %s", cfg.snapshot)
+	}
+	if cfg.stripeOf > 1 {
+		boot += fmt.Sprintf(", stripe %d/%d", cfg.stripeIdx, cfg.stripeOf)
 	}
 	policies := make(map[string]string)
 	for _, ti := range built.Exec.Tables() {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptiveindex/internal/api"
 	"adaptiveindex/internal/server"
 	"adaptiveindex/internal/trace"
 )
@@ -655,5 +657,95 @@ func TestShardedKillRestartRoundTrip(t *testing.T) {
 	bootErr := serve(ctx, wrong, ln, &bytes.Buffer{})
 	if bootErr == nil || !strings.Contains(bootErr.Error(), "-shards 3") {
 		t.Fatalf("booting a 3-shard snapshot with -shards 2 must fail naming -shards 3, got: %v", bootErr)
+	}
+}
+
+// TestBootGate pins the readiness contract: until the engine is ready,
+// /healthz answers 503 with {"ok":true,"ready":false} (booting, not
+// dead) and the data plane answers 503 error envelopes — so health
+// probes and kill/restart orchestration never race the boot.
+func TestBootGate(t *testing.T) {
+	h := bootGate()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("booting /healthz status %d, want 503", rr.Code)
+	}
+	var hb api.Health
+	if err := json.NewDecoder(rr.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if !hb.OK || hb.Ready {
+		t.Fatalf("booting /healthz body %+v, want ok=true ready=false", hb)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{}`)))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("booting /query status %d, want 503", rr.Code)
+	}
+	var eb api.ErrorResponse
+	if err := json.NewDecoder(rr.Body).Decode(&eb); err != nil || eb.Error == "" {
+		t.Fatalf("booting /query body not an error envelope: %v %+v", err, eb)
+	}
+}
+
+// TestStripeFlag validates -stripe parsing.
+func TestStripeFlag(t *testing.T) {
+	cfg, err := parseFlags([]string{"-stripe", "1/2", "-n", "1000"})
+	if err != nil || cfg.stripeIdx != 1 || cfg.stripeOf != 2 {
+		t.Fatalf("1/2 parsed to %d/%d, err %v", cfg.stripeIdx, cfg.stripeOf, err)
+	}
+	if cfg, err = parseFlags([]string{"-n", "1000"}); err != nil || cfg.stripeOf != 1 {
+		t.Fatalf("default stripeOf %d, err %v", cfg.stripeOf, err)
+	}
+	for _, bad := range []string{"2/2", "-1/2", "0/0", "x", "1-2"} {
+		if _, err := parseFlags([]string{"-stripe", bad}); err == nil {
+			t.Fatalf("-stripe %q accepted", bad)
+		}
+	}
+}
+
+// TestStripedPairServes boots two daemons over complementary stripes of
+// one catalog and checks each serves its half: the row populations are
+// the ceil/floor split and their per-stripe counts sum to the whole.
+func TestStripedPairServes(t *testing.T) {
+	base := config{
+		tables:      "data:10001:2",
+		seed:        3,
+		shards:      1,
+		path:        "auto",
+		batchWindow: 0,
+		batchMax:    64,
+		inFlight:    128,
+		drainWait:   2 * time.Second,
+		events:      16,
+	}
+	n0, n1 := base, base
+	n0.stripeIdx, n0.stripeOf = 0, 2
+	n1.stripeIdx, n1.stripeOf = 1, 2
+	url0, cancel0, done0, _ := startServe(t, n0)
+	defer func() { cancel0(); <-done0 }()
+	url1, cancel1, done1, _ := startServe(t, n1)
+	defer func() { cancel1(); <-done1 }()
+
+	st0, st1 := getStats(t, url0), getStats(t, url1)
+	if st0.Tables[0].Rows != 5001 || st1.Tables[0].Rows != 5000 {
+		t.Fatalf("stripe rows %d + %d, want 5001 + 5000", st0.Tables[0].Rows, st1.Tables[0].Rows)
+	}
+	// Each stripe holds a slice of every value range; the two counts
+	// must sum to what one daemon over the whole catalog reports.
+	whole := base
+	urlW, cancelW, doneW, _ := startServe(t, whole)
+	defer func() { cancelW(); <-doneW }()
+	q := `{"op":"count","low":100,"high":4000}`
+	c0 := postJSON(t, url0, q).Count
+	c1 := postJSON(t, url1, q).Count
+	cw := postJSON(t, urlW, q).Count
+	if c0+c1 != cw {
+		t.Fatalf("stripe counts %d + %d != whole %d", c0, c1, cw)
+	}
+	if c0 == 0 || c1 == 0 {
+		t.Fatalf("a stripe answered empty (%d, %d): not a value-range slice", c0, c1)
 	}
 }

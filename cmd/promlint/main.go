@@ -1,0 +1,63 @@
+// Command promlint runs the repository's Prometheus exposition lint
+// (internal/trace.LintProm) over a metrics document: TYPE/HELP
+// presence and ordering, counter naming, histogram bucket monotonicity
+// and +Inf/_count agreement. The argument is a URL (fetched) or a file
+// path (read); exit status 1 when the document has problems. CI uses it
+// to lint live /metrics endpoints — a single daemon's or crackrouter's
+// merged cluster view — without going through a Go test.
+//
+//	promlint http://localhost:8080/metrics
+//	promlint metrics.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"adaptiveindex/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: promlint <url-or-file>")
+	}
+	src := args[0]
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("%s: status %d", src, resp.StatusCode)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		r = f
+	}
+	defer r.Close()
+	problems := trace.LintProm(r)
+	if len(problems) == 0 {
+		fmt.Fprintf(out, "promlint: %s clean\n", src)
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintln(out, p)
+	}
+	return fmt.Errorf("%d problem(s) in %s", len(problems), src)
+}

@@ -1,0 +1,120 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"adaptiveindex/internal/column"
+)
+
+func TestDecodeQueryVersioning(t *testing.T) {
+	// Absent version means v1.
+	q, err := DecodeQuery(strings.NewReader(`{"op":"count","low":1,"high":5}`))
+	if err != nil {
+		t.Fatalf("unversioned request rejected: %v", err)
+	}
+	if q.Op != "count" || q.Low == nil || *q.Low != 1 {
+		t.Fatalf("decoded %+v", q)
+	}
+	// Explicit v1 is accepted.
+	if _, err := DecodeQuery(strings.NewReader(`{"v":1,"op":"count"}`)); err != nil {
+		t.Fatalf("v1 request rejected: %v", err)
+	}
+	// A future version is rejected with an error naming what we speak.
+	_, err = DecodeQuery(strings.NewReader(`{"v":2,"op":"count"}`))
+	if err == nil {
+		t.Fatal("v2 request accepted")
+	}
+	if !strings.Contains(err.Error(), "v1") {
+		t.Fatalf("version error %q does not name the supported version", err)
+	}
+}
+
+func TestDecodeQueryUnknownField(t *testing.T) {
+	_, err := DecodeQuery(strings.NewReader(`{"op":"count","nonsense":true}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if !strings.Contains(err.Error(), "nonsense") {
+		t.Fatalf("error %q does not name the unknown field", err)
+	}
+}
+
+func TestDecodeUpdateVersioning(t *testing.T) {
+	u, err := DecodeUpdate(strings.NewReader(`{"op":"insert","rows":[[1,2]]}`))
+	if err != nil {
+		t.Fatalf("unversioned update rejected: %v", err)
+	}
+	ops, err := u.WriteOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || len(ops[0].Insert) != 1 {
+		t.Fatalf("ops %+v", ops)
+	}
+	if _, err := DecodeUpdate(strings.NewReader(`{"v":9,"op":"insert","rows":[[1]]}`)); err == nil {
+		t.Fatal("v9 update accepted")
+	}
+	if _, err := DecodeUpdate(strings.NewReader(`{"op":"insert","rows":[[1]],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestWriteOpsValidation(t *testing.T) {
+	u, _ := DecodeUpdate(strings.NewReader(`{"op":"upsert","rows":[[1]]}`))
+	if _, err := u.WriteOps(); err == nil || !strings.Contains(err.Error(), "upsert") {
+		t.Fatalf("unknown op error %v", err)
+	}
+}
+
+func TestCatalogFingerprint(t *testing.T) {
+	base := []TableStats{
+		{Table: "orders", Columns: []string{"c0", "c1"}, Rows: 100, LiveRows: 90},
+		{Table: "events", Columns: []string{"c0"}, Rows: 50, LiveRows: 50},
+	}
+	fp := CatalogFingerprint(base)
+	if fp == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if got := CatalogFingerprint(base); got != fp {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", got, fp)
+	}
+	// Any change to the population must move the fingerprint.
+	mut := []TableStats{base[0], {Table: "events", Columns: []string{"c0"}, Rows: 51, LiveRows: 51}}
+	if CatalogFingerprint(mut) == fp {
+		t.Fatal("fingerprint blind to row count")
+	}
+	mut = []TableStats{base[0], {Table: "events", Columns: []string{"c0"}, Rows: 50, LiveRows: 49}}
+	if CatalogFingerprint(mut) == fp {
+		t.Fatal("fingerprint blind to live rows")
+	}
+	mut = []TableStats{base[0], {Table: "events2", Columns: []string{"c0"}, Rows: 50, LiveRows: 50}}
+	if CatalogFingerprint(mut) == fp {
+		t.Fatal("fingerprint blind to table name")
+	}
+}
+
+func TestInsertDeleteOpBuilders(t *testing.T) {
+	u, err := InsertOp("orders", [][]column.Value{{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := u.WriteOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Table != "orders" || len(ops[0].Insert) != 1 {
+		t.Fatalf("ops %+v", ops)
+	}
+	u, err = DeleteOp("orders", []column.RowID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err = u.WriteOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || len(ops[0].Delete) != 1 || ops[0].Delete[0] != 7 {
+		t.Fatalf("ops %+v", ops)
+	}
+}

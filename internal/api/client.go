@@ -1,0 +1,365 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptrace"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/wire"
+)
+
+// Client is the one HTTP-consumer code path for the crack service:
+// one http.Client over one shared keep-alive transport for any number
+// of concurrent sessions, with JSON/binary protocol negotiation,
+// trace opt-in, per-request connection accounting (how often
+// keep-alive actually reused a connection) and response-byte counts.
+// crackload and the multi-node router both speak through it.
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	hc    *http.Client
+	base  string
+	proto string
+	block int
+
+	conns     atomic.Uint64 // connections obtained for requests
+	reused    atomic.Uint64 // ...of which were keep-alive reuses
+	readBytes atomic.Uint64 // response-body bytes of read queries
+}
+
+// ClientOptions tunes a Client. The zero value is a JSON client for
+// one session with a 30s request timeout.
+type ClientOptions struct {
+	// Proto is "json" (default) or "binary" (the columnar wire format).
+	Proto string
+	// Block is the streamed block size in rows for the binary protocol
+	// (0: one block).
+	Block int
+	// Sessions sizes the keep-alive pool: every session keeps its
+	// connection alive between queries, so the idle pool must be at
+	// least as deep as the session count or idle connections get closed
+	// under the client's feet (the transport default of 2 silently
+	// serialises high session counts through fresh connections).
+	Sessions int
+	// Timeout bounds each request end to end (default 30s; contexts
+	// passed to the methods bound individual requests tighter).
+	Timeout time.Duration
+}
+
+// NewClient returns a client for the daemon at addr (host:port or
+// URL).
+func NewClient(addr string, opts ClientOptions) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if opts.Proto == "" {
+		opts.Proto = "json"
+	}
+	if opts.Sessions < 1 {
+		opts.Sessions = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        2 * opts.Sessions,
+		MaxIdleConnsPerHost: 2 * opts.Sessions,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{
+		hc:    &http.Client{Transport: tr, Timeout: opts.Timeout},
+		base:  base,
+		proto: opts.Proto,
+		block: opts.Block,
+	}
+}
+
+// Base returns the normalised base URL the client talks to.
+func (c *Client) Base() string { return c.base }
+
+// Proto returns the negotiated query protocol ("json" or "binary").
+func (c *Client) Proto() string { return c.proto }
+
+// Conns, Reused and ReadBytes expose the connection accounting:
+// connections obtained, keep-alive reuses among them, and response-body
+// bytes of read queries.
+func (c *Client) Conns() uint64     { return c.conns.Load() }
+func (c *Client) Reused() uint64    { return c.reused.Load() }
+func (c *Client) ReadBytes() uint64 { return c.readBytes.Load() }
+
+// ReuseRate returns the fraction of requests answered over a reused
+// connection.
+func (c *Client) ReuseRate() float64 {
+	if n := c.conns.Load(); n > 0 {
+		return float64(c.reused.Load()) / float64(n)
+	}
+	return 0
+}
+
+// StatusError is a non-2xx response: the status code, the decoded
+// error envelope (when the body was one), and for failed updates the
+// applied prefix — ops apply in order and the failed request's applied
+// prefix stays applied, so the error must carry it.
+type StatusError struct {
+	Status   int
+	Resp     ErrorResponse
+	Inserted []column.RowID
+	Deleted  int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.Status, e.Resp.Error)
+}
+
+// statusError decodes one non-2xx response body.
+func statusError(status int, body io.Reader) *StatusError {
+	raw, _ := io.ReadAll(io.LimitReader(body, 64<<10))
+	e := &StatusError{Status: status}
+	var env struct {
+		ErrorResponse
+		Inserted []column.RowID `json:"inserted"`
+		Deleted  int            `json:"deleted"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+		e.Resp = env.ErrorResponse
+		e.Inserted = env.Inserted
+		e.Deleted = env.Deleted
+	} else {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		e.Resp.Error = strings.TrimSpace(string(raw))
+	}
+	return e
+}
+
+// QueryResult is one decoded query answer, protocol-independent.
+type QueryResult struct {
+	Count     int
+	Rows      column.IDList
+	Columns   map[string][]column.Value
+	Path      string
+	LatencyUs int64
+	// Partial and MissingNodes mark a router answer assembled without
+	// every stripe (JSON protocol only; see QueryResponse).
+	Partial      bool
+	MissingNodes []int
+	// Trace is the raw JSON span tree when the query asked for one.
+	Trace json.RawMessage
+	// TTFB is the time from request start to the first response byte;
+	// Bytes is the consumed response-body size.
+	TTFB  time.Duration
+	Bytes int64
+}
+
+// do issues one traced request; ttfb, when non-nil, receives the time
+// from t0 to the first response byte.
+func (c *Client) do(req *http.Request, t0 time.Time, ttfb *time.Duration) (*http.Response, error) {
+	ct := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			c.conns.Add(1)
+			if info.Reused {
+				c.reused.Add(1)
+			}
+		},
+	}
+	if ttfb != nil {
+		ct.GotFirstResponseByte = func() { *ttfb = time.Since(t0) }
+	}
+	return c.hc.Do(req.WithContext(httptrace.WithClientTrace(req.Context(), ct)))
+}
+
+// countingReader counts the bytes a decoder pulls through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// Query posts one read query on the client's protocol, fully consuming
+// and decoding the response (a client that discards bodies undersells
+// the decode cost the binary protocol exists to remove).
+func (c *Client) Query(ctx context.Context, q QueryRequest) (*QueryResult, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.proto == "binary" {
+		req.Header.Set("Accept", wire.AcceptValue(c.block))
+	}
+	out := &QueryResult{}
+	t0 := time.Now()
+	resp, err := c.do(req, t0, &out.TTFB)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp.StatusCode, resp.Body)
+	}
+	cr := &countingReader{r: resp.Body}
+	// Errors and partial router answers come back as JSON whatever the
+	// client negotiated, so dispatch on the response content type.
+	if c.proto == "binary" && resp.Header.Get("Content-Type") == wire.ContentType {
+		res, err := wire.Decode(cr)
+		if err != nil {
+			return nil, fmt.Errorf("decoding binary response: %w", err)
+		}
+		out.Count = res.Count
+		out.Rows = res.Rows
+		out.Columns = res.Columns
+		out.Path = res.Path
+		out.LatencyUs = int64(res.LatencyUs)
+		out.Trace = res.Trace
+	} else {
+		var qr QueryResponse
+		if err := json.NewDecoder(cr).Decode(&qr); err != nil {
+			return nil, fmt.Errorf("decoding json response: %w", err)
+		}
+		out.Count = qr.Count
+		out.Rows = qr.Rows
+		out.Columns = qr.Columns
+		out.Path = qr.Path
+		out.LatencyUs = qr.LatencyUs
+		out.Partial = qr.Partial
+		out.MissingNodes = qr.MissingNodes
+		out.Trace = qr.Trace
+	}
+	// Drain any trailing bytes so the connection is reused.
+	io.Copy(io.Discard, cr)
+	out.Bytes = cr.n
+	c.readBytes.Add(uint64(cr.n))
+	return out, nil
+}
+
+// Update posts one write request and decodes the reply. A non-2xx
+// answer is returned as a *StatusError carrying the applied prefix.
+func (c *Client) Update(ctx context.Context, u UpdateRequest) (UpdateResponse, error) {
+	var ur UpdateResponse
+	body, err := json.Marshal(u)
+	if err != nil {
+		return ur, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/update", bytes.NewReader(body))
+	if err != nil {
+		return ur, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req, time.Now(), nil)
+	if err != nil {
+		return ur, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ur, statusError(resp.StatusCode, resp.Body)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ur)
+	return ur, err
+}
+
+// InsertOp builds a single-op insert request.
+func InsertOp(table string, rows [][]column.Value) (UpdateRequest, error) {
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		return UpdateRequest{}, err
+	}
+	return UpdateRequest{UpdateOp: UpdateOp{Op: "insert", Table: table, Rows: raw}}, nil
+}
+
+// DeleteOp builds a single-op delete request.
+func DeleteOp(table string, ids []column.RowID) (UpdateRequest, error) {
+	raw, err := json.Marshal(ids)
+	if err != nil {
+		return UpdateRequest{}, err
+	}
+	return UpdateRequest{UpdateOp: UpdateOp{Op: "delete", Table: table, Rows: raw}}, nil
+}
+
+// getJSON fetches one GET endpoint into v.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req, time.Now(), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp.StatusCode, resp.Body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Stats fetches the service's /stats snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.getJSON(ctx, "/stats", &st)
+	return st, err
+}
+
+// Health probes /healthz. The health body is decoded whatever the
+// status — a booting daemon answers 503 with Ready false — so err is
+// non-nil only when the probe could not reach or parse the endpoint.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.do(req, time.Now(), nil)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("status %d: %v", resp.StatusCode, err)
+	}
+	return h, nil
+}
+
+// Fingerprint fetches the node's catalog fingerprint.
+func (c *Client) Fingerprint(ctx context.Context) (string, error) {
+	var fr FingerprintResponse
+	err := c.getJSON(ctx, "/fingerprint", &fr)
+	return fr.Fingerprint, err
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.do(req, time.Now(), nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", statusError(resp.StatusCode, resp.Body)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

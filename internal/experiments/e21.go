@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptiveindex/internal/api"
+	"adaptiveindex/internal/bench"
+	"adaptiveindex/internal/column"
+	"adaptiveindex/internal/router"
+	"adaptiveindex/internal/server"
+	"adaptiveindex/internal/shard"
+	"adaptiveindex/internal/trace"
+	"adaptiveindex/internal/workload"
+)
+
+// E21Outcome is one (workload shape, node count) cell of the
+// multi-node routed scaling sweep: the same session streams as E19,
+// but replayed over HTTP through crackrouter against N striped
+// crackserve backends instead of through an in-process shard cluster.
+type E21Outcome struct {
+	Shape string
+	Nodes int
+	// Ops is the number of replayed operations (reads plus writes).
+	Ops  int
+	Wall time.Duration
+	P50  time.Duration
+	P99  time.Duration
+	// Work is the cluster's summed logical work reported by the
+	// router's merged /stats — deterministic per cell, and at one node
+	// identical to serving the same stream directly.
+	Work uint64
+}
+
+// Throughput is the cell's operations per second.
+func (o E21Outcome) Throughput() float64 {
+	if o.Wall <= 0 {
+		return 0
+	}
+	return float64(o.Ops) / o.Wall.Seconds()
+}
+
+// e21Node boots one striped backend: the full E19 two-table catalog is
+// generated, reduced to stripe s of n, and served by a real service
+// over loopback HTTP — exactly what `crackserve -stripe s/n` does.
+func e21Node(cfg Config, s, n int) (*httptest.Server, func()) {
+	cat := e19Catalog(cfg)
+	if n > 1 {
+		var err error
+		if cat, err = shard.Stripe(cat, s, n); err != nil {
+			panic(err)
+		}
+	}
+	built, err := server.BuildExec(cat, server.EngineOptions{Shards: 1, Seed: cfg.Seed})
+	if err != nil {
+		panic(err)
+	}
+	svc, err := server.NewService(server.Config{
+		Exec: built.Exec, DefaultPath: "cracking", EventLog: trace.NewLog(16),
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	return srv, func() { srv.Close(); svc.Close() }
+}
+
+// e21Cluster boots n striped backends plus a router over them and
+// returns a client speaking the versioned wire API to the router.
+func e21Cluster(cfg Config, n int, rcfg router.Config) (*api.Client, func()) {
+	var closers []func()
+	nodes := make([]string, n)
+	for s := 0; s < n; s++ {
+		srv, cl := e21Node(cfg, s, n)
+		closers = append(closers, cl)
+		nodes[s] = srv.URL
+	}
+	rcfg.Nodes = nodes
+	rt, err := router.New(rcfg)
+	if err != nil {
+		panic(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	closers = append(closers, func() { front.Close(); rt.Close() })
+	c := api.NewClient(front.URL, api.ClientOptions{Proto: rcfg.Proto})
+	return c, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+// e21Replay runs one cell: the session streams replayed through the
+// router by one closed-loop goroutine per session — the service-layer
+// shape E14 and E20 use, and the only one where striping across
+// processes can pay: each in-flight query fans out and lets every
+// node crack its stripe while the others crack theirs. Reads fan out
+// to every node, writes route to the owning stripe. Reported per
+// cell: wall time, per-op latency, and the cluster's summed logical
+// work from the router's merged /stats. With one session the replay
+// is sequential and the work column is exactly reproducible; with
+// concurrent sessions the interleaving (and so the crack order) is
+// scheduling-dependent, which moves the work total by well under a
+// percent — the wall columns are machine-dependent either way.
+func e21Replay(cfg Config, shape string, n int, streams [][]workload.TableOp) E21Outcome {
+	// Binary columnar on both hops: the multitable shape projects ~1%%
+	// of a million rows per query, and double JSON (backend->router,
+	// router->client) would bury the backends' scan time under encode
+	// tax.
+	client, shutdown := e21Cluster(cfg, n, router.Config{Proto: "binary"})
+	defer shutdown()
+	ctx := context.Background()
+
+	sessLats := make([][]time.Duration, len(streams))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := range streams {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var owned []column.RowID
+			for _, op := range streams[s] {
+				t0 := time.Now()
+				switch op.Kind {
+				case workload.OpRead:
+					q := api.QueryRequest{
+						Op: "count", Table: op.Query.Table, Column: op.Query.Column,
+						Project: op.Query.Project,
+					}
+					if len(q.Project) > 0 {
+						q.Op = "select"
+					}
+					if op.Query.R.HasLow {
+						lo := int64(op.Query.R.Low)
+						q.Low = &lo
+					}
+					if op.Query.R.HasHigh {
+						hi := int64(op.Query.R.High)
+						q.High = &hi
+					}
+					if _, err := client.Query(ctx, q); err != nil {
+						panic(err)
+					}
+				case workload.OpInsert:
+					req, err := api.InsertOp(op.Table, [][]column.Value{op.Values})
+					if err != nil {
+						panic(err)
+					}
+					ur, err := client.Update(ctx, req)
+					if err != nil {
+						panic(err)
+					}
+					owned = append(owned, ur.Inserted...)
+				case workload.OpDelete:
+					if len(owned) == 0 {
+						continue
+					}
+					row := owned[0]
+					owned = owned[1:]
+					req, err := api.DeleteOp(op.Table, []column.RowID{row})
+					if err != nil {
+						panic(err)
+					}
+					if _, err := client.Update(ctx, req); err != nil {
+						panic(err)
+					}
+				}
+				sessLats[s] = append(sessLats[s], time.Since(t0))
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st, err := client.Stats(ctx)
+	if err != nil {
+		panic(err)
+	}
+	var lats []time.Duration
+	for _, l := range sessLats {
+		lats = append(lats, l...)
+	}
+	ops := len(lats)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return E21Outcome{
+		Shape: shape, Nodes: n, Ops: ops, Wall: wall,
+		P50: pct(0.50), P99: pct(0.99), Work: st.WorkTotal,
+	}
+}
+
+// RunE21 sweeps backend node counts 1, 2 and 4 over the multitable and
+// mixed session workloads, replaying identical streams per shape so
+// the cells differ only in how many processes the rows are striped
+// across.
+func RunE21(cfg Config) []E21Outcome {
+	cfg = cfg.withDefaults()
+	const sessions = 8
+	perSession := cfg.Queries / sessions
+	if perSession < 1 {
+		perSession = 1
+	}
+	var out []E21Outcome
+	for _, shape := range []string{"multitable", "mixed"} {
+		streams := e19Streams(cfg, shape, sessions, perSession)
+		for _, n := range []int{1, 2, 4} {
+			out = append(out, e21Replay(cfg, shape, n, streams))
+		}
+	}
+	return out
+}
+
+// E21Failover is the measured failover timeline of a two-node routed
+// cluster: how long after a backend dies the router takes it down
+// (reads go partial), and how long after its restart the health probe
+// plus fingerprint check take to re-admit it (reads whole again).
+type E21Failover struct {
+	// Detect is kill → first partial answer; Readmit is revive →
+	// first whole answer. Both are bounded by the probe cadence.
+	Detect   time.Duration
+	Readmit  time.Duration
+	Partials int
+}
+
+// RunE21Failover kills node 1 of a two-node cluster mid-workload and
+// times detection and re-admission. The backend "dies" by answering
+// 503 to everything (what a load balancer or a crashed process looks
+// like from the router's side) and "restarts" by serving again with
+// its adaptive state intact, so the catalog fingerprint matches and
+// the router lets it back in.
+func RunE21Failover(cfg Config) E21Failover {
+	cfg = cfg.withDefaults()
+	const probe = 10 * time.Millisecond
+	var alive atomic.Bool
+	alive.Store(true)
+
+	cat := e19Catalog(cfg)
+	nodes := make([]string, 2)
+	var closers []func()
+	for s := 0; s < 2; s++ {
+		striped, err := shard.Stripe(cat, s, 2)
+		if err != nil {
+			panic(err)
+		}
+		built, err := server.BuildExec(striped, server.EngineOptions{Shards: 1, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		svc, err := server.NewService(server.Config{
+			Exec: built.Exec, DefaultPath: "cracking", EventLog: trace.NewLog(16),
+		})
+		if err != nil {
+			panic(err)
+		}
+		h := svc.Handler()
+		s := s
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if s == 1 && !alive.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":"node down"}`)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		closers = append(closers, func() { srv.Close(); svc.Close() })
+		nodes[s] = srv.URL
+	}
+	rt, err := router.New(router.Config{
+		Nodes: nodes, ProbeInterval: probe, RetryBackoff: time.Millisecond,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer func() {
+		front.Close()
+		rt.Close()
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+
+	client := api.NewClient(front.URL, api.ClientOptions{})
+	ctx := context.Background()
+	lo, hi := int64(0), int64(cfg.Domain/100)
+	read := func() (*api.QueryResult, error) {
+		return client.Query(ctx, api.QueryRequest{Op: "count", Table: "orders", Column: "c0", Low: &lo, High: &hi})
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := read(); err != nil {
+			panic(err) // both stripes serve: the warm-up must be clean
+		}
+	}
+
+	// Between the kill and the probe taking the node down, reads
+	// fail fast with the per-node breakdown — the designed window, part
+	// of the measured detection time alongside the partial answers that
+	// follow once the node is marked down.
+	var out E21Failover
+	alive.Store(false)
+	killed := time.Now()
+	for {
+		if res, err := read(); err == nil && res.Partial {
+			out.Detect = time.Since(killed)
+			break
+		}
+		time.Sleep(probe / 2)
+	}
+	alive.Store(true)
+	revived := time.Now()
+	for {
+		res, err := read()
+		if err == nil && !res.Partial {
+			out.Readmit = time.Since(revived)
+			break
+		}
+		out.Partials++
+		time.Sleep(probe / 2)
+	}
+	return out
+}
+
+// E21RoutedScaling evaluates the multi-node scatter-gather front: the
+// E19 session streams replayed over HTTP through crackrouter against
+// 1, 2 and 4 striped backends, plus a measured failover timeline on a
+// two-node cluster. Like E19, the wall columns are machine-dependent
+// (every hop is a loopback HTTP round trip, so per-op latency carries
+// a wire tax the in-process cluster never pays) while the summed work
+// column is deterministic — at one node it is identical to serving the
+// stream directly, which is what cmd/benchjson gates as
+// routed_1_total_work.
+func E21RoutedScaling(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	outcomes := RunE21(cfg)
+
+	var rows []bench.Summary
+	var b strings.Builder
+	fmt.Fprintf(&b, "E21: multi-node routed scatter-gather scaling (8 sessions, selectivity %.3f)\n", cfg.Selectivity)
+	fmt.Fprintf(&b, "%-20s %8s %10s %12s %10s %10s %14s\n",
+		"configuration", "ops", "wall", "ops/s", "p50", "p99", "summed work")
+	base := make(map[string]E21Outcome)
+	for _, o := range outcomes {
+		name := fmt.Sprintf("%s/nodes=%d", o.Shape, o.Nodes)
+		fmt.Fprintf(&b, "%-20s %8d %10s %12.0f %10s %10s %14d\n",
+			name, o.Ops, o.Wall.Round(time.Microsecond), o.Throughput(),
+			o.P50.Round(time.Microsecond), o.P99.Round(time.Microsecond), o.Work)
+		if o.Nodes == 1 {
+			base[o.Shape] = o
+		} else if b1, ok := base[o.Shape]; ok && o.Wall > 0 {
+			fmt.Fprintf(&b, "%-20s speedup %.2fx vs 1 node\n", "", b1.Wall.Seconds()/o.Wall.Seconds())
+		}
+		rows = append(rows, bench.Summary{IndexName: name, TotalWork: o.Work, TotalWall: o.Wall})
+	}
+
+	fo := RunE21Failover(cfg)
+	fmt.Fprintf(&b, "\nfailover timeline (2 nodes, 10ms probe): kill->partial %s, revive->re-admitted %s (%d partial answers in between)\n",
+		fo.Detect.Round(time.Millisecond), fo.Readmit.Round(time.Millisecond), fo.Partials)
+	b.WriteString("reads fan out to every node over HTTP; writes route to the owning stripe.\nWall columns are machine-dependent; work is deterministic and at nodes=1\nidentical to direct serving (benchjson gates routed_1_total_work).\n")
+	return Result{ID: "E21", Title: "Multi-node routed scatter-gather scaling", Summaries: rows, Text: b.String()}
+}

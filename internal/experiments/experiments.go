@@ -1,5 +1,5 @@
 // Package experiments defines the reproduction's experiment suite
-// E1..E18 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
+// E1..E21 (see DESIGN.md §2 and EXPERIMENTS.md). Every experiment
 // builds its data, workload and competing access paths from the other
 // internal packages, runs them through the bench harness, and returns a
 // structured result plus a formatted text report. The cmd/aibench CLI
@@ -116,6 +116,7 @@ func All() []Definition {
 		{"E18", "Tracing overhead: sampled spans vs off", E18TracingOverhead},
 		{"E19", "Scatter-gather shard scaling: throughput vs shard count", E19ShardScaling},
 		{"E20", "Epoch-pinned reader scaling: throughput vs read concurrency", E20ReaderScaling},
+		{"E21", "Multi-node routed scatter-gather: throughput vs backend nodes", E21RoutedScaling},
 	}
 }
 

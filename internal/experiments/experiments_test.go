@@ -45,8 +45,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 must not exist")
 	}
-	if len(All()) != 20 {
-		t.Fatalf("expected 20 experiments, got %d", len(All()))
+	if len(All()) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(All()))
 	}
 }
 
@@ -374,5 +374,33 @@ func TestE20EpochMachineryEngages(t *testing.T) {
 		if o.IntentsApplied == 0 {
 			t.Fatalf("readers=%d: the background reorganiser never cracked", o.Readers)
 		}
+	}
+}
+
+// TestE21FailoverTimeline pins the structural contract of the routed
+// failover measurement: the router detects a killed backend (reads go
+// partial once the probe takes it down) and re-admits it after revival
+// (reads whole again), both within the experiment's bounded loops.
+func TestE21FailoverTimeline(t *testing.T) {
+	fo := RunE21Failover(tiny())
+	if fo.Detect <= 0 {
+		t.Fatalf("detection time %v, want > 0", fo.Detect)
+	}
+	if fo.Readmit <= 0 {
+		t.Fatalf("re-admission time %v, want > 0", fo.Readmit)
+	}
+}
+
+// TestE21RoutedWorkDeterministic replays the same single-session
+// stream (sequential: with one closed loop the interleaving is fixed)
+// through a routed two-node cluster twice; the merged cluster work
+// must agree run to run (the counters are logical, never wall-clock).
+func TestE21RoutedWorkDeterministic(t *testing.T) {
+	cfg := tiny()
+	streams := e19Streams(cfg, "multitable", 1, 40)
+	a := e21Replay(cfg, "multitable", 2, streams)
+	b := e21Replay(cfg, "multitable", 2, streams)
+	if a.Work == 0 || a.Work != b.Work {
+		t.Fatalf("routed work not deterministic: %d vs %d", a.Work, b.Work)
 	}
 }

@@ -9,184 +9,36 @@ import (
 	"strconv"
 	"time"
 
+	"adaptiveindex/internal/api"
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/trace"
 	"adaptiveindex/internal/wire"
 )
 
-// QueryRequest is the wire form of one query.
-//
-//	POST /query {"op":"count","table":"orders","column":"c0","low":10,"high":20}
-//	POST /query {"op":"select","table":"orders","column":"c0","low":10,"high":20,
-//	             "project":["c1","c2"],"path":"auto"}
-//
-// Omitted bounds are unbounded; incLow defaults to true and incHigh to
-// false, so {low, high} is the canonical half-open interval [low, high).
-// Omitted table, column and path fall back to the service defaults
-// (the daemon's first table, its first column, and "auto").
-type QueryRequest struct {
-	// Op is "count" (default) or "select".
-	Op      string `json:"op,omitempty"`
-	Table   string `json:"table,omitempty"`
-	Column  string `json:"column,omitempty"`
-	Low     *int64 `json:"low,omitempty"`
-	High    *int64 `json:"high,omitempty"`
-	IncLow  *bool  `json:"incLow,omitempty"`
-	IncHigh *bool  `json:"incHigh,omitempty"`
-	// Project names the columns to return alongside the qualifying
-	// rows (select only).
-	Project []string `json:"project,omitempty"`
-	// Path selects the access path ("scan", "cracking", "sideways",
-	// "parallel", "auto"); empty means the service default.
-	Path string `json:"path,omitempty"`
-	// Trace asks for the query's phase span tree in the response (the
-	// X-Crack-Trace header does the same without touching the body).
-	Trace bool `json:"trace,omitempty"`
-}
-
-// Range converts the wire form to the internal predicate.
-func (q QueryRequest) Range() column.Range {
-	r := column.Range{IncLow: true}
-	if q.Low != nil {
-		r.HasLow, r.Low = true, *q.Low
-	}
-	if q.High != nil {
-		r.HasHigh, r.High = true, *q.High
-	}
-	if q.IncLow != nil {
-		r.IncLow = *q.IncLow
-	}
-	if q.IncHigh != nil {
-		r.IncHigh = *q.IncHigh
-	}
-	return r
-}
-
-// query converts the wire form to the service-level query.
-func (q QueryRequest) query() Query {
-	return Query{Table: q.Table, Column: q.Column, R: q.Range(), Project: q.Project, Path: q.Path}
-}
-
-// QueryResponse is the wire form of a query result.
-type QueryResponse struct {
-	Count int `json:"count"`
-	// Rows carries the qualifying row identifiers for select queries.
-	Rows []column.RowID `json:"rows,omitempty"`
-	// Columns holds the projected values, positionally aligned with
-	// Rows, for select-project queries.
-	Columns map[string][]column.Value `json:"columns,omitempty"`
-	// Path is the access path that executed the query (the planner's
-	// choice when the request said "auto").
-	Path string `json:"path"`
-	// LatencyUs is the server-side latency of this query, queueing
-	// included.
-	LatencyUs int64 `json:"latency_us"`
-	// Trace is the phase span tree for traced queries (see
-	// trace.Span); absent unless the request asked for it.
-	Trace json.RawMessage `json:"trace,omitempty"`
-}
+// The wire DTOs live in internal/api — the shared, versioned contract
+// every HTTP consumer (this server, crackload, the multi-node router)
+// speaks. The server aliases them so existing call sites and tests
+// keep compiling against server.QueryRequest and friends.
+type (
+	// QueryRequest is the wire form of one query (see api.QueryRequest).
+	QueryRequest = api.QueryRequest
+	// QueryResponse is the wire form of a query result.
+	QueryResponse = api.QueryResponse
+	// UpdateOp is the wire form of one mutation.
+	UpdateOp = api.UpdateOp
+	// UpdateRequest is the wire form of one write request.
+	UpdateRequest = api.UpdateRequest
+	// UpdateResponse is the wire form of a write result.
+	UpdateResponse = api.UpdateResponse
+)
 
 // errorResponse is the wire form of a failure.
-type errorResponse struct {
-	Error string `json:"error"`
-}
+type errorResponse = api.ErrorResponse
 
-// UpdateOp is the wire form of one mutation.
-//
-//	{"op":"insert","table":"orders","rows":[[7,8,9],[1,2,3]]}
-//	{"op":"delete","table":"orders","rows":[17,42]}
-//
-// For "insert", rows holds one array of values per inserted row (one
-// value per table column, in column order); a single-column table may
-// give bare numbers instead of one-element arrays. For "delete", rows
-// holds row identifiers. An omitted table falls back to the service
-// default.
-type UpdateOp struct {
-	// Op is "insert" or "delete".
-	Op    string          `json:"op"`
-	Table string          `json:"table,omitempty"`
-	Rows  json.RawMessage `json:"rows"`
-}
-
-// UpdateRequest is the wire form of one write request: a single
-// mutation, or a batch of them via ops (applied in order).
-//
-//	POST /update {"op":"insert","table":"orders","rows":[[7,8,9]]}
-//	POST /update {"ops":[{"op":"insert","rows":[[7,8,9]]},
-//	              {"op":"delete","rows":[3]}]}
-type UpdateRequest struct {
-	UpdateOp
-	Ops []UpdateOp `json:"ops,omitempty"`
-}
-
-// UpdateResponse is the wire form of a write result.
-type UpdateResponse struct {
-	// Inserted holds the row identifiers assigned to inserted rows, in
-	// submission order.
-	Inserted []column.RowID `json:"inserted,omitempty"`
-	// Deleted is the number of deleted rows.
-	Deleted int `json:"deleted"`
-	// PendingInserts and PendingDeletes echo the engine-wide buffered
-	// update depth after this request.
-	PendingInserts int `json:"pending_inserts"`
-	PendingDeletes int `json:"pending_deletes"`
-	// LatencyUs is the server-side latency of this request, queueing
-	// included.
-	LatencyUs int64 `json:"latency_us"`
-}
-
-// writeOps converts the wire form to resolved write ops. With "ops",
-// a top-level "table" is the default for every op that does not name
-// its own.
-func (u UpdateRequest) writeOps() ([]WriteOp, error) {
-	wire := u.Ops
-	if len(wire) == 0 {
-		wire = []UpdateOp{u.UpdateOp}
-	} else if u.Op != "" || len(u.Rows) > 0 {
-		return nil, fmt.Errorf("give either a single op or \"ops\", not both")
-	}
-	out := make([]WriteOp, 0, len(wire))
-	for _, op := range wire {
-		if op.Table == "" {
-			op.Table = u.Table
-		}
-		w := WriteOp{Table: op.Table}
-		switch op.Op {
-		case "insert":
-			rows, err := decodeInsertRows(op.Rows)
-			if err != nil {
-				return nil, err
-			}
-			w.Insert = rows
-		case "delete":
-			if err := json.Unmarshal(op.Rows, &w.Delete); err != nil {
-				return nil, fmt.Errorf("delete rows must be row identifiers: %v", err)
-			}
-		default:
-			return nil, fmt.Errorf("unknown op %q (want insert or delete)", op.Op)
-		}
-		out = append(out, w)
-	}
-	return out, nil
-}
-
-// decodeInsertRows accepts rows as arrays of values (one per column)
-// or, for single-column tables, bare numbers.
-func decodeInsertRows(raw json.RawMessage) ([][]column.Value, error) {
-	var rows [][]column.Value
-	if err := json.Unmarshal(raw, &rows); err == nil {
-		return rows, nil
-	}
-	var flat []column.Value
-	if err := json.Unmarshal(raw, &flat); err != nil {
-		return nil, fmt.Errorf("insert rows must be arrays of column values (or bare values for a one-column table)")
-	}
-	rows = make([][]column.Value, len(flat))
-	for i, v := range flat {
-		rows[i] = []column.Value{v}
-	}
-	return rows, nil
+// toQuery converts the wire form to the service-level query.
+func toQuery(q QueryRequest) Query {
+	return Query{Table: q.Table, Column: q.Column, R: q.Range(), Project: q.Project, Path: q.Path}
 }
 
 // Handler returns the service's HTTP surface:
@@ -196,7 +48,8 @@ func decodeInsertRows(raw json.RawMessage) ([][]column.Value, error) {
 //	GET  /stats         observable service + catalog + planner state (see Stats)
 //	GET  /metrics       Prometheus text exposition of the same counters
 //	GET  /debug/events  reorganisation event log (cursor: ?since=seq)
-//	GET  /healthz       liveness probe
+//	GET  /healthz       liveness + readiness probe
+//	GET  /fingerprint   stable hash of the catalog shape and row counts
 //
 // Every route answers the wrong method with 405 and an Allow header.
 func (s *Service) Handler() http.Handler {
@@ -207,7 +60,18 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("/metrics", s.methodGate(http.MethodGet, s.handleMetrics))
 	mux.Handle("/debug/events", s.methodGate(http.MethodGet, s.handleEvents))
 	mux.Handle("/healthz", s.methodGate(http.MethodGet, func(w http.ResponseWriter, _ *http.Request) {
-		s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		// A running Service is by definition restored and serving; the
+		// not-ready half of the probe lives in the daemon's boot gate,
+		// which answers 503 {"ok":true,"ready":false} until the engine
+		// is up and swaps this handler in.
+		s.writeJSON(w, http.StatusOK, api.Health{OK: true, Ready: true})
+	}))
+	mux.Handle("/fingerprint", s.methodGate(http.MethodGet, func(w http.ResponseWriter, _ *http.Request) {
+		// The fingerprint hashes schema + row population, so a router
+		// can verify a restarted node restored the stripe it owned.
+		s.writeJSON(w, http.StatusOK, api.FingerprintResponse{
+			Fingerprint: api.CatalogFingerprint(s.Stats().Tables),
+		})
 	}))
 	return mux
 }
@@ -226,12 +90,12 @@ func (s *Service) methodGate(method string, h http.HandlerFunc) http.Handler {
 }
 
 func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	var u UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+	u, err := api.DecodeUpdate(r.Body)
+	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid update: %v", err)})
 		return
 	}
-	ops, err := u.writeOps()
+	ops, err := u.WriteOps()
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -275,8 +139,8 @@ func wantTrace(q QueryRequest, r *http.Request) bool {
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var q QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+	q, err := api.DecodeQuery(r.Body)
+	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid query: %v", err)})
 		return
 	}
@@ -287,12 +151,11 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	var reply Reply
-	var err error
 	switch q.Op {
 	case "", "count":
-		reply, err = s.do(opCount, q.query(), rec)
+		reply, err = s.do(opCount, toQuery(q), rec)
 	case "select":
-		reply, err = s.do(opSelect, q.query(), rec)
+		reply, err = s.do(opSelect, toQuery(q), rec)
 	default:
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown op %q (want count or select)", q.Op)})
 		return

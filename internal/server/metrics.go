@@ -63,17 +63,16 @@ func (h *histogram) percentile(p float64) uint64 {
 	return h.max.Load()
 }
 
-// LatencyStats is the percentile summary of the per-query latency
-// histogram, in microseconds.
-type LatencyStats struct {
-	Count   uint64 `json:"count"`
-	MeanUs  uint64 `json:"mean_us"`
-	P50Us   uint64 `json:"p50_us"`
-	P95Us   uint64 `json:"p95_us"`
-	P99Us   uint64 `json:"p99_us"`
-	MaxUs   uint64 `json:"max_us"`
-	TotalUs uint64 `json:"total_us"`
-}
+// Histogram is the exported face of the latency histogram, for
+// front-ends (the multi-node router) that aggregate the same latency
+// shape without hosting a Service. The zero value is ready to use.
+type Histogram struct{ h histogram }
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) { h.h.observe(d) }
+
+// Snapshot summarises the samples so far.
+func (h *Histogram) Snapshot() LatencyStats { return h.h.snapshot() }
 
 func (h *histogram) snapshot() LatencyStats {
 	count := h.count.Load()

@@ -123,6 +123,15 @@ func (s *Service) renderProm(b *strings.Builder) {
 	}
 }
 
+// WriteProm writes the histogram's sample lines (buckets, sum, count)
+// as one Prometheus histogram series; the caller writes the HELP and
+// TYPE lines. labels is either empty or a `key="value",` prefix for
+// the le label. It is how front-ends without a Service (the multi-node
+// router) render their latency on the same bucket layout.
+func (h *Histogram) WriteProm(b *strings.Builder, name, labels string) {
+	promHistSeries(b, name, labels, &h.h)
+}
+
 // promHistSeries writes the sample lines of one histogram series.
 func promHistSeries(b *strings.Builder, name, labels string, h *histogram) {
 	var counts [histBuckets]uint64

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaptiveindex/internal/api"
 	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/index"
@@ -163,11 +164,7 @@ type Reply struct {
 // WriteOp is one resolved mutation against the engine: rows to insert
 // (one value per table column each) or row identifiers to delete.
 // Exactly one of Insert and Delete is non-empty.
-type WriteOp struct {
-	Table  string
-	Insert [][]column.Value
-	Delete []column.RowID
-}
+type WriteOp = api.WriteOp
 
 // WriteReply is the answer to one write request.
 type WriteReply struct {

@@ -4,142 +4,29 @@ import (
 	"runtime"
 	"time"
 
-	"adaptiveindex/internal/engine"
+	"adaptiveindex/internal/api"
 	"adaptiveindex/internal/trace"
 )
 
-// TableStats describes one catalog table. Rows counts row slots
-// (tombstones included — it is one past the largest row identifier);
-// LiveRows counts live tuples. MergePolicy names when buffered writes
-// merge into the table's cracked columns.
-type TableStats struct {
-	Table       string   `json:"table"`
-	Rows        int      `json:"rows"`
-	LiveRows    int      `json:"live_rows"`
-	Columns     []string `json:"columns"`
-	MergePolicy string   `json:"merge_policy"`
-}
-
-// PhaseStats is the latency summary of one execution phase, aggregated
-// over traced queries.
-type PhaseStats struct {
-	Phase   string       `json:"phase"`
-	Latency LatencyStats `json:"latency"`
-}
-
-// ProcessStats is process-level health: scheduler pressure and memory
-// behaviour that no query counter exposes.
-type ProcessStats struct {
-	Goroutines     int    `json:"goroutines"`
-	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
-	GCPauseTotalUs uint64 `json:"gc_pause_total_us"`
-	NumGC          uint32 `json:"num_gc"`
-	// SnapshotAgeSeconds is how old the restored snapshot is (zero when
-	// the engine started cold) — a proxy for how much adaptive
-	// convergence was inherited rather than earned by this process.
-	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
-}
-
-// EventLogStats describes the reorganisation event ring served at
-// /debug/events. LastSeq is also the total number of events ever
-// appended, so its rate is the reorganisation rate.
-type EventLogStats struct {
-	LastSeq  uint64 `json:"last_seq"`
-	Capacity int    `json:"capacity"`
-}
-
-// Stats is the service's observable state, served by /stats.
-type Stats struct {
-	// Tables lists the hosted catalog; Structures counts the adaptive
-	// structures (and cracked pieces) the workload has built so far;
-	// Planner is the per-column PathAuto state; WorkTotal is the
-	// engine's cumulative logical work.
-	Tables     []TableStats          `json:"tables"`
-	Structures engine.StructureStats `json:"structures"`
-	Planner    []engine.PlanStats    `json:"planner"`
-	WorkTotal  uint64                `json:"work_total"`
-
-	// WriteState is the engine's write-path state: applied and merged
-	// update counts plus the current pending-buffer depth.
-	WriteState engine.WriteStats `json:"write_state"`
-
-	// DefaultTable, DefaultColumn and DefaultPath echo what queries get
-	// when they omit the fields.
-	DefaultTable  string `json:"default_table"`
-	DefaultColumn string `json:"default_column"`
-	DefaultPath   string `json:"default_path"`
-
-	// Mode is "batched" or "direct"; BatchWindowUs and MaxBatch echo
-	// the scheduler configuration.
-	Mode          string `json:"mode"`
-	BatchWindowUs int64  `json:"batch_window_us"`
-	MaxBatch      int    `json:"max_batch"`
-
-	// Queries is the number of answered queries; Writes the number of
-	// applied write requests; Rejected counts admissions refused at the
-	// in-flight limit.
-	Queries  uint64 `json:"queries"`
-	Writes   uint64 `json:"writes"`
-	Rejected uint64 `json:"rejected"`
-	// Batches is the number of executed batches; SharedScans counts
-	// queries answered by an execution shared with an identical query
-	// in the same batch; MaxBatchSeen is the largest batch executed so
-	// far.
-	Batches      uint64 `json:"batches"`
-	SharedScans  uint64 `json:"shared_scans"`
-	MaxBatchSeen int64  `json:"max_batch_seen"`
-	// EncodeFailures counts responses (JSON or binary) whose encode or
-	// write back to the client failed; those clients saw a truncated or
-	// empty body, not the result.
-	EncodeFailures uint64 `json:"encode_failures"`
-
-	// InFlight and MaxInFlight describe the admission state.
-	InFlight    int64 `json:"in_flight"`
-	MaxInFlight int   `json:"max_in_flight"`
-
-	Latency LatencyStats `json:"latency"`
-
-	// TracedQueries counts queries that asked for span tracing; Phases
-	// aggregates their per-phase durations (phases never observed are
-	// omitted).
-	TracedQueries uint64       `json:"traced_queries"`
-	Phases        []PhaseStats `json:"phases,omitempty"`
-
-	// Shards is the number of engine shards answering each query (1 for
-	// a single-engine service); ShardStats breaks the adaptive state
-	// down per shard when the service fronts a cluster.
-	Shards     int                `json:"shards"`
-	ShardStats []engine.ShardStat `json:"shard_stats,omitempty"`
-
-	// Readers is the epoch read concurrency (0 or 1: every query on the
-	// serialised executor); Reorg describes the epoch read machinery
-	// when Readers > 1.
-	Readers int         `json:"readers"`
-	Reorg   *ReorgStats `json:"reorg,omitempty"`
-
-	Process  ProcessStats  `json:"process"`
-	EventLog EventLogStats `json:"event_log"`
-
-	UptimeSeconds float64 `json:"uptime_seconds"`
-}
-
-// ReorgStats describes the epoch read machinery behind Readers > 1:
-// the epoch lifecycle counters, the crack-intent queue, and the
-// reorganiser's lag behind the readers.
-type ReorgStats struct {
-	// Epoch is the executor's epoch lifecycle state (publications,
-	// retirements, applied intents, epoch reads and their summed work).
-	Epoch engine.EpochStats `json:"epoch"`
-	// Backlog is the current depth of the crack-intent queue;
-	// IntentsQueued and IntentsDropped count enqueues and queue-full
-	// drops over the service's lifetime.
-	Backlog        int    `json:"backlog"`
-	IntentsQueued  uint64 `json:"intents_queued"`
-	IntentsDropped uint64 `json:"intents_dropped"`
-	// LagUs is the queue delay of the most recently applied intent, in
-	// microseconds — how far the reorganiser runs behind the readers.
-	LagUs uint64 `json:"lag_us"`
-}
+// The /stats payload shapes live in internal/api (the shared wire
+// contract); the server aliases them so existing call sites and tests
+// keep compiling against server.Stats and friends.
+type (
+	// TableStats describes one catalog table.
+	TableStats = api.TableStats
+	// PhaseStats is the latency summary of one execution phase.
+	PhaseStats = api.PhaseStats
+	// ProcessStats is process-level health.
+	ProcessStats = api.ProcessStats
+	// EventLogStats describes the reorganisation event ring.
+	EventLogStats = api.EventLogStats
+	// Stats is the service's observable state, served by /stats.
+	Stats = api.Stats
+	// ReorgStats describes the epoch read machinery behind Readers > 1.
+	ReorgStats = api.ReorgStats
+	// LatencyStats summarises a latency distribution.
+	LatencyStats = api.LatencyStats
+)
 
 // statsLocked assembles a Stats snapshot; the executor portion requires
 // the caller to have safe access to the executor (the executor

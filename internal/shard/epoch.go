@@ -15,7 +15,6 @@ package shard
 import (
 	"sync"
 
-	"adaptiveindex/internal/column"
 	"adaptiveindex/internal/engine"
 	"adaptiveindex/internal/trace"
 )
@@ -93,27 +92,14 @@ func (c *Cluster) EpochRead(q engine.Query) (*engine.Result, engine.EpochInfo, e
 			info.NeedsReorg = true
 		}
 	}
-	out := &engine.Result{Path: results[0].Path}
-	total := 0
-	for _, r := range results {
-		out.Count += r.Count
-		total += len(r.Rows)
+	parts := make([]StripeResult, len(results))
+	for s, r := range results {
+		parts[s] = StripeResult{Count: r.Count, Rows: r.Rows, Columns: r.Columns}
 	}
-	if !q.CountOnly {
-		out.Rows = make(column.IDList, 0, total)
-		for s, r := range results {
-			out.Rows = c.toGlobal(s, r.Rows, out.Rows)
-		}
-		if len(q.Project) > 0 {
-			out.Columns = make(map[string][]column.Value, len(q.Project))
-			for _, col := range q.Project {
-				merged := make([]column.Value, 0, total)
-				for _, r := range results {
-					merged = append(merged, r.Columns[col]...)
-				}
-				out.Columns[col] = merged
-			}
-		}
+	merged := MergeStriped(parts, q.Project, q.CountOnly)
+	out := &engine.Result{
+		Path: results[0].Path, Count: merged.Count,
+		Rows: merged.Rows, Columns: merged.Columns,
 	}
 	return out, info, nil
 }

@@ -41,6 +41,128 @@ import (
 	"adaptiveindex/internal/updates"
 )
 
+// The striping contract, shared by the in-process Cluster and the
+// multi-node router (internal/router), which applies the identical
+// arithmetic over the wire: global row g lives on stripe g mod N at
+// local identifier g div N, and appends in global order always land at
+// the next local slot of the owning stripe.
+
+// Owner returns the stripe owning global row g among n stripes.
+func Owner(g, n int) int { return g % n }
+
+// Local returns global row g's local identifier on its owning stripe.
+func Local(g, n int) int { return g / n }
+
+// Global maps a stripe-local row identifier back to the global space:
+// global = local*N + stripe.
+func Global(local column.RowID, stripe, n int) column.RowID {
+	return local*column.RowID(n) + column.RowID(stripe)
+}
+
+// Globalize appends the global identifiers of one stripe's local rows
+// to out, in order.
+func Globalize(rows column.IDList, stripe, n int, out column.IDList) column.IDList {
+	for _, l := range rows {
+		out = append(out, Global(l, stripe, n))
+	}
+	return out
+}
+
+// Stripe extracts stripe s of n from cat's base data: each table keeps
+// its schema, and stripe s owns global rows s, s+n, s+2n, … as its
+// local rows 0, 1, 2, …. The catalog must be freshly built (no appended
+// or deleted rows): writes belong to whoever owns the global row space.
+// It is how Cluster builds its per-shard catalogs and how a crackserve
+// node hosts one stripe of a multi-node cluster's logical catalog.
+func Stripe(cat *engine.Catalog, s, n int) (*engine.Catalog, error) {
+	if n < 1 || s < 0 || s >= n {
+		return nil, fmt.Errorf("shard: stripe %d/%d out of range", s, n)
+	}
+	names := cat.Tables()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("shard: catalog has no tables")
+	}
+	out := engine.NewCatalog()
+	for _, name := range names {
+		t, err := cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if t.NumRows() != t.BaseRows() || len(t.DeletedRows()) > 0 {
+			return nil, fmt.Errorf("shard: table %q already carries writes; stripe a fresh catalog", name)
+		}
+		nr := t.NumRows()
+		st := engine.NewTable(name)
+		cnt := (nr - s + n - 1) / n
+		if cnt < 0 {
+			cnt = 0
+		}
+		for _, col := range t.Columns() {
+			vals, err := t.Column(col)
+			if err != nil {
+				return nil, err
+			}
+			stripe := make([]column.Value, 0, cnt)
+			for g := s; g < nr; g += n {
+				stripe = append(stripe, vals[g])
+			}
+			if err := st.AddColumn(col, stripe); err != nil {
+				return nil, err
+			}
+		}
+		if err := out.Register(st); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// StripeResult is one stripe's contribution to a scatter-gather read:
+// the qualifying count, the stripe-local row identifiers, and the
+// projected values aligned with them. It is deliberately minimal so
+// both an in-process engine.Result and a decoded wire response can be
+// merged by the same code.
+type StripeResult struct {
+	Count   int
+	Rows    column.IDList
+	Columns map[string][]column.Value
+}
+
+// MergeStriped merges per-stripe results (parts[s] is stripe s of
+// len(parts)) into one global result: counts are summed, row
+// identifiers are mapped to the global space and concatenated in
+// stripe order, and projected columns follow their rows. countOnly
+// skips row and projection assembly. A nil part contributes nothing —
+// the router uses that for stripes whose node is down (the answer is
+// then explicitly partial).
+func MergeStriped(parts []StripeResult, project []string, countOnly bool) StripeResult {
+	n := len(parts)
+	var out StripeResult
+	total := 0
+	for _, p := range parts {
+		out.Count += p.Count
+		total += len(p.Rows)
+	}
+	if countOnly {
+		return out
+	}
+	out.Rows = make(column.IDList, 0, total)
+	for s, p := range parts {
+		out.Rows = Globalize(p.Rows, s, n, out.Rows)
+	}
+	if len(project) > 0 {
+		out.Columns = make(map[string][]column.Value, len(project))
+		for _, col := range project {
+			merged := make([]column.Value, 0, total)
+			for _, p := range parts {
+				merged = append(merged, p.Columns[col]...)
+			}
+			out.Columns[col] = merged
+		}
+	}
+	return out
+}
+
 // Cluster fronts N row-striped engine shards. Construct it with New;
 // the zero value is not usable. Not safe for concurrent use (see the
 // package comment).
@@ -65,52 +187,21 @@ func New(cat *engine.Catalog, n int, opts core.Options) (*Cluster, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("shard: catalog has no tables")
 	}
-	parts := make([]*engine.Catalog, n)
-	for s := range parts {
-		parts[s] = engine.NewCatalog()
-	}
 	nrows := make(map[string]int, len(names))
 	for _, name := range names {
 		t, err := cat.Table(name)
 		if err != nil {
 			return nil, err
 		}
-		if t.NumRows() != t.BaseRows() || len(t.DeletedRows()) > 0 {
-			return nil, fmt.Errorf("shard: table %q already carries writes; stripe a fresh catalog", name)
-		}
-		nr := t.NumRows()
-		nrows[name] = nr
-		cols := t.Columns()
-		vals := make([][]column.Value, len(cols))
-		for ci, col := range cols {
-			if vals[ci], err = t.Column(col); err != nil {
-				return nil, err
-			}
-		}
-		for s := 0; s < n; s++ {
-			st := engine.NewTable(name)
-			// Shard s owns ceil((nr-s)/n) rows: one per stride step.
-			cnt := (nr - s + n - 1) / n
-			if cnt < 0 {
-				cnt = 0
-			}
-			for ci, col := range cols {
-				stripe := make([]column.Value, 0, cnt)
-				for g := s; g < nr; g += n {
-					stripe = append(stripe, vals[ci][g])
-				}
-				if err := st.AddColumn(col, stripe); err != nil {
-					return nil, err
-				}
-			}
-			if err := parts[s].Register(st); err != nil {
-				return nil, err
-			}
-		}
+		nrows[name] = t.NumRows()
 	}
 	c := &Cluster{shards: make([]*engine.Engine, n), nrows: nrows}
 	for s := range c.shards {
-		c.shards[s] = engine.New(parts[s], opts)
+		part, err := Stripe(cat, s, n)
+		if err != nil {
+			return nil, err
+		}
+		c.shards[s] = engine.New(part, opts)
 	}
 	return c, nil
 }
@@ -122,17 +213,6 @@ func (c *Cluster) Shards() int { return len(c.shards) }
 // plumbing and tests. Callers must respect the cluster's
 // single-caller contract.
 func (c *Cluster) Engines() []*engine.Engine { return c.shards }
-
-// toGlobal maps one shard's local row identifiers to global ones:
-// global = local*N + shard.
-func (c *Cluster) toGlobal(s int, rows column.IDList, out column.IDList) column.IDList {
-	n := column.RowID(len(c.shards))
-	sh := column.RowID(s)
-	for _, l := range rows {
-		out = append(out, l*n+sh)
-	}
-	return out
-}
 
 // Run executes one query on every shard concurrently and merges the
 // per-shard results: counts are summed, row identifiers are mapped
@@ -178,27 +258,14 @@ func (c *Cluster) Run(q engine.Query) (*engine.Result, error) {
 		}
 	}
 
-	out := &engine.Result{Path: results[0].Path}
-	total := 0
-	for _, r := range results {
-		out.Count += r.Count
-		total += len(r.Rows)
+	parts := make([]StripeResult, len(results))
+	for s, r := range results {
+		parts[s] = StripeResult{Count: r.Count, Rows: r.Rows, Columns: r.Columns}
 	}
-	if !q.CountOnly {
-		out.Rows = make(column.IDList, 0, total)
-		for s, r := range results {
-			out.Rows = c.toGlobal(s, r.Rows, out.Rows)
-		}
-		if len(q.Project) > 0 {
-			out.Columns = make(map[string][]column.Value, len(q.Project))
-			for _, col := range q.Project {
-				merged := make([]column.Value, 0, total)
-				for _, r := range results {
-					merged = append(merged, r.Columns[col]...)
-				}
-				out.Columns[col] = merged
-			}
-		}
+	merged := MergeStriped(parts, q.Project, q.CountOnly)
+	out := &engine.Result{
+		Path: results[0].Path, Count: merged.Count,
+		Rows: merged.Rows, Columns: merged.Columns,
 	}
 	if rec != nil {
 		// The gather span's children are the slowest shard's engine
@@ -231,13 +298,13 @@ func (c *Cluster) InsertRow(table string, vals []column.Value) (column.RowID, er
 		// Unknown table: let a shard engine produce the canonical error.
 		return c.shards[0].InsertRow(table, vals)
 	}
-	s := g % len(c.shards)
+	s := Owner(g, len(c.shards))
 	local, err := c.shards[s].InsertRow(table, vals)
 	if err != nil {
 		return 0, err
 	}
 	c.nrows[table] = g + 1
-	want := column.RowID(g / len(c.shards))
+	want := column.RowID(Local(g, len(c.shards)))
 	if local != want {
 		panic(fmt.Sprintf("shard: stripe invariant broken: table %q global row %d landed at local %d on shard %d, want %d",
 			table, g, local, s, want))

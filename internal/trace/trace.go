@@ -71,6 +71,12 @@ const (
 	// queued crack intent (the deferred crack plus any merge flush it
 	// pulls in) and publishing the next epoch.
 	PhaseReorgApply
+	// PhaseNodeGather is the scatter-gather of one query across the
+	// backend nodes of a multi-node cluster (crackrouter): the fan-out
+	// over the wire, the slowest node's whole server-side execution, and
+	// the merge of per-node ID-lists and projections back into one
+	// result. The slowest node's own span tree nests inside it.
+	PhaseNodeGather
 	// NumPhases bounds arrays indexed by Phase.
 	NumPhases
 )
@@ -79,6 +85,7 @@ const (
 var phaseNames = [NumPhases]string{
 	"query", "queue_wait", "batch_assembly", "shard_gather", "crack",
 	"merge_flush", "materialise", "wire_encode", "epoch_pin", "reorg_apply",
+	"node_gather",
 }
 
 // String returns the phase's wire name.
